@@ -1,0 +1,62 @@
+//! Benchmarks for the analytical side of the reproduction: the section 5
+//! estimators at paper scale, and the regeneration of every cost table
+//! (T1, groups 1–5) plus the findings check.
+//!
+//! These are the benches behind the *tables* of the evaluation — each
+//! `regen/*` target times exactly the computation that prints one group's
+//! tables (`textjoin-sim group1` etc.).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use textjoin_common::{CollectionStats, QueryParams, SystemParams};
+use textjoin_costmodel::{hhnl, hvnl, vvm, CostEstimates, JoinInputs};
+use textjoin_sim::{findings, groups};
+
+fn paper_inputs() -> JoinInputs {
+    JoinInputs::with_paper_q(
+        CollectionStats::wsj(),
+        CollectionStats::doe(),
+        SystemParams::paper_base(),
+        QueryParams::paper_base(),
+    )
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let inputs = paper_inputs();
+    let mut g = c.benchmark_group("estimator");
+    g.bench_function("hhs", |b| {
+        b.iter(|| hhnl::sequential(black_box(&inputs)).unwrap())
+    });
+    g.bench_function("hhr", |b| {
+        b.iter(|| hhnl::worst_case_random(black_box(&inputs)).unwrap())
+    });
+    g.bench_function("hvs", |b| b.iter(|| hvnl::sequential(black_box(&inputs))));
+    g.bench_function("hvr", |b| {
+        b.iter(|| hvnl::worst_case_random(black_box(&inputs)))
+    });
+    g.bench_function("vvs", |b| {
+        b.iter(|| vvm::sequential(black_box(&inputs)).unwrap())
+    });
+    g.bench_function("vvr", |b| {
+        b.iter(|| vvm::worst_case_random(black_box(&inputs)).unwrap())
+    });
+    g.bench_function("all_six", |b| {
+        b.iter(|| CostEstimates::compute(black_box(&inputs)))
+    });
+    g.finish();
+}
+
+fn bench_table_regeneration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("regen");
+    g.bench_function("t1_statistics", |b| b.iter(groups::t1_statistics));
+    g.bench_function("group1", |b| b.iter(groups::group1));
+    g.bench_function("group2", |b| b.iter(groups::group2));
+    g.bench_function("group3", |b| b.iter(groups::group3));
+    g.bench_function("group4", |b| b.iter(groups::group4));
+    g.bench_function("group5", |b| b.iter(groups::group5));
+    g.bench_function("findings", |b| b.iter(findings::check_findings));
+    g.finish();
+}
+
+criterion_group!(benches, bench_estimators, bench_table_regeneration);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! End-to-end executor benchmarks (experiment V1's execution side): the
+//! three join algorithms plus the integrated dispatcher on a fixed
+//! synthetic workload. Before measuring, the measured-vs-predicted cost row
+//! for each algorithm is printed once — the series EXPERIMENTS.md records.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+use textjoin_collection::{Collection, SynthSpec};
+use textjoin_common::{CollectionStats, QueryParams, SystemParams};
+use textjoin_core::{hhnl, hvnl, integrated, vvm, IoScenario, JoinSpec};
+use textjoin_invfile::InvertedFile;
+use textjoin_storage::DiskSim;
+
+struct Fixture {
+    _disk: Arc<DiskSim>,
+    inner: Collection,
+    outer: Collection,
+    inner_inv: InvertedFile,
+    outer_inv: InvertedFile,
+    sys: SystemParams,
+    query: QueryParams,
+}
+
+fn fixture() -> Fixture {
+    let disk = Arc::new(DiskSim::new(4096));
+    let inner = SynthSpec::from_stats(CollectionStats::new(500, 60.0, 4000), 7)
+        .generate(Arc::clone(&disk), "inner")
+        .unwrap();
+    let outer = SynthSpec::from_stats(CollectionStats::new(250, 60.0, 4000), 8)
+        .generate(Arc::clone(&disk), "outer")
+        .unwrap();
+    let inner_inv = InvertedFile::build(Arc::clone(&disk), "inner", &inner).unwrap();
+    let outer_inv = InvertedFile::build(Arc::clone(&disk), "outer", &outer).unwrap();
+    Fixture {
+        _disk: disk,
+        inner,
+        outer,
+        inner_inv,
+        outer_inv,
+        sys: SystemParams {
+            buffer_pages: 64,
+            page_size: 4096,
+            alpha: 5.0,
+        },
+        query: QueryParams {
+            lambda: 10,
+            delta: 1.0,
+        },
+    }
+}
+
+fn bench_executors(c: &mut Criterion) {
+    let f = fixture();
+    let spec = JoinSpec::new(&f.inner, &f.outer)
+        .with_sys(f.sys)
+        .with_query(f.query);
+
+    // Print the measured cost row once, for EXPERIMENTS.md.
+    let inputs = spec.cost_inputs();
+    let hh = hhnl::execute(&spec).unwrap();
+    let hv = hvnl::execute(&spec, &f.inner_inv).unwrap();
+    let vv = vvm::execute(&spec, &f.inner_inv, &f.outer_inv).unwrap();
+    eprintln!("# executors (N1=500, N2=250, K=60, B=64 pages):");
+    eprintln!(
+        "#   HHNL measured={:.0} predicted={:.0}",
+        hh.stats.cost,
+        textjoin_costmodel::hhnl::sequential(&inputs).unwrap()
+    );
+    eprintln!(
+        "#   HVNL measured={:.0} predicted={:.0}",
+        hv.stats.cost,
+        textjoin_costmodel::hvnl::sequential(&inputs)
+    );
+    eprintln!(
+        "#   VVM  measured={:.0} predicted={:.0}",
+        vv.stats.cost,
+        textjoin_costmodel::vvm::sequential(&inputs).unwrap()
+    );
+    assert_eq!(hh.result, hv.result);
+    assert_eq!(hv.result, vv.result);
+
+    let mut g = c.benchmark_group("executor");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    g.bench_function("hhnl", |b| b.iter(|| hhnl::execute(&spec).unwrap()));
+    g.bench_function("hvnl", |b| {
+        b.iter(|| hvnl::execute(&spec, &f.inner_inv).unwrap())
+    });
+    g.bench_function("vvm", |b| {
+        b.iter(|| vvm::execute(&spec, &f.inner_inv, &f.outer_inv).unwrap())
+    });
+    g.bench_function("integrated", |b| {
+        b.iter(|| {
+            integrated::execute(&spec, &f.inner_inv, &f.outer_inv, IoScenario::Dedicated).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_executors);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Group 3, execution form: a small selected subset of an originally large
+//! outer collection. The paper's finding 2 — HVNL wins while the subset is
+//! small, HHNL takes over as it grows — reproduced with *measured* costs on
+//! the simulated disk (series printed once), then timed per subset size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+use textjoin_collection::{synth, Collection, SynthSpec};
+use textjoin_common::{CollectionStats, DocId, QueryParams, SystemParams};
+use textjoin_core::{hhnl, hvnl, JoinSpec, OuterDocs};
+use textjoin_invfile::InvertedFile;
+use textjoin_storage::DiskSim;
+
+const SUBSET_SIZES: [u64; 4] = [1, 5, 25, 50];
+
+struct Fixture {
+    _disk: Arc<DiskSim>,
+    inner: Collection,
+    outer: Collection,
+    inner_inv: InvertedFile,
+    sys: SystemParams,
+    query: QueryParams,
+    subsets: Vec<(u64, Vec<DocId>)>,
+}
+
+fn fixture() -> Fixture {
+    let disk = Arc::new(DiskSim::new(4096));
+    // The inner collection must be large enough that scanning it (D1)
+    // dwarfs a handful of random entry fetches — the regime of the paper's
+    // finding 2. D1 ≈ 1 465 pages here versus ~⌈J⌉·α ≈ 5 pages per fetch.
+    let inner = SynthSpec::from_stats(CollectionStats::new(20_000, 60.0, 20_000), 17)
+        .generate(Arc::clone(&disk), "inner")
+        .unwrap();
+    let outer = SynthSpec::from_stats(CollectionStats::new(1000, 60.0, 20_000), 18)
+        .generate(Arc::clone(&disk), "outer")
+        .unwrap();
+    let inner_inv = InvertedFile::build(Arc::clone(&disk), "inner", &inner).unwrap();
+    let subsets = SUBSET_SIZES
+        .iter()
+        .map(|&m| (m, synth::select_random_docs(1000, m, 99)))
+        .collect();
+    Fixture {
+        _disk: disk,
+        inner,
+        outer,
+        inner_inv,
+        sys: SystemParams {
+            buffer_pages: 200,
+            page_size: 4096,
+            alpha: 5.0,
+        },
+        query: QueryParams {
+            lambda: 5,
+            delta: 1.0,
+        },
+        subsets,
+    }
+}
+
+fn bench_group3(c: &mut Criterion) {
+    let f = fixture();
+
+    eprintln!("# group 3 (measured cost in page units, inner N=20000):");
+    eprintln!("# {:>6} {:>12} {:>12} {:>8}", "M", "HHNL", "HVNL", "winner");
+    for (m, ids) in &f.subsets {
+        let spec = JoinSpec::new(&f.inner, &f.outer)
+            .with_outer_docs(OuterDocs::Selected(ids))
+            .with_sys(f.sys)
+            .with_query(f.query);
+        let hh = hhnl::execute(&spec).unwrap();
+        let hv = hvnl::execute(&spec, &f.inner_inv).unwrap();
+        assert_eq!(hh.result, hv.result);
+        let winner = if hv.stats.cost < hh.stats.cost {
+            "HVNL"
+        } else {
+            "HHNL"
+        };
+        eprintln!(
+            "# {:>6} {:>12.0} {:>12.0} {:>8}",
+            m, hh.stats.cost, hv.stats.cost, winner
+        );
+    }
+
+    let mut g = c.benchmark_group("group3");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    for (m, ids) in &f.subsets {
+        let spec = JoinSpec::new(&f.inner, &f.outer)
+            .with_outer_docs(OuterDocs::Selected(ids))
+            .with_sys(f.sys)
+            .with_query(f.query);
+        g.bench_with_input(BenchmarkId::new("hvnl", m), &spec, |b, spec| {
+            b.iter(|| hvnl::execute(spec, &f.inner_inv).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("hhnl", m), &spec, |b, spec| {
+            b.iter(|| hhnl::execute(spec).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_group3);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Group 5, execution form: identical derived collections — the factor `F`
+//! divides the document count and multiplies the terms per document, so the
+//! stored size stays constant while `N1·N2` (and with it VVM's intermediate
+//! state) shrinks quadratically. The measured-cost series (printed once)
+//! shows VVM's pass count collapsing to 1 as `F` grows — the paper's
+//! finding 3 — followed by timing per factor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+use textjoin_collection::{Collection, SynthSpec};
+use textjoin_common::{CollectionStats, QueryParams, SystemParams};
+use textjoin_core::{hhnl, vvm, JoinSpec};
+use textjoin_invfile::InvertedFile;
+use textjoin_storage::DiskSim;
+
+const FACTORS: [u64; 3] = [1, 4, 16];
+
+struct Scenario {
+    factor: u64,
+    _disk: Arc<DiskSim>,
+    c1: Collection,
+    c2: Collection,
+    inv1: InvertedFile,
+    inv2: InvertedFile,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let base = SynthSpec::from_stats(CollectionStats::new(1024, 25.0, 4000), 23);
+    FACTORS
+        .iter()
+        .map(|&factor| {
+            let disk = Arc::new(DiskSim::new(4096));
+            let spec1 = base.derive_scaled(factor);
+            let spec2 = SynthSpec {
+                seed: base.seed + 1,
+                ..spec1.clone()
+            };
+            let c1 = spec1.generate(Arc::clone(&disk), "c1").unwrap();
+            let c2 = spec2.generate(Arc::clone(&disk), "c2").unwrap();
+            let inv1 = InvertedFile::build(Arc::clone(&disk), "c1", &c1).unwrap();
+            let inv2 = InvertedFile::build(Arc::clone(&disk), "c2", &c2).unwrap();
+            Scenario {
+                factor,
+                _disk: disk,
+                c1,
+                c2,
+                inv1,
+                inv2,
+            }
+        })
+        .collect()
+}
+
+fn bench_group5(c: &mut Criterion) {
+    let sys = SystemParams {
+        buffer_pages: 24,
+        page_size: 4096,
+        alpha: 5.0,
+    };
+    let query = QueryParams {
+        lambda: 5,
+        delta: 1.0,
+    };
+    let scenarios = scenarios();
+
+    eprintln!("# group 5 (size-constant derivation, measured cost in page units):");
+    eprintln!(
+        "# {:>4} {:>6} {:>10} {:>10} {:>7} {:>8}",
+        "F", "N", "HHNL", "VVM", "passes", "winner"
+    );
+    for s in &scenarios {
+        let spec = JoinSpec::new(&s.c1, &s.c2).with_sys(sys).with_query(query);
+        let hh = hhnl::execute(&spec).unwrap();
+        let vv = vvm::execute(&spec, &s.inv1, &s.inv2).unwrap();
+        assert_eq!(hh.result, vv.result);
+        let winner = if vv.stats.cost < hh.stats.cost {
+            "VVM"
+        } else {
+            "HHNL"
+        };
+        eprintln!(
+            "# {:>4} {:>6} {:>10.0} {:>10.0} {:>7} {:>8}",
+            s.factor,
+            s.c1.store().num_docs(),
+            hh.stats.cost,
+            vv.stats.cost,
+            vv.stats.passes,
+            winner
+        );
+    }
+
+    let mut g = c.benchmark_group("group5");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    for s in &scenarios {
+        let spec = JoinSpec::new(&s.c1, &s.c2).with_sys(sys).with_query(query);
+        g.bench_with_input(BenchmarkId::new("vvm", s.factor), &spec, |b, spec| {
+            b.iter(|| vvm::execute(spec, &s.inv1, &s.inv2).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("hhnl", s.factor), &spec, |b, spec| {
+            b.iter(|| hhnl::execute(spec).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_group5);
+criterion_main!(benches);

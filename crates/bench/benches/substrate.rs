@@ -1,0 +1,131 @@
+//! Micro-benchmarks of the substrates: document codec, collection
+//! generation and scanning, inverted-file construction and scanning,
+//! B+tree bulk load, buffer pool, and pairwise scoring.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use textjoin_collection::{Collection, Document, SynthSpec, ZipfSampler};
+use textjoin_common::{CollectionStats, TermId};
+use textjoin_invfile::{BTreeFile, InvertedFile, TermEntry};
+use textjoin_storage::{BufferPool, DiskSim};
+
+fn sample_docs(n: u64, k: f64, vocab: u64, seed: u64) -> Vec<Document> {
+    SynthSpec::from_stats(CollectionStats::new(n, k, vocab), seed).generate_docs()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let doc = sample_docs(1, 500.0, 10_000, 1).pop().unwrap();
+    let bytes = doc.encode();
+    let mut g = c.benchmark_group("codec");
+    g.bench_function("encode_500_terms", |b| b.iter(|| black_box(doc.encode())));
+    g.bench_function("decode_500_terms", |b| {
+        b.iter(|| Document::decode(black_box(&bytes)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let docs = sample_docs(2, 300.0, 2_000, 2);
+    let (a, b_) = (&docs[0], &docs[1]);
+    c.bench_function("dot_product_300x300", |b| b.iter(|| black_box(a.dot(b_))));
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synthesis");
+    g.sample_size(10);
+    g.bench_function("generate_1000_docs", |b| {
+        b.iter(|| sample_docs(1000, 40.0, 5_000, 3))
+    });
+    let zipf = ZipfSampler::new(100_000, 1.0);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(4);
+    g.bench_function("zipf_sample", |b| {
+        b.iter(|| black_box(zipf.sample(&mut rng)))
+    });
+    g.finish();
+}
+
+fn bench_storage_stack(c: &mut Criterion) {
+    let disk = Arc::new(DiskSim::new(4096));
+    let coll =
+        Collection::build(Arc::clone(&disk), "c", sample_docs(2000, 40.0, 5_000, 5)).unwrap();
+    let inv = InvertedFile::build(Arc::clone(&disk), "c", &coll).unwrap();
+
+    let mut g = c.benchmark_group("storage");
+    g.sample_size(20);
+    g.bench_function("collection_scan_2000", |b| {
+        b.iter(|| {
+            let mut cells = 0usize;
+            for item in coll.store().scan() {
+                cells += item.unwrap().1.num_terms();
+            }
+            black_box(cells)
+        })
+    });
+    g.bench_function("inverted_scan", |b| {
+        b.iter(|| {
+            let mut cells = 0usize;
+            for item in inv.scan() {
+                cells += item.unwrap().1.len();
+            }
+            black_box(cells)
+        })
+    });
+    g.bench_function("invfile_build_2000", |b| {
+        b.iter_with_setup(
+            || {
+                let d = Arc::new(DiskSim::new(4096));
+                let c = Collection::build(Arc::clone(&d), "c", sample_docs(2000, 40.0, 5_000, 6))
+                    .unwrap();
+                (d, c)
+            },
+            |(d, c)| InvertedFile::build(d, "c", &c).unwrap(),
+        )
+    });
+    g.bench_function("buffer_pool_hit", |b| {
+        let pool = BufferPool::new(&disk, 64);
+        pool.get(coll.store().file(), 0).unwrap();
+        b.iter(|| pool.get(coll.store().file(), 0).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let entries: Vec<(TermId, TermEntry)> = (0..50_000u32)
+        .map(|i| {
+            (
+                TermId::new(i),
+                TermEntry {
+                    ordinal: i,
+                    doc_freq: 1,
+                },
+            )
+        })
+        .collect();
+    let mut g = c.benchmark_group("btree");
+    g.sample_size(20);
+    g.bench_function("bulk_load_50k", |b| {
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            let disk = Arc::new(DiskSim::new(4096));
+            BTreeFile::bulk_load(disk, "bt", &entries).unwrap()
+        })
+    });
+    let disk = Arc::new(DiskSim::new(4096));
+    let tree = BTreeFile::bulk_load(disk, "bt", &entries).unwrap();
+    g.bench_function("load_leaves_50k", |b| {
+        b.iter(|| tree.load_leaves().unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_scoring,
+    bench_generation,
+    bench_storage_stack,
+    bench_btree
+);
+criterion_main!(benches);

@@ -1,0 +1,2 @@
+//! Shared helpers live in each bench file; this library is intentionally
+//! empty — the crate exists for its `benches/` targets.

@@ -1,0 +1,426 @@
+//! Synthetic collection generation.
+//!
+//! The paper's simulations use the TREC-1 collections WSJ, FR and DOE,
+//! which are licensed and cannot ship with this repository. Every cost
+//! formula of section 5 depends on a collection only through its statistics
+//! `(N, K, T)` and the derived sizes, while the executable join algorithms
+//! additionally care about the *skew* of term usage (which entries get
+//! reused in HVNL's cache) — so we substitute synthetic collections with
+//! matching statistics and a Zipfian term distribution, the standard
+//! vocabulary model (Salton & McGill).
+//!
+//! [`SynthSpec::preset_scaled`] produces execution-scale versions of the
+//! paper's collections: `N` and `T` are divided by the scale factor while
+//! `K` is preserved, which keeps the average document size `S` and average
+//! entry size `J` — the shape parameters of all three algorithms — intact.
+
+use crate::document::Document;
+use crate::store::Collection;
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+use std::collections::HashSet;
+use std::sync::Arc;
+use textjoin_common::{CollectionStats, DocId, Result, TermId};
+use textjoin_storage::DiskSim;
+
+/// A Zipfian sampler over ranks `start..n` with exponent `s`:
+/// `P(rank r) ∝ 1 / (r+1)^s`, with the weights of the *global* ranking —
+/// truncating the head does not promote a new dominant rank, it simply
+/// removes the head's mass (the behaviour of stop-word removal).
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    start: usize,
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the cumulative table for ranks `0..n` with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        Self::new_range(0, n, s)
+    }
+
+    /// Builds the table for the truncated ranking `start..n`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty or `s < 0`.
+    pub fn new_range(start: usize, n: usize, s: f64) -> Self {
+        assert!(start < n, "Zipf sampler needs a non-empty domain");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cumulative = Vec::with_capacity(n - start);
+        let mut total = 0.0;
+        for r in start..n {
+            total += 1.0 / ((r + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        let norm = total;
+        for c in &mut cumulative {
+            *c /= norm;
+        }
+        Self { start, cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn domain(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Samples a rank (a global rank in `start..n`).
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.random();
+        self.start
+            + self
+                .cumulative
+                .partition_point(|&c| c < u)
+                .min(self.cumulative.len() - 1)
+    }
+}
+
+/// How term usage is distributed across documents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Locality {
+    /// Every document samples from the global Zipf distribution.
+    Global,
+    /// Documents are grouped into this many clusters laid out contiguously
+    /// in storage order; each document draws most of its terms from its
+    /// cluster's slice of the vocabulary. Section 5.4 predicts HVNL
+    /// benefits from such clustering because close documents share terms
+    /// and reuse cached inverted entries.
+    Clustered(usize),
+}
+
+/// Specification of a synthetic collection.
+#[derive(Clone, Debug)]
+pub struct SynthSpec {
+    /// `N` — number of documents.
+    pub num_docs: u64,
+    /// `K` — target average number of distinct terms per document.
+    pub avg_terms_per_doc: f64,
+    /// `T` — vocabulary size terms are drawn from.
+    pub vocab_size: u64,
+    /// Zipf exponent of the term distribution (1.0 is classic Zipf).
+    pub zipf_exponent: f64,
+    /// Mean of the (geometric) within-document occurrence count.
+    pub mean_occurrences: f64,
+    /// Term locality pattern.
+    pub locality: Locality,
+    /// Fraction of the top Zipf ranks to skip, mimicking stop-word
+    /// removal: IR systems index documents *after* dropping the most
+    /// frequent words, so no posting list approaches length `N`. Without
+    /// this, the top Zipf terms appear in nearly every document and their
+    /// entries dwarf the average `J` the cost models use. Default 0.01.
+    pub stopword_fraction: f64,
+    /// RNG seed, for reproducibility.
+    pub seed: u64,
+}
+
+impl SynthSpec {
+    /// A spec with sensible defaults for the given primary statistics.
+    pub fn from_stats(stats: CollectionStats, seed: u64) -> Self {
+        Self {
+            num_docs: stats.num_docs,
+            avg_terms_per_doc: stats.avg_terms_per_doc,
+            vocab_size: stats.distinct_terms,
+            zipf_exponent: 1.0,
+            mean_occurrences: 1.5,
+            locality: Locality::Global,
+            stopword_fraction: 0.01,
+            seed,
+        }
+    }
+
+    /// An execution-scale version of a paper collection: `N` and `T`
+    /// divided by `scale`, `K` kept, so `S` and `J` (document and entry
+    /// shape) are preserved.
+    pub fn preset_scaled(stats: CollectionStats, scale: u64, seed: u64) -> Self {
+        assert!(scale >= 1);
+        Self::from_stats(
+            CollectionStats::new(
+                (stats.num_docs / scale).max(1),
+                stats.avg_terms_per_doc,
+                (stats.distinct_terms / scale).max(1),
+            ),
+            seed,
+        )
+    }
+
+    /// The group-5 derivation: documents reduced and enlarged by `factor`,
+    /// total size constant.
+    pub fn derive_scaled(&self, factor: u64) -> Self {
+        assert!(factor >= 1);
+        Self {
+            num_docs: (self.num_docs / factor).max(1),
+            avg_terms_per_doc: self.avg_terms_per_doc * factor as f64,
+            ..self.clone()
+        }
+    }
+
+    /// The nominal statistics of the spec (measured statistics of a
+    /// generated collection will be close but not identical: small
+    /// collections do not exhaust the vocabulary).
+    pub fn nominal_stats(&self) -> CollectionStats {
+        CollectionStats::new(self.num_docs, self.avg_terms_per_doc, self.vocab_size)
+    }
+
+    /// Generates the collection onto `disk` under `name`.
+    pub fn generate(&self, disk: Arc<DiskSim>, name: &str) -> Result<Collection> {
+        let docs = self.generate_docs();
+        Collection::build(disk, name, docs)
+    }
+
+    /// Generates the documents only (for in-memory tests).
+    pub fn generate_docs(&self) -> Vec<Document> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let vocab = self.vocab_size as usize;
+        // Stop-word removal: the most frequent ranks never reach the
+        // index. The truncated sampler keeps the global-rank weights, so no
+        // new dominant head appears.
+        let skip = ((vocab as f64 * self.stopword_fraction) as usize).min(vocab - 1);
+        let zipf = ZipfSampler::new_range(skip, vocab, self.zipf_exponent);
+        let occ_p = 1.0 / self.mean_occurrences.max(1.0);
+
+        let mut docs = Vec::with_capacity(self.num_docs as usize);
+        for doc_idx in 0..self.num_docs {
+            let k = self.sample_doc_terms(&mut rng);
+            let mut terms: HashSet<u32> = HashSet::with_capacity(k);
+            let mut attempts = 0usize;
+            while terms.len() < k && attempts < k * 20 {
+                attempts += 1;
+                let rank = zipf.sample(&mut rng);
+                let term = self.place_term(rank, doc_idx, vocab, &mut rng);
+                terms.insert(term as u32);
+            }
+            // Fallback for tiny vocabularies: fill with uniform picks.
+            while terms.len() < k.min(vocab) {
+                terms.insert(rng.random_range(0..vocab) as u32);
+            }
+            // Sort before assigning weights: HashSet iteration order is
+            // nondeterministic and would break seed reproducibility.
+            let mut terms: Vec<u32> = terms.into_iter().collect();
+            terms.sort_unstable();
+            let cells = terms.into_iter().map(|t| {
+                let occurrences = 1 + sample_geometric(&mut rng, occ_p).min(u16::MAX as u64 - 1);
+                (TermId::new(t), occurrences as u32)
+            });
+            docs.push(Document::from_term_counts(cells));
+        }
+        docs
+    }
+
+    /// Per-document distinct-term count: uniform in `[K/2, 3K/2]`, so the
+    /// average matches `K`.
+    fn sample_doc_terms(&self, rng: &mut impl Rng) -> usize {
+        let k = self.avg_terms_per_doc.max(1.0);
+        let lo = (k / 2.0).max(1.0) as usize;
+        let hi = (k * 1.5).ceil() as usize;
+        rng.random_range(lo..=hi.max(lo))
+    }
+
+    /// Maps a Zipf rank to a term id, applying the locality pattern.
+    fn place_term(&self, rank: usize, doc_idx: u64, vocab: usize, rng: &mut impl Rng) -> usize {
+        match self.locality {
+            Locality::Global => rank,
+            Locality::Clustered(clusters) => {
+                let clusters = clusters.max(1);
+                // 80% of draws come from the document's cluster slice.
+                if rng.random::<f64>() < 0.8 {
+                    let cluster = (doc_idx as usize * clusters / self.num_docs.max(1) as usize)
+                        .min(clusters - 1);
+                    let slice = (vocab / clusters).max(1);
+                    let within = rank % slice;
+                    (cluster * slice + within).min(vocab - 1)
+                } else {
+                    rank
+                }
+            }
+        }
+    }
+}
+
+/// Samples a geometric random variable with success probability `p`
+/// (number of failures before the first success; mean `(1-p)/p`).
+fn sample_geometric(rng: &mut impl Rng, p: f64) -> u64 {
+    let p = p.clamp(1e-9, 1.0);
+    let u: f64 = rng.random();
+    if p >= 1.0 {
+        return 0;
+    }
+    (u.ln() / (1.0 - p).ln()).floor() as u64
+}
+
+/// Picks `n` distinct document ids from a collection of `num_docs`
+/// documents, simulating a selection on a non-textual attribute (group 3).
+/// The result is sorted so access order matches document-number order.
+pub fn select_random_docs(num_docs: u64, n: u64, seed: u64) -> Vec<DocId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = n.min(num_docs);
+    let mut chosen: HashSet<u32> = HashSet::with_capacity(n as usize);
+    while (chosen.len() as u64) < n {
+        chosen.insert(rng.random_range(0..num_docs) as u32);
+    }
+    let mut ids: Vec<DocId> = chosen.into_iter().map(DocId::new).collect();
+    ids.sort();
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let zipf = ZipfSampler::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut low = 0;
+        let samples = 10_000;
+        for _ in 0..samples {
+            if zipf.sample(&mut rng) < 10 {
+                low += 1;
+            }
+        }
+        // Top-10 of 1000 ranks carries ~39% of the mass at s=1.
+        assert!(low > samples / 4, "low-rank mass too small: {low}");
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_uniform() {
+        let zipf = ZipfSampler::new(100, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 100];
+        for _ in 0..20_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(*max < *min * 3, "uniform sampler too skewed: {min}..{max}");
+    }
+
+    #[test]
+    fn generated_stats_track_spec() {
+        let spec = SynthSpec {
+            num_docs: 300,
+            avg_terms_per_doc: 40.0,
+            vocab_size: 2000,
+            zipf_exponent: 1.0,
+            mean_occurrences: 1.5,
+            locality: Locality::Global,
+            stopword_fraction: 0.01,
+            seed: 42,
+        };
+        let docs = spec.generate_docs();
+        assert_eq!(docs.len(), 300);
+        let profile = crate::profile::CollectionProfile::from_docs(&docs);
+        let k = profile.avg_terms_per_doc();
+        assert!((k - 40.0).abs() < 5.0, "measured K = {k}");
+        let t = profile.distinct_terms();
+        assert!(t > 500 && t <= 2000, "measured T = {t}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let spec = SynthSpec::from_stats(CollectionStats::new(20, 10.0, 100), 9);
+        assert_eq!(spec.generate_docs(), spec.generate_docs());
+        let other = SynthSpec { seed: 10, ..spec };
+        assert_ne!(other.generate_docs(), spec.generate_docs());
+    }
+
+    #[test]
+    fn preset_scaled_preserves_shape() {
+        let spec = SynthSpec::preset_scaled(CollectionStats::wsj(), 100, 1);
+        assert_eq!(spec.num_docs, 987);
+        assert_eq!(spec.vocab_size, 1562);
+        assert_eq!(spec.avg_terms_per_doc, 329.0);
+        // S and J shapes are preserved.
+        let nominal = spec.nominal_stats();
+        let full = CollectionStats::wsj();
+        assert!((nominal.avg_doc_pages(4096) - full.avg_doc_pages(4096)).abs() < 1e-9);
+        assert!(
+            (nominal.avg_entry_pages(4096) - full.avg_entry_pages(4096)).abs()
+                / full.avg_entry_pages(4096)
+                < 0.02
+        );
+    }
+
+    #[test]
+    fn derive_scaled_shrinks_docs_enlarges_terms() {
+        let spec = SynthSpec::from_stats(CollectionStats::new(1000, 50.0, 5000), 1);
+        let derived = spec.derive_scaled(10);
+        assert_eq!(derived.num_docs, 100);
+        assert_eq!(derived.avg_terms_per_doc, 500.0);
+        assert_eq!(derived.vocab_size, 5000);
+    }
+
+    #[test]
+    fn clustered_locality_concentrates_cluster_vocabulary() {
+        let base = SynthSpec {
+            num_docs: 200,
+            avg_terms_per_doc: 30.0,
+            vocab_size: 5000,
+            zipf_exponent: 1.0,
+            mean_occurrences: 1.2,
+            locality: Locality::Clustered(10),
+            stopword_fraction: 0.01,
+            seed: 5,
+        };
+        let docs = base.generate_docs();
+        // Two documents of the same cluster share more terms than two
+        // documents of distant clusters, on average.
+        let share = |a: &Document, b: &Document| {
+            let sa: HashSet<_> = a.cells().iter().map(|c| c.term).collect();
+            b.cells().iter().filter(|c| sa.contains(&c.term)).count()
+        };
+        let near: usize = (0..10).map(|i| share(&docs[i], &docs[i + 1])).sum();
+        let far: usize = (0..10).map(|i| share(&docs[i], &docs[i + 100])).sum();
+        assert!(
+            near > far,
+            "near-cluster sharing {near} ≤ far sharing {far}"
+        );
+    }
+
+    #[test]
+    fn stopword_skipping_caps_document_frequencies() {
+        let with_stop = SynthSpec {
+            stopword_fraction: 0.0,
+            ..SynthSpec::from_stats(CollectionStats::new(500, 30.0, 2000), 9)
+        };
+        let without_stop = SynthSpec {
+            stopword_fraction: 0.02,
+            ..SynthSpec::from_stats(CollectionStats::new(500, 30.0, 2000), 9)
+        };
+        let max_df = |docs: &[Document]| {
+            crate::profile::CollectionProfile::from_docs(docs)
+                .doc_freqs()
+                .values()
+                .copied()
+                .max()
+                .unwrap_or(0)
+        };
+        let raw = max_df(&with_stop.generate_docs());
+        let trimmed = max_df(&without_stop.generate_docs());
+        assert!(
+            trimmed * 2 < raw,
+            "skipping top ranks must cap the max document frequency: {trimmed} vs {raw}"
+        );
+    }
+
+    #[test]
+    fn select_random_docs_sorted_unique_bounded() {
+        let ids = select_random_docs(1000, 50, 3);
+        assert_eq!(ids.len(), 50);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        assert!(ids.iter().all(|d| d.raw() < 1000));
+        // Requesting more than available clips.
+        assert_eq!(select_random_docs(10, 50, 3).len(), 10);
+    }
+
+    #[test]
+    fn geometric_mean_is_roughly_correct() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let p = 0.5;
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| sample_geometric(&mut rng, p)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 1.0).abs() < 0.1, "geometric(0.5) mean = {mean}");
+    }
+}

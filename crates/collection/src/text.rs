@@ -1,0 +1,215 @@
+//! Text ingestion: tokenizer, stop words, light stemming and the standard
+//! term-number mapping.
+//!
+//! Section 3 of the paper argues that a multidatabase system benefits from a
+//! *standard mapping* from terms to term numbers shared by all local IR
+//! systems: it saves communication (numbers instead of strings) and
+//! processing (integer comparisons). [`TermRegistry`] is that mapping — all
+//! collections built through one registry agree on term numbers, which is
+//! what lets the join algorithms compare d-cells across databases directly.
+
+use crate::document::Document;
+use std::collections::HashMap;
+use textjoin_common::TermId;
+
+/// English stop words excluded from indexing (a compact, conventional list;
+/// IR systems drop these because they carry no discriminating power).
+const STOP_WORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "had", "has", "have",
+    "he", "her", "his", "i", "in", "is", "it", "its", "not", "of", "on", "or", "our", "she",
+    "that", "the", "their", "they", "this", "to", "was", "we", "were", "will", "with", "you",
+    "your",
+];
+
+/// The shared term → term-number mapping ("standard mapping", section 3).
+///
+/// Numbers are assigned densely in first-seen order, so they always fit the
+/// 3-byte encoding for vocabularies up to ~16.7M terms.
+#[derive(Debug, Default)]
+pub struct TermRegistry {
+    by_term: HashMap<String, TermId>,
+    terms: Vec<String>,
+}
+
+impl TermRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether no terms are registered.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Returns the id of `term`, registering it if new.
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.by_term.get(term) {
+            return id;
+        }
+        let id = TermId::new(self.terms.len() as u32);
+        self.by_term.insert(term.to_string(), id);
+        self.terms.push(term.to_string());
+        id
+    }
+
+    /// Looks a term up without registering it.
+    pub fn lookup(&self, term: &str) -> Option<TermId> {
+        self.by_term.get(term).copied()
+    }
+
+    /// The term string for an id.
+    pub fn term(&self, id: TermId) -> Option<&str> {
+        self.terms.get(id.index()).map(String::as_str)
+    }
+
+    /// Tokenizes, normalizes and interns `text` into a [`Document`].
+    pub fn ingest(&mut self, text: &str) -> Document {
+        let mut counts: HashMap<TermId, u32> = HashMap::new();
+        for token in tokenize(text) {
+            let id = self.intern(&token);
+            *counts.entry(id).or_insert(0) += 1;
+        }
+        Document::from_term_counts(counts)
+    }
+
+    /// Like [`ingest`](Self::ingest) but read-only: unknown terms are
+    /// dropped instead of registered (useful when probing with a query
+    /// against a frozen vocabulary).
+    pub fn ingest_readonly(&self, text: &str) -> Document {
+        let mut counts: HashMap<TermId, u32> = HashMap::new();
+        for token in tokenize(text) {
+            if let Some(id) = self.lookup(&token) {
+                *counts.entry(id).or_insert(0) += 1;
+            }
+        }
+        Document::from_term_counts(counts)
+    }
+}
+
+/// Splits text into normalized index terms: lowercase alphanumeric runs,
+/// stop words removed, light suffix stemming applied.
+pub fn tokenize(text: &str) -> impl Iterator<Item = String> + '_ {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|w| !w.is_empty())
+        .map(|w| w.to_lowercase())
+        .filter(|w| w.len() > 1 && !STOP_WORDS.contains(&w.as_str()))
+        .map(|w| stem(&w))
+}
+
+/// A light suffix stemmer (a small subset of Porter's rules — enough to
+/// conflate the common English inflections without a full rule engine).
+pub fn stem(word: &str) -> String {
+    let w = word;
+    // Order matters: longest applicable suffix first.
+    for (suffix, min_stem) in [
+        ("ations", 3),
+        ("ation", 3),
+        ("ings", 3),
+        ("ing", 3),
+        ("edly", 3),
+        ("ies", 2),
+        ("ed", 3),
+    ] {
+        if let Some(stemmed) = w.strip_suffix(suffix) {
+            if stemmed.len() >= min_stem {
+                // "ies" → "y" (queries → query).
+                if suffix == "ies" {
+                    return format!("{stemmed}y");
+                }
+                return stemmed.to_string();
+            }
+        }
+    }
+    // Plural handling follows Harman's s-stemmer: "-es" drops only the "s"
+    // so "databases" conflates with "database"; a bare "-s" is dropped
+    // except after "s"/"u" ("less", "bus" stay put).
+    if let Some(stemmed) = w.strip_suffix('s') {
+        if stemmed.len() >= 3 && !stemmed.ends_with('s') && !stemmed.ends_with('u') {
+            return stemmed.to_string();
+        }
+    }
+    w.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_lowercases_and_splits_on_non_alphanumeric() {
+        let tokens: Vec<String> = tokenize("Database-Systems, 2nd Edition!").collect();
+        assert_eq!(tokens, vec!["database", "system", "2nd", "edition"]);
+    }
+
+    #[test]
+    fn tokenize_drops_stop_words_and_single_chars() {
+        let tokens: Vec<String> = tokenize("the cat and a dog x").collect();
+        assert_eq!(tokens, vec!["cat", "dog"]);
+    }
+
+    #[test]
+    fn stemming_conflates_inflections() {
+        assert_eq!(stem("engineering"), "engineer");
+        assert_eq!(stem("joins"), "join");
+        assert_eq!(stem("queries"), "query");
+        assert_eq!(stem("processed"), "process");
+        // s-stemmer plural handling: singular and plural conflate.
+        assert_eq!(stem("databases"), "database");
+        assert_eq!(stem("database"), "database");
+        // Short stems are left alone ("thing" must not become "th"), and
+        // "-ss"/"-us" words keep their s.
+        assert_eq!(stem("as"), "as");
+        assert_eq!(stem("thing"), "thing");
+        assert_eq!(stem("less"), "less");
+        assert_eq!(stem("bus"), "bus");
+    }
+
+    #[test]
+    fn registry_assigns_dense_stable_ids() {
+        let mut reg = TermRegistry::new();
+        let a = reg.intern("database");
+        let b = reg.intern("join");
+        assert_eq!(a, reg.intern("database"));
+        assert_eq!(a.raw(), 0);
+        assert_eq!(b.raw(), 1);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.term(a), Some("database"));
+        assert_eq!(reg.lookup("join"), Some(b));
+        assert_eq!(reg.lookup("missing"), None);
+    }
+
+    #[test]
+    fn ingest_counts_occurrences() {
+        let mut reg = TermRegistry::new();
+        let doc = reg.ingest("join queries join databases; queries join");
+        let join = reg.lookup("join").unwrap();
+        let query = reg.lookup("query").unwrap();
+        assert_eq!(doc.weight_of(join), 3);
+        assert_eq!(doc.weight_of(query), 2);
+    }
+
+    #[test]
+    fn shared_registry_aligns_term_numbers_across_collections() {
+        // The multidatabase scenario of section 3: two local systems using
+        // the same standard mapping can compare term numbers directly.
+        let mut reg = TermRegistry::new();
+        let resume = reg.ingest("senior database engineer with query optimization experience");
+        let job = reg.ingest("database engineer role: query engines and optimization");
+        assert!(resume.dot(&job).value() >= 3.0); // database, engineer, query, optimization
+    }
+
+    #[test]
+    fn readonly_ingest_drops_unknown_terms() {
+        let mut reg = TermRegistry::new();
+        reg.ingest("alpha beta");
+        let d = reg.ingest_readonly("alpha gamma");
+        assert_eq!(d.num_terms(), 1);
+        assert_eq!(reg.lookup("gamma"), None);
+    }
+}

@@ -1,0 +1,99 @@
+//! Workspace error type.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the textjoin crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A read or write touched a page outside the file it addressed.
+    PageOutOfBounds {
+        /// Name of the simulated file.
+        file: String,
+        /// Offending page number.
+        page: u64,
+        /// Number of pages in the file.
+        len: u64,
+    },
+    /// The memory budget is too small for the requested operation — e.g.
+    /// HHNL cannot hold even one inner document plus one outer document.
+    InsufficientMemory {
+        /// What the memory was needed for.
+        context: String,
+        /// Pages required.
+        required_pages: u64,
+        /// Pages available.
+        available_pages: u64,
+    },
+    /// An on-disk structure failed validation while being decoded.
+    Corrupt(String),
+    /// A named entity (file, relation, attribute, …) does not exist.
+    NotFound(String),
+    /// The extended-SQL text failed to parse.
+    Parse(String),
+    /// A query referenced catalog objects inconsistently (unknown column,
+    /// type mismatch, missing SIMILAR_TO argument, …).
+    Plan(String),
+    /// Invalid argument or configuration.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::PageOutOfBounds { file, page, len } => {
+                write!(
+                    f,
+                    "page {page} out of bounds for file '{file}' ({len} pages)"
+                )
+            }
+            Error::InsufficientMemory {
+                context,
+                required_pages,
+                available_pages,
+            } => write!(
+                f,
+                "insufficient memory for {context}: need {required_pages} pages, \
+                 have {available_pages}"
+            ),
+            Error::Corrupt(msg) => write!(f, "corrupt structure: {msg}"),
+            Error::NotFound(what) => write!(f, "not found: {what}"),
+            Error::Parse(msg) => write!(f, "parse error: {msg}"),
+            Error::Plan(msg) => write!(f, "planning error: {msg}"),
+            Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_facts() {
+        let e = Error::PageOutOfBounds {
+            file: "wsj.docs".into(),
+            page: 99,
+            len: 10,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("wsj.docs") && msg.contains("99") && msg.contains("10"));
+
+        let e = Error::InsufficientMemory {
+            context: "HHNL outer batch".into(),
+            required_pages: 12,
+            available_pages: 4,
+        };
+        assert!(e.to_string().contains("HHNL outer batch"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_std_error<E: std::error::Error>() {}
+        assert_std_error::<Error>();
+    }
+}

@@ -1,0 +1,193 @@
+//! Clustering: the self-join special case.
+//!
+//! Section 1: "The clustering problem in IR systems requires to find, for
+//! each document d, those documents similar to d in the same document
+//! collection. This can be considered as a special case of the join
+//! problem when the two document collections involving the join are
+//! identical." This module packages that special case: a self-join with
+//! identical pairs excluded, plus a single-link grouping of the resulting
+//! neighbour graph.
+
+use crate::integrated;
+use crate::result::JoinOutcome;
+use crate::spec::JoinSpec;
+use crate::weighting::Weighting;
+use textjoin_collection::Collection;
+use textjoin_common::{DocId, QueryParams, Result, Score, SystemParams};
+use textjoin_costmodel::IoScenario;
+use textjoin_invfile::InvertedFile;
+
+/// Finds, for every document, its λ nearest neighbours in the same
+/// collection (self matches excluded), using whichever algorithm the
+/// integrated optimizer estimates cheapest.
+pub fn nearest_neighbors(
+    collection: &Collection,
+    inverted: &InvertedFile,
+    lambda: usize,
+    sys: SystemParams,
+    weighting: Weighting,
+) -> Result<JoinOutcome> {
+    let spec = JoinSpec::new(collection, collection)
+        .with_sys(sys)
+        .with_query(QueryParams::paper_base().with_lambda(lambda))
+        .with_weighting(weighting)
+        .with_exclude_self();
+    Ok(integrated::execute(&spec, inverted, inverted, IoScenario::Dedicated)?.outcome)
+}
+
+/// Groups documents into single-link clusters: two documents share a
+/// cluster when they are connected by a chain of matches with similarity
+/// at least `threshold`. Returns the clusters sorted by size (largest
+/// first), ids sorted within each cluster; singletons are included.
+pub fn single_link_clusters(
+    outcome: &JoinOutcome,
+    num_docs: u64,
+    threshold: Score,
+) -> Vec<Vec<DocId>> {
+    let mut uf = UnionFind::new(num_docs as usize);
+    for (outer, matches) in outcome.result.iter() {
+        for m in matches {
+            if m.score >= threshold {
+                uf.union(outer.index(), m.inner.index());
+            }
+        }
+    }
+    let mut groups: std::collections::HashMap<usize, Vec<DocId>> = std::collections::HashMap::new();
+    for i in 0..num_docs as usize {
+        groups
+            .entry(uf.find(i))
+            .or_default()
+            .push(DocId::new(i as u32));
+    }
+    let mut clusters: Vec<Vec<DocId>> = groups.into_values().collect();
+    for c in &mut clusters {
+        c.sort();
+    }
+    clusters.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a[0].cmp(&b[0])));
+    clusters
+}
+
+/// Path-compressing, rank-union disjoint sets.
+struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use textjoin_collection::Document;
+    use textjoin_common::TermId;
+    use textjoin_storage::DiskSim;
+
+    fn doc(terms: &[u32]) -> Document {
+        Document::from_term_counts(terms.iter().map(|&t| (TermId::new(t), 1u32)))
+    }
+
+    fn fixture() -> (Collection, InvertedFile) {
+        let disk = Arc::new(DiskSim::new(512));
+        // Two tight topic groups plus one outlier.
+        let docs = vec![
+            doc(&[1, 2, 3]),
+            doc(&[1, 2, 4]),
+            doc(&[2, 3, 4]),
+            doc(&[10, 11, 12]),
+            doc(&[10, 11, 13]),
+            doc(&[20, 21]),
+        ];
+        let c = Collection::build(Arc::clone(&disk), "c", docs).unwrap();
+        let inv = InvertedFile::build(disk, "c", &c).unwrap();
+        (c, inv)
+    }
+
+    #[test]
+    fn self_matches_are_excluded() {
+        let (c, inv) = fixture();
+        let outcome =
+            nearest_neighbors(&c, &inv, 3, SystemParams::paper_base(), Weighting::RawCount)
+                .unwrap();
+        for (outer, matches) in outcome.result.iter() {
+            assert!(
+                matches.iter().all(|m| m.inner != outer),
+                "{outer} matched itself"
+            );
+        }
+    }
+
+    #[test]
+    fn single_link_recovers_topic_groups() {
+        let (c, inv) = fixture();
+        let outcome =
+            nearest_neighbors(&c, &inv, 3, SystemParams::paper_base(), Weighting::RawCount)
+                .unwrap();
+        let clusters = single_link_clusters(&outcome, c.store().num_docs(), Score::new(2.0));
+        // {0,1,2} share ≥2 terms pairwise, {3,4} share 2 terms, {5} alone.
+        let sizes: Vec<usize> = clusters.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![3, 2, 1], "{clusters:?}");
+        assert_eq!(
+            clusters[0],
+            vec![DocId::new(0), DocId::new(1), DocId::new(2)]
+        );
+        assert_eq!(clusters[1], vec![DocId::new(3), DocId::new(4)]);
+    }
+
+    #[test]
+    fn high_threshold_gives_singletons() {
+        let (c, inv) = fixture();
+        let outcome =
+            nearest_neighbors(&c, &inv, 3, SystemParams::paper_base(), Weighting::RawCount)
+                .unwrap();
+        let clusters = single_link_clusters(&outcome, c.store().num_docs(), Score::new(1e9));
+        assert_eq!(clusters.len(), 6);
+    }
+
+    #[test]
+    fn union_find_merges_transitively() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(3, 4);
+        assert_eq!(uf.find(0), uf.find(2));
+        assert_ne!(uf.find(0), uf.find(3));
+    }
+}

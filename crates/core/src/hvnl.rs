@@ -1,0 +1,625 @@
+//! Algorithm HVNL — Horizontal-Vertical Nested Loop (section 4.2).
+//!
+//! For each outer document, the terms it shares with the inner collection
+//! are looked up in the inner B+tree (loaded into memory once, cost `Bt1`)
+//! and their inverted-file entries are fetched (`⌈J1⌉` random pages each),
+//! accumulating similarities into per-inner-document counters. Entries read
+//! for earlier documents are kept in an in-memory cache; when space runs
+//! out, the entry whose term has the **lowest document frequency in the
+//! outer collection** is evicted — it is the least likely to be needed
+//! again. Terms whose entries are already resident are processed first.
+//!
+//! The paper proves that choosing an optimal processing order for the outer
+//! documents is NP-hard (reduction from Optimal Batch Integrity Assertion
+//! Verification); the default is storage order, and a greedy
+//! largest-intersection order is available as the ablation the paper
+//! discusses (and warns about: it turns the outer scan into random I/O).
+
+use crate::result::{ExecStats, JoinOutcome, JoinResult, Match};
+use crate::spec::JoinSpec;
+use crate::topk::TopK;
+use std::collections::{BTreeSet, HashMap};
+use textjoin_collection::Document;
+use textjoin_common::{DCell, DocId, Result, TermId};
+use textjoin_costmodel::Algorithm;
+use textjoin_invfile::InvertedFile;
+use textjoin_storage::MemTracker;
+
+/// Cache replacement policies for inverted-file entries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// The paper's policy: evict the entry whose term has the lowest
+    /// document frequency in the outer collection (least likely reuse).
+    #[default]
+    LowestOuterDf,
+    /// Plain least-recently-used, as the ablation baseline.
+    Lru,
+}
+
+/// Order in which outer documents are processed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum OuterOrder {
+    /// Storage order — cheap sequential reads (the paper's choice).
+    #[default]
+    Storage,
+    /// Greedy: always pick the unprocessed document sharing the most terms
+    /// with the entries currently cached. The optimal order is NP-hard;
+    /// this heuristic maximises short-term reuse at the price of reading
+    /// documents randomly, exactly the trade-off section 4.2 warns about.
+    GreedyIntersection,
+}
+
+/// Tuning knobs (defaults reproduce the paper's algorithm).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HvnlOptions {
+    /// Cache replacement policy.
+    pub eviction: EvictionPolicy,
+    /// Outer document processing order.
+    pub order: OuterOrder,
+}
+
+/// Executes the join with HVNL under the paper's default options.
+pub fn execute(spec: &JoinSpec<'_>, inner_inv: &InvertedFile) -> Result<JoinOutcome> {
+    execute_with(spec, inner_inv, HvnlOptions::default())
+}
+
+/// Executes the join with HVNL under explicit options.
+pub fn execute_with(
+    spec: &JoinSpec<'_>,
+    inner_inv: &InvertedFile,
+    options: HvnlOptions,
+) -> Result<JoinOutcome> {
+    let disk = spec.inner.store().disk();
+    let start_io = disk.stats();
+    let tracker = MemTracker::new(&spec.sys);
+
+    // One-time cost: read the whole B+tree into memory (Bt1) and keep it
+    // resident for the duration of the join.
+    let dict = inner_inv.btree().load_leaves()?;
+    tracker.allocate(dict.size_bytes().max(1), "HVNL B+tree dictionary")?;
+    // Room for the outer document currently being processed (⌈S2⌉).
+    tracker.allocate(
+        spec.outer.store().max_doc_bytes().max(1),
+        "HVNL outer document slot",
+    )?;
+    // Room for the λ result slots built per outer document.
+    tracker.allocate(TopK::budget_bytes(spec.query.lambda), "HVNL result heap")?;
+    // Room for the entry currently being fetched (the paper budgets the
+    // average ⌈J1⌉; we reserve the worst case so even an entry that cannot
+    // be cached can still be streamed through without busting the budget).
+    let max_entry = (0..inner_inv.num_entries() as u32)
+        .map(|o| inner_inv.entry_bytes(o))
+        .max()
+        .unwrap_or(0);
+    tracker.allocate(max_entry.max(1), "HVNL current entry buffer")?;
+
+    let mut state = HvnlState {
+        spec,
+        inner_inv,
+        dict,
+        tracker: &tracker,
+        cache: EntryCache::new(options.eviction),
+        accumulators: HashMap::new(),
+        acc_bytes: 0,
+        rows: Vec::new(),
+        entry_fetches: 0,
+        cache_hits: 0,
+        sim_ops: 0,
+        current_outer: DocId::new(0),
+    };
+
+    // Section 5.2, case X ≥ T1: when the entire inner inverted file fits in
+    // the remaining memory and one sequential scan of it (I1 pages) is
+    // cheaper than fetching the needed entries at the random rate, read it
+    // in up front.
+    state.maybe_preload_inverted_file()?;
+
+    match options.order {
+        OuterOrder::Storage => {
+            for item in spec.outer_iter() {
+                let (id, doc) = item?;
+                state.process_outer_doc(id, &doc)?;
+            }
+        }
+        OuterOrder::GreedyIntersection => {
+            // Read all participating outer documents up front (random I/O),
+            // then process them in greedy max-intersection order.
+            let mut remaining: Vec<(DocId, Document)> = Vec::new();
+            let mut held_bytes = 0u64;
+            for item in spec.outer_iter() {
+                let (id, doc) = item?;
+                held_bytes += doc.size_bytes().max(1);
+                tracker.allocate(doc.size_bytes().max(1), "HVNL greedy-order document set")?;
+                remaining.push((id, doc));
+            }
+            while !remaining.is_empty() {
+                let best = remaining
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, (_, doc))| {
+                        doc.cells()
+                            .iter()
+                            .filter(|c| state.cache.contains(c.term))
+                            .count()
+                    })
+                    .map(|(i, _)| i)
+                    .expect("non-empty");
+                let (id, doc) = remaining.swap_remove(best);
+                state.process_outer_doc(id, &doc)?;
+            }
+            tracker.release(held_bytes);
+        }
+    }
+
+    let rows = std::mem::take(&mut state.rows);
+    let (entry_fetches, cache_hits, sim_ops) =
+        (state.entry_fetches, state.cache_hits, state.sim_ops);
+    drop(state);
+    let io = disk.stats().since(&start_io);
+    Ok(JoinOutcome {
+        result: JoinResult::from_rows(rows),
+        stats: ExecStats {
+            algorithm: Algorithm::Hvnl,
+            io,
+            cost: io.cost(spec.sys.alpha),
+            mem_high_water_bytes: tracker.high_water(),
+            passes: 1,
+            entry_fetches,
+            cache_hits,
+            sim_ops,
+            // HVNL only ever visits non-zero cells: every touch is an op.
+            cells_touched: sim_ops,
+        },
+    })
+}
+
+/// Bytes a cached entry charges: its i-cells plus one resident-term-list
+/// slot of `|t#|` bytes (the list of section 4.2 that tracks which entries
+/// are in memory).
+fn cached_entry_bytes(cells: &[textjoin_common::ICell]) -> u64 {
+    (cells.len() * textjoin_common::CELL_BYTES + textjoin_common::NUMBER_BYTES) as u64
+}
+
+struct HvnlState<'a, 'b> {
+    spec: &'b JoinSpec<'a>,
+    inner_inv: &'b InvertedFile,
+    dict: textjoin_invfile::Dictionary,
+    tracker: &'b MemTracker,
+    cache: EntryCache,
+    /// Non-zero similarity accumulators for the current outer document:
+    /// inner doc → weighted sum.
+    accumulators: HashMap<u32, f64>,
+    acc_bytes: u64,
+    rows: Vec<(DocId, Vec<Match>)>,
+    entry_fetches: u64,
+    cache_hits: u64,
+    sim_ops: u64,
+    /// Outer document currently being processed (for self-pair exclusion).
+    current_outer: DocId,
+}
+
+impl HvnlState<'_, '_> {
+    /// Loads the whole inner inverted file into the cache with one
+    /// sequential scan when (a) it fits in the available memory and (b) the
+    /// scan is cheaper than the expected on-demand random fetches — the
+    /// first case of the paper's `hvs` formula.
+    fn maybe_preload_inverted_file(&mut self) -> Result<()> {
+        let inv = self.inner_inv;
+        if inv.num_entries() == 0 {
+            return Ok(());
+        }
+        let total_cached_bytes: u64 = (0..inv.num_entries() as u32)
+            .map(|o| inv.entry_bytes(o) + textjoin_common::NUMBER_BYTES as u64)
+            .sum();
+        if total_cached_bytes > self.tracker.available() {
+            return Ok(());
+        }
+        // Expected on-demand cost: every inner entry whose term also
+        // appears in the outer collection is fetched once at ⌈J1⌉·α.
+        let alpha = self.spec.sys.alpha;
+        let entry_pages = inv.avg_entry_pages().ceil().max(1.0);
+        let needed = self
+            .spec
+            .inner
+            .profile()
+            .term_overlap_probability(self.spec.outer.profile())
+            * inv.num_entries() as f64;
+        let scan_cost = inv.num_pages() as f64;
+        if scan_cost >= needed * entry_pages * alpha {
+            return Ok(());
+        }
+        for item in inv.scan() {
+            let (term, cells) = item?;
+            let bytes = cached_entry_bytes(&cells);
+            self.tracker
+                .allocate(bytes, "HVNL preloaded inverted file")?;
+            let outer_df = self.spec.outer.profile().doc_frequency(term);
+            self.cache.insert(term, cells, bytes, outer_df);
+        }
+        Ok(())
+    }
+
+    fn process_outer_doc(&mut self, outer_id: DocId, doc: &Document) -> Result<()> {
+        self.current_outer = outer_id;
+        // Terms whose entries are already in memory are considered first
+        // (section 4.2's reuse optimization); order within each group stays
+        // by term number for determinism.
+        let (cached_terms, uncached_terms): (Vec<DCell>, Vec<DCell>) = doc
+            .cells()
+            .iter()
+            .partition(|c| self.cache.contains(c.term));
+
+        for cell in cached_terms.iter().chain(uncached_terms.iter()) {
+            // Terms that do not appear in C1 have no entry and cost nothing.
+            let Some(entry) = self.dict.lookup(cell.term) else {
+                continue;
+            };
+            self.accumulate_term(cell, entry.ordinal)?;
+        }
+
+        // Extract the λ best inner documents for this outer document.
+        let inner_profile = self.spec.inner.profile();
+        let outer_profile = self.spec.outer.profile();
+        let mut topk = TopK::new(self.spec.query.lambda);
+        for (&inner_raw, &acc) in &self.accumulators {
+            let inner_id = DocId::new(inner_raw);
+            let score =
+                self.spec
+                    .weighting
+                    .finalize(acc, inner_profile, inner_id, outer_profile, outer_id);
+            if !score.is_zero() {
+                topk.offer(inner_id, score);
+            }
+        }
+        self.rows.push((outer_id, topk.into_matches()));
+
+        self.accumulators.clear();
+        self.tracker.release(self.acc_bytes);
+        self.acc_bytes = 0;
+        Ok(())
+    }
+
+    fn accumulate_term(&mut self, cell: &DCell, ordinal: u32) -> Result<()> {
+        let factor = self
+            .spec
+            .weighting
+            .term_factor(cell.term, self.spec.inner.profile());
+        if factor == 0.0 {
+            return Ok(());
+        }
+
+        if let Some(cells) = self.cache.get(cell.term) {
+            self.cache_hits += 1;
+            let cells = cells.to_vec(); // escape the cache borrow
+            self.apply_postings(cell.weight, factor, &cells)?;
+            return Ok(());
+        }
+
+        // Fetch from disk (⌈J1⌉ random pages) and try to cache.
+        self.entry_fetches += 1;
+        let cells = self.inner_inv.read_entry(ordinal)?;
+        let bytes = cached_entry_bytes(&cells);
+
+        // Make room by evicting lowest-priority entries; an entry larger
+        // than everything evictable is used transiently instead.
+        while self.tracker.allocate(bytes, "HVNL entry cache").is_err() {
+            match self.cache.evict_one() {
+                Some(freed) => self.tracker.release(freed),
+                None => {
+                    // Nothing left to evict: accumulate without caching.
+                    self.apply_postings(cell.weight, factor, &cells)?;
+                    return Ok(());
+                }
+            }
+        }
+        self.apply_postings(cell.weight, factor, &cells)?;
+        let outer_df = self.spec.outer.profile().doc_frequency(cell.term);
+        self.cache.insert(cell.term, cells, bytes, outer_df);
+        Ok(())
+    }
+
+    fn apply_postings(
+        &mut self,
+        outer_weight: u16,
+        factor: f64,
+        cells: &[textjoin_common::ICell],
+    ) -> Result<()> {
+        for icell in cells {
+            if !self.spec.inner_doc_allowed(icell.doc)
+                || !self.spec.pair_allowed(icell.doc, self.current_outer)
+            {
+                continue;
+            }
+            self.sim_ops += 1;
+            let contribution = outer_weight as f64 * icell.weight as f64 * factor;
+            match self.accumulators.entry(icell.doc.raw()) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    *e.get_mut() += contribution;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    // 4 bytes per non-zero similarity — the same accounting
+                    // the cost model's `4·N1·δ/P` term uses. The entry
+                    // cache is discretionary: shrink it before giving up on
+                    // mandatory accumulator space.
+                    loop {
+                        match self.tracker.allocate(4, "HVNL similarity accumulators") {
+                            Ok(()) => break,
+                            Err(err) => match self.cache.evict_one() {
+                                Some(freed) => self.tracker.release(freed),
+                                None => return Err(err),
+                            },
+                        }
+                    }
+                    self.acc_bytes += 4;
+                    e.insert(contribution);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The in-memory entry cache with its two replacement policies.
+struct EntryCache {
+    policy: EvictionPolicy,
+    entries: HashMap<TermId, CacheSlot>,
+    /// Eviction order: smallest key evicted first. The key is
+    /// `(outer document frequency, term)` for the paper's policy and
+    /// `(last access tick, term)` for LRU.
+    order: BTreeSet<(u64, u32)>,
+    tick: u64,
+}
+
+struct CacheSlot {
+    cells: Vec<textjoin_common::ICell>,
+    bytes: u64,
+    key: (u64, u32),
+}
+
+impl EntryCache {
+    fn new(policy: EvictionPolicy) -> Self {
+        Self {
+            policy,
+            entries: HashMap::new(),
+            order: BTreeSet::new(),
+            tick: 0,
+        }
+    }
+
+    fn contains(&self, term: TermId) -> bool {
+        self.entries.contains_key(&term)
+    }
+
+    fn get(&mut self, term: TermId) -> Option<&[textjoin_common::ICell]> {
+        self.tick += 1;
+        let tick = self.tick;
+        let refresh_lru = self.policy == EvictionPolicy::Lru;
+        let slot = self.entries.get_mut(&term)?;
+        if refresh_lru {
+            self.order.remove(&slot.key);
+            slot.key = (tick, term.raw());
+            self.order.insert(slot.key);
+        }
+        Some(&slot.cells)
+    }
+
+    fn insert(
+        &mut self,
+        term: TermId,
+        cells: Vec<textjoin_common::ICell>,
+        bytes: u64,
+        outer_df: u32,
+    ) {
+        debug_assert!(!self.entries.contains_key(&term));
+        self.tick += 1;
+        let key = match self.policy {
+            EvictionPolicy::LowestOuterDf => (outer_df as u64, term.raw()),
+            EvictionPolicy::Lru => (self.tick, term.raw()),
+        };
+        self.order.insert(key);
+        self.entries.insert(term, CacheSlot { cells, bytes, key });
+    }
+
+    /// Evicts the lowest-priority entry, returning the bytes it freed.
+    fn evict_one(&mut self) -> Option<u64> {
+        let key = *self.order.iter().next()?;
+        self.order.remove(&key);
+        let term = TermId::new(key.1);
+        let slot = self.entries.remove(&term).expect("order and entries agree");
+        Some(slot.bytes)
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::naive_join;
+    use crate::spec::OuterDocs;
+    use std::sync::Arc;
+    use textjoin_collection::{Collection, SynthSpec};
+    use textjoin_common::{CollectionStats, ICell, QueryParams, SystemParams};
+    use textjoin_storage::DiskSim;
+
+    fn fixture(
+        n1: u64,
+        n2: u64,
+        k: f64,
+        vocab: u64,
+        page: usize,
+    ) -> (
+        Arc<DiskSim>,
+        Collection,
+        Collection,
+        InvertedFile,
+        Vec<Document>,
+        Vec<Document>,
+    ) {
+        let disk = Arc::new(DiskSim::new(page));
+        let d1 = SynthSpec::from_stats(CollectionStats::new(n1, k, vocab), 31).generate_docs();
+        let d2 = SynthSpec::from_stats(CollectionStats::new(n2, k, vocab), 32).generate_docs();
+        let c1 = Collection::build(Arc::clone(&disk), "c1", d1.clone()).unwrap();
+        let c2 = Collection::build(Arc::clone(&disk), "c2", d2.clone()).unwrap();
+        let inv = InvertedFile::build(Arc::clone(&disk), "c1", &c1).unwrap();
+        (disk, c1, c2, inv, d1, d2)
+    }
+
+    #[test]
+    fn matches_reference_on_small_collections() {
+        let (_, c1, c2, inv, d1, d2) = fixture(30, 20, 10.0, 80, 256);
+        let spec = JoinSpec::new(&c1, &c2).with_query(QueryParams::paper_base().with_lambda(5));
+        let got = execute(&spec, &inv).unwrap();
+        let want = naive_join(&d1, &d2, OuterDocs::Full, 5, crate::Weighting::RawCount);
+        assert_eq!(got.result, want);
+        assert_eq!(got.stats.algorithm, Algorithm::Hvnl);
+        assert_eq!(got.stats.passes, 1);
+    }
+
+    #[test]
+    fn tight_cache_still_correct_with_more_fetches() {
+        let (_, c1, c2, inv, d1, d2) = fixture(25, 25, 12.0, 60, 128);
+        let roomy = JoinSpec::new(&c1, &c2)
+            .with_sys(SystemParams {
+                buffer_pages: 400,
+                page_size: 128,
+                alpha: 5.0,
+            })
+            .with_query(QueryParams::paper_base().with_lambda(4));
+        let tight = roomy.with_sys(SystemParams {
+            buffer_pages: 10,
+            page_size: 128,
+            alpha: 5.0,
+        });
+        let got_roomy = execute(&roomy, &inv).unwrap();
+        let got_tight = execute(&tight, &inv).unwrap();
+        let want = naive_join(&d1, &d2, OuterDocs::Full, 4, crate::Weighting::RawCount);
+        assert_eq!(got_roomy.result, want);
+        assert_eq!(got_tight.result, want);
+        assert!(
+            got_tight.stats.entry_fetches > got_roomy.stats.entry_fetches,
+            "tight cache must re-fetch more: {} vs {}",
+            got_tight.stats.entry_fetches,
+            got_roomy.stats.entry_fetches
+        );
+        assert!(got_tight.stats.mem_high_water_bytes <= tight.sys.buffer_bytes());
+    }
+
+    #[test]
+    fn large_cache_fetches_each_needed_entry_once() {
+        let (_, c1, c2, inv, _, _) = fixture(30, 20, 10.0, 80, 256);
+        let spec = JoinSpec::new(&c1, &c2).with_sys(SystemParams {
+            buffer_pages: 10_000,
+            page_size: 256,
+            alpha: 5.0,
+        });
+        let got = execute(&spec, &inv).unwrap();
+        // With unbounded cache every entry is read at most once.
+        assert!(got.stats.entry_fetches <= inv.num_entries());
+        assert!(got.stats.cache_hits > 0);
+    }
+
+    #[test]
+    fn io_includes_btree_and_entry_fetches() {
+        let (disk, c1, c2, inv, _, _) = fixture(20, 10, 8.0, 50, 128);
+        let spec = JoinSpec::new(&c1, &c2).with_sys(SystemParams {
+            buffer_pages: 2_000,
+            page_size: 128,
+            alpha: 5.0,
+        });
+        disk.reset_stats();
+        disk.reset_head();
+        let got = execute(&spec, &inv).unwrap();
+        let bt = inv.btree().num_pages();
+        let d2 = c2.store().num_pages();
+        // At least Bt + D2 + one page per fetch; at most that plus slack
+        // for multi-page entries.
+        let floor = bt + d2 + got.stats.entry_fetches;
+        assert!(got.stats.io.total_reads() >= floor);
+    }
+
+    #[test]
+    fn selected_outer_docs_match_reference() {
+        let (_, c1, c2, inv, d1, d2) = fixture(20, 30, 10.0, 80, 256);
+        let chosen = [DocId::new(1), DocId::new(15), DocId::new(22)];
+        let spec = JoinSpec::new(&c1, &c2)
+            .with_outer_docs(OuterDocs::Selected(&chosen))
+            .with_query(QueryParams::paper_base().with_lambda(3));
+        let got = execute(&spec, &inv).unwrap();
+        let want = naive_join(
+            &d1,
+            &d2,
+            OuterDocs::Selected(&chosen),
+            3,
+            crate::Weighting::RawCount,
+        );
+        assert_eq!(got.result, want);
+    }
+
+    #[test]
+    fn greedy_order_and_lru_produce_identical_results() {
+        let (_, c1, c2, inv, d1, d2) = fixture(25, 15, 10.0, 60, 256);
+        let spec = JoinSpec::new(&c1, &c2)
+            .with_sys(SystemParams {
+                buffer_pages: 300,
+                page_size: 256,
+                alpha: 5.0,
+            })
+            .with_query(QueryParams::paper_base().with_lambda(4));
+        let want = naive_join(&d1, &d2, OuterDocs::Full, 4, crate::Weighting::RawCount);
+        for options in [
+            HvnlOptions {
+                eviction: EvictionPolicy::Lru,
+                order: OuterOrder::Storage,
+            },
+            HvnlOptions {
+                eviction: EvictionPolicy::LowestOuterDf,
+                order: OuterOrder::GreedyIntersection,
+            },
+        ] {
+            let got = execute_with(&spec, &inv, options).unwrap();
+            assert_eq!(got.result, want, "{options:?}");
+        }
+    }
+
+    #[test]
+    fn tfidf_weighting_matches_reference_approximately() {
+        let (_, c1, c2, inv, d1, d2) = fixture(15, 10, 8.0, 40, 256);
+        let spec = JoinSpec::new(&c1, &c2)
+            .with_weighting(crate::Weighting::TfIdf)
+            .with_query(QueryParams::paper_base().with_lambda(5));
+        let got = execute(&spec, &inv).unwrap();
+        let want = naive_join(&d1, &d2, OuterDocs::Full, 5, crate::Weighting::TfIdf);
+        assert!(got.result.approx_eq(&want, 1e-9));
+    }
+
+    #[test]
+    fn eviction_cache_prefers_high_outer_df() {
+        let mut cache = EntryCache::new(EvictionPolicy::LowestOuterDf);
+        let cells = vec![ICell::new(DocId::new(0), 1)];
+        cache.insert(TermId::new(1), cells.clone(), 8, 100); // frequent in C2
+        cache.insert(TermId::new(2), cells.clone(), 8, 1); // rare in C2
+        cache.insert(TermId::new(3), cells, 8, 50);
+        assert_eq!(cache.len(), 3);
+        cache.evict_one();
+        assert!(!cache.contains(TermId::new(2)), "rare term evicted first");
+        cache.evict_one();
+        assert!(!cache.contains(TermId::new(3)));
+        assert!(cache.contains(TermId::new(1)));
+    }
+
+    #[test]
+    fn lru_cache_evicts_least_recently_used() {
+        let mut cache = EntryCache::new(EvictionPolicy::Lru);
+        let cells = vec![ICell::new(DocId::new(0), 1)];
+        cache.insert(TermId::new(1), cells.clone(), 8, 0);
+        cache.insert(TermId::new(2), cells.clone(), 8, 0);
+        let _ = cache.get(TermId::new(1)); // refresh term 1
+        cache.evict_one();
+        assert!(cache.contains(TermId::new(1)));
+        assert!(!cache.contains(TermId::new(2)));
+    }
+}

@@ -1,0 +1,183 @@
+//! The integrated algorithm, executable form.
+//!
+//! Section 6.1 proposes "an integrated algorithm that can automatically
+//! determine which algorithm to use given the statistics of the two
+//! collections, system parameters and query parameters"; section 7 states
+//! the construction: invoke the basic algorithm with the lowest estimated
+//! cost. This module wires the cost models of `textjoin-costmodel` to the
+//! executors of this crate. If the chosen algorithm turns out infeasible at
+//! run time (its memory estimate was optimistic), the next-cheapest
+//! algorithm is tried.
+
+use crate::result::JoinOutcome;
+use crate::spec::JoinSpec;
+use crate::{hhnl, hvnl, vvm};
+use textjoin_common::{Error, Result};
+use textjoin_costmodel::{Algorithm, CostEstimates, IoScenario};
+use textjoin_invfile::InvertedFile;
+
+/// The integrated algorithm's decision and execution record.
+#[derive(Debug)]
+pub struct IntegratedOutcome {
+    /// Which algorithm actually ran.
+    pub chosen: Algorithm,
+    /// The six cost estimates the choice was based on.
+    pub estimates: CostEstimates,
+    /// The execution result and measured statistics.
+    pub outcome: JoinOutcome,
+}
+
+/// Estimates all costs from the spec's *measured* statistics, then runs the
+/// cheapest feasible algorithm under the given I/O scenario.
+pub fn execute(
+    spec: &JoinSpec<'_>,
+    inner_inv: &InvertedFile,
+    outer_inv: &InvertedFile,
+    scenario: IoScenario,
+) -> Result<IntegratedOutcome> {
+    let estimates = CostEstimates::compute(&spec.cost_inputs());
+
+    let mut ranked: Vec<(Algorithm, f64)> = Algorithm::ALL
+        .into_iter()
+        .map(|a| (a, estimates.cost(a, scenario)))
+        .collect();
+    ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
+
+    let mut last_err: Option<Error> = None;
+    for (algorithm, cost) in ranked {
+        if cost.is_infinite() {
+            break;
+        }
+        let attempt = match algorithm {
+            Algorithm::Hhnl => hhnl::execute(spec),
+            Algorithm::Hvnl => hvnl::execute(spec, inner_inv),
+            Algorithm::Vvm => vvm::execute(spec, inner_inv, outer_inv),
+        };
+        match attempt {
+            Ok(outcome) => {
+                return Ok(IntegratedOutcome {
+                    chosen: algorithm,
+                    estimates,
+                    outcome,
+                })
+            }
+            Err(e @ Error::InsufficientMemory { .. }) => last_err = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last_err.unwrap_or(Error::InsufficientMemory {
+        context: "no join algorithm is feasible in the given memory".into(),
+        required_pages: 0,
+        available_pages: spec.sys.buffer_pages,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::naive_join;
+    use crate::spec::OuterDocs;
+    use std::sync::Arc;
+    use textjoin_collection::{Collection, Document, SynthSpec};
+    use textjoin_common::{CollectionStats, DocId, QueryParams, SystemParams};
+    use textjoin_storage::DiskSim;
+
+    #[allow(clippy::type_complexity)]
+    fn fixture() -> (
+        Arc<DiskSim>,
+        Collection,
+        Collection,
+        InvertedFile,
+        InvertedFile,
+        Vec<Document>,
+        Vec<Document>,
+    ) {
+        let disk = Arc::new(DiskSim::new(256));
+        // The inner collection is large enough that scanning it (D1) costs
+        // far more than fetching a handful of inverted entries — the regime
+        // where the paper's finding 2 (HVNL for tiny outer sides) applies.
+        let d1 = SynthSpec::from_stats(CollectionStats::new(400, 12.0, 150), 51).generate_docs();
+        let d2 = SynthSpec::from_stats(CollectionStats::new(40, 12.0, 150), 52).generate_docs();
+        let c1 = Collection::build(Arc::clone(&disk), "c1", d1.clone()).unwrap();
+        let c2 = Collection::build(Arc::clone(&disk), "c2", d2.clone()).unwrap();
+        let inv1 = InvertedFile::build(Arc::clone(&disk), "c1", &c1).unwrap();
+        let inv2 = InvertedFile::build(Arc::clone(&disk), "c2", &c2).unwrap();
+        (disk, c1, c2, inv1, inv2, d1, d2)
+    }
+
+    #[test]
+    fn runs_cheapest_algorithm_and_matches_reference() {
+        let (_, c1, c2, inv1, inv2, d1, d2) = fixture();
+        let spec = JoinSpec::new(&c1, &c2)
+            .with_sys(SystemParams {
+                buffer_pages: 200,
+                page_size: 256,
+                alpha: 5.0,
+            })
+            .with_query(QueryParams::paper_base().with_lambda(5));
+        let got = execute(&spec, &inv1, &inv2, IoScenario::Dedicated).unwrap();
+        let want = naive_join(&d1, &d2, OuterDocs::Full, 5, crate::Weighting::RawCount);
+        assert_eq!(got.outcome.result, want);
+        assert_eq!(got.chosen, got.outcome.stats.algorithm);
+        // The chosen algorithm must carry the minimum estimate.
+        let best = got.estimates.best(IoScenario::Dedicated).0;
+        assert_eq!(got.chosen, best);
+    }
+
+    #[test]
+    fn small_selected_outer_set_picks_hvnl() {
+        let (_, c1, c2, inv1, inv2, d1, d2) = fixture();
+        let chosen_docs = [DocId::new(7)];
+        let spec = JoinSpec::new(&c1, &c2)
+            .with_outer_docs(OuterDocs::Selected(&chosen_docs))
+            .with_sys(SystemParams {
+                buffer_pages: 200,
+                page_size: 256,
+                alpha: 5.0,
+            })
+            .with_query(QueryParams::paper_base().with_lambda(3));
+        let got = execute(&spec, &inv1, &inv2, IoScenario::Dedicated).unwrap();
+        assert_eq!(got.chosen, Algorithm::Hvnl, "single-document outer side");
+        let want = naive_join(
+            &d1,
+            &d2,
+            OuterDocs::Selected(&chosen_docs),
+            3,
+            crate::Weighting::RawCount,
+        );
+        assert_eq!(got.outcome.result, want);
+    }
+
+    #[test]
+    fn falls_back_when_the_estimate_was_too_optimistic() {
+        let (_, c1, c2, inv1, inv2, d1, d2) = fixture();
+        // δ far below reality makes VVM look cheap (1 pass) while the
+        // adaptive executor can still finish it; the point here is that
+        // whatever was chosen, the result is right.
+        let spec = JoinSpec::new(&c1, &c2)
+            .with_sys(SystemParams {
+                buffer_pages: 60,
+                page_size: 256,
+                alpha: 5.0,
+            })
+            .with_query(QueryParams {
+                lambda: 4,
+                delta: 0.001,
+            });
+        let got = execute(&spec, &inv1, &inv2, IoScenario::Dedicated).unwrap();
+        let want = naive_join(&d1, &d2, OuterDocs::Full, 4, crate::Weighting::RawCount);
+        assert_eq!(got.outcome.result, want);
+    }
+
+    #[test]
+    fn impossible_memory_reports_insufficiency() {
+        let (_, c1, c2, inv1, inv2, _, _) = fixture();
+        let spec = JoinSpec::new(&c1, &c2).with_sys(SystemParams {
+            buffer_pages: 1,
+            page_size: 256,
+            alpha: 5.0,
+        });
+        let err = execute(&spec, &inv1, &inv2, IoScenario::Dedicated).unwrap_err();
+        assert!(matches!(err, Error::InsufficientMemory { .. }));
+    }
+}

@@ -1,0 +1,46 @@
+//! Executable text-join algorithms: HHNL, HVNL and VVM.
+//!
+//! This crate implements the three algorithms of section 4 as real
+//! executors over the simulated storage stack, so their *measured* I/O
+//! counts and memory high-water marks can be compared with the analytical
+//! models of `textjoin-costmodel`:
+//!
+//! * [`hhnl`] — Horizontal-Horizontal Nested Loop: batches of outer
+//!   documents against a sequential scan of the inner collection
+//!   (section 4.1);
+//! * [`hvnl`] — Horizontal-Vertical Nested Loop: per-outer-document fetches
+//!   of inner inverted-file entries, cached under a
+//!   lowest-outer-document-frequency eviction policy (section 4.2);
+//! * [`vvm`] — Vertical-Vertical Merge: a sort-merge-style parallel scan of
+//!   both inverted files, partitioned into multiple passes when the
+//!   intermediate similarities exceed memory (section 4.3);
+//! * [`integrated`] — the section 6.1 integrated algorithm: estimate all
+//!   costs, execute the cheapest;
+//! * [`mod@reference`] — a trivial in-memory scorer used as the correctness
+//!   oracle by the test suite;
+//! * [`cluster`] — the self-join special case of section 1 (document
+//!   clustering), with single-link grouping of the neighbour graph;
+//! * [`parallel`] — a range-partitioned parallel HHNL (the paper's
+//!   future-work item 3).
+//!
+//! All three executors must produce identical results for the same
+//! [`JoinSpec`] — the central invariant of the test suite.
+
+pub mod cluster;
+pub mod hhnl;
+pub mod hvnl;
+pub mod integrated;
+pub mod parallel;
+pub mod reference;
+pub mod result;
+pub mod spec;
+pub mod topk;
+pub mod vvm;
+pub mod weighting;
+
+pub use result::{ExecStats, JoinOutcome, JoinResult, Match};
+pub use spec::{JoinSpec, OuterDocs};
+pub use topk::TopK;
+pub use weighting::Weighting;
+
+pub use textjoin_costmodel::{Algorithm, IoScenario};

@@ -1,0 +1,187 @@
+//! Parallel HHNL — the paper's future-work item (3): "develop algorithms
+//! that process textual joins in parallel".
+//!
+//! The outer collection is range-partitioned across `workers` threads; each
+//! worker runs the forward HHNL over its slice with an equal share of the
+//! memory budget (`B / workers` pages), modeling a shared-nothing setup
+//! where every worker owns a drive (the simulated disk keeps per-file head
+//! positions, so concurrent scans stay sequential). Results are
+//! concatenated — partitioning the *outer* side never changes any
+//! document's λ best matches, which is what makes HHNL embarrassingly
+//! parallel in this direction.
+//!
+//! The I/O bill grows to `D2 + workers · ⌈N2/(workers·X')⌉ · D1` total
+//! pages (every worker scans the inner collection), traded against
+//! wall-clock: with `w` dedicated drives the elapsed scan time divides
+//! by ~`w`.
+
+use crate::result::{ExecStats, JoinOutcome, JoinResult};
+use crate::spec::{JoinSpec, OuterDocs};
+use crate::{hhnl, Algorithm};
+use textjoin_common::{DocId, Error, Result};
+
+/// Runs HHNL with the outer collection partitioned across `workers`
+/// threads, each budgeted `B / workers` pages.
+pub fn execute_hhnl(spec: &JoinSpec<'_>, workers: usize) -> Result<JoinOutcome> {
+    if workers == 0 {
+        return Err(Error::InvalidArgument(
+            "at least one worker is required".into(),
+        ));
+    }
+    // Materialise the participating outer ids and slice them.
+    let outer_ids: Vec<DocId> = match spec.outer_docs {
+        OuterDocs::Full => (0..spec.outer.store().num_docs() as u32)
+            .map(DocId::new)
+            .collect(),
+        OuterDocs::Selected(ids) => ids.to_vec(),
+    };
+    if outer_ids.is_empty() {
+        return hhnl::execute(spec);
+    }
+    let workers = workers.min(outer_ids.len());
+    let chunk = outer_ids.len().div_ceil(workers);
+    let per_worker_sys = textjoin_common::SystemParams {
+        buffer_pages: (spec.sys.buffer_pages / workers as u64).max(1),
+        ..spec.sys
+    };
+
+    let disk = spec.inner.store().disk();
+    let start_io = disk.stats();
+    let outcomes = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = outer_ids
+            .chunks(chunk)
+            .map(|slice| {
+                let worker_spec = JoinSpec {
+                    outer_docs: OuterDocs::Selected(slice),
+                    sys: per_worker_sys,
+                    ..*spec
+                };
+                s.spawn(move |_| hhnl::execute(&worker_spec))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect::<Result<Vec<_>>>()
+    })
+    .expect("crossbeam scope panicked")?;
+
+    // Merge: rows are disjoint by construction.
+    let mut rows = Vec::with_capacity(outer_ids.len());
+    let mut passes = 0;
+    let mut mem = 0;
+    let mut sim_ops = 0;
+    let mut cells = 0;
+    for outcome in outcomes {
+        for (id, matches) in outcome.result.iter() {
+            rows.push((id, matches.to_vec()));
+        }
+        passes += outcome.stats.passes;
+        // Workers run concurrently: budgets add up.
+        mem += outcome.stats.mem_high_water_bytes;
+        sim_ops += outcome.stats.sim_ops;
+        cells += outcome.stats.cells_touched;
+    }
+    let io = disk.stats().since(&start_io);
+    Ok(JoinOutcome {
+        result: JoinResult::from_rows(rows),
+        stats: ExecStats {
+            algorithm: Algorithm::Hhnl,
+            io,
+            cost: io.cost(spec.sys.alpha),
+            mem_high_water_bytes: mem,
+            passes,
+            entry_fetches: 0,
+            cache_hits: 0,
+            sim_ops,
+            cells_touched: cells,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::naive_join;
+    use std::sync::Arc;
+    use textjoin_collection::{Collection, SynthSpec};
+    use textjoin_common::{CollectionStats, QueryParams, SystemParams};
+    use textjoin_storage::DiskSim;
+
+    fn fixture() -> (
+        Arc<DiskSim>,
+        Collection,
+        Collection,
+        Vec<textjoin_collection::Document>,
+        Vec<textjoin_collection::Document>,
+    ) {
+        let disk = Arc::new(DiskSim::new(512));
+        let d1 = SynthSpec::from_stats(CollectionStats::new(60, 12.0, 200), 61).generate_docs();
+        let d2 = SynthSpec::from_stats(CollectionStats::new(45, 12.0, 200), 62).generate_docs();
+        let c1 = Collection::build(Arc::clone(&disk), "c1", d1.clone()).unwrap();
+        let c2 = Collection::build(Arc::clone(&disk), "c2", d2.clone()).unwrap();
+        (disk, c1, c2, d1, d2)
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_any_worker_count() {
+        let (_, c1, c2, d1, d2) = fixture();
+        let spec = JoinSpec::new(&c1, &c2)
+            .with_sys(SystemParams {
+                buffer_pages: 64,
+                page_size: 512,
+                alpha: 5.0,
+            })
+            .with_query(QueryParams::paper_base().with_lambda(4));
+        let want = naive_join(&d1, &d2, OuterDocs::Full, 4, crate::Weighting::RawCount);
+        for workers in [1, 2, 3, 7, 100] {
+            let got = execute_hhnl(&spec, workers).unwrap();
+            assert_eq!(got.result, want, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn zero_workers_is_an_error() {
+        let (_, c1, c2, _, _) = fixture();
+        let spec = JoinSpec::new(&c1, &c2);
+        assert!(execute_hhnl(&spec, 0).is_err());
+    }
+
+    #[test]
+    fn workers_share_the_budget() {
+        let (_, c1, c2, _, _) = fixture();
+        let spec = JoinSpec::new(&c1, &c2)
+            .with_sys(SystemParams {
+                buffer_pages: 64,
+                page_size: 512,
+                alpha: 5.0,
+            })
+            .with_query(QueryParams::paper_base().with_lambda(2));
+        let got = execute_hhnl(&spec, 4).unwrap();
+        // The summed high-water of all workers stays within the global B·P.
+        assert!(got.stats.mem_high_water_bytes <= spec.sys.buffer_bytes());
+    }
+
+    #[test]
+    fn parallel_respects_selection() {
+        let (_, c1, c2, d1, d2) = fixture();
+        let chosen = [
+            DocId::new(2),
+            DocId::new(11),
+            DocId::new(30),
+            DocId::new(44),
+        ];
+        let spec = JoinSpec::new(&c1, &c2)
+            .with_outer_docs(OuterDocs::Selected(&chosen))
+            .with_query(QueryParams::paper_base().with_lambda(3));
+        let got = execute_hhnl(&spec, 3).unwrap();
+        let want = naive_join(
+            &d1,
+            &d2,
+            OuterDocs::Selected(&chosen),
+            3,
+            crate::Weighting::RawCount,
+        );
+        assert_eq!(got.result, want);
+    }
+}

@@ -1,0 +1,163 @@
+//! The correctness oracle: a naive in-memory `O(N1 · N2)` scorer.
+//!
+//! Every executor in this crate must produce exactly what this function
+//! produces. It ignores I/O and memory budgets entirely — it exists so the
+//! test suite has an implementation too simple to be wrong.
+
+use crate::result::JoinResult;
+use crate::spec::OuterDocs;
+use crate::topk::TopK;
+use crate::weighting::Weighting;
+use textjoin_collection::{CollectionProfile, Document};
+use textjoin_common::DocId;
+
+/// Scores every `(inner, outer)` pair directly and keeps the λ best per
+/// outer document.
+pub fn naive_join(
+    inner_docs: &[Document],
+    outer_docs: &[Document],
+    participating: OuterDocs<'_>,
+    lambda: usize,
+    weighting: Weighting,
+) -> JoinResult {
+    naive_join_full(
+        inner_docs,
+        outer_docs,
+        participating,
+        None,
+        lambda,
+        weighting,
+        false,
+    )
+}
+
+/// Like [`naive_join`], with an optional restriction of the inner side to a
+/// sorted id list (a selection on the inner relation).
+pub fn naive_join_filtered(
+    inner_docs: &[Document],
+    outer_docs: &[Document],
+    participating: OuterDocs<'_>,
+    inner_filter: Option<&[DocId]>,
+    lambda: usize,
+    weighting: Weighting,
+) -> JoinResult {
+    naive_join_full(
+        inner_docs,
+        outer_docs,
+        participating,
+        inner_filter,
+        lambda,
+        weighting,
+        false,
+    )
+}
+
+/// The fully general oracle: inner filter and self-pair exclusion
+/// (clustering mode).
+#[allow(clippy::too_many_arguments)]
+pub fn naive_join_full(
+    inner_docs: &[Document],
+    outer_docs: &[Document],
+    participating: OuterDocs<'_>,
+    inner_filter: Option<&[DocId]>,
+    lambda: usize,
+    weighting: Weighting,
+    exclude_self: bool,
+) -> JoinResult {
+    let inner_profile = CollectionProfile::from_docs(inner_docs);
+    let outer_profile = CollectionProfile::from_docs(outer_docs);
+
+    let outer_ids: Vec<DocId> = match participating {
+        OuterDocs::Full => (0..outer_docs.len() as u32).map(DocId::new).collect(),
+        OuterDocs::Selected(ids) => ids.to_vec(),
+    };
+
+    let rows = outer_ids
+        .into_iter()
+        .map(|outer_id| {
+            let outer = &outer_docs[outer_id.index()];
+            let mut topk = TopK::new(lambda);
+            for (i, inner) in inner_docs.iter().enumerate() {
+                let inner_id = DocId::new(i as u32);
+                if let Some(f) = inner_filter {
+                    if f.binary_search(&inner_id).is_err() {
+                        continue;
+                    }
+                }
+                if exclude_self && inner_id == outer_id {
+                    continue;
+                }
+                let score = weighting.score_pair(
+                    inner_id,
+                    inner,
+                    outer_id,
+                    outer,
+                    &inner_profile,
+                    &outer_profile,
+                );
+                // The paper's result semantics: only documents with some
+                // similarity are meaningful matches; zero-score pairs are
+                // not reported. (This also makes results independent of
+                // which zero-similarity documents an algorithm happens to
+                // touch — HVNL and VVM never see them at all.)
+                if !score.is_zero() {
+                    topk.offer(inner_id, score);
+                }
+            }
+            (outer_id, topk.into_matches())
+        })
+        .collect();
+    JoinResult::from_rows(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use textjoin_common::TermId;
+
+    fn doc(pairs: &[(u32, u16)]) -> Document {
+        Document::from_term_counts(pairs.iter().map(|&(t, w)| (TermId::new(t), w as u32)))
+    }
+
+    #[test]
+    fn finds_best_matches_per_outer_doc() {
+        let inner = vec![
+            doc(&[(1, 1)]),         // weak match for outer 0
+            doc(&[(1, 5), (2, 5)]), // strong match for both
+            doc(&[(3, 9)]),         // matches nothing
+        ];
+        let outer = vec![doc(&[(1, 2)]), doc(&[(2, 1)])];
+        let r = naive_join(&inner, &outer, OuterDocs::Full, 2, Weighting::RawCount);
+        assert_eq!(r.num_outer_docs(), 2);
+        let m0 = r.matches(DocId::new(0)).unwrap();
+        assert_eq!(m0.len(), 2);
+        assert_eq!(m0[0].inner, DocId::new(1)); // score 10 beats score 2
+        let m1 = r.matches(DocId::new(1)).unwrap();
+        assert_eq!(m1.len(), 1, "only one non-zero match exists");
+    }
+
+    #[test]
+    fn zero_similarity_pairs_are_omitted() {
+        let inner = vec![doc(&[(1, 1)])];
+        let outer = vec![doc(&[(2, 1)])];
+        let r = naive_join(&inner, &outer, OuterDocs::Full, 5, Weighting::RawCount);
+        assert_eq!(r.matches(DocId::new(0)).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn selection_restricts_outer_side() {
+        let inner = vec![doc(&[(1, 1)])];
+        let outer = vec![doc(&[(1, 1)]), doc(&[(1, 2)]), doc(&[(1, 3)])];
+        let chosen = [DocId::new(2)];
+        let r = naive_join(
+            &inner,
+            &outer,
+            OuterDocs::Selected(&chosen),
+            1,
+            Weighting::RawCount,
+        );
+        assert_eq!(r.num_outer_docs(), 1);
+        assert!(r.matches(DocId::new(0)).is_none());
+        assert_eq!(r.matches(DocId::new(2)).unwrap()[0].score.value(), 3.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Join results and execution statistics.
+
+use textjoin_common::{DocId, Score};
+use textjoin_costmodel::Algorithm;
+use textjoin_storage::IoStats;
+
+/// One matched inner document with its similarity to the outer document.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Match {
+    /// The inner (C1) document.
+    pub inner: DocId,
+    /// The similarity score.
+    pub score: Score,
+}
+
+/// The result of `C1 SIMILAR_TO(λ) C2`: for every participating outer
+/// document, its λ best inner matches, best first.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct JoinResult {
+    rows: Vec<(DocId, Vec<Match>)>,
+}
+
+impl JoinResult {
+    /// Builds a result from per-outer-document rows; rows are sorted by
+    /// outer document id for deterministic comparison.
+    pub fn from_rows(mut rows: Vec<(DocId, Vec<Match>)>) -> Self {
+        rows.sort_by_key(|&(outer, _)| outer);
+        Self { rows }
+    }
+
+    /// Number of outer documents in the result.
+    pub fn num_outer_docs(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Iterates `(outer document, matches)` in outer-document order.
+    pub fn iter(&self) -> impl Iterator<Item = (DocId, &[Match])> + '_ {
+        self.rows.iter().map(|(d, m)| (*d, m.as_slice()))
+    }
+
+    /// The matches for one outer document, if it participated.
+    pub fn matches(&self, outer: DocId) -> Option<&[Match]> {
+        self.rows
+            .binary_search_by_key(&outer, |&(d, _)| d)
+            .ok()
+            .map(|i| self.rows[i].1.as_slice())
+    }
+
+    /// Total number of `(outer, inner)` result pairs.
+    pub fn num_pairs(&self) -> usize {
+        self.rows.iter().map(|(_, m)| m.len()).sum()
+    }
+
+    /// Compares with another result under a score tolerance (used for the
+    /// floating-point weighting schemes, where accumulation order may
+    /// differ across algorithms by a few ulps).
+    pub fn approx_eq(&self, other: &JoinResult, tol: f64) -> bool {
+        if self.rows.len() != other.rows.len() {
+            return false;
+        }
+        self.rows
+            .iter()
+            .zip(other.rows.iter())
+            .all(|((d1, m1), (d2, m2))| {
+                d1 == d2
+                    && m1.len() == m2.len()
+                    && m1.iter().zip(m2.iter()).all(|(a, b)| {
+                        a.inner == b.inner && (a.score.value() - b.score.value()).abs() <= tol
+                    })
+            })
+    }
+}
+
+/// What one execution cost.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExecStats {
+    /// Which algorithm ran.
+    pub algorithm: Algorithm,
+    /// Page reads, split by rate class.
+    pub io: IoStats,
+    /// The paper's cost metric: sequential pages + α × random pages.
+    pub cost: f64,
+    /// Highest memory usage observed, in bytes (must stay within `B · P`).
+    pub mem_high_water_bytes: u64,
+    /// Passes over the inner structure (HHNL: inner scans; VVM: merge
+    /// passes; HVNL: always 1).
+    pub passes: u64,
+    /// Inverted-entry fetches from disk (HVNL only).
+    pub entry_fetches: u64,
+    /// Inverted-entry cache hits (HVNL only).
+    pub cache_hits: u64,
+    /// CPU work: similarity multiply-add operations performed.
+    pub sim_ops: u64,
+    /// CPU work: document/inverted-file cells visited (for HHNL this
+    /// includes the non-matching merge steps — the whole document-term
+    /// matrix; the vertical algorithms only visit non-zero structure).
+    pub cells_touched: u64,
+}
+
+/// A completed join: the result plus its execution statistics.
+#[derive(Clone, Debug)]
+pub struct JoinOutcome {
+    /// The λ best inner matches per outer document.
+    pub result: JoinResult,
+    /// Measured cost of producing it.
+    pub stats: ExecStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(inner: u32, score: f64) -> Match {
+        Match {
+            inner: DocId::new(inner),
+            score: Score::new(score),
+        }
+    }
+
+    #[test]
+    fn rows_are_sorted_and_queryable() {
+        let r = JoinResult::from_rows(vec![
+            (DocId::new(5), vec![m(1, 2.0)]),
+            (DocId::new(2), vec![m(3, 4.0), m(1, 1.0)]),
+        ]);
+        assert_eq!(r.num_outer_docs(), 2);
+        assert_eq!(r.num_pairs(), 3);
+        let order: Vec<u32> = r.iter().map(|(d, _)| d.raw()).collect();
+        assert_eq!(order, vec![2, 5]);
+        assert_eq!(r.matches(DocId::new(2)).unwrap().len(), 2);
+        assert!(r.matches(DocId::new(3)).is_none());
+    }
+
+    #[test]
+    fn approx_eq_tolerates_small_score_drift() {
+        let a = JoinResult::from_rows(vec![(DocId::new(0), vec![m(1, 1.0)])]);
+        let b = JoinResult::from_rows(vec![(DocId::new(0), vec![m(1, 1.0 + 1e-12)])]);
+        assert!(a.approx_eq(&b, 1e-9));
+        assert!(!a.approx_eq(&b, 1e-15));
+        let c = JoinResult::from_rows(vec![(DocId::new(0), vec![m(2, 1.0)])]);
+        assert!(!a.approx_eq(&c, 1.0), "different doc ids never match");
+    }
+
+    #[test]
+    fn exact_equality_for_raw_scores() {
+        let a = JoinResult::from_rows(vec![(DocId::new(1), vec![m(0, 7.0)])]);
+        let b = JoinResult::from_rows(vec![(DocId::new(1), vec![m(0, 7.0)])]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,262 @@
+//! Join specifications shared by the three executors.
+
+use textjoin_collection::{Collection, Document};
+use textjoin_common::{CollectionStats, DocId, QueryParams, Result, SystemParams};
+use textjoin_costmodel::JoinInputs;
+
+use crate::weighting::Weighting;
+
+/// Which outer documents participate in the join.
+///
+/// Section 2: selections on non-textual attributes can reduce a collection
+/// before the join. A reduced *originally large* collection (group 3) is
+/// read document-at-a-time in random order; a full collection — large or
+/// originally small (group 4) — is scanned sequentially.
+#[derive(Clone, Copy, Debug)]
+pub enum OuterDocs<'a> {
+    /// Every document of the outer collection, in storage order.
+    Full,
+    /// Only these documents (sorted by id), read randomly from the
+    /// original collection.
+    Selected(&'a [DocId]),
+}
+
+impl OuterDocs<'_> {
+    /// Number of participating documents given the collection size.
+    pub fn count(&self, collection_docs: u64) -> u64 {
+        match self {
+            OuterDocs::Full => collection_docs,
+            OuterDocs::Selected(ids) => ids.len() as u64,
+        }
+    }
+}
+
+/// Everything an executor needs to run `C1 SIMILAR_TO(λ) C2`.
+#[derive(Clone, Copy)]
+pub struct JoinSpec<'a> {
+    /// `C1` — the inner collection.
+    pub inner: &'a Collection,
+    /// `C2` — the outer collection.
+    pub outer: &'a Collection,
+    /// Which outer documents participate.
+    pub outer_docs: OuterDocs<'a>,
+    /// Optional restriction of the inner side to these documents (sorted by
+    /// id) — the result of a selection on the inner relation's non-textual
+    /// attributes. Per section 5.4, such a selection does *not* shrink the
+    /// stored collection or its inverted file, so the I/O pattern is
+    /// unchanged; filtered-out documents simply cannot appear as matches.
+    pub inner_docs: Option<&'a [DocId]>,
+    /// System parameters `B`, `P`, `α`.
+    pub sys: SystemParams,
+    /// Query parameters `λ`, `δ`.
+    pub query: QueryParams,
+    /// Similarity weighting scheme.
+    pub weighting: Weighting,
+    /// For self-joins (clustering, section 1: "find, for each document d,
+    /// those documents similar to d in the same document collection"):
+    /// when true, a pair with equal inner and outer document numbers is
+    /// skipped, so a document does not trivially match itself.
+    pub exclude_self: bool,
+}
+
+impl<'a> JoinSpec<'a> {
+    /// A spec joining two full collections with default parameters.
+    pub fn new(inner: &'a Collection, outer: &'a Collection) -> Self {
+        Self {
+            inner,
+            outer,
+            outer_docs: OuterDocs::Full,
+            inner_docs: None,
+            sys: SystemParams::paper_base(),
+            query: QueryParams::paper_base(),
+            weighting: Weighting::RawCount,
+            exclude_self: false,
+        }
+    }
+
+    /// Restricts the outer side to selected documents.
+    pub fn with_outer_docs(self, outer_docs: OuterDocs<'a>) -> Self {
+        Self { outer_docs, ..self }
+    }
+
+    /// Restricts the inner side to these documents (must be sorted by id).
+    pub fn with_inner_docs(self, inner_docs: &'a [DocId]) -> Self {
+        debug_assert!(inner_docs.windows(2).all(|w| w[0] < w[1]));
+        Self {
+            inner_docs: Some(inner_docs),
+            ..self
+        }
+    }
+
+    /// Whether an inner document may appear as a match.
+    #[inline]
+    pub fn inner_doc_allowed(&self, doc: DocId) -> bool {
+        match self.inner_docs {
+            None => true,
+            Some(ids) => ids.binary_search(&doc).is_ok(),
+        }
+    }
+
+    /// Replaces the system parameters.
+    pub fn with_sys(self, sys: SystemParams) -> Self {
+        Self { sys, ..self }
+    }
+
+    /// Replaces the query parameters.
+    pub fn with_query(self, query: QueryParams) -> Self {
+        Self { query, ..self }
+    }
+
+    /// Replaces the weighting scheme.
+    pub fn with_weighting(self, weighting: Weighting) -> Self {
+        Self { weighting, ..self }
+    }
+
+    /// Marks the join as a self-join whose identical pairs are skipped
+    /// (clustering mode). Only meaningful when both sides are the same
+    /// collection, where document numbers coincide.
+    pub fn with_exclude_self(self) -> Self {
+        Self {
+            exclude_self: true,
+            ..self
+        }
+    }
+
+    /// Whether the pair `(inner, outer)` participates.
+    #[inline]
+    pub fn pair_allowed(&self, inner: DocId, outer: DocId) -> bool {
+        !(self.exclude_self && inner == outer)
+    }
+
+    /// Number of participating outer documents.
+    pub fn num_outer_docs(&self) -> u64 {
+        self.outer_docs.count(self.outer.store().num_docs())
+    }
+
+    /// The cost-model inputs matching this execution: *measured* statistics
+    /// of both collections (outer side restricted by the selection), the
+    /// measured term-overlap probability, and the spec's parameters.
+    pub fn cost_inputs(&self) -> JoinInputs {
+        let inner_stats = self.inner.profile().stats();
+        let outer_full = self.outer.profile().stats();
+        let (outer_stats, outer_original) = match self.outer_docs {
+            OuterDocs::Full => (outer_full, None),
+            OuterDocs::Selected(ids) => {
+                (outer_full.select_docs(ids.len() as u64), Some(outer_full))
+            }
+        };
+        let q = self
+            .outer
+            .profile()
+            .term_overlap_probability(self.inner.profile());
+        JoinInputs {
+            inner: inner_stats,
+            outer: outer_stats,
+            sys: self.sys,
+            query: self.query,
+            q,
+            outer_original,
+        }
+    }
+
+    /// The nominal statistics pair `(inner, outer)` for reporting.
+    pub fn stats(&self) -> (CollectionStats, CollectionStats) {
+        (self.inner.profile().stats(), self.outer.profile().stats())
+    }
+
+    /// Reads the participating outer documents in order, invoking `f` for
+    /// each. `Full` streams the collection sequentially; `Selected` fetches
+    /// each document randomly (group 3 pricing).
+    pub fn for_each_outer_doc(
+        &self,
+        mut f: impl FnMut(DocId, Document) -> Result<()>,
+    ) -> Result<()> {
+        for item in self.outer_iter() {
+            let (id, doc) = item?;
+            f(id, doc)?;
+        }
+        Ok(())
+    }
+
+    /// A lazy iterator over the participating outer documents; I/O happens
+    /// on pull, so executors can interleave reading outer documents with
+    /// other work (HHNL fills memory batches this way).
+    pub fn outer_iter(&self) -> Box<dyn Iterator<Item = Result<(DocId, Document)>> + 'a> {
+        match self.outer_docs {
+            OuterDocs::Full => Box::new(self.outer.store().scan()),
+            OuterDocs::Selected(ids) => {
+                let store = self.outer.store();
+                Box::new(
+                    ids.iter()
+                        .map(move |&id| store.read_doc_direct(id).map(|d| (id, d))),
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use textjoin_collection::SynthSpec;
+    use textjoin_common::CollectionStats;
+    use textjoin_storage::DiskSim;
+
+    fn tiny() -> (Arc<DiskSim>, Collection, Collection) {
+        let disk = Arc::new(DiskSim::new(256));
+        let c1 = SynthSpec::from_stats(CollectionStats::new(20, 8.0, 60), 1)
+            .generate(Arc::clone(&disk), "c1")
+            .unwrap();
+        let c2 = SynthSpec::from_stats(CollectionStats::new(10, 8.0, 60), 2)
+            .generate(Arc::clone(&disk), "c2")
+            .unwrap();
+        (disk, c1, c2)
+    }
+
+    #[test]
+    fn full_outer_iterates_in_storage_order() {
+        let (_, c1, c2) = tiny();
+        let spec = JoinSpec::new(&c1, &c2);
+        let mut ids = Vec::new();
+        spec.for_each_outer_doc(|id, _| {
+            ids.push(id.raw());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(ids, (0..10u32).collect::<Vec<_>>());
+        assert_eq!(spec.num_outer_docs(), 10);
+    }
+
+    #[test]
+    fn selected_outer_reads_only_chosen_docs_randomly() {
+        let (disk, c1, c2) = tiny();
+        let chosen = [DocId::new(2), DocId::new(7)];
+        let spec = JoinSpec::new(&c1, &c2).with_outer_docs(OuterDocs::Selected(&chosen));
+        disk.reset_stats();
+        disk.reset_head();
+        let mut ids = Vec::new();
+        spec.for_each_outer_doc(|id, _| {
+            ids.push(id.raw());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(ids, vec![2, 7]);
+        assert_eq!(spec.num_outer_docs(), 2);
+        assert!(
+            disk.stats().rand_reads >= 1,
+            "selected docs are random reads"
+        );
+    }
+
+    #[test]
+    fn cost_inputs_reflect_selection() {
+        let (_, c1, c2) = tiny();
+        let chosen = [DocId::new(0)];
+        let spec = JoinSpec::new(&c1, &c2).with_outer_docs(OuterDocs::Selected(&chosen));
+        let inputs = spec.cost_inputs();
+        assert_eq!(inputs.outer.num_docs, 1);
+        assert_eq!(inputs.inner.num_docs, 20);
+        assert!(inputs.q > 0.0 && inputs.q <= 1.0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Inputs shared by all cost estimators.
+
+use serde::{Deserialize, Serialize};
+use textjoin_common::{CollectionStats, QueryParams, SystemParams};
+
+/// Everything a cost formula needs: the statistics of the inner collection
+/// `C1` and the outer collection `C2`, the system parameters `(B, P, α)`,
+/// the query parameters `(λ, δ)` and the probability `q` that a term of the
+/// outer collection also appears in the inner collection.
+///
+/// The paper's join `C1 SIMILAR_TO(λ) C2` finds, for each document of `C2`,
+/// the `λ` most similar documents of `C1` — so `C2` drives the outer loop
+/// ("forward order", section 4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JoinInputs {
+    /// `C1` — the inner collection (the side whose inverted file HVNL uses).
+    pub inner: CollectionStats,
+    /// `C2` — the outer collection (the side scanned document by document).
+    pub outer: CollectionStats,
+    /// System parameters `B`, `P`, `α`.
+    pub sys: SystemParams,
+    /// Query parameters `λ`, `δ`.
+    pub query: QueryParams,
+    /// `q` — probability that a term in `C2` also appears in `C1`.
+    pub q: f64,
+    /// When the outer side is a *selected subset* of an originally larger
+    /// collection (the paper's group-3 scenario), this holds the original
+    /// collection's statistics. Two consequences (section 6, group 4
+    /// discussion): (1) the participating outer documents are fetched
+    /// one at a time in random order rather than scanned, and (2) the
+    /// outer inverted file and B+tree keep their **original** size, which
+    /// penalises VVM. `None` means the outer side is a whole stored
+    /// collection, scanned sequentially.
+    pub outer_original: Option<CollectionStats>,
+}
+
+impl JoinInputs {
+    /// Builds inputs using the paper's section 6 heuristic for `q`.
+    pub fn with_paper_q(
+        inner: CollectionStats,
+        outer: CollectionStats,
+        sys: SystemParams,
+        query: QueryParams,
+    ) -> Self {
+        let q = term_containment_probability(inner.distinct_terms, outer.distinct_terms);
+        Self {
+            inner,
+            outer,
+            sys,
+            query,
+            q,
+            outer_original: None,
+        }
+    }
+
+    /// Marks the outer side as a subset selected out of `original` (group 3
+    /// semantics: random document fetches, unshrunk inverted file).
+    pub fn with_selected_outer(self, original: CollectionStats) -> Self {
+        Self {
+            outer_original: Some(original),
+            ..self
+        }
+    }
+
+    /// `p` — the probability for the opposite direction (a term of `C1`
+    /// appearing in `C2`), computed with the same heuristic.
+    pub fn paper_p(&self) -> f64 {
+        term_containment_probability(self.outer.distinct_terms, self.inner.distinct_terms)
+    }
+
+    /// The same join with inner and outer collections swapped (the
+    /// "backward order" of section 4.1; the `q` heuristic is re-derived).
+    pub fn swapped(&self) -> Self {
+        Self::with_paper_q(self.outer, self.inner, self.sys, self.query)
+    }
+
+    // Shorthand accessors used throughout the formulas, all in pages.
+
+    /// `S1` — average inner document size.
+    pub(crate) fn s1(&self) -> f64 {
+        self.inner.avg_doc_pages(self.sys.page_size)
+    }
+    /// `S2` — average outer document size.
+    pub(crate) fn s2(&self) -> f64 {
+        self.outer.avg_doc_pages(self.sys.page_size)
+    }
+    /// `D1` — inner collection pages.
+    pub(crate) fn d1(&self) -> f64 {
+        self.inner.collection_pages(self.sys.page_size)
+    }
+    /// `D2` — outer collection pages.
+    pub(crate) fn d2(&self) -> f64 {
+        self.outer.collection_pages(self.sys.page_size)
+    }
+    /// `J1` — inner average entry pages.
+    pub(crate) fn j1(&self) -> f64 {
+        self.inner.avg_entry_pages(self.sys.page_size)
+    }
+    /// `J2` — outer average entry pages.
+    pub(crate) fn j2(&self) -> f64 {
+        self.outer.avg_entry_pages(self.sys.page_size)
+    }
+    /// `I1` — inner inverted file pages.
+    pub(crate) fn i1(&self) -> f64 {
+        self.inner.inverted_file_pages(self.sys.page_size)
+    }
+    /// `I2` — outer inverted file pages.
+    pub(crate) fn i2(&self) -> f64 {
+        self.outer.inverted_file_pages(self.sys.page_size)
+    }
+    /// `Bt1` — inner B+tree pages.
+    pub(crate) fn bt1(&self) -> f64 {
+        self.inner.btree_pages(self.sys.page_size)
+    }
+    /// `N1`, `N2`, `T1`, `T2` as floats.
+    pub(crate) fn n1(&self) -> f64 {
+        self.inner.num_docs as f64
+    }
+    pub(crate) fn n2(&self) -> f64 {
+        self.outer.num_docs as f64
+    }
+    pub(crate) fn t1(&self) -> f64 {
+        self.inner.distinct_terms as f64
+    }
+    pub(crate) fn t2(&self) -> f64 {
+        self.outer.distinct_terms as f64
+    }
+    /// Cost of bringing the participating outer documents into memory:
+    /// a sequential scan (`D2`) for a whole collection, or `N2·⌈S2⌉·α`
+    /// document-at-a-time random fetches for a selected subset.
+    pub(crate) fn outer_read_cost(&self) -> f64 {
+        if self.outer_original.is_some() {
+            self.n2() * self.s2().ceil() * self.alpha()
+        } else {
+            self.d2()
+        }
+    }
+
+    /// Whether the outer documents are fetched randomly (selected subset).
+    pub(crate) fn outer_is_random(&self) -> bool {
+        self.outer_original.is_some()
+    }
+
+    /// The *stored* outer inverted-file size `I2` — the original
+    /// collection's when the outer side is a selection (the file does not
+    /// shrink, section 5.4).
+    pub(crate) fn i2_storage(&self) -> f64 {
+        self.outer_original
+            .as_ref()
+            .map_or_else(|| self.i2(), |o| o.inverted_file_pages(self.sys.page_size))
+    }
+
+    /// The stored outer average entry size `J2` (original when selected).
+    pub(crate) fn j2_storage(&self) -> f64 {
+        self.outer_original
+            .as_ref()
+            .map_or_else(|| self.j2(), |o| o.avg_entry_pages(self.sys.page_size))
+    }
+
+    /// The stored outer term count `T2` (original when selected).
+    pub(crate) fn t2_storage(&self) -> f64 {
+        self.outer_original
+            .as_ref()
+            .map_or_else(|| self.t2(), |o| o.distinct_terms as f64)
+    }
+
+    /// `B` and `α`.
+    pub(crate) fn b(&self) -> f64 {
+        self.sys.buffer_pages as f64
+    }
+    pub(crate) fn alpha(&self) -> f64 {
+        self.sys.alpha
+    }
+}
+
+/// The section 6 heuristic for term-overlap probabilities: the probability
+/// that a term of a collection with `t_source` distinct terms also appears
+/// in a collection with `t_target` distinct terms.
+///
+/// ```text
+/// 0.8 · T_target / T_source   if T_target ≤ T_source
+/// 0.8                         if T_source < T_target < 5 · T_source
+/// 1 − T_source / T_target     if T_target ≥ 5 · T_source
+/// ```
+///
+/// The smaller the target vocabulary relative to the source, the less
+/// likely a source term is found there; when the target vocabulary dwarfs
+/// the source, the probability approaches 1.
+pub fn term_containment_probability(t_target: u64, t_source: u64) -> f64 {
+    if t_source == 0 {
+        return 0.0;
+    }
+    let tt = t_target as f64;
+    let ts = t_source as f64;
+    if tt <= ts {
+        0.8 * tt / ts
+    } else if tt < 5.0 * ts {
+        0.8
+    } else {
+        1.0 - ts / tt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use textjoin_common::{QueryParams, SystemParams};
+
+    #[test]
+    fn q_small_target_scales_linearly() {
+        assert!((term_containment_probability(50_000, 100_000) - 0.4).abs() < 1e-12);
+        assert!((term_containment_probability(100_000, 100_000) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn q_mid_range_is_point_eight() {
+        assert_eq!(term_containment_probability(200_000, 100_000), 0.8);
+        assert_eq!(term_containment_probability(499_999, 100_000), 0.8);
+    }
+
+    #[test]
+    fn q_huge_target_approaches_one_continuously() {
+        // At exactly 5×, both branches give 0.8.
+        assert!((term_containment_probability(500_000, 100_000) - 0.8).abs() < 1e-12);
+        assert!(term_containment_probability(10_000_000, 100_000) > 0.98);
+    }
+
+    #[test]
+    fn q_empty_source_is_zero() {
+        assert_eq!(term_containment_probability(100, 0), 0.0);
+    }
+
+    #[test]
+    fn with_paper_q_uses_inner_as_target() {
+        let inputs = JoinInputs::with_paper_q(
+            CollectionStats::new(10, 5.0, 50_000),
+            CollectionStats::new(10, 5.0, 100_000),
+            SystemParams::paper_base(),
+            QueryParams::paper_base(),
+        );
+        assert!((inputs.q - 0.4).abs() < 1e-12);
+        // p goes the other way: T2 (100k) vs source T1 (50k) → 0.8 band.
+        assert!((inputs.paper_p() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swapped_exchanges_collections() {
+        let inputs = JoinInputs::with_paper_q(
+            CollectionStats::wsj(),
+            CollectionStats::doe(),
+            SystemParams::paper_base(),
+            QueryParams::paper_base(),
+        );
+        let back = inputs.swapped();
+        assert_eq!(back.inner, inputs.outer);
+        assert_eq!(back.outer, inputs.inner);
+    }
+}

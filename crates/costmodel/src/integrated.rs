@@ -1,0 +1,245 @@
+//! The integrated algorithm: estimate every cost, run the cheapest.
+//!
+//! Section 6.1: "it is desirable to construct an integrated algorithm that
+//! can automatically determine which algorithm to use given the statistics
+//! of the two collections (N1, N2, K1, K2, T1, T2, p, q, δ), system
+//! parameters (B, P, α) and query parameters" — and section 7: "a
+//! particular basic algorithm is invoked if it has the lowest estimated
+//! cost".
+
+use crate::inputs::JoinInputs;
+use crate::{hhnl, hvnl, vvm};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three join algorithms of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Horizontal-Horizontal Nested Loop: documents × documents.
+    Hhnl,
+    /// Horizontal-Vertical Nested Loop: outer documents × inner inverted
+    /// file.
+    Hvnl,
+    /// Vertical-Vertical Merge: inverted file × inverted file.
+    Vvm,
+}
+
+impl Algorithm {
+    /// All three algorithms.
+    pub const ALL: [Algorithm; 3] = [Algorithm::Hhnl, Algorithm::Hvnl, Algorithm::Vvm];
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Algorithm::Hhnl => write!(f, "HHNL"),
+            Algorithm::Hvnl => write!(f, "HVNL"),
+            Algorithm::Vvm => write!(f, "VVM"),
+        }
+    }
+}
+
+/// Which I/O pricing applies: a dedicated drive per structure (sequential
+/// estimates) or a shared device in the worst case (random estimates).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IoScenario {
+    /// Each scan proceeds undisturbed: `hhs`, `hvs`, `vvs`.
+    Dedicated,
+    /// The device serves other obligations between requests: `hhr`, `hvr`,
+    /// `vvr`.
+    SharedWorstCase,
+}
+
+/// The six cost estimates for one join configuration. Estimates are
+/// `f64::INFINITY` when the algorithm cannot run in the given memory
+/// (e.g. VVM with no room for even two entries).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostEstimates {
+    /// `hhs` — HHNL, sequential.
+    pub hhnl_seq: f64,
+    /// `hhr` — HHNL, worst-case random.
+    pub hhnl_rand: f64,
+    /// `hvs` — HVNL, sequential.
+    pub hvnl_seq: f64,
+    /// `hvr` — HVNL, worst-case random.
+    pub hvnl_rand: f64,
+    /// `vvs` — VVM, sequential.
+    pub vvm_seq: f64,
+    /// `vvr` — VVM, worst-case random.
+    pub vvm_rand: f64,
+}
+
+impl CostEstimates {
+    /// Computes all six estimates; infeasible algorithms get `INFINITY`.
+    pub fn compute(inputs: &JoinInputs) -> Self {
+        Self {
+            hhnl_seq: hhnl::sequential(inputs).map_or(f64::INFINITY, |c| c),
+            hhnl_rand: hhnl::worst_case_random(inputs).map_or(f64::INFINITY, |c| c),
+            hvnl_seq: hvnl::sequential(inputs),
+            hvnl_rand: hvnl::worst_case_random(inputs),
+            vvm_seq: vvm::sequential(inputs).map_or(f64::INFINITY, |c| c),
+            vvm_rand: vvm::worst_case_random(inputs).map_or(f64::INFINITY, |c| c),
+        }
+    }
+
+    /// The cost of one algorithm under one scenario.
+    pub fn cost(&self, algorithm: Algorithm, scenario: IoScenario) -> f64 {
+        match (algorithm, scenario) {
+            (Algorithm::Hhnl, IoScenario::Dedicated) => self.hhnl_seq,
+            (Algorithm::Hhnl, IoScenario::SharedWorstCase) => self.hhnl_rand,
+            (Algorithm::Hvnl, IoScenario::Dedicated) => self.hvnl_seq,
+            (Algorithm::Hvnl, IoScenario::SharedWorstCase) => self.hvnl_rand,
+            (Algorithm::Vvm, IoScenario::Dedicated) => self.vvm_seq,
+            (Algorithm::Vvm, IoScenario::SharedWorstCase) => self.vvm_rand,
+        }
+    }
+
+    /// The cheapest algorithm under a scenario (ties break in the order
+    /// HHNL, HVNL, VVM — the simplest algorithm wins a tie).
+    pub fn best(&self, scenario: IoScenario) -> (Algorithm, f64) {
+        Algorithm::ALL
+            .into_iter()
+            .map(|a| (a, self.cost(a, scenario)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("three candidates")
+    }
+}
+
+/// The integrated algorithm: pick the cheapest basic algorithm for the
+/// given inputs and I/O scenario.
+pub fn choose(inputs: &JoinInputs, scenario: IoScenario) -> Algorithm {
+    CostEstimates::compute(inputs).best(scenario).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use textjoin_common::{CollectionStats, QueryParams, SystemParams};
+
+    fn inputs(inner: CollectionStats, outer: CollectionStats, buffer_pages: u64) -> JoinInputs {
+        JoinInputs::with_paper_q(
+            inner,
+            outer,
+            SystemParams::paper_base().with_buffer_pages(buffer_pages),
+            QueryParams::paper_base(),
+        )
+    }
+
+    #[test]
+    fn paper_finding_2_small_outer_prefers_hvnl() {
+        // "If the number of documents in one of the two collections is
+        // originally very small or becomes very small after a selection,
+        // then HVNL has a very good chance to outperform other algorithms.
+        // Although how small for M to be small enough mainly depends on the
+        // number of terms in each document in the outer collection, M is
+        // likely to be limited by 100." FR's huge documents (K = 1017)
+        // shrink its window accordingly.
+        for (base, m) in [
+            (CollectionStats::wsj(), 20),
+            (CollectionStats::fr(), 5),
+            (CollectionStats::doe(), 40),
+        ] {
+            let small_outer = base.select_docs(m);
+            let i = inputs(base, small_outer, 10_000);
+            assert_eq!(
+                choose(&i, IoScenario::Dedicated),
+                Algorithm::Hvnl,
+                "{m}-doc outer on {base:?}"
+            );
+        }
+        // Well past the window, HVNL loses everywhere.
+        for base in [
+            CollectionStats::wsj(),
+            CollectionStats::fr(),
+            CollectionStats::doe(),
+        ] {
+            let i = inputs(base, base.select_docs(5_000), 10_000);
+            assert_ne!(
+                choose(&i, IoScenario::Dedicated),
+                Algorithm::Hvnl,
+                "{base:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_finding_3_few_large_docs_prefer_vvm() {
+        // "If the number of documents in each of the two collections is not
+        // very large (roughly N1·N2 < 10000·B) and both document collections
+        // are large such that none can be entirely held in the memory, then
+        // VVM (the sequential version) can outperform other algorithms."
+        let derived = CollectionStats::fr().derive_scaled(64); // 409 huge docs
+        let i = inputs(derived, derived, 10_000);
+        assert!(i.n1() * i.n2() < 10_000.0 * i.b());
+        assert!(i.d1() > i.b(), "collection must not fit in memory");
+        assert_eq!(choose(&i, IoScenario::Dedicated), Algorithm::Vvm);
+    }
+
+    #[test]
+    fn paper_finding_4_bulk_joins_prefer_hhnl() {
+        // "For most other cases, the simple algorithm HHNL performs very
+        // well" — e.g. the full self-joins of group 1.
+        for base in [
+            CollectionStats::wsj(),
+            CollectionStats::fr(),
+            CollectionStats::doe(),
+        ] {
+            let i = inputs(base, base, 10_000);
+            assert_eq!(
+                choose(&i, IoScenario::Dedicated),
+                Algorithm::Hhnl,
+                "{base:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_algorithms_get_infinite_cost() {
+        let big_docs = CollectionStats::new(100, 100_000.0, 10_000);
+        let i = inputs(big_docs, big_docs, 2);
+        let est = CostEstimates::compute(&i);
+        assert!(est.hhnl_seq.is_infinite());
+        assert!(est.vvm_seq.is_infinite());
+        // HVNL degrades (X = 0) but stays finite, so it gets picked.
+        assert!(est.hvnl_seq.is_finite());
+        assert_eq!(est.best(IoScenario::Dedicated).0, Algorithm::Hvnl);
+    }
+
+    #[test]
+    fn cost_accessor_matches_fields() {
+        let i = inputs(CollectionStats::wsj(), CollectionStats::doe(), 10_000);
+        let est = CostEstimates::compute(&i);
+        assert_eq!(
+            est.cost(Algorithm::Hhnl, IoScenario::Dedicated),
+            est.hhnl_seq
+        );
+        assert_eq!(
+            est.cost(Algorithm::Vvm, IoScenario::SharedWorstCase),
+            est.vvm_rand
+        );
+        assert_eq!(
+            est.cost(Algorithm::Hvnl, IoScenario::SharedWorstCase),
+            est.hvnl_rand
+        );
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(Algorithm::Hhnl.to_string(), "HHNL");
+        assert_eq!(Algorithm::Hvnl.to_string(), "HVNL");
+        assert_eq!(Algorithm::Vvm.to_string(), "VVM");
+    }
+
+    #[test]
+    fn random_scenario_can_rerank_vvm() {
+        // Finding 5: the random variants "have no impact in ranking these
+        // algorithms" except for VVM — VVM's all-random variant multiplies
+        // its whole cost by α, so it can lose a win it had under the
+        // dedicated scenario.
+        let derived = CollectionStats::fr().derive_scaled(64);
+        let i = inputs(derived, derived, 10_000);
+        let est = CostEstimates::compute(&i);
+        assert_eq!(est.best(IoScenario::Dedicated).0, Algorithm::Vvm);
+        assert!(est.vvm_rand > est.vvm_seq * (i.alpha() - 0.5));
+    }
+}

@@ -1,0 +1,37 @@
+//! Analytical I/O cost models for the three text-join algorithms.
+//!
+//! This crate transcribes section 5 of the paper into code. Each algorithm
+//! has a *sequential* estimate (all I/Os at the sequential rate, valid when
+//! each structure is read by a dedicated drive) and a *worst-case random*
+//! estimate (the I/O device serves other obligations between requests):
+//!
+//! | algorithm | sequential | worst-case random |
+//! |-----------|------------|-------------------|
+//! | HHNL      | [`hhnl::sequential`] (`hhs`) | [`hhnl::worst_case_random`] (`hhr`) |
+//! | HVNL      | [`hvnl::sequential`] (`hvs`) | [`hvnl::worst_case_random`] (`hvr`) |
+//! | VVM       | [`vvm::sequential`] (`vvs`)  | [`vvm::worst_case_random`] (`vvr`)  |
+//!
+//! All estimates are in units of *sequential page reads*: one random read
+//! counts `α`.
+//!
+//! [`JoinInputs`] bundles the collection statistics, system parameters,
+//! query parameters and the term-overlap probability `q` (with the paper's
+//! section 6 heuristic available as
+//! [`term_containment_probability`]). [`integrated`] implements the
+//! integrated algorithm of section 6.1: estimate all three costs, run the
+//! cheapest. [`comm`] extends the models with the multidatabase
+//! communication term the paper lists as future work.
+
+pub mod comm;
+pub mod hhnl;
+pub mod hvnl;
+pub mod inputs;
+pub mod integrated;
+pub mod vvm;
+
+#[cfg(test)]
+mod proptests;
+
+pub use comm::{choose_distributed, CommParams, Site, TermEncoding};
+pub use inputs::{term_containment_probability, JoinInputs};
+pub use integrated::{choose, Algorithm, CostEstimates, IoScenario};

@@ -1,0 +1,766 @@
+//! A page-based B+tree term dictionary.
+//!
+//! Section 5.2: "For each inverted file, there is a B+tree which is used to
+//! find whether a term is in the collection and if present where the
+//! corresponding inverted file entry is located. … Typically, each cell in
+//! the B+tree occupies 9 bytes (3 for each term number, 4 for address and 2
+//! for document frequency)." The paper sizes the tree by its leaf level
+//! (`Bt = 9·T / P`) and assumes HVNL reads the whole tree into memory once.
+//!
+//! This module implements the real structure: leaf pages of 9-byte cells
+//! chained left-to-right, internal pages of (separator, child) cells,
+//! bulk-loading from sorted input, point search by descent, and insertion
+//! with node splits. [`BTreeFile::load_leaves`] performs the paper's
+//! "read the whole B+tree" step as one sequential scan.
+//!
+//! Page layout (page size `P`):
+//!
+//! ```text
+//! byte 0       : node kind (0 = leaf, 1 = internal)
+//! bytes 1..3   : cell count (u16 LE)
+//! bytes 3..7   : leaf — next-leaf page (u32 LE, MAX = none)
+//!                internal — leftmost child page (u32 LE)
+//! leaf cell    : term (3B LE) + entry ordinal (4B LE) + doc freq (2B LE)
+//! internal cell: separator term (3B LE) + child page (4B LE)
+//! ```
+//!
+//! An internal cell `(k, c)` means: keys `>= k` (up to the next separator)
+//! live under child `c`; keys below the first separator live under the
+//! leftmost child.
+
+use std::sync::Arc;
+use textjoin_common::{Error, Result, TermId};
+use textjoin_storage::{DiskSim, FileId};
+
+const HEADER_BYTES: usize = 7;
+const LEAF_CELL_BYTES: usize = 9;
+const INTERNAL_CELL_BYTES: usize = 7;
+const NO_PAGE: u32 = u32::MAX;
+
+/// The value stored for a term: where its inverted-file entry lives and how
+/// many documents contain the term.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TermEntry {
+    /// Ordinal of the entry in the inverted file (its index in term order).
+    pub ordinal: u32,
+    /// Document frequency of the term in the collection.
+    pub doc_freq: u16,
+}
+
+/// A paged B+tree mapping term numbers to [`TermEntry`] values.
+pub struct BTreeFile {
+    disk: Arc<DiskSim>,
+    file: FileId,
+    root: u32,
+    height: u32,
+    num_terms: u64,
+    first_leaf: u32,
+    num_leaf_pages: u64,
+}
+
+#[derive(Clone)]
+enum Node {
+    Leaf {
+        cells: Vec<(u32, TermEntry)>,
+        next: u32,
+    },
+    Internal {
+        leftmost: u32,
+        cells: Vec<(u32, u32)>,
+    },
+}
+
+impl Node {
+    fn decode(page: &[u8]) -> Result<Node> {
+        let kind = page[0];
+        let count = u16::from_le_bytes([page[1], page[2]]) as usize;
+        let head = u32::from_le_bytes([page[3], page[4], page[5], page[6]]);
+        match kind {
+            0 => {
+                let mut cells = Vec::with_capacity(count);
+                for i in 0..count {
+                    let o = HEADER_BYTES + i * LEAF_CELL_BYTES;
+                    let c = &page[o..o + LEAF_CELL_BYTES];
+                    let term = u32::from_le_bytes([c[0], c[1], c[2], 0]);
+                    let ordinal = u32::from_le_bytes([c[3], c[4], c[5], c[6]]);
+                    let doc_freq = u16::from_le_bytes([c[7], c[8]]);
+                    cells.push((term, TermEntry { ordinal, doc_freq }));
+                }
+                Ok(Node::Leaf { cells, next: head })
+            }
+            1 => {
+                let mut cells = Vec::with_capacity(count);
+                for i in 0..count {
+                    let o = HEADER_BYTES + i * INTERNAL_CELL_BYTES;
+                    let c = &page[o..o + INTERNAL_CELL_BYTES];
+                    let term = u32::from_le_bytes([c[0], c[1], c[2], 0]);
+                    let child = u32::from_le_bytes([c[3], c[4], c[5], c[6]]);
+                    cells.push((term, child));
+                }
+                Ok(Node::Internal {
+                    leftmost: head,
+                    cells,
+                })
+            }
+            k => Err(Error::Corrupt(format!("unknown B+tree node kind {k}"))),
+        }
+    }
+
+    fn encode(&self, page_size: usize) -> Vec<u8> {
+        let mut out = vec![0u8; page_size];
+        match self {
+            Node::Leaf { cells, next } => {
+                out[0] = 0;
+                out[1..3].copy_from_slice(&(cells.len() as u16).to_le_bytes());
+                out[3..7].copy_from_slice(&next.to_le_bytes());
+                for (i, (term, v)) in cells.iter().enumerate() {
+                    let o = HEADER_BYTES + i * LEAF_CELL_BYTES;
+                    out[o..o + 3].copy_from_slice(&term.to_le_bytes()[..3]);
+                    out[o + 3..o + 7].copy_from_slice(&v.ordinal.to_le_bytes());
+                    out[o + 7..o + 9].copy_from_slice(&v.doc_freq.to_le_bytes());
+                }
+            }
+            Node::Internal { leftmost, cells } => {
+                out[0] = 1;
+                out[1..3].copy_from_slice(&(cells.len() as u16).to_le_bytes());
+                out[3..7].copy_from_slice(&leftmost.to_le_bytes());
+                for (i, (term, child)) in cells.iter().enumerate() {
+                    let o = HEADER_BYTES + i * INTERNAL_CELL_BYTES;
+                    out[o..o + 3].copy_from_slice(&term.to_le_bytes()[..3]);
+                    out[o + 3..o + 7].copy_from_slice(&child.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Cells per leaf page.
+pub fn leaf_capacity(page_size: usize) -> usize {
+    (page_size - HEADER_BYTES) / LEAF_CELL_BYTES
+}
+
+/// Cells per internal page.
+pub fn internal_capacity(page_size: usize) -> usize {
+    (page_size - HEADER_BYTES) / INTERNAL_CELL_BYTES
+}
+
+impl BTreeFile {
+    /// Bulk-loads a tree from `(term, entry)` pairs in strictly increasing
+    /// term order, packing leaves tightly (the paper assumes a tightly
+    /// packed tree when estimating `Bt`).
+    pub fn bulk_load(
+        disk: Arc<DiskSim>,
+        name: &str,
+        entries: &[(TermId, TermEntry)],
+    ) -> Result<BTreeFile> {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "bulk load input must be strictly increasing by term"
+        );
+        let file = disk.create_file(name)?;
+        let page_size = disk.page_size();
+        let leaf_cap = leaf_capacity(page_size);
+        let internal_cap = internal_capacity(page_size);
+
+        // Write leaves.
+        let mut level: Vec<(u32, u32)> = Vec::new(); // (first term, page)
+        let chunks: Vec<&[(TermId, TermEntry)]> = if entries.is_empty() {
+            vec![&[][..]]
+        } else {
+            entries.chunks(leaf_cap).collect()
+        };
+        let num_leaves = chunks.len() as u64;
+        for (i, chunk) in chunks.iter().enumerate() {
+            let next = if i + 1 < chunks.len() {
+                (i + 1) as u32
+            } else {
+                NO_PAGE
+            };
+            let node = Node::Leaf {
+                cells: chunk.iter().map(|&(t, v)| (t.raw(), v)).collect(),
+                next,
+            };
+            let page = disk.append_page(file, &node.encode(page_size))?;
+            level.push((
+                chunk.first().map(|&(t, _)| t.raw()).unwrap_or(0),
+                page as u32,
+            ));
+        }
+
+        // Build internal levels until a single root remains.
+        let mut height = 0u32;
+        while level.len() > 1 {
+            height += 1;
+            let mut parent_level = Vec::new();
+            for group in level.chunks(internal_cap + 1) {
+                let leftmost = group[0].1;
+                let cells: Vec<(u32, u32)> = group[1..]
+                    .iter()
+                    .map(|&(term, page)| (term, page))
+                    .collect();
+                let node = Node::Internal { leftmost, cells };
+                let page = disk.append_page(file, &node.encode(page_size))?;
+                parent_level.push((group[0].0, page as u32));
+            }
+            level = parent_level;
+        }
+
+        Ok(BTreeFile {
+            disk,
+            file,
+            root: level[0].1,
+            height,
+            num_terms: entries.len() as u64,
+            first_leaf: 0,
+            num_leaf_pages: num_leaves,
+        })
+    }
+
+    /// Creates an empty tree (a single empty leaf), ready for inserts.
+    pub fn create_empty(disk: Arc<DiskSim>, name: &str) -> Result<BTreeFile> {
+        Self::bulk_load(disk, name, &[])
+    }
+
+    /// Total pages of the tree file (leaves + internal nodes).
+    pub fn num_pages(&self) -> u64 {
+        self.disk.num_pages(self.file)
+    }
+
+    /// Leaf pages only — the level the paper's `Bt = 9·T / P` estimate
+    /// counts.
+    pub fn num_leaf_pages(&self) -> u64 {
+        self.num_leaf_pages
+    }
+
+    /// Number of terms stored.
+    pub fn num_terms(&self) -> u64 {
+        self.num_terms
+    }
+
+    /// Height of the tree (0 = root is a leaf).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// The file holding the tree.
+    pub fn file(&self) -> FileId {
+        self.file
+    }
+
+    fn read_node(&self, page: u32) -> Result<Node> {
+        Node::decode(&self.disk.read_page(self.file, page as u64)?)
+    }
+
+    /// Point lookup by descending from the root; each visited node costs
+    /// one page read. HVNL instead loads the whole tree once with
+    /// [`load_leaves`](Self::load_leaves) — this method exists for the
+    /// descent-per-probe ablation and for verification.
+    pub fn search(&self, term: TermId) -> Result<Option<TermEntry>> {
+        let mut page = self.root;
+        loop {
+            match self.read_node(page)? {
+                Node::Internal { leftmost, cells } => {
+                    // Last separator <= term wins; below the first separator
+                    // go leftmost.
+                    let idx = cells.partition_point(|&(k, _)| k <= term.raw());
+                    page = if idx == 0 { leftmost } else { cells[idx - 1].1 };
+                }
+                Node::Leaf { cells, .. } => {
+                    return Ok(cells
+                        .binary_search_by_key(&term.raw(), |&(t, _)| t)
+                        .ok()
+                        .map(|i| cells[i].1));
+                }
+            }
+        }
+    }
+
+    /// Reads the entire tree sequentially into an in-memory dictionary —
+    /// the one-time `Bt` cost that HVNL pays up front (section 5.2 assumes
+    /// "the entire B+tree will be read in the memory when the inverted file
+    /// needs to be accessed").
+    pub fn load_leaves(&self) -> Result<Dictionary> {
+        let total = self.disk.num_pages(self.file);
+        let pages = self.disk.read_scan(self.file, 0, total)?;
+        let mut terms = Vec::with_capacity(self.num_terms as usize);
+        // Leaves were written first and chained in order during bulk load,
+        // but inserts may have appended leaves out of order — follow the
+        // chain over the in-memory pages.
+        let mut leaf = self.first_leaf;
+        while leaf != NO_PAGE {
+            match Node::decode(&pages[leaf as usize])? {
+                Node::Leaf { cells, next } => {
+                    terms.extend(cells);
+                    leaf = next;
+                }
+                Node::Internal { .. } => {
+                    return Err(Error::Corrupt("leaf chain reached an internal node".into()))
+                }
+            }
+        }
+        Ok(Dictionary { terms })
+    }
+
+    /// Inserts or replaces a term. Splits full nodes on the way back up and
+    /// grows a new root when the old one splits.
+    pub fn insert(&mut self, term: TermId, value: TermEntry) -> Result<()> {
+        let page_size = self.disk.page_size();
+        let existed = self.insert_rec(self.root, term, value)?;
+        if let Some((sep, new_page)) = existed.split {
+            // Root split: new root with two children.
+            let node = Node::Internal {
+                leftmost: self.root,
+                cells: vec![(sep, new_page)],
+            };
+            let new_root = self.disk.append_page(self.file, &node.encode(page_size))? as u32;
+            self.root = new_root;
+            self.height += 1;
+        }
+        if existed.inserted_new {
+            self.num_terms += 1;
+        }
+        Ok(())
+    }
+
+    fn write_node(&self, page: u32, node: &Node) -> Result<()> {
+        self.disk
+            .write_page(self.file, page as u64, &node.encode(self.disk.page_size()))
+    }
+
+    fn append_node(&self, node: &Node) -> Result<u32> {
+        Ok(self
+            .disk
+            .append_page(self.file, &node.encode(self.disk.page_size()))? as u32)
+    }
+
+    fn insert_rec(&mut self, page: u32, term: TermId, value: TermEntry) -> Result<InsertOutcome> {
+        let page_size = self.disk.page_size();
+        match self.read_node(page)? {
+            Node::Leaf { mut cells, next } => {
+                let inserted_new = match cells.binary_search_by_key(&term.raw(), |&(t, _)| t) {
+                    Ok(i) => {
+                        cells[i].1 = value;
+                        false
+                    }
+                    Err(i) => {
+                        cells.insert(i, (term.raw(), value));
+                        true
+                    }
+                };
+                if cells.len() <= leaf_capacity(page_size) {
+                    self.write_node(page, &Node::Leaf { cells, next })?;
+                    return Ok(InsertOutcome {
+                        inserted_new,
+                        split: None,
+                    });
+                }
+                // Split the leaf in half; the new right leaf is appended.
+                let mid = cells.len() / 2;
+                let right_cells = cells.split_off(mid);
+                let sep = right_cells[0].0;
+                let right = self.append_node(&Node::Leaf {
+                    cells: right_cells,
+                    next,
+                })?;
+                if self.num_leaf_pages > 0 {
+                    self.num_leaf_pages += 1;
+                }
+                self.write_node(page, &Node::Leaf { cells, next: right })?;
+                Ok(InsertOutcome {
+                    inserted_new,
+                    split: Some((sep, right)),
+                })
+            }
+            Node::Internal {
+                leftmost,
+                mut cells,
+            } => {
+                let idx = cells.partition_point(|&(k, _)| k <= term.raw());
+                let child = if idx == 0 { leftmost } else { cells[idx - 1].1 };
+                let outcome = self.insert_rec(child, term, value)?;
+                let Some((sep, new_child)) = outcome.split else {
+                    return Ok(outcome);
+                };
+                cells.insert(idx, (sep, new_child));
+                if cells.len() <= internal_capacity(page_size) {
+                    self.write_node(page, &Node::Internal { leftmost, cells })?;
+                    return Ok(InsertOutcome {
+                        inserted_new: outcome.inserted_new,
+                        split: None,
+                    });
+                }
+                // Split the internal node; the middle separator moves up.
+                let mid = cells.len() / 2;
+                let mut right_cells = cells.split_off(mid);
+                let (up_sep, right_leftmost) = right_cells.remove(0);
+                let right = self.append_node(&Node::Internal {
+                    leftmost: right_leftmost,
+                    cells: right_cells,
+                })?;
+                self.write_node(page, &Node::Internal { leftmost, cells })?;
+                Ok(InsertOutcome {
+                    inserted_new: outcome.inserted_new,
+                    split: Some((up_sep, right)),
+                })
+            }
+        }
+    }
+
+    /// Removes a term, returning whether it was present. Deletion is
+    /// *lazy* (the strategy of production B-trees like PostgreSQL's
+    /// nbtree): the cell is removed from its leaf but nodes are never
+    /// merged, so separators stay valid and concurrent searches are
+    /// unaffected; space is reclaimed when the tree is next bulk-rebuilt.
+    pub fn remove(&mut self, term: TermId) -> Result<bool> {
+        let mut page = self.root;
+        loop {
+            match self.read_node(page)? {
+                Node::Internal { leftmost, cells } => {
+                    let idx = cells.partition_point(|&(k, _)| k <= term.raw());
+                    page = if idx == 0 { leftmost } else { cells[idx - 1].1 };
+                }
+                Node::Leaf { mut cells, next } => {
+                    let Ok(i) = cells.binary_search_by_key(&term.raw(), |&(t, _)| t) else {
+                        return Ok(false);
+                    };
+                    cells.remove(i);
+                    self.write_node(page, &Node::Leaf { cells, next })?;
+                    self.num_terms -= 1;
+                    return Ok(true);
+                }
+            }
+        }
+    }
+
+    /// All `(term, entry)` pairs in term order, by walking the leaf chain.
+    /// Used by tests and verification; costs one page read per chained leaf.
+    pub fn scan_leaves(&self) -> Result<Vec<(TermId, TermEntry)>> {
+        let mut out = Vec::with_capacity(self.num_terms as usize);
+        let mut leaf = self.first_leaf;
+        while leaf != NO_PAGE {
+            match self.read_node(leaf)? {
+                Node::Leaf { cells, next } => {
+                    out.extend(cells.into_iter().map(|(t, v)| (TermId::new(t), v)));
+                    leaf = next;
+                }
+                Node::Internal { .. } => {
+                    return Err(Error::Corrupt("leaf chain reached an internal node".into()))
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+struct InsertOutcome {
+    inserted_new: bool,
+    /// `(separator, new right sibling page)` when the child split.
+    split: Option<(u32, u32)>,
+}
+
+/// The in-memory dictionary produced by loading the whole B+tree: term →
+/// (entry ordinal, document frequency), with `O(log T)` lookups over a
+/// sorted array.
+#[derive(Clone, Debug)]
+pub struct Dictionary {
+    terms: Vec<(u32, TermEntry)>,
+}
+
+impl Dictionary {
+    /// Looks a term up.
+    pub fn lookup(&self, term: TermId) -> Option<TermEntry> {
+        self.terms
+            .binary_search_by_key(&term.raw(), |&(t, _)| t)
+            .ok()
+            .map(|i| self.terms[i].1)
+    }
+
+    /// Number of terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterates `(term, entry)` in term order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, TermEntry)> + '_ {
+        self.terms.iter().map(|&(t, v)| (TermId::new(t), v))
+    }
+
+    /// Resident size in bytes, charged against HVNL's memory budget
+    /// (9 bytes per cell, as the paper sizes `Bt`).
+    pub fn size_bytes(&self) -> u64 {
+        (self.terms.len() * LEAF_CELL_BYTES) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    fn entry(o: u32, df: u16) -> TermEntry {
+        TermEntry {
+            ordinal: o,
+            doc_freq: df,
+        }
+    }
+
+    fn sorted_entries(n: u32, stride: u32) -> Vec<(TermId, TermEntry)> {
+        (0..n)
+            .map(|i| (TermId::new(i * stride), entry(i, (i % 500) as u16 + 1)))
+            .collect()
+    }
+
+    fn small_disk() -> Arc<DiskSim> {
+        // 64-byte pages: 6 leaf cells, 8 internal cells — forces real trees.
+        Arc::new(DiskSim::new(64))
+    }
+
+    #[test]
+    fn capacities_match_layout() {
+        assert_eq!(leaf_capacity(4096), (4096 - 7) / 9);
+        assert_eq!(internal_capacity(64), (64 - 7) / 7);
+    }
+
+    #[test]
+    fn bulk_load_and_search_small() {
+        let disk = small_disk();
+        let entries = sorted_entries(100, 3);
+        let tree = BTreeFile::bulk_load(disk, "bt", &entries).unwrap();
+        assert_eq!(tree.num_terms(), 100);
+        assert!(
+            tree.height() >= 1,
+            "100 entries cannot fit one 64-byte leaf"
+        );
+        for &(t, v) in &entries {
+            assert_eq!(tree.search(t).unwrap(), Some(v), "term {t}");
+        }
+        // Misses between and beyond keys.
+        assert_eq!(tree.search(TermId::new(1)).unwrap(), None);
+        assert_eq!(tree.search(TermId::new(1000)).unwrap(), None);
+    }
+
+    #[test]
+    fn bulk_load_empty_tree() {
+        let disk = small_disk();
+        let tree = BTreeFile::bulk_load(disk, "bt", &[]).unwrap();
+        assert_eq!(tree.num_terms(), 0);
+        assert_eq!(tree.search(TermId::new(0)).unwrap(), None);
+        assert!(tree.load_leaves().unwrap().is_empty());
+    }
+
+    #[test]
+    fn load_leaves_is_one_sequential_scan() {
+        let disk = small_disk();
+        let entries = sorted_entries(200, 1);
+        let tree = BTreeFile::bulk_load(Arc::clone(&disk), "bt", &entries).unwrap();
+        disk.reset_stats();
+        disk.reset_head();
+        let dict = tree.load_leaves().unwrap();
+        let s = disk.stats();
+        // Streamed scan: one seek, then sequential — the paper's one-time
+        // Bt cost.
+        assert_eq!(s.total_reads(), tree.num_pages());
+        assert_eq!(s.rand_reads, 1);
+        assert_eq!(s.seq_reads, tree.num_pages() - 1);
+        assert_eq!(dict.len(), 200);
+        for &(t, v) in &entries {
+            assert_eq!(dict.lookup(t), Some(v));
+        }
+        assert_eq!(dict.lookup(TermId::new(777)), None);
+    }
+
+    #[test]
+    fn dictionary_size_matches_paper_cell_size() {
+        let disk = small_disk();
+        let tree = BTreeFile::bulk_load(disk, "bt", &sorted_entries(50, 2)).unwrap();
+        let dict = tree.load_leaves().unwrap();
+        assert_eq!(dict.size_bytes(), 50 * 9);
+    }
+
+    #[test]
+    fn insert_into_empty_tree_then_search() {
+        let disk = small_disk();
+        let mut tree = BTreeFile::create_empty(disk, "bt").unwrap();
+        for i in (0..50u32).rev() {
+            tree.insert(TermId::new(i * 7), entry(i, 1)).unwrap();
+        }
+        assert_eq!(tree.num_terms(), 50);
+        for i in 0..50u32 {
+            assert_eq!(tree.search(TermId::new(i * 7)).unwrap(), Some(entry(i, 1)));
+        }
+        let leaves = tree.scan_leaves().unwrap();
+        assert_eq!(leaves.len(), 50);
+        assert!(
+            leaves.windows(2).all(|w| w[0].0 < w[1].0),
+            "leaf chain sorted"
+        );
+    }
+
+    #[test]
+    fn insert_replaces_existing_value() {
+        let disk = small_disk();
+        let mut tree = BTreeFile::bulk_load(disk, "bt", &sorted_entries(10, 1)).unwrap();
+        tree.insert(TermId::new(5), entry(99, 9)).unwrap();
+        assert_eq!(tree.num_terms(), 10, "replacement must not grow the tree");
+        assert_eq!(tree.search(TermId::new(5)).unwrap(), Some(entry(99, 9)));
+    }
+
+    #[test]
+    fn interleaved_inserts_into_bulk_loaded_tree() {
+        let disk = small_disk();
+        let even: Vec<_> = (0..60u32)
+            .map(|i| (TermId::new(i * 2), entry(i, 1)))
+            .collect();
+        let mut tree = BTreeFile::bulk_load(disk, "bt", &even).unwrap();
+        for i in 0..60u32 {
+            tree.insert(TermId::new(i * 2 + 1), entry(1000 + i, 2))
+                .unwrap();
+        }
+        assert_eq!(tree.num_terms(), 120);
+        let leaves = tree.scan_leaves().unwrap();
+        let terms: Vec<u32> = leaves.iter().map(|&(t, _)| t.raw()).collect();
+        assert_eq!(terms, (0..120u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn root_split_grows_height() {
+        let disk = small_disk();
+        let mut tree = BTreeFile::create_empty(disk, "bt").unwrap();
+        let before = tree.height();
+        for i in 0..500u32 {
+            tree.insert(TermId::new(i), entry(i, 1)).unwrap();
+        }
+        assert!(tree.height() > before);
+        assert_eq!(tree.search(TermId::new(499)).unwrap(), Some(entry(499, 1)));
+    }
+
+    #[test]
+    fn paper_scale_leaf_count() {
+        // Section 5.2's example: 100 000 distinct terms → about 220 leaf
+        // pages of 4KB.
+        let disk = Arc::new(DiskSim::new(4096));
+        let entries: Vec<_> = (0..100_000u32)
+            .map(|i| (TermId::new(i), entry(i, 1)))
+            .collect();
+        let tree = BTreeFile::bulk_load(disk, "bt", &entries).unwrap();
+        let leaves = tree.num_leaf_pages();
+        assert!((219..=222).contains(&leaves), "leaf pages = {leaves}");
+    }
+
+    #[test]
+    fn remove_deletes_and_tolerates_misses() {
+        let disk = small_disk();
+        let mut tree = BTreeFile::bulk_load(disk, "bt", &sorted_entries(40, 2)).unwrap();
+        assert!(tree.remove(TermId::new(20)).unwrap());
+        assert_eq!(tree.search(TermId::new(20)).unwrap(), None);
+        assert!(
+            !tree.remove(TermId::new(20)).unwrap(),
+            "double delete is a miss"
+        );
+        assert!(
+            !tree.remove(TermId::new(21)).unwrap(),
+            "never-present key is a miss"
+        );
+        assert_eq!(tree.num_terms(), 39);
+        // Remaining keys are intact and ordered.
+        let leaves = tree.scan_leaves().unwrap();
+        assert_eq!(leaves.len(), 39);
+        assert!(leaves.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn delete_then_reinsert_round_trips() {
+        let disk = small_disk();
+        let mut tree = BTreeFile::bulk_load(disk, "bt", &sorted_entries(30, 3)).unwrap();
+        for i in (0..30u32).step_by(2) {
+            assert!(tree.remove(TermId::new(i * 3)).unwrap());
+        }
+        for i in (0..30u32).step_by(2) {
+            tree.insert(TermId::new(i * 3), entry(900 + i, 7)).unwrap();
+        }
+        assert_eq!(tree.num_terms(), 30);
+        assert_eq!(tree.search(TermId::new(0)).unwrap(), Some(entry(900, 7)));
+        assert_eq!(tree.search(TermId::new(3)).unwrap(), Some(entry(1, 2)));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_mixed_inserts_and_deletes_match_oracle(
+            bulk in proptest::collection::btree_map(0u32..3000, (0u32..1000, 1u16..100), 0..100),
+            ops in proptest::collection::vec(
+                (proptest::bool::ANY, 0u32..3000, 0u32..1000, 1u16..100),
+                0..200,
+            ),
+        ) {
+            let disk = Arc::new(DiskSim::new(64));
+            let mut oracle: BTreeMap<u32, TermEntry> =
+                bulk.iter().map(|(&t, &(o, df))| (t, entry(o, df))).collect();
+            let bulk_entries: Vec<_> =
+                oracle.iter().map(|(&t, &v)| (TermId::new(t), v)).collect();
+            let mut tree = BTreeFile::bulk_load(disk, "bt", &bulk_entries).unwrap();
+
+            for &(is_insert, t, o, df) in &ops {
+                if is_insert {
+                    tree.insert(TermId::new(t), entry(o, df)).unwrap();
+                    oracle.insert(t, entry(o, df));
+                } else {
+                    let removed = tree.remove(TermId::new(t)).unwrap();
+                    prop_assert_eq!(removed, oracle.remove(&t).is_some());
+                }
+            }
+            prop_assert_eq!(tree.num_terms(), oracle.len() as u64);
+            let leaves = tree.scan_leaves().unwrap();
+            let expect: Vec<(TermId, TermEntry)> =
+                oracle.iter().map(|(&t, &v)| (TermId::new(t), v)).collect();
+            prop_assert_eq!(leaves, expect);
+        }
+
+        #[test]
+        fn prop_matches_btreemap_oracle(
+            bulk in proptest::collection::btree_map(0u32..5000, (0u32..1000, 1u16..100), 0..150),
+            inserts in proptest::collection::vec((0u32..5000, 0u32..1000, 1u16..100), 0..150),
+            probes in proptest::collection::vec(0u32..5000, 0..60),
+        ) {
+            let disk = Arc::new(DiskSim::new(64));
+            let mut oracle: BTreeMap<u32, TermEntry> = bulk
+                .iter()
+                .map(|(&t, &(o, df))| (t, entry(o, df)))
+                .collect();
+            let bulk_entries: Vec<_> =
+                oracle.iter().map(|(&t, &v)| (TermId::new(t), v)).collect();
+            let mut tree = BTreeFile::bulk_load(disk, "bt", &bulk_entries).unwrap();
+
+            for &(t, o, df) in &inserts {
+                tree.insert(TermId::new(t), entry(o, df)).unwrap();
+                oracle.insert(t, entry(o, df));
+            }
+
+            prop_assert_eq!(tree.num_terms(), oracle.len() as u64);
+            for &t in &probes {
+                prop_assert_eq!(
+                    tree.search(TermId::new(t)).unwrap(),
+                    oracle.get(&t).copied()
+                );
+            }
+            // Leaf chain enumerates the oracle exactly, in order.
+            let leaves = tree.scan_leaves().unwrap();
+            let expect: Vec<(TermId, TermEntry)> =
+                oracle.iter().map(|(&t, &v)| (TermId::new(t), v)).collect();
+            prop_assert_eq!(leaves, expect);
+            // Loaded dictionary agrees with descent-based search.
+            let dict = tree.load_leaves().unwrap();
+            for &t in &probes {
+                prop_assert_eq!(dict.lookup(TermId::new(t)), oracle.get(&t).copied());
+            }
+        }
+    }
+}

@@ -1,0 +1,436 @@
+//! The inverted file: tightly packed entries in term-number order.
+//!
+//! For each term of a collection, the inverted file holds an entry — a list
+//! of i-cells `(d#, w)` in increasing document order (section 3). Entries
+//! are stored in consecutive locations in ascending term order, so
+//!
+//! * VVM can merge two inverted files with **one sequential scan each**
+//!   (the "very much like the merge phase of sort merge" property of
+//!   section 4.3), and
+//! * HVNL can fetch the entry for one term at the cost of `⌈J⌉` random
+//!   page reads after locating it through the B+tree.
+
+use crate::btree::{BTreeFile, TermEntry};
+use crate::codec::PostingCodec;
+use std::collections::HashMap;
+use std::sync::Arc;
+use textjoin_collection::Collection;
+use textjoin_common::{ICell, Result, TermId};
+use textjoin_storage::{ByteSpan, DiskSim, FileId};
+
+/// Directory record of one inverted-file entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EntryMeta {
+    /// The entry's term.
+    pub term: TermId,
+    /// Where the entry's i-cells live.
+    pub span: ByteSpan,
+    /// Document frequency (number of i-cells).
+    pub doc_freq: u32,
+}
+
+/// An inverted file over one collection, with its B+tree dictionary.
+pub struct InvertedFile {
+    disk: Arc<DiskSim>,
+    file: FileId,
+    directory: Vec<EntryMeta>,
+    btree: BTreeFile,
+    total_bytes: u64,
+    codec: PostingCodec,
+}
+
+impl InvertedFile {
+    /// Builds the inverted file (and its B+tree) for a collection by
+    /// scanning the documents once. Files are named `<name>.inv` and
+    /// `<name>.btree`.
+    pub fn build(disk: Arc<DiskSim>, name: &str, collection: &Collection) -> Result<Self> {
+        Self::build_with(disk, name, collection, PostingCodec::Fixed5)
+    }
+
+    /// Like [`build`](Self::build) with an explicit posting codec —
+    /// [`PostingCodec::VarintGap`] shrinks entries (and with them `J` and
+    /// `I`), shifting the cost trade-offs towards HVNL and VVM.
+    pub fn build_with(
+        disk: Arc<DiskSim>,
+        name: &str,
+        collection: &Collection,
+        codec: PostingCodec,
+    ) -> Result<Self> {
+        let mut postings: HashMap<TermId, Vec<ICell>> = HashMap::new();
+        for item in collection.store().scan() {
+            let (doc_id, doc) = item?;
+            for cell in doc.cells() {
+                postings
+                    .entry(cell.term)
+                    .or_default()
+                    .push(ICell::new(doc_id, cell.weight));
+            }
+        }
+        Self::from_postings_with(disk, name, postings, codec)
+    }
+
+    /// Builds an inverted file directly from a postings map (documents per
+    /// term must have been appended in increasing document order, which a
+    /// scan guarantees).
+    pub fn from_postings(
+        disk: Arc<DiskSim>,
+        name: &str,
+        postings: HashMap<TermId, Vec<ICell>>,
+    ) -> Result<Self> {
+        Self::from_postings_with(disk, name, postings, PostingCodec::Fixed5)
+    }
+
+    /// [`from_postings`](Self::from_postings) with an explicit codec.
+    pub fn from_postings_with(
+        disk: Arc<DiskSim>,
+        name: &str,
+        postings: HashMap<TermId, Vec<ICell>>,
+        codec: PostingCodec,
+    ) -> Result<Self> {
+        let mut terms: Vec<TermId> = postings.keys().copied().collect();
+        terms.sort();
+
+        let file = disk.create_file(&format!("{name}.inv"))?;
+        let page_size = disk.page_size();
+        let mut directory = Vec::with_capacity(terms.len());
+        let mut dict = Vec::with_capacity(terms.len());
+        let mut page_buf: Vec<u8> = Vec::with_capacity(page_size);
+        let mut written: u64 = 0;
+
+        for term in terms {
+            let cells = &postings[&term];
+            debug_assert!(
+                cells.windows(2).all(|w| w[0].doc < w[1].doc),
+                "i-cells must be strictly increasing by document"
+            );
+            let offset = written + page_buf.len() as u64;
+            let bytes = codec.encode(cells);
+            let ordinal = directory.len() as u32;
+            directory.push(EntryMeta {
+                term,
+                span: ByteSpan::new(offset, bytes.len() as u64),
+                doc_freq: cells.len() as u32,
+            });
+            dict.push((
+                term,
+                TermEntry {
+                    ordinal,
+                    doc_freq: cells.len().min(u16::MAX as usize) as u16,
+                },
+            ));
+            let mut rest: &[u8] = &bytes;
+            while !rest.is_empty() {
+                let room = page_size - page_buf.len();
+                let take = room.min(rest.len());
+                page_buf.extend_from_slice(&rest[..take]);
+                rest = &rest[take..];
+                if page_buf.len() == page_size {
+                    disk.append_page(file, &page_buf)?;
+                    written += page_size as u64;
+                    page_buf.clear();
+                }
+            }
+        }
+        if !page_buf.is_empty() {
+            let tail = page_buf.len() as u64;
+            disk.append_page(file, &page_buf)?;
+            written += tail;
+        }
+
+        let btree = BTreeFile::bulk_load(Arc::clone(&disk), &format!("{name}.btree"), &dict)?;
+        Ok(Self {
+            disk,
+            file,
+            directory,
+            btree,
+            total_bytes: written,
+            codec,
+        })
+    }
+
+    /// The posting codec entries are stored with.
+    pub fn codec(&self) -> PostingCodec {
+        self.codec
+    }
+
+    /// The simulated disk.
+    pub fn disk(&self) -> &Arc<DiskSim> {
+        &self.disk
+    }
+
+    /// The entry file.
+    pub fn file(&self) -> FileId {
+        self.file
+    }
+
+    /// The B+tree dictionary file.
+    pub fn btree(&self) -> &BTreeFile {
+        &self.btree
+    }
+
+    /// `T` — number of entries (distinct terms).
+    pub fn num_entries(&self) -> u64 {
+        self.directory.len() as u64
+    }
+
+    /// `I` — pages occupied by the entries (tightly packed).
+    pub fn num_pages(&self) -> u64 {
+        self.total_bytes.div_ceil(self.disk.page_size() as u64)
+    }
+
+    /// `J` — measured average entry size in pages.
+    pub fn avg_entry_pages(&self) -> f64 {
+        if self.directory.is_empty() {
+            0.0
+        } else {
+            self.total_bytes as f64 / (self.disk.page_size() as f64 * self.directory.len() as f64)
+        }
+    }
+
+    /// Directory record by ordinal.
+    pub fn meta(&self, ordinal: u32) -> &EntryMeta {
+        &self.directory[ordinal as usize]
+    }
+
+    /// Pages a random fetch of entry `ordinal` touches (`⌈J⌉` on average).
+    pub fn entry_pages(&self, ordinal: u32) -> u64 {
+        self.meta(ordinal).span.num_pages(self.disk.page_size())
+    }
+
+    /// Bytes of entry `ordinal`, for memory accounting of HVNL's cache.
+    pub fn entry_bytes(&self, ordinal: u32) -> u64 {
+        self.meta(ordinal).span.len
+    }
+
+    /// Fetches one entry at the random-I/O rate (`⌈J⌉·α`): the access
+    /// pattern of HVNL (section 5.2).
+    pub fn read_entry(&self, ordinal: u32) -> Result<Vec<ICell>> {
+        let meta = self.meta(ordinal);
+        let page_size = self.disk.page_size();
+        let (first, n) = meta.span.page_range(page_size);
+        let pages = self.disk.read_run(self.file, first, n)?;
+        decode_entry(self.codec, &pages, meta.span, first, page_size)
+    }
+
+    /// Scans the whole inverted file sequentially in term order — the
+    /// access pattern of VVM (cost `I`, one seek).
+    pub fn scan(&self) -> EntryScanner<'_> {
+        EntryScanner {
+            inv: self,
+            next_ordinal: 0,
+            current: None,
+        }
+    }
+}
+
+fn decode_entry(
+    codec: PostingCodec,
+    pages: &[Arc<[u8]>],
+    span: ByteSpan,
+    first: u64,
+    page_size: usize,
+) -> Result<Vec<ICell>> {
+    let mut bytes = Vec::with_capacity(span.len as usize);
+    let mut remaining = span.len as usize;
+    let mut offset = (span.offset - first * page_size as u64) as usize;
+    for page in pages {
+        if remaining == 0 {
+            break;
+        }
+        let take = remaining.min(page_size - offset);
+        bytes.extend_from_slice(&page[offset..offset + take]);
+        remaining -= take;
+        offset = 0;
+    }
+    codec.decode(&bytes)
+}
+
+/// Sequential scanner over an inverted file, yielding `(TermId, Vec<ICell>)`
+/// in increasing term order.
+pub struct EntryScanner<'a> {
+    inv: &'a InvertedFile,
+    next_ordinal: u32,
+    current: Option<(u64, Arc<[u8]>)>,
+}
+
+impl EntryScanner<'_> {
+    fn page(&mut self, page_no: u64) -> Result<Arc<[u8]>> {
+        if let Some((no, data)) = &self.current {
+            if *no == page_no {
+                return Ok(Arc::clone(data));
+            }
+        }
+        let data = self.inv.disk.read_page(self.inv.file, page_no)?;
+        self.current = Some((page_no, Arc::clone(&data)));
+        Ok(data)
+    }
+}
+
+impl Iterator for EntryScanner<'_> {
+    type Item = Result<(TermId, Vec<ICell>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next_ordinal as u64 >= self.inv.num_entries() {
+            return None;
+        }
+        let meta = *self.inv.meta(self.next_ordinal);
+        self.next_ordinal += 1;
+        let page_size = self.inv.disk.page_size();
+        let (first, n) = meta.span.page_range(page_size);
+        let mut pages = Vec::with_capacity(n as usize);
+        for page_no in first..first + n {
+            match self.page(page_no) {
+                Ok(p) => pages.push(p),
+                Err(e) => return Some(Err(e)),
+            }
+        }
+        Some(
+            decode_entry(self.inv.codec, &pages, meta.span, first, page_size)
+                .map(|cells| (meta.term, cells)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use textjoin_collection::Document;
+
+    fn build_fixture(page_size: usize) -> (Arc<DiskSim>, InvertedFile, Vec<Document>) {
+        let disk = Arc::new(DiskSim::new(page_size));
+        let docs = vec![
+            Document::from_term_counts([(TermId::new(1), 2u32), (TermId::new(3), 1)]),
+            Document::from_term_counts([(TermId::new(1), 1u32), (TermId::new(2), 4)]),
+            Document::from_term_counts([(TermId::new(3), 5u32)]),
+        ];
+        let coll = Collection::build(Arc::clone(&disk), "c", docs.clone()).unwrap();
+        let inv = InvertedFile::build(Arc::clone(&disk), "c", &coll).unwrap();
+        (disk, inv, docs)
+    }
+
+    #[test]
+    fn entries_are_sorted_by_term_with_correct_postings() {
+        let (_, inv, _) = build_fixture(64);
+        assert_eq!(inv.num_entries(), 3);
+        let all: Vec<(TermId, Vec<ICell>)> = inv.scan().map(|r| r.unwrap()).collect();
+        let terms: Vec<u32> = all.iter().map(|(t, _)| t.raw()).collect();
+        assert_eq!(terms, vec![1, 2, 3]);
+        // Term 1 appears in docs 0 (w=2) and 1 (w=1).
+        assert_eq!(
+            all[0].1,
+            vec![
+                ICell::new(textjoin_common::DocId::new(0), 2),
+                ICell::new(textjoin_common::DocId::new(1), 1)
+            ]
+        );
+        // Term 3 appears in docs 0 (w=1) and 2 (w=5).
+        assert_eq!(all[2].1.len(), 2);
+        assert_eq!(all[2].1[1].weight, 5);
+    }
+
+    #[test]
+    fn btree_locates_every_entry() {
+        let (_, inv, _) = build_fixture(64);
+        let dict = inv.btree().load_leaves().unwrap();
+        for ordinal in 0..inv.num_entries() as u32 {
+            let meta = inv.meta(ordinal);
+            let hit = dict.lookup(meta.term).expect("term in dictionary");
+            assert_eq!(hit.ordinal, ordinal);
+            assert_eq!(hit.doc_freq as u32, meta.doc_freq);
+        }
+        assert_eq!(dict.lookup(TermId::new(999)), None);
+    }
+
+    #[test]
+    fn random_entry_fetch_is_charged_at_random_rate() {
+        let (disk, inv, _) = build_fixture(16); // tiny pages force multi-page entries
+        disk.reset_stats();
+        disk.reset_head();
+        let cells = inv.read_entry(0).unwrap();
+        assert_eq!(cells.len(), 2);
+        let s = disk.stats();
+        assert_eq!(s.rand_reads, inv.entry_pages(0));
+        assert_eq!(s.seq_reads, 0);
+    }
+
+    #[test]
+    fn full_scan_costs_i_pages_with_one_seek() {
+        let (disk, inv, _) = build_fixture(16);
+        disk.reset_stats();
+        disk.reset_head();
+        let n = inv.scan().count();
+        assert_eq!(n as u64, inv.num_entries());
+        let s = disk.stats();
+        assert_eq!(s.total_reads(), inv.num_pages());
+        assert_eq!(s.rand_reads, 1);
+    }
+
+    #[test]
+    fn inverted_file_size_tracks_collection_size() {
+        // Section 3: document numbers and term numbers have the same size,
+        // so the inverted file's total bytes equal the collection's.
+        let (_, inv, docs) = build_fixture(64);
+        let doc_bytes: u64 = docs.iter().map(|d| d.size_bytes()).sum();
+        assert_eq!(inv.total_bytes, doc_bytes);
+    }
+
+    #[test]
+    fn empty_collection_gives_empty_inverted_file() {
+        let disk = Arc::new(DiskSim::new(64));
+        let coll = Collection::build(Arc::clone(&disk), "e", Vec::<Document>::new()).unwrap();
+        let inv = InvertedFile::build(Arc::clone(&disk), "e", &coll).unwrap();
+        assert_eq!(inv.num_entries(), 0);
+        assert_eq!(inv.num_pages(), 0);
+        assert_eq!(inv.scan().count(), 0);
+        assert_eq!(inv.avg_entry_pages(), 0.0);
+    }
+
+    #[test]
+    fn varint_codec_shrinks_the_file_and_preserves_content() {
+        let disk = Arc::new(DiskSim::new(4096));
+        // Dense postings (small gaps) compress well.
+        let docs: Vec<Document> = (0..200u32)
+            .map(|i| {
+                Document::from_term_counts(
+                    (0..20u32).map(move |t| (TermId::new((i + t) % 40), 1u32)),
+                )
+            })
+            .collect();
+        let coll = Collection::build(Arc::clone(&disk), "c", docs).unwrap();
+        let fixed = InvertedFile::build_with(
+            Arc::clone(&disk),
+            "fixed",
+            &coll,
+            crate::codec::PostingCodec::Fixed5,
+        )
+        .unwrap();
+        let varint = InvertedFile::build_with(
+            Arc::clone(&disk),
+            "varint",
+            &coll,
+            crate::codec::PostingCodec::VarintGap,
+        )
+        .unwrap();
+        assert!(
+            varint.total_bytes * 2 < fixed.total_bytes,
+            "expected >2× compression"
+        );
+        // Identical logical content, entry by entry.
+        let a: Vec<_> = fixed.scan().map(|r| r.unwrap()).collect();
+        let b: Vec<_> = varint.scan().map(|r| r.unwrap()).collect();
+        assert_eq!(a, b);
+        for ordinal in 0..fixed.num_entries() as u32 {
+            assert_eq!(
+                fixed.read_entry(ordinal).unwrap(),
+                varint.read_entry(ordinal).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn avg_entry_pages_matches_bytes() {
+        let (_, inv, _) = build_fixture(16);
+        let expect = inv.total_bytes as f64 / (16.0 * inv.num_entries() as f64);
+        assert!((inv.avg_entry_pages() - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,198 @@
+//! Abstract syntax of the extended-SQL dialect.
+
+use std::fmt;
+
+/// A column reference, optionally qualified: `A.Resume` or `Title`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColumnRef {
+    /// Table name or alias, when qualified.
+    pub table: Option<String>,
+    /// The column name.
+    pub column: String,
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// A literal value in a predicate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Literal {
+    /// A quoted string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+}
+
+/// Comparison operators on non-textual attributes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CompareOp::Eq => "=",
+            CompareOp::Ne => "<>",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A WHERE-clause conjunct.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Predicate {
+    /// `col op literal` — a selection on a non-textual attribute.
+    Compare {
+        /// The column.
+        column: ColumnRef,
+        /// The operator.
+        op: CompareOp,
+        /// The literal to compare against.
+        value: Literal,
+    },
+    /// `col LIKE 'pattern'` with `%` wildcards — the paper's
+    /// `P.Title LIKE '%Engineer%'`.
+    Like {
+        /// The column.
+        column: ColumnRef,
+        /// The pattern, with `%` matching any substring.
+        pattern: String,
+    },
+    /// `left SIMILAR_TO(λ) right` — the textual join. Finds, for each
+    /// document of `right`, the λ documents of `left` most similar to it.
+    SimilarTo {
+        /// The inner textual attribute (matches are drawn from here).
+        left: ColumnRef,
+        /// The outer textual attribute (each of its documents gets λ
+        /// matches).
+        right: ColumnRef,
+        /// λ.
+        lambda: usize,
+    },
+}
+
+/// A parsed query:
+/// `SELECT cols FROM tables WHERE conjunct AND conjunct AND …`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    /// The projection list.
+    pub select: Vec<ColumnRef>,
+    /// `(table name, alias)` pairs; the alias defaults to the name.
+    pub from: Vec<(String, String)>,
+    /// All WHERE conjuncts (exactly one must be [`Predicate::SimilarTo`]
+    /// for a textual join query).
+    pub predicates: Vec<Predicate>,
+}
+
+impl Query {
+    /// The query's SIMILAR_TO predicate, if it has exactly one.
+    pub fn similar_to(&self) -> Option<(&ColumnRef, &ColumnRef, usize)> {
+        let mut found = None;
+        for p in &self.predicates {
+            if let Predicate::SimilarTo {
+                left,
+                right,
+                lambda,
+            } = p
+            {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some((left, right, *lambda));
+            }
+        }
+        found
+    }
+
+    /// The non-join conjuncts.
+    pub fn selections(&self) -> impl Iterator<Item = &Predicate> {
+        self.predicates
+            .iter()
+            .filter(|p| !matches!(p, Predicate::SimilarTo { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(t: Option<&str>, c: &str) -> ColumnRef {
+        ColumnRef {
+            table: t.map(str::to_string),
+            column: c.to_string(),
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(col(Some("A"), "Resume").to_string(), "A.Resume");
+        assert_eq!(col(None, "Title").to_string(), "Title");
+        assert_eq!(CompareOp::Le.to_string(), "<=");
+    }
+
+    #[test]
+    fn similar_to_extraction() {
+        let q = Query {
+            select: vec![col(Some("P"), "Title")],
+            from: vec![
+                ("Positions".into(), "P".into()),
+                ("Applicants".into(), "A".into()),
+            ],
+            predicates: vec![
+                Predicate::Like {
+                    column: col(Some("P"), "Title"),
+                    pattern: "%Eng%".into(),
+                },
+                Predicate::SimilarTo {
+                    left: col(Some("A"), "Resume"),
+                    right: col(Some("P"), "Job_descr"),
+                    lambda: 20,
+                },
+            ],
+        };
+        let (l, r, lam) = q.similar_to().unwrap();
+        assert_eq!(l.column, "Resume");
+        assert_eq!(r.column, "Job_descr");
+        assert_eq!(lam, 20);
+        assert_eq!(q.selections().count(), 1);
+    }
+
+    #[test]
+    fn two_similar_to_predicates_are_rejected() {
+        let p = Predicate::SimilarTo {
+            left: col(None, "a"),
+            right: col(None, "b"),
+            lambda: 1,
+        };
+        let q = Query {
+            select: vec![],
+            from: vec![],
+            predicates: vec![p.clone(), p],
+        };
+        assert!(q.similar_to().is_none());
+    }
+}

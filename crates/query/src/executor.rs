@@ -1,0 +1,282 @@
+//! Plan execution: run the chosen join algorithm and project result tuples.
+
+use crate::catalog::{Catalog, Value};
+use crate::parser::parse;
+use crate::planner::{plan, OutputCol, Plan};
+use textjoin_common::{QueryParams, Result, Score, SystemParams};
+use textjoin_core::{hhnl, hvnl, vvm, Algorithm, ExecStats, IoScenario, JoinSpec, OuterDocs};
+use textjoin_costmodel::Algorithm as Alg;
+
+/// The result of running a textual-join query.
+pub struct QueryOutput {
+    /// Column headers, ending with the implicit `SIMILARITY` column.
+    pub headers: Vec<String>,
+    /// Result tuples: one per `(outer row, matched inner row)` pair, in
+    /// outer-row order, best match first.
+    pub rows: Vec<Vec<Value>>,
+    /// Which algorithm the integrated optimizer executed.
+    pub algorithm: Algorithm,
+    /// Measured execution statistics.
+    pub stats: ExecStats,
+}
+
+/// Parses, plans and executes a query against the catalog.
+pub fn run_query(
+    catalog: &Catalog,
+    sql: &str,
+    sys: SystemParams,
+    base_query_params: QueryParams,
+    scenario: IoScenario,
+) -> Result<QueryOutput> {
+    let query = parse(sql)?;
+    let p = plan(catalog, &query, sys, base_query_params, scenario)?;
+    execute_plan(catalog, &p, sys, base_query_params)
+}
+
+/// Executes an already-planned query.
+pub fn execute_plan(
+    catalog: &Catalog,
+    p: &Plan,
+    sys: SystemParams,
+    base_query_params: QueryParams,
+) -> Result<QueryOutput> {
+    let inner_rel = catalog
+        .relation(&p.inner_rel)
+        .expect("planned relation exists");
+    let outer_rel = catalog
+        .relation(&p.outer_rel)
+        .expect("planned relation exists");
+    let inner_tc = inner_rel
+        .text_column(&p.inner_column)
+        .expect("planned text column");
+    let outer_tc = outer_rel
+        .text_column(&p.outer_column)
+        .expect("planned text column");
+
+    let mut spec = JoinSpec::new(&inner_tc.collection, &outer_tc.collection)
+        .with_sys(sys)
+        .with_query(base_query_params.with_lambda(p.lambda));
+    if let Some(ids) = &p.outer_rows {
+        spec = spec.with_outer_docs(OuterDocs::Selected(ids));
+    }
+    if let Some(ids) = &p.inner_rows {
+        spec = spec.with_inner_docs(ids);
+    }
+
+    let outcome = match p.chosen {
+        Alg::Hhnl => hhnl::execute(&spec)?,
+        Alg::Hvnl => hvnl::execute(&spec, &inner_tc.inverted)?,
+        Alg::Vvm => vvm::execute(&spec, &inner_tc.inverted, &outer_tc.inverted)?,
+    };
+
+    // Project: one tuple per (outer row, match), plus the similarity.
+    let mut headers: Vec<String> = p.output.iter().map(|(h, _)| h.clone()).collect();
+    headers.push("SIMILARITY".to_string());
+    let mut rows = Vec::with_capacity(outcome.result.num_pairs());
+    for (outer_doc, matches) in outcome.result.iter() {
+        for m in matches {
+            let mut tuple = Vec::with_capacity(p.output.len() + 1);
+            for (_, col) in &p.output {
+                let v = match col {
+                    OutputCol::Outer(i) => outer_rel.value(outer_doc.index(), *i).clone(),
+                    OutputCol::Inner(i) => inner_rel.value(m.inner.index(), *i).clone(),
+                };
+                tuple.push(v);
+            }
+            tuple.push(score_value(m.score));
+            rows.push(tuple);
+        }
+    }
+
+    Ok(QueryOutput {
+        headers,
+        rows,
+        algorithm: p.chosen,
+        stats: outcome.stats,
+    })
+}
+
+fn score_value(score: Score) -> Value {
+    let v = score.value();
+    if v.fract() == 0.0 && v.abs() < i64::MAX as f64 {
+        Value::Int(v as i64)
+    } else {
+        Value::Float(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{ColumnType, RelationBuilder};
+    use std::sync::Arc;
+    use textjoin_storage::DiskSim;
+
+    fn catalog() -> Catalog {
+        let disk = Arc::new(DiskSim::new(4096));
+        let mut c = Catalog::new(disk);
+        c.add(
+            RelationBuilder::new("Positions")
+                .column("P#", ColumnType::Int)
+                .column("Title", ColumnType::Str)
+                .column("Job_descr", ColumnType::Text)
+                .row(vec![
+                    Value::Int(1),
+                    Value::Str("Database Engineer".into()),
+                    Value::Text(
+                        "design query engines, storage systems and database indexes".into(),
+                    ),
+                ])
+                .unwrap()
+                .row(vec![
+                    Value::Int(2),
+                    Value::Str("Chef".into()),
+                    Value::Text("cook pasta and design recipes daily".into()),
+                ])
+                .unwrap(),
+        )
+        .unwrap();
+        c.add(
+            RelationBuilder::new("Applicants")
+                .column("SSN", ColumnType::Str)
+                .column("Name", ColumnType::Str)
+                .column("Years", ColumnType::Int)
+                .column("Resume", ColumnType::Text)
+                .row(vec![
+                    Value::Str("111".into()),
+                    Value::Str("Ada".into()),
+                    Value::Int(10),
+                    Value::Text(
+                        "expert in storage systems, database indexes and query engines".into(),
+                    ),
+                ])
+                .unwrap()
+                .row(vec![
+                    Value::Str("222".into()),
+                    Value::Str("Bob".into()),
+                    Value::Int(2),
+                    Value::Text("pasta cooking, recipes, italian kitchen".into()),
+                ])
+                .unwrap()
+                .row(vec![
+                    Value::Str("333".into()),
+                    Value::Str("Cam".into()),
+                    Value::Int(7),
+                    Value::Text("gardening and landscaping".into()),
+                ])
+                .unwrap(),
+        )
+        .unwrap();
+        c
+    }
+
+    fn run(c: &Catalog, sql: &str) -> QueryOutput {
+        run_query(
+            c,
+            sql,
+            SystemParams::paper_base(),
+            QueryParams::paper_base(),
+            IoScenario::Dedicated,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_match_quality() {
+        let c = catalog();
+        let out = run(
+            &c,
+            "Select P.Title, A.Name From Positions P, Applicants A \
+             Where A.Resume SIMILAR_TO(1) P.Job_descr",
+        );
+        assert_eq!(
+            out.headers,
+            vec!["Positions.Title", "Applicants.Name", "SIMILARITY"]
+        );
+        // Each position gets its one best applicant: Ada for the engineer
+        // role, Bob for the chef role.
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.rows[0][0], Value::Str("Database Engineer".into()));
+        assert_eq!(out.rows[0][1], Value::Str("Ada".into()));
+        assert_eq!(out.rows[1][1], Value::Str("Bob".into()));
+    }
+
+    #[test]
+    fn like_selection_restricts_outer_rows() {
+        let c = catalog();
+        let out = run(
+            &c,
+            "Select P.Title, A.Name From Positions P, Applicants A \
+             Where P.Title like '%Engineer%' and A.Resume SIMILAR_TO(2) P.Job_descr",
+        );
+        // Only the engineer position participates; it gets up to 2 matches.
+        assert!(out
+            .rows
+            .iter()
+            .all(|r| r[0] == Value::Str("Database Engineer".into())));
+        assert!(!out.rows.is_empty());
+    }
+
+    #[test]
+    fn inner_selection_excludes_candidates() {
+        let c = catalog();
+        let out = run(
+            &c,
+            "Select P.Title, A.Name From Positions P, Applicants A \
+             Where A.Years >= 5 and A.Resume SIMILAR_TO(3) P.Job_descr",
+        );
+        // Bob (2 years) can never appear.
+        assert!(out.rows.iter().all(|r| r[1] != Value::Str("Bob".into())));
+    }
+
+    #[test]
+    fn lambda_bounds_matches_per_outer_row() {
+        let c = catalog();
+        let out = run(
+            &c,
+            "Select P.P#, A.Name From Positions P, Applicants A \
+             Where A.Resume SIMILAR_TO(2) P.Job_descr",
+        );
+        let per_position_1 = out.rows.iter().filter(|r| r[0] == Value::Int(1)).count();
+        assert!(per_position_1 <= 2);
+    }
+
+    #[test]
+    fn similarity_column_is_appended_and_positive() {
+        let c = catalog();
+        let out = run(
+            &c,
+            "Select A.Name From Positions P, Applicants A \
+             Where A.Resume SIMILAR_TO(1) P.Job_descr",
+        );
+        for row in &out.rows {
+            match row.last().unwrap() {
+                Value::Int(s) => assert!(*s > 0),
+                Value::Float(s) => assert!(*s > 0.0),
+                other => panic!("similarity should be numeric, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn all_three_algorithms_give_the_same_tuples() {
+        let c = catalog();
+        let query = parse(
+            "Select P.P#, A.SSN From Positions P, Applicants A \
+             Where A.Resume SIMILAR_TO(2) P.Job_descr",
+        )
+        .unwrap();
+        let sys = SystemParams::paper_base();
+        let qp = QueryParams::paper_base();
+        let mut outputs = Vec::new();
+        for force in [Alg::Hhnl, Alg::Hvnl, Alg::Vvm] {
+            let mut p = plan(&c, &query, sys, qp, IoScenario::Dedicated).unwrap();
+            p.chosen = force;
+            let out = execute_plan(&c, &p, sys, qp).unwrap();
+            assert_eq!(out.algorithm, force);
+            outputs.push(out.rows);
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[1], outputs[2]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Tokenizer for the extended-SQL dialect.
+
+use textjoin_common::{Error, Result};
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// An identifier or keyword (keywords are recognized case-insensitively
+    /// by the parser). Identifiers may contain `#` and `_`, so the paper's
+    /// `P.P#` works.
+    Ident(String),
+    /// A single-quoted string literal.
+    Str(String),
+    /// A numeric literal.
+    Number(String),
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `=`, `<`, `<=`, `>`, `>=`, `<>`
+    Op(String),
+}
+
+/// Tokenizes the input.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Op("=".into()));
+                i += 1;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && (bytes[i + 1] == '=' || bytes[i + 1] == '>') {
+                    tokens.push(Token::Op(format!("<{}", bytes[i + 1])));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Op("<".into()));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    tokens.push(Token::Op(">=".into()));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Op(">".into()));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // String literal; '' escapes a quote.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(Error::Parse("unterminated string literal".into()));
+                    }
+                    if bytes[i] == '\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == '\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[i]);
+                        i += 1;
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '.') {
+                    // A dot followed by a non-digit is a qualifier dot, not
+                    // a decimal point (e.g. `1.Title` never occurs, but be
+                    // conservative).
+                    if bytes[i] == '.' && (i + 1 >= bytes.len() || !bytes[i + 1].is_ascii_digit()) {
+                        break;
+                    }
+                    i += 1;
+                }
+                tokens.push(Token::Number(bytes[start..i].iter().collect()));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_alphanumeric() || bytes[i] == '_' || bytes[i] == '#')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(bytes[start..i].iter().collect()));
+            }
+            other => {
+                return Err(Error::Parse(format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_the_papers_query() {
+        let toks = tokenize(
+            "Select P.P#, A.Name From Positions P, Applicants A \
+             Where A.Resume SIMILAR_TO(20) P.Job_descr",
+        )
+        .unwrap();
+        assert!(toks.contains(&Token::Ident("P#".into())));
+        assert!(toks.contains(&Token::Ident("SIMILAR_TO".into())));
+        assert!(toks.contains(&Token::Number("20".into())));
+        assert!(toks.contains(&Token::Ident("Job_descr".into())));
+    }
+
+    #[test]
+    fn string_literals_and_escapes() {
+        let toks = tokenize("'%Engineer%' 'it''s'").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Str("%Engineer%".into()), Token::Str("it's".into())]
+        );
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        let toks = tokenize("= < <= > >= <>").unwrap();
+        let ops: Vec<String> = toks
+            .into_iter()
+            .map(|t| match t {
+                Token::Op(s) => s,
+                other => panic!("not an op: {other:?}"),
+            })
+            .collect();
+        assert_eq!(ops, vec!["=", "<", "<=", ">", ">=", "<>"]);
+    }
+
+    #[test]
+    fn numbers_including_floats() {
+        let toks = tokenize("42 3.5").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Number("42".into()), Token::Number("3.5".into())]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("SELECT ; FROM").is_err());
+    }
+}

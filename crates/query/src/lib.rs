@@ -1,0 +1,43 @@
+//! An extended-SQL front end for textual joins.
+//!
+//! Section 2 of the paper motivates the whole study with queries like
+//!
+//! ```sql
+//! SELECT P.P#, P.Title, A.SSN, A.Name
+//! FROM Positions P, Applicants A
+//! WHERE P.Title LIKE '%Engineer%'
+//!   AND A.Resume SIMILAR_TO(20) P.Job_descr
+//! ```
+//!
+//! — a join between textual attributes, optionally narrowed by ordinary
+//! selections. This crate provides the pieces a multidatabase front end
+//! needs to run such queries against the simulated storage stack:
+//!
+//! * [`lexer`] / [`parser`] / [`ast`] — the extended-SQL dialect
+//!   (`SELECT … FROM … WHERE … AND a.X SIMILAR_TO(λ) b.Y`),
+//! * [`catalog`] — relations with ordinary typed columns plus text columns
+//!   backed by document collections and inverted files,
+//! * [`planner`] — resolves names, classifies predicates, pushes selections
+//!   below the join (an outer-side selection turns the outer collection
+//!   into a randomly-read subset — the paper's group-3 scenario), and asks
+//!   the integrated algorithm to pick an execution strategy,
+//! * [`executor`] — evaluates the plan and produces result tuples.
+//!
+//! The asymmetry of `SIMILAR_TO` is preserved: `A.Resume SIMILAR_TO(λ)
+//! P.Job_descr` finds λ resumes for *each* job description, so the
+//! right-hand relation drives the outer loop (section 2).
+
+pub mod ast;
+pub mod catalog;
+pub mod executor;
+pub mod explain;
+pub mod lexer;
+pub mod parser;
+pub mod planner;
+
+pub use ast::{ColumnRef, Literal, Predicate, Query};
+pub use catalog::{Catalog, ColumnType, Relation, RelationBuilder, Value};
+pub use executor::{run_query, QueryOutput};
+pub use explain::explain_query;
+pub use parser::parse;
+pub use planner::{plan, Plan};

@@ -1,0 +1,304 @@
+//! Recursive-descent parser for the extended-SQL dialect.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query     := SELECT select_list FROM table_list WHERE conjuncts
+//! select_list := column (',' column)* | '*'
+//! table_list  := table (',' table)*
+//! table     := ident [ident]            -- name with optional alias
+//! conjuncts := predicate (AND predicate)*
+//! predicate := column op literal
+//!            | column LIKE string
+//!            | column SIMILAR_TO '(' number ')' column
+//! column    := ident ['.' ident]
+//! ```
+
+use crate::ast::{ColumnRef, CompareOp, Literal, Predicate, Query};
+use crate::lexer::{tokenize, Token};
+use textjoin_common::{Error, Result};
+
+/// Parses one query.
+pub fn parse(input: &str) -> Result<Query> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    if p.pos != p.tokens.len() {
+        return Err(Error::Parse(format!("trailing input at token {}", p.pos)));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| Error::Parse("unexpected end of query".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        match self.next()? {
+            Token::Ident(s) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(Error::Parse(format!("expected {kw}, found {other:?}"))),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            other => Err(Error::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        self.expect_keyword("SELECT")?;
+        let select = self.select_list()?;
+        self.expect_keyword("FROM")?;
+        let from = self.table_list()?;
+        self.expect_keyword("WHERE")?;
+        let mut predicates = vec![self.predicate()?];
+        while self.at_keyword("AND") {
+            self.next()?;
+            predicates.push(self.predicate()?);
+        }
+        Ok(Query {
+            select,
+            from,
+            predicates,
+        })
+    }
+
+    fn select_list(&mut self) -> Result<Vec<ColumnRef>> {
+        if matches!(self.peek(), Some(Token::Star)) {
+            self.next()?;
+            return Ok(Vec::new()); // empty list means SELECT *
+        }
+        let mut cols = vec![self.column()?];
+        while matches!(self.peek(), Some(Token::Comma)) {
+            self.next()?;
+            cols.push(self.column()?);
+        }
+        Ok(cols)
+    }
+
+    fn table_list(&mut self) -> Result<Vec<(String, String)>> {
+        let mut tables = vec![self.table()?];
+        while matches!(self.peek(), Some(Token::Comma)) {
+            self.next()?;
+            tables.push(self.table()?);
+        }
+        Ok(tables)
+    }
+
+    fn table(&mut self) -> Result<(String, String)> {
+        let name = self.ident()?;
+        // An alias is any identifier that is not the keyword WHERE/AND.
+        if let Some(Token::Ident(s)) = self.peek() {
+            if !s.eq_ignore_ascii_case("WHERE") {
+                let alias = self.ident()?;
+                return Ok((name, alias));
+            }
+        }
+        let alias = name.clone();
+        Ok((name, alias))
+    }
+
+    fn column(&mut self) -> Result<ColumnRef> {
+        let first = self.ident()?;
+        if matches!(self.peek(), Some(Token::Dot)) {
+            self.next()?;
+            let column = self.ident()?;
+            Ok(ColumnRef {
+                table: Some(first),
+                column,
+            })
+        } else {
+            Ok(ColumnRef {
+                table: None,
+                column: first,
+            })
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Predicate> {
+        let column = self.column()?;
+        match self.next()? {
+            Token::Op(op) => {
+                let op = match op.as_str() {
+                    "=" => CompareOp::Eq,
+                    "<>" => CompareOp::Ne,
+                    "<" => CompareOp::Lt,
+                    "<=" => CompareOp::Le,
+                    ">" => CompareOp::Gt,
+                    ">=" => CompareOp::Ge,
+                    other => return Err(Error::Parse(format!("unknown operator {other}"))),
+                };
+                let value = self.literal()?;
+                Ok(Predicate::Compare { column, op, value })
+            }
+            Token::Ident(kw) if kw.eq_ignore_ascii_case("LIKE") => match self.next()? {
+                Token::Str(pattern) => Ok(Predicate::Like { column, pattern }),
+                other => Err(Error::Parse(format!(
+                    "LIKE expects a string, found {other:?}"
+                ))),
+            },
+            Token::Ident(kw) if kw.eq_ignore_ascii_case("SIMILAR_TO") => {
+                match self.next()? {
+                    Token::LParen => {}
+                    other => {
+                        return Err(Error::Parse(format!(
+                            "SIMILAR_TO expects (λ), found {other:?}"
+                        )))
+                    }
+                }
+                let lambda = match self.next()? {
+                    Token::Number(n) => n
+                        .parse::<usize>()
+                        .map_err(|_| Error::Parse(format!("invalid λ '{n}'")))?,
+                    other => {
+                        return Err(Error::Parse(format!(
+                            "λ must be an integer, found {other:?}"
+                        )))
+                    }
+                };
+                match self.next()? {
+                    Token::RParen => {}
+                    other => return Err(Error::Parse(format!("expected ), found {other:?}"))),
+                }
+                let right = self.column()?;
+                Ok(Predicate::SimilarTo {
+                    left: column,
+                    right,
+                    lambda,
+                })
+            }
+            other => Err(Error::Parse(format!(
+                "expected predicate operator, found {other:?}"
+            ))),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Literal> {
+        match self.next()? {
+            Token::Str(s) => Ok(Literal::Str(s)),
+            Token::Number(n) => {
+                if n.contains('.') {
+                    n.parse::<f64>()
+                        .map(Literal::Float)
+                        .map_err(|_| Error::Parse(format!("invalid number '{n}'")))
+                } else {
+                    n.parse::<i64>()
+                        .map(Literal::Int)
+                        .map_err(|_| Error::Parse(format!("invalid number '{n}'")))
+                }
+            }
+            other => Err(Error::Parse(format!("expected literal, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_first_query() {
+        let q = parse(
+            "Select P.P#, P.Title, A.SSN, A.Name \
+             From Positions P, Applicants A \
+             Where A.Resume SIMILAR_TO(20) P.Job_descr",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 4);
+        assert_eq!(
+            q.from,
+            vec![
+                ("Positions".to_string(), "P".to_string()),
+                ("Applicants".to_string(), "A".to_string()),
+            ]
+        );
+        let (l, r, lambda) = q.similar_to().unwrap();
+        assert_eq!(l.to_string(), "A.Resume");
+        assert_eq!(r.to_string(), "P.Job_descr");
+        assert_eq!(lambda, 20);
+    }
+
+    #[test]
+    fn parses_the_papers_second_query_with_like() {
+        let q = parse(
+            "Select P.P#, P.Title, A.SSN, A.Name \
+             From Positions P, Applicants A \
+             Where P.Title like '%Engineer%' \
+             and A.Resume SIMILAR_TO(5) P.Job_descr",
+        )
+        .unwrap();
+        assert_eq!(q.predicates.len(), 2);
+        assert!(
+            matches!(&q.predicates[0], Predicate::Like { pattern, .. } if pattern == "%Engineer%")
+        );
+        assert!(q.similar_to().is_some());
+    }
+
+    #[test]
+    fn parses_comparisons_and_aliases() {
+        let q = parse(
+            "SELECT Name FROM Applicants WHERE Years >= 5 AND Salary < 100000.5 \
+             AND City = 'Chicago' AND Level <> 3",
+        )
+        .unwrap();
+        assert_eq!(
+            q.from,
+            vec![("Applicants".to_string(), "Applicants".to_string())]
+        );
+        assert_eq!(q.predicates.len(), 4);
+        assert!(matches!(
+            &q.predicates[1],
+            Predicate::Compare { op: CompareOp::Lt, value: Literal::Float(f), .. } if *f == 100000.5
+        ));
+        assert!(matches!(
+            &q.predicates[2],
+            Predicate::Compare { value: Literal::Str(s), .. } if s == "Chicago"
+        ));
+    }
+
+    #[test]
+    fn select_star_gives_empty_projection() {
+        let q = parse("SELECT * FROM R1, R2 WHERE R1.a SIMILAR_TO(3) R2.b").unwrap();
+        assert!(q.select.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse("SELECT FROM x WHERE a = 1").is_err());
+        assert!(parse("SELECT a FROM x").is_err()); // no WHERE
+        assert!(parse("SELECT a FROM x WHERE a SIMILAR_TO 5 b").is_err()); // no parens
+        assert!(parse("SELECT a FROM x WHERE a SIMILAR_TO(x) b").is_err()); // λ not a number
+        assert!(parse("SELECT a FROM x WHERE a = 1 extra").is_err()); // trailing
+        assert!(parse("SELECT a FROM x WHERE a LIKE 5").is_err()); // LIKE non-string
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert!(parse("select a from x where a = 1").is_ok());
+        assert!(parse("SeLeCt a FrOm x WhErE a LiKe 'z%'").is_ok());
+    }
+}

@@ -1,0 +1,474 @@
+//! Query planning: name resolution, selection pushdown and algorithm
+//! choice.
+//!
+//! The planner realises the evaluation strategy of the paper's section 2:
+//! selections on non-textual attributes are evaluated *first*, so only the
+//! surviving documents participate in the textual join. The semantics of
+//! `left SIMILAR_TO(λ) right` makes the right-hand relation the outer
+//! collection (one set of λ matches per right-hand document), and the
+//! left-hand relation the inner collection.
+
+use crate::ast::{ColumnRef, CompareOp, Literal, Predicate, Query};
+use crate::catalog::{like_match, Catalog, ColumnType, Relation, Value};
+use textjoin_common::{DocId, Error, QueryParams, Result, SystemParams};
+use textjoin_costmodel::{Algorithm, CostEstimates, IoScenario, JoinInputs};
+
+/// One projected output column.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OutputCol {
+    /// Column `index` of the inner relation.
+    Inner(usize),
+    /// Column `index` of the outer relation.
+    Outer(usize),
+}
+
+/// A planned textual join query.
+pub struct Plan {
+    /// Inner relation name (`C1` — the side matches come from).
+    pub inner_rel: String,
+    /// Inner textual column.
+    pub inner_column: String,
+    /// Outer relation name (`C2` — each of its rows gets λ matches).
+    pub outer_rel: String,
+    /// Outer textual column.
+    pub outer_column: String,
+    /// λ.
+    pub lambda: usize,
+    /// Rows of the inner relation surviving its selections (`None` = all).
+    pub inner_rows: Option<Vec<DocId>>,
+    /// Rows of the outer relation surviving its selections (`None` = all).
+    pub outer_rows: Option<Vec<DocId>>,
+    /// The projection, with display headers.
+    pub output: Vec<(String, OutputCol)>,
+    /// The algorithm the integrated optimizer picked.
+    pub chosen: Algorithm,
+    /// The cost estimates behind the choice.
+    pub estimates: CostEstimates,
+    /// The inputs the estimates were computed from.
+    pub inputs: JoinInputs,
+}
+
+/// Plans a parsed query against a catalog.
+pub fn plan(
+    catalog: &Catalog,
+    query: &Query,
+    sys: SystemParams,
+    base_query_params: QueryParams,
+    scenario: IoScenario,
+) -> Result<Plan> {
+    if query.from.len() != 2 {
+        return Err(Error::Plan(format!(
+            "textual join queries need exactly two relations, got {}",
+            query.from.len()
+        )));
+    }
+    let (left_col, right_col, lambda) = query
+        .similar_to()
+        .ok_or_else(|| Error::Plan("query needs exactly one SIMILAR_TO predicate".into()))?;
+
+    let resolver = Resolver::new(catalog, &query.from)?;
+    let (inner_alias, inner_column) = resolver.resolve(left_col)?;
+    let (outer_alias, outer_column) = resolver.resolve(right_col)?;
+    if inner_alias == outer_alias {
+        return Err(Error::Plan(
+            "SIMILAR_TO must join two different relations".into(),
+        ));
+    }
+    let inner_rel = resolver.relation(&inner_alias);
+    let outer_rel = resolver.relation(&outer_alias);
+    check_text_column(inner_rel, &inner_column)?;
+    check_text_column(outer_rel, &outer_column)?;
+
+    // Evaluate the selections per relation (pushdown).
+    let mut inner_keep: Option<Vec<bool>> = None;
+    let mut outer_keep: Option<Vec<bool>> = None;
+    for pred in query.selections() {
+        let column = match pred {
+            Predicate::Compare { column, .. } | Predicate::Like { column, .. } => column,
+            Predicate::SimilarTo { .. } => unreachable!("filtered by selections()"),
+        };
+        let (alias, col_name) = resolver.resolve(column)?;
+        let rel = resolver.relation(&alias);
+        let keep = if alias == inner_alias {
+            &mut inner_keep
+        } else {
+            &mut outer_keep
+        };
+        let mask = keep.get_or_insert_with(|| vec![true; rel.num_rows()]);
+        apply_selection(rel, &col_name, pred, mask)?;
+    }
+    let inner_rows = inner_keep.map(mask_to_ids);
+    let outer_rows = outer_keep.map(mask_to_ids);
+
+    // Resolve the projection (empty SELECT list = `*`: outer columns then
+    // inner columns).
+    let mut output = Vec::new();
+    if query.select.is_empty() {
+        for (i, (name, _)) in outer_rel.columns().iter().enumerate() {
+            output.push((
+                format!("{}.{}", outer_rel.name(), name),
+                OutputCol::Outer(i),
+            ));
+        }
+        for (i, (name, _)) in inner_rel.columns().iter().enumerate() {
+            output.push((
+                format!("{}.{}", inner_rel.name(), name),
+                OutputCol::Inner(i),
+            ));
+        }
+    } else {
+        for col in &query.select {
+            let (alias, name) = resolver.resolve(col)?;
+            let rel = resolver.relation(&alias);
+            let idx = rel
+                .column_index(&name)
+                .ok_or_else(|| Error::Plan(format!("unknown column {col}")))?;
+            let out = if alias == inner_alias {
+                OutputCol::Inner(idx)
+            } else {
+                OutputCol::Outer(idx)
+            };
+            output.push((format!("{}.{}", rel.name(), name), out));
+        }
+    }
+
+    // Cost-based algorithm choice from measured statistics.
+    let inner_tc = inner_rel.text_column(&inner_column).expect("checked above");
+    let outer_tc = outer_rel.text_column(&outer_column).expect("checked above");
+    let inner_stats = inner_tc.collection.profile().stats();
+    let outer_full = outer_tc.collection.profile().stats();
+    let (outer_stats, outer_original) = match &outer_rows {
+        None => (outer_full, None),
+        Some(ids) => (outer_full.select_docs(ids.len() as u64), Some(outer_full)),
+    };
+    let q = outer_tc
+        .collection
+        .profile()
+        .term_overlap_probability(inner_tc.collection.profile());
+    let inputs = JoinInputs {
+        inner: inner_stats,
+        outer: outer_stats,
+        sys,
+        query: base_query_params.with_lambda(lambda),
+        q,
+        outer_original,
+    };
+    let estimates = CostEstimates::compute(&inputs);
+    let chosen = estimates.best(scenario).0;
+
+    Ok(Plan {
+        inner_rel: inner_rel.name().to_string(),
+        inner_column,
+        outer_rel: outer_rel.name().to_string(),
+        outer_column,
+        lambda,
+        inner_rows,
+        outer_rows,
+        output,
+        chosen,
+        estimates,
+        inputs,
+    })
+}
+
+fn check_text_column(rel: &Relation, column: &str) -> Result<()> {
+    let idx = rel
+        .column_index(column)
+        .ok_or_else(|| Error::Plan(format!("unknown column {}.{column}", rel.name())))?;
+    if rel.columns()[idx].1 != ColumnType::Text {
+        return Err(Error::Plan(format!(
+            "{}.{column} is not a textual attribute",
+            rel.name()
+        )));
+    }
+    Ok(())
+}
+
+fn mask_to_ids(mask: Vec<bool>) -> Vec<DocId> {
+    mask.iter()
+        .enumerate()
+        .filter(|(_, keep)| **keep)
+        .map(|(i, _)| DocId::new(i as u32))
+        .collect()
+}
+
+fn apply_selection(
+    rel: &Relation,
+    col_name: &str,
+    pred: &Predicate,
+    mask: &mut [bool],
+) -> Result<()> {
+    let idx = rel
+        .column_index(col_name)
+        .ok_or_else(|| Error::Plan(format!("unknown column {}.{col_name}", rel.name())))?;
+    for (row, keep) in mask.iter_mut().enumerate() {
+        if !*keep {
+            continue;
+        }
+        let value = rel.value(row, idx);
+        let pass = match pred {
+            Predicate::Like { pattern, .. } => match value {
+                Value::Str(s) => like_match(s, pattern),
+                Value::Text(t) => like_match(t, pattern),
+                other => {
+                    return Err(Error::Plan(format!(
+                        "LIKE on non-string column {}.{col_name} ({other:?})",
+                        rel.name()
+                    )))
+                }
+            },
+            Predicate::Compare { op, value: lit, .. } => compare(value, *op, lit)?,
+            Predicate::SimilarTo { .. } => unreachable!(),
+        };
+        *keep = pass;
+    }
+    Ok(())
+}
+
+fn compare(value: &Value, op: CompareOp, lit: &Literal) -> Result<bool> {
+    use std::cmp::Ordering;
+    let ord: Ordering = match (value, lit) {
+        (Value::Int(a), Literal::Int(b)) => a.cmp(b),
+        (Value::Int(a), Literal::Float(b)) => (*a as f64).partial_cmp(b).unwrap_or(Ordering::Equal),
+        (Value::Float(a), Literal::Int(b)) => {
+            a.partial_cmp(&(*b as f64)).unwrap_or(Ordering::Equal)
+        }
+        (Value::Float(a), Literal::Float(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+        (Value::Str(a), Literal::Str(b)) => a.as_str().cmp(b.as_str()),
+        (v, l) => {
+            return Err(Error::Plan(format!(
+                "type mismatch comparing {v:?} with {l:?}"
+            )))
+        }
+    };
+    Ok(match op {
+        CompareOp::Eq => ord == Ordering::Equal,
+        CompareOp::Ne => ord != Ordering::Equal,
+        CompareOp::Lt => ord == Ordering::Less,
+        CompareOp::Le => ord != Ordering::Greater,
+        CompareOp::Gt => ord == Ordering::Greater,
+        CompareOp::Ge => ord != Ordering::Less,
+    })
+}
+
+/// Alias → relation resolution for a two-relation FROM clause.
+struct Resolver<'c> {
+    entries: Vec<(String, &'c Relation)>, // (alias, relation)
+}
+
+impl<'c> Resolver<'c> {
+    fn new(catalog: &'c Catalog, from: &[(String, String)]) -> Result<Self> {
+        let mut entries = Vec::new();
+        for (name, alias) in from {
+            let rel = catalog
+                .relation(name)
+                .ok_or_else(|| Error::NotFound(format!("relation {name}")))?;
+            entries.push((alias.clone(), rel));
+        }
+        Ok(Self { entries })
+    }
+
+    fn relation(&self, alias: &str) -> &'c Relation {
+        self.entries
+            .iter()
+            .find(|(a, _)| a.eq_ignore_ascii_case(alias))
+            .map(|(_, r)| *r)
+            .expect("alias resolved earlier")
+    }
+
+    /// Resolves a column reference to `(alias, column name)`.
+    fn resolve(&self, col: &ColumnRef) -> Result<(String, String)> {
+        match &col.table {
+            Some(alias) => {
+                let (a, rel) = self
+                    .entries
+                    .iter()
+                    .find(|(a, _)| a.eq_ignore_ascii_case(alias))
+                    .ok_or_else(|| Error::Plan(format!("unknown table alias {alias}")))?;
+                if rel.column_index(&col.column).is_none() {
+                    return Err(Error::Plan(format!("unknown column {col}")));
+                }
+                Ok((a.clone(), col.column.clone()))
+            }
+            None => {
+                let hits: Vec<&(String, &Relation)> = self
+                    .entries
+                    .iter()
+                    .filter(|(_, r)| r.column_index(&col.column).is_some())
+                    .collect();
+                match hits.len() {
+                    0 => Err(Error::Plan(format!("unknown column {col}"))),
+                    1 => Ok((hits[0].0.clone(), col.column.clone())),
+                    _ => Err(Error::Plan(format!("ambiguous column {col}"))),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::RelationBuilder;
+    use crate::parser::parse;
+    use std::sync::Arc;
+    use textjoin_storage::DiskSim;
+
+    fn catalog() -> Catalog {
+        let disk = Arc::new(DiskSim::new(4096));
+        let mut c = Catalog::new(disk);
+        c.add(
+            RelationBuilder::new("Positions")
+                .column("P#", ColumnType::Int)
+                .column("Title", ColumnType::Str)
+                .column("Job_descr", ColumnType::Text)
+                .row(vec![
+                    Value::Int(1),
+                    Value::Str("Database Engineer".into()),
+                    Value::Text("design query engines and storage systems".into()),
+                ])
+                .unwrap()
+                .row(vec![
+                    Value::Int(2),
+                    Value::Str("Chef".into()),
+                    Value::Text("cook pasta daily".into()),
+                ])
+                .unwrap(),
+        )
+        .unwrap();
+        c.add(
+            RelationBuilder::new("Applicants")
+                .column("SSN", ColumnType::Str)
+                .column("Name", ColumnType::Str)
+                .column("Years", ColumnType::Int)
+                .column("Resume", ColumnType::Text)
+                .row(vec![
+                    Value::Str("111".into()),
+                    Value::Str("Ada".into()),
+                    Value::Int(10),
+                    Value::Text("storage systems and query engines expert".into()),
+                ])
+                .unwrap()
+                .row(vec![
+                    Value::Str("222".into()),
+                    Value::Str("Bob".into()),
+                    Value::Int(2),
+                    Value::Text("pasta cooking and recipes".into()),
+                ])
+                .unwrap(),
+        )
+        .unwrap();
+        c
+    }
+
+    fn plan_sql(c: &Catalog, sql: &str) -> Result<Plan> {
+        plan(
+            c,
+            &parse(sql).unwrap(),
+            SystemParams::paper_base(),
+            QueryParams::paper_base(),
+            IoScenario::Dedicated,
+        )
+    }
+
+    #[test]
+    fn resolves_the_papers_query_shape() {
+        let c = catalog();
+        let p = plan_sql(
+            &c,
+            "Select P.P#, P.Title, A.SSN, A.Name From Positions P, Applicants A \
+             Where A.Resume SIMILAR_TO(2) P.Job_descr",
+        )
+        .unwrap();
+        // λ applicants per position: Applicants is inner, Positions outer.
+        assert_eq!(p.inner_rel, "Applicants");
+        assert_eq!(p.outer_rel, "Positions");
+        assert_eq!(p.lambda, 2);
+        assert_eq!(p.output.len(), 4);
+        assert!(p.inner_rows.is_none() && p.outer_rows.is_none());
+    }
+
+    #[test]
+    fn like_selection_reduces_the_outer_relation() {
+        let c = catalog();
+        let p = plan_sql(
+            &c,
+            "Select P.Title, A.Name From Positions P, Applicants A \
+             Where P.Title like '%Engineer%' and A.Resume SIMILAR_TO(1) P.Job_descr",
+        )
+        .unwrap();
+        assert_eq!(p.outer_rows, Some(vec![DocId::new(0)]));
+    }
+
+    #[test]
+    fn comparison_selection_reduces_the_inner_relation() {
+        let c = catalog();
+        let p = plan_sql(
+            &c,
+            "Select A.Name From Positions P, Applicants A \
+             Where A.Years >= 5 and A.Resume SIMILAR_TO(1) P.Job_descr",
+        )
+        .unwrap();
+        assert_eq!(p.inner_rows, Some(vec![DocId::new(0)]));
+        assert!(p.outer_rows.is_none());
+    }
+
+    #[test]
+    fn unqualified_unique_columns_resolve() {
+        let c = catalog();
+        let p = plan_sql(
+            &c,
+            "Select Name From Positions, Applicants \
+             Where Resume SIMILAR_TO(1) Job_descr",
+        )
+        .unwrap();
+        assert_eq!(p.inner_rel, "Applicants");
+    }
+
+    #[test]
+    fn planning_errors() {
+        let c = catalog();
+        // Not a text column.
+        assert!(plan_sql(
+            &c,
+            "Select Name From Positions P, Applicants A Where A.Name SIMILAR_TO(1) P.Job_descr"
+        )
+        .is_err());
+        // Unknown relation.
+        assert!(plan_sql(
+            &c,
+            "Select a From Nope N, Applicants A Where A.Resume SIMILAR_TO(1) N.x"
+        )
+        .is_err());
+        // Missing SIMILAR_TO.
+        assert!(plan_sql(
+            &c,
+            "Select Name From Positions P, Applicants A Where A.Years > 1"
+        )
+        .is_err());
+        // Self-join of one alias.
+        assert!(plan_sql(
+            &c,
+            "Select Name From Positions P, Applicants A Where P.Job_descr SIMILAR_TO(1) P.Job_descr"
+        )
+        .is_err());
+        // One relation only.
+        assert!(plan_sql(
+            &c,
+            "Select Name From Applicants A Where A.Resume SIMILAR_TO(1) A.Resume"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn select_star_projects_both_relations() {
+        let c = catalog();
+        let p = plan_sql(
+            &c,
+            "Select * From Positions P, Applicants A Where A.Resume SIMILAR_TO(1) P.Job_descr",
+        )
+        .unwrap();
+        assert_eq!(p.output.len(), 3 + 4);
+        assert!(p.output[0].0.starts_with("Positions."));
+    }
+}

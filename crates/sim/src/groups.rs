@@ -1,0 +1,385 @@
+//! The five simulation groups of section 6, plus the statistics table.
+//!
+//! Every function returns printable [`Table`]s whose rows are the cost
+//! estimates `hhs/hhr/hvs/hvr/vvs/vvr` (in sequential-page units) and the
+//! winning algorithm under both I/O scenarios.
+
+use crate::presets::{PaperCollection, ALPHA_SWEEP, B_SWEEP, DERIVE_FACTORS, SMALL_OUTER_SWEEP};
+use crate::table::{fmt_cost, Table};
+use textjoin_common::{CollectionStats, QueryParams, SystemParams};
+use textjoin_costmodel::{vvm, CostEstimates, IoScenario, JoinInputs};
+
+const COST_HEADERS: [&str; 9] = [
+    "param",
+    "hhs",
+    "hhr",
+    "hvs",
+    "hvr",
+    "vvs",
+    "vvr",
+    "best(seq)",
+    "best(rand)",
+];
+
+/// One formatted cost row for a parameter point.
+fn cost_row(param: String, inputs: &JoinInputs) -> Vec<String> {
+    let est = CostEstimates::compute(inputs);
+    vec![
+        param,
+        fmt_cost(est.hhnl_seq),
+        fmt_cost(est.hhnl_rand),
+        fmt_cost(est.hvnl_seq),
+        fmt_cost(est.hvnl_rand),
+        fmt_cost(est.vvm_seq),
+        fmt_cost(est.vvm_rand),
+        est.best(IoScenario::Dedicated).0.to_string(),
+        est.best(IoScenario::SharedWorstCase).0.to_string(),
+    ]
+}
+
+fn base_inputs(inner: CollectionStats, outer: CollectionStats, sys: SystemParams) -> JoinInputs {
+    JoinInputs::with_paper_q(inner, outer, sys, QueryParams::paper_base())
+}
+
+/// **T1** — the section 6 statistics table: the paper's published derived
+/// sizes next to the values our formulas produce from the primary
+/// statistics.
+pub fn t1_statistics() -> Table {
+    let mut t = Table::new(
+        "T1: TREC-1 collection statistics (paper table vs formula-derived)",
+        &[
+            "collection",
+            "#docs (N)",
+            "terms/doc (K)",
+            "#terms (T)",
+            "pages D (paper)",
+            "pages D (ours)",
+            "S (paper)",
+            "S (ours)",
+            "J (paper)",
+            "J (ours)",
+        ],
+    );
+    let p = SystemParams::paper_base().page_size;
+    for c in PaperCollection::ALL {
+        let s = c.stats();
+        let (paper_d, paper_s, paper_j) = c.paper_table_row();
+        t.push_row(vec![
+            c.name().to_string(),
+            s.num_docs.to_string(),
+            format!("{}", s.avg_terms_per_doc),
+            s.distinct_terms.to_string(),
+            fmt_cost(paper_d),
+            fmt_cost(s.collection_pages(p)),
+            format!("{paper_s}"),
+            format!("{:.3}", s.avg_doc_pages(p)),
+            format!("{paper_j}"),
+            format!("{:.3}", s.avg_entry_pages(p)),
+        ]);
+    }
+    t
+}
+
+/// **Group 1** — one real collection as both C1 and C2; six simulations:
+/// for each of WSJ/FR/DOE, sweep `B` (α at base) and sweep `α` (B at base).
+pub fn group1() -> Vec<Table> {
+    let mut tables = Vec::new();
+    for c in PaperCollection::ALL {
+        let stats = c.stats();
+        let mut tb = Table::new(
+            format!(
+                "Group 1: {0} ⋈ {0}, varying B (α = 5, pages of cost)",
+                c.name()
+            ),
+            &COST_HEADERS,
+        );
+        for b in B_SWEEP {
+            let sys = SystemParams::paper_base().with_buffer_pages(b);
+            tb.push_row(cost_row(format!("B={b}"), &base_inputs(stats, stats, sys)));
+        }
+        tables.push(tb);
+
+        let mut ta = Table::new(
+            format!("Group 1: {0} ⋈ {0}, varying α (B = 10000)", c.name()),
+            &COST_HEADERS,
+        );
+        for alpha in ALPHA_SWEEP {
+            let sys = SystemParams::paper_base().with_alpha(alpha);
+            ta.push_row(cost_row(
+                format!("α={alpha}"),
+                &base_inputs(stats, stats, sys),
+            ));
+        }
+        tables.push(ta);
+    }
+    tables
+}
+
+/// **Group 2** — different real collections as C1 and C2 (all six ordered
+/// pairs), varying `B`.
+pub fn group2() -> Vec<Table> {
+    let mut tables = Vec::new();
+    for inner in PaperCollection::ALL {
+        for outer in PaperCollection::ALL {
+            if inner == outer {
+                continue;
+            }
+            let mut t = Table::new(
+                format!(
+                    "Group 2: C1 = {} (inner), C2 = {} (outer), varying B (α = 5)",
+                    inner.name(),
+                    outer.name()
+                ),
+                &COST_HEADERS,
+            );
+            for b in B_SWEEP {
+                let sys = SystemParams::paper_base().with_buffer_pages(b);
+                t.push_row(cost_row(
+                    format!("B={b}"),
+                    &base_inputs(inner.stats(), outer.stats(), sys),
+                ));
+            }
+            tables.push(t);
+        }
+    }
+    tables
+}
+
+/// **Group 3** — only a small number of documents of an ORIGINALLY large
+/// C2 participate (a selection on other attributes): the selected documents
+/// are read randomly and the C2 inverted file keeps its original size.
+pub fn group3() -> Vec<Table> {
+    let sys = SystemParams::paper_base();
+    let mut tables = Vec::new();
+    for c in PaperCollection::ALL {
+        let base = c.stats();
+        let mut t = Table::new(
+            format!(
+                "Group 3: C1 = C2 = {}, M documents selected from C2 (B = 10000, α = 5)",
+                c.name()
+            ),
+            &COST_HEADERS,
+        );
+        for m in SMALL_OUTER_SWEEP {
+            let selected = base.select_docs(m);
+            let inputs = base_inputs(base, selected, sys).with_selected_outer(base);
+            t.push_row(cost_row(format!("M={m}"), &inputs));
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+/// **Group 4** — C2 is an ORIGINALLY small collection derived from C1:
+/// documents can be read sequentially and the C2 inverted file and B+tree
+/// are sized by the small collection itself.
+pub fn group4() -> Vec<Table> {
+    let sys = SystemParams::paper_base();
+    let mut tables = Vec::new();
+    for c in PaperCollection::ALL {
+        let base = c.stats();
+        let mut t = Table::new(
+            format!(
+                "Group 4: C1 = {}, C2 = originally small collection of M docs (B = 10000, α = 5)",
+                c.name()
+            ),
+            &COST_HEADERS,
+        );
+        for m in SMALL_OUTER_SWEEP {
+            let small = base.select_docs(m);
+            t.push_row(cost_row(format!("M={m}"), &base_inputs(base, small, sys)));
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+/// **Group 5** — identical derived collections: the number of documents is
+/// divided and the terms per document multiplied by the same factor, so the
+/// collection size is constant while `N1·N2` shrinks quadratically — the
+/// regime designed to show VVM off.
+pub fn group5() -> Vec<Table> {
+    let sys = SystemParams::paper_base();
+    let mut tables = Vec::new();
+    for c in PaperCollection::ALL {
+        let base = c.stats();
+        let mut t = Table::new(
+            format!(
+                "Group 5: C1 = C2 = {} derived by factor F (N/F docs of F·K terms; B = 10000)",
+                c.name()
+            ),
+            &[
+                "F",
+                "N",
+                "K",
+                "VVM passes",
+                "hhs",
+                "hvs",
+                "vvs",
+                "best(seq)",
+            ],
+        );
+        for f in DERIVE_FACTORS {
+            let derived = base.derive_scaled(f);
+            let inputs = base_inputs(derived, derived, sys);
+            let est = CostEstimates::compute(&inputs);
+            let passes = vvm::num_passes(&inputs).map_or("∞".into(), |p| format!("{p}"));
+            t.push_row(vec![
+                f.to_string(),
+                derived.num_docs.to_string(),
+                format!("{}", derived.avg_terms_per_doc),
+                passes,
+                fmt_cost(est.hhnl_seq),
+                fmt_cost(est.hvnl_seq),
+                fmt_cost(est.vvm_seq),
+                est.best(IoScenario::Dedicated).0.to_string(),
+            ]);
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+/// **Order study** (extension; the backward order is deferred to \[11\] by
+/// the paper): forward HHNL (`C2` batched, `C1` scanned per batch) versus
+/// backward HHNL (`C1` batched, `C2` scanned per batch, with the resident
+/// `N2·λ` heap overhead) as the size ratio of the collections varies. The
+/// backward order wins when the inner collection is much smaller — fewer
+/// scans of the big side outweigh the heap memory tax.
+pub fn order_study() -> Table {
+    use textjoin_costmodel::hhnl;
+    let sys = SystemParams::paper_base();
+    let mut t = Table::new(
+        "Order study: forward vs backward HHNL (B = 10000, α = 5, λ = 20)",
+        &[
+            "C1 (inner)",
+            "C2 (outer)",
+            "hhs forward",
+            "hhs backward",
+            "cheaper order",
+        ],
+    );
+    let wsj = CollectionStats::wsj();
+    for inner_docs in [500u64, 2_000, 10_000, 50_000, 98_736] {
+        let inner = CollectionStats::new(inner_docs, wsj.avg_terms_per_doc, wsj.distinct_terms);
+        let inputs = base_inputs(inner, wsj, sys);
+        let fwd = hhnl::sequential(&inputs).map_or(f64::INFINITY, |c| c);
+        let bwd = hhnl::backward_sequential(&inputs).map_or(f64::INFINITY, |c| c);
+        t.push_row(vec![
+            format!("WSJ-like, N1={inner_docs}"),
+            "WSJ".to_string(),
+            fmt_cost(fwd),
+            fmt_cost(bwd),
+            if bwd < fwd { "backward" } else { "forward" }.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t1_has_one_row_per_collection() {
+        let t = t1_statistics();
+        assert_eq!(t.rows.len(), 3);
+        // Paper and formula-derived collection sizes agree to a few
+        // percent for every collection.
+        for row in &t.rows {
+            let paper: f64 = row[4].parse().unwrap();
+            let ours: f64 = row[5].parse().unwrap();
+            assert!((paper - ours).abs() / paper < 0.05, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn group1_produces_six_tables_over_the_sweeps() {
+        let tables = group1();
+        assert_eq!(tables.len(), 6);
+        assert!(tables[0].rows.len() == B_SWEEP.len());
+        assert!(tables[1].rows.len() == ALPHA_SWEEP.len());
+        // Full self-joins of real collections: HHNL wins the sequential
+        // scenario at the base point (finding 4).
+        for t in &tables {
+            for row in &t.rows {
+                if row[0] == "B=10000" || row[0] == "α=5" {
+                    assert_eq!(row[7], "HHNL", "{}: {row:?}", t.title);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group2_covers_all_ordered_pairs() {
+        let tables = group2();
+        assert_eq!(tables.len(), 6);
+        for t in &tables {
+            assert_eq!(t.rows.len(), B_SWEEP.len());
+        }
+    }
+
+    #[test]
+    fn group3_small_selections_favor_hvnl() {
+        // Finding 2: below the (collection-dependent) window bound, HVNL
+        // wins; the bound is roughly 100 for WSJ-like collections and
+        // smaller for FR (huge documents).
+        let tables = group3();
+        for t in &tables {
+            let m1 = &t.rows[0];
+            assert_eq!(m1[0], "M=1");
+            assert_eq!(m1[7], "HVNL", "{}: M=1 must favor HVNL: {m1:?}", t.title);
+        }
+        // And the M=1000 row never favors HVNL.
+        for t in &tables {
+            let big = t.rows.last().unwrap();
+            assert_ne!(big[7], "HVNL", "{}: {big:?}", t.title);
+        }
+    }
+
+    #[test]
+    fn group4_sequential_small_outer_is_cheaper_than_group3() {
+        // The same M costs less when the collection is originally small:
+        // sequential reads and a right-sized inverted file.
+        let g3 = group3();
+        let g4 = group4();
+        for (t3, t4) in g3.iter().zip(g4.iter()) {
+            for (r3, r4) in t3.rows.iter().zip(t4.rows.iter()) {
+                let hhs3: f64 = r3[1].replace('∞', "inf").parse().unwrap_or(f64::INFINITY);
+                let hhs4: f64 = r4[1].replace('∞', "inf").parse().unwrap_or(f64::INFINITY);
+                assert!(
+                    hhs4 <= hhs3 + 1.0,
+                    "{} vs {}: {r3:?} {r4:?}",
+                    t3.title,
+                    t4.title
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn order_study_crosses_over_with_collection_ratio() {
+        let t = order_study();
+        assert_eq!(t.rows.len(), 5);
+        // Tiny inner collection: backward wins; equal sizes: forward wins.
+        assert_eq!(t.rows[0][4], "backward", "{:?}", t.rows[0]);
+        assert_eq!(t.rows.last().unwrap()[4], "forward", "{:?}", t.rows.last());
+    }
+
+    #[test]
+    fn group5_vvm_wins_at_high_factors() {
+        // Finding 3: shrinking N at constant size hands the win to VVM.
+        for t in group5() {
+            let last = t.rows.last().unwrap();
+            assert_eq!(last[0], "64");
+            assert_eq!(last[7], "VVM", "{}: {last:?}", t.title);
+            // Passes shrink monotonically with the factor.
+            let passes: Vec<f64> = t
+                .rows
+                .iter()
+                .map(|r| r[3].parse().unwrap_or(f64::INFINITY))
+                .collect();
+            assert!(passes.windows(2).all(|w| w[1] <= w[0]), "{passes:?}");
+        }
+    }
+}

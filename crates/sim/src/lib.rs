@@ -1,0 +1,35 @@
+//! The simulation harness: regenerates the paper's evaluation.
+//!
+//! Section 6 of the paper runs five groups of simulations over the TREC-1
+//! statistics (the detailed result tables live in tech report \[11\], which
+//! the ICDE version omits for space — this crate regenerates the tables
+//! those groups define):
+//!
+//! * [`groups::group1`] — one real collection as both C1 and C2, sweeping
+//!   the memory size `B` and the cost ratio `α`;
+//! * [`groups::group2`] — all ordered pairs of distinct collections,
+//!   sweeping `B`;
+//! * [`groups::group3`] — a small number of documents *selected out of* an
+//!   originally large C2 (random reads, unshrunk inverted file);
+//! * [`groups::group4`] — an *originally small* C2 derived from C1
+//!   (sequential reads, right-sized inverted file);
+//! * [`groups::group5`] — identical derived collections with `N` reduced
+//!   and `K` enlarged by the same factor (the VVM-friendly regime);
+//! * [`findings::check_findings`] — programmatic verification of the five
+//!   summary findings of section 6.1;
+//! * [`validate`] — our own addition: the executors of `textjoin-core` run
+//!   on scaled-down synthetic collections and their *measured* I/O cost is
+//!   compared against the section 5 formulas.
+//!
+//! Everything prints through [`table::Table`], one table per experiment,
+//! in the spirit of the tables the paper's tech report tabulates.
+
+pub mod findings;
+pub mod groups;
+pub mod presets;
+pub mod table;
+pub mod validate;
+
+pub use findings::{check_findings, Finding};
+pub use presets::PaperCollection;
+pub use table::Table;

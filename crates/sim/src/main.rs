@@ -1,0 +1,123 @@
+//! Command-line entry point for the simulation harness.
+//!
+//! ```text
+//! textjoin-sim t1          # the section-6 statistics table
+//! textjoin-sim group1      # group 1: self-joins, B and α sweeps
+//! textjoin-sim group2      # group 2: cross-collection joins, B sweep
+//! textjoin-sim group3      # group 3: selected small outer subsets
+//! textjoin-sim group4      # group 4: originally small outer collections
+//! textjoin-sim group5      # group 5: derived collections (VVM regime)
+//! textjoin-sim order       # forward vs backward HHNL (extension)
+//! textjoin-sim findings    # check the five findings of section 6.1
+//! textjoin-sim sweep [scale]      # measured B sweep on scaled collections
+//! textjoin-sim codec [scale]      # fixed vs varint-gap posting codecs
+//! textjoin-sim validate [scale]   # measured vs predicted (default 100)
+//! textjoin-sim all [scale]        # everything above
+//!
+//! Append `--csv` to any table command to emit CSV instead of the grid.
+//! ```
+
+use std::process::ExitCode;
+use textjoin_sim::{findings, groups, validate, Table};
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--csv` anywhere switches table output to CSV (for plotting).
+    let csv = args.iter().any(|a| a == "--csv");
+    args.retain(|a| a != "--csv");
+    let command = args.first().map(String::as_str).unwrap_or("all");
+    let scale: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100);
+
+    let emit = move |t: &Table| {
+        if csv {
+            print!("{}", t.to_csv());
+        } else {
+            println!("{t}");
+        }
+    };
+
+    let run_validate = |scale: u64| -> ExitCode {
+        eprintln!("generating scaled collections and running all executors …");
+        match validate::validate_all(&validate::paper_scaled_configs(scale)) {
+            Ok(rows) => {
+                println!("{}", validate::validation_table(&rows));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("validation failed: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    };
+
+    match command {
+        "t1" => emit(&groups::t1_statistics()),
+        "group1" => groups::group1().iter().for_each(&emit),
+        "group2" => groups::group2().iter().for_each(&emit),
+        "group3" => groups::group3().iter().for_each(&emit),
+        "group4" => groups::group4().iter().for_each(&emit),
+        "group5" => groups::group5().iter().for_each(&emit),
+        "order" => emit(&groups::order_study()),
+        "codec" => {
+            eprintln!("generating scaled collections and comparing posting codecs …");
+            for cfg in validate::paper_scaled_configs(scale) {
+                match validate::codec_study(&cfg) {
+                    Ok(t) => println!("{t}"),
+                    Err(e) => eprintln!("{}: codec study failed: {e}", cfg.label),
+                }
+            }
+        }
+        "sweep" => {
+            eprintln!("generating scaled collections and sweeping B …");
+            let cfgs = validate::paper_scaled_configs(scale);
+            for cfg in &cfgs {
+                let buffers: Vec<u64> = [25u64, 50, 100, 200, 400, 800]
+                    .iter()
+                    .map(|&b| b * 100 / scale.max(1))
+                    .map(|b| b.max(10))
+                    .collect();
+                match validate::memory_sweep(cfg, &buffers) {
+                    Ok(t) => println!("{t}"),
+                    Err(e) => eprintln!("{}: sweep failed: {e}", cfg.label),
+                }
+            }
+        }
+        "findings" => {
+            let table = findings::findings_table();
+            println!("{table}");
+            if findings::check_findings().iter().any(|f| !f.holds) {
+                return ExitCode::FAILURE;
+            }
+        }
+        "validate" => return run_validate(scale),
+        "all" => {
+            println!("{}", groups::t1_statistics());
+            for t in groups::group1() {
+                println!("{t}");
+            }
+            for t in groups::group2() {
+                println!("{t}");
+            }
+            for t in groups::group3() {
+                println!("{t}");
+            }
+            for t in groups::group4() {
+                println!("{t}");
+            }
+            for t in groups::group5() {
+                println!("{t}");
+            }
+            println!("{}", groups::order_study());
+            println!("{}", findings::findings_table());
+            return run_validate(scale);
+        }
+        other => {
+            eprintln!(
+                "unknown command '{other}'; expected t1 | group1..group5 | findings | \
+                 validate [scale] | all [scale]"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

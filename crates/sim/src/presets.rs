@@ -1,0 +1,85 @@
+//! The paper's collections and base parameters.
+
+use textjoin_common::CollectionStats;
+
+/// The three ARPA/NIST (TREC-1) collections of the paper's section 6.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PaperCollection {
+    /// Wall Street Journal.
+    Wsj,
+    /// Federal Register — fewer but larger documents.
+    Fr,
+    /// Department of Energy abstracts — many small documents.
+    Doe,
+}
+
+impl PaperCollection {
+    /// All three, in the paper's table order.
+    pub const ALL: [PaperCollection; 3] = [
+        PaperCollection::Wsj,
+        PaperCollection::Fr,
+        PaperCollection::Doe,
+    ];
+
+    /// The collection's published primary statistics.
+    pub fn stats(self) -> CollectionStats {
+        match self {
+            PaperCollection::Wsj => CollectionStats::wsj(),
+            PaperCollection::Fr => CollectionStats::fr(),
+            PaperCollection::Doe => CollectionStats::doe(),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PaperCollection::Wsj => "WSJ",
+            PaperCollection::Fr => "FR",
+            PaperCollection::Doe => "DOE",
+        }
+    }
+
+    /// The paper's published derived values for the statistics table
+    /// `(collection pages, avg doc pages, avg entry pages)` — used by the
+    /// T1 reproduction to report paper-vs-ours.
+    pub fn paper_table_row(self) -> (f64, f64, f64) {
+        match self {
+            PaperCollection::Wsj => (40_605.0, 0.41, 0.26),
+            PaperCollection::Fr => (33_315.0, 1.27, 0.264),
+            PaperCollection::Doe => (25_152.0, 0.111, 0.135),
+        }
+    }
+}
+
+/// The `B` sweep used by groups 1 and 2 (base value 10 000 in the middle).
+pub const B_SWEEP: [u64; 6] = [2_500, 5_000, 10_000, 20_000, 40_000, 80_000];
+
+/// The `α` sweep used by group 1 (base value 5).
+pub const ALPHA_SWEEP: [f64; 6] = [1.0, 2.0, 3.0, 5.0, 7.0, 10.0];
+
+/// Group 3/4 outer-side sizes (the paper bounds the HVNL-friendly window by
+/// roughly 100 documents).
+pub const SMALL_OUTER_SWEEP: [u64; 7] = [1, 10, 25, 50, 100, 250, 1000];
+
+/// Group 5 derivation factors.
+pub const DERIVE_FACTORS: [u64; 6] = [2, 4, 8, 16, 32, 64];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_match_published_primaries() {
+        assert_eq!(PaperCollection::Wsj.stats().num_docs, 98_736);
+        assert_eq!(PaperCollection::Fr.stats().avg_terms_per_doc, 1017.0);
+        assert_eq!(PaperCollection::Doe.stats().distinct_terms, 186_225);
+        assert_eq!(PaperCollection::ALL.len(), 3);
+        assert_eq!(PaperCollection::Fr.name(), "FR");
+    }
+
+    #[test]
+    fn sweeps_include_base_values() {
+        assert!(B_SWEEP.contains(&10_000));
+        assert!(ALPHA_SWEEP.contains(&5.0));
+    }
+}

@@ -1,0 +1,159 @@
+//! Plain-text result tables.
+
+use std::fmt;
+
+/// A printable experiment table: a title, column headers and string rows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table {
+    /// Table caption (e.g. `"Group 1: WSJ ⋈ WSJ, varying B (α = 5)"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the arity does not match the headers.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row arity mismatch in '{}'",
+            self.title
+        );
+        self.rows.push(row);
+    }
+
+    /// Column count.
+    pub fn width(&self) -> usize {
+        self.headers.len()
+    }
+
+    /// Renders the table as CSV (RFC-4180-style quoting), for plotting.
+    pub fn to_csv(&self) -> String {
+        let quote = |cell: &str| {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a page-cost value compactly (integers below 10M, otherwise
+/// scientific-ish `x.xxe+n`).
+pub fn fmt_cost(v: f64) -> String {
+    if v.is_infinite() {
+        "∞".to_string()
+    } else if v < 10_000_000.0 {
+        format!("{}", v.round() as u64)
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Column widths from headers and data (character counts).
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>| {
+            for w in &widths {
+                write!(f, "+{}", "-".repeat(w + 2))?;
+            }
+            writeln!(f, "+")
+        };
+        line(f)?;
+        for (h, w) in self.headers.iter().zip(&widths) {
+            write!(f, "| {h}{} ", " ".repeat(w - h.chars().count()))?;
+        }
+        writeln!(f, "|")?;
+        line(f)?;
+        for row in &self.rows {
+            for (cell, w) in row.iter().zip(&widths) {
+                write!(f, "| {cell}{} ", " ".repeat(w - cell.chars().count()))?;
+            }
+            writeln!(f, "|")?;
+        }
+        line(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_grid() {
+        let mut t = Table::new("demo", &["x", "value"]);
+        t.push_row(vec!["1".into(), "short".into()]);
+        t.push_row(vec!["1000".into(), "a much longer cell".into()]);
+        let s = t.to_string();
+        assert!(s.starts_with("demo\n"));
+        // Every data line has the same width.
+        let lines: Vec<&str> = s.lines().skip(1).collect();
+        let widths: Vec<usize> = lines.iter().map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{s}");
+        assert!(s.contains("| 1000 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn csv_export_quotes_when_needed() {
+        let mut t = Table::new("demo", &["plain", "with,comma"]);
+        t.push_row(vec!["a".into(), "x,y".into()]);
+        t.push_row(vec!["has \"quote\"".into(), "z".into()]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "plain,\"with,comma\"");
+        assert_eq!(lines[1], "a,\"x,y\"");
+        assert_eq!(lines[2], "\"has \"\"quote\"\"\",z");
+    }
+
+    #[test]
+    fn cost_formatting() {
+        assert_eq!(fmt_cost(1234.4), "1234");
+        assert_eq!(fmt_cost(f64::INFINITY), "∞");
+        assert!(fmt_cost(3.2e9).contains('e'));
+    }
+}

@@ -1,0 +1,351 @@
+//! A budgeted LRU page cache over the simulated disk.
+//!
+//! The buffer pool gives document-at-a-time readers the behaviour the paper
+//! assumes in section 5.1: when documents are smaller than a page, fetching
+//! them one at a time touches each *page* at most once while it stays
+//! resident, so a random scan of collection 1 costs `min{D₁, N₁}` random
+//! I/Os rather than `N₁·⌈S₁⌉`.
+//!
+//! Reads go through [`BufferPool::get_run`]: pages already resident are
+//! served from memory (no I/O charged), and each maximal missing sub-run is
+//! fetched from the [`DiskSim`] as one run, so contiguous access patterns
+//! keep their sequential pricing. Eviction is strict LRU over unpinned
+//! pages.
+
+use crate::disk::{DiskSim, FileId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use textjoin_common::Result;
+
+/// Cache hit/miss counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Pages served from the pool without I/O.
+    pub hits: u64,
+    /// Pages that had to be read from disk.
+    pub misses: u64,
+    /// Pages evicted to make room.
+    pub evictions: u64,
+}
+
+type Key = (FileId, u64);
+
+const NIL: usize = usize::MAX;
+
+struct Slot {
+    key: Key,
+    data: Arc<[u8]>,
+    prev: usize,
+    next: usize,
+}
+
+/// Intrusive doubly-linked LRU over a slot arena. `head` is most recently
+/// used, `tail` least recently used.
+struct LruState {
+    map: HashMap<Key, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+    stats: BufferStats,
+}
+
+impl LruState {
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slots[idx].prev, self.slots[idx].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = idx;
+        } else {
+            self.tail = idx;
+        }
+        self.head = idx;
+    }
+
+    fn touch(&mut self, idx: usize) {
+        if self.head != idx {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+    }
+
+    fn insert(&mut self, key: Key, data: Arc<[u8]>) {
+        debug_assert!(!self.map.contains_key(&key));
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "capacity > 0 guaranteed at construction");
+            self.unlink(victim);
+            let old_key = self.slots[victim].key;
+            self.map.remove(&old_key);
+            self.free.push(victim);
+            self.stats.evictions += 1;
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Slot {
+                    key,
+                    data,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                self.slots.push(Slot {
+                    key,
+                    data,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+    }
+}
+
+/// An LRU page cache of fixed capacity (in pages) over a [`DiskSim`].
+pub struct BufferPool<'d> {
+    disk: &'d DiskSim,
+    state: Mutex<LruState>,
+}
+
+impl<'d> BufferPool<'d> {
+    /// Creates a pool caching at most `capacity_pages` pages.
+    ///
+    /// # Panics
+    /// Panics if `capacity_pages == 0`.
+    pub fn new(disk: &'d DiskSim, capacity_pages: usize) -> Self {
+        assert!(capacity_pages > 0, "buffer pool needs at least one page");
+        Self {
+            disk,
+            state: Mutex::new(LruState {
+                map: HashMap::new(),
+                slots: Vec::new(),
+                free: Vec::new(),
+                head: NIL,
+                tail: NIL,
+                capacity: capacity_pages,
+                stats: BufferStats::default(),
+            }),
+        }
+    }
+
+    /// The underlying disk.
+    pub fn disk(&self) -> &'d DiskSim {
+        self.disk
+    }
+
+    /// Cache capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.state.lock().capacity
+    }
+
+    /// Number of pages currently cached.
+    pub fn len(&self) -> usize {
+        self.state.lock().map.len()
+    }
+
+    /// Whether the pool holds no pages.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss/eviction counters.
+    pub fn stats(&self) -> BufferStats {
+        self.state.lock().stats
+    }
+
+    /// Whether a page is resident (does not touch recency).
+    pub fn contains(&self, file: FileId, page: u64) -> bool {
+        self.state.lock().map.contains_key(&(file, page))
+    }
+
+    /// Drops every cached page (counters are kept).
+    pub fn clear(&self) {
+        let mut st = self.state.lock();
+        st.map.clear();
+        st.slots.clear();
+        st.free.clear();
+        st.head = NIL;
+        st.tail = NIL;
+    }
+
+    /// Reads one page through the cache.
+    pub fn get(&self, file: FileId, page: u64) -> Result<Arc<[u8]>> {
+        Ok(self.get_run(file, page, 1)?.pop().expect("run of length 1"))
+    }
+
+    /// Reads `len` consecutive pages through the cache. Resident pages cost
+    /// nothing; each maximal missing sub-run is fetched from disk as one
+    /// run so contiguity (and with it the sequential discount) is preserved.
+    pub fn get_run(&self, file: FileId, start: u64, len: u64) -> Result<Vec<Arc<[u8]>>> {
+        let mut out: Vec<Option<Arc<[u8]>>> = vec![None; len as usize];
+
+        // Pass 1: serve hits and find missing sub-runs.
+        let mut missing_runs: Vec<(u64, u64)> = Vec::new(); // (start, len)
+        {
+            let mut st = self.state.lock();
+            let mut run_start: Option<u64> = None;
+            for i in 0..len {
+                let page = start + i;
+                if let Some(&idx) = st.map.get(&(file, page)) {
+                    st.touch(idx);
+                    st.stats.hits += 1;
+                    out[i as usize] = Some(Arc::clone(&st.slots[idx].data));
+                    if let Some(rs) = run_start.take() {
+                        missing_runs.push((rs, page - rs));
+                    }
+                } else if run_start.is_none() {
+                    run_start = Some(page);
+                }
+            }
+            if let Some(rs) = run_start {
+                missing_runs.push((rs, start + len - rs));
+            }
+        }
+
+        // Pass 2: fetch missing runs (disk classifies them) and install.
+        for (rs, rl) in missing_runs {
+            let pages = self.disk.read_run(file, rs, rl)?;
+            let mut st = self.state.lock();
+            st.stats.misses += rl;
+            for (j, data) in pages.into_iter().enumerate() {
+                let page = rs + j as u64;
+                out[(page - start) as usize] = Some(Arc::clone(&data));
+                if !st.map.contains_key(&(file, page)) {
+                    st.insert((file, page), data);
+                }
+            }
+        }
+
+        Ok(out
+            .into_iter()
+            .map(|p| p.expect("all pages filled"))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(pages: u64, pool_pages: usize) -> (DiskSim, FileId, usize) {
+        let disk = DiskSim::new(32);
+        let f = disk.create_file("docs").unwrap();
+        for i in 0..pages {
+            disk.append_page(f, &[i as u8]).unwrap();
+        }
+        disk.reset_stats();
+        disk.reset_head();
+        (disk, f, pool_pages)
+    }
+
+    #[test]
+    fn second_read_hits_cache_without_io() {
+        let (disk, f, cap) = setup(4, 4);
+        let pool = BufferPool::new(&disk, cap);
+        pool.get(f, 1).unwrap();
+        pool.get(f, 1).unwrap();
+        assert_eq!(pool.stats().hits, 1);
+        assert_eq!(pool.stats().misses, 1);
+        assert_eq!(disk.stats().total_reads(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let (disk, f, _) = setup(4, 0);
+        let pool = BufferPool::new(&disk, 2);
+        pool.get(f, 0).unwrap();
+        pool.get(f, 1).unwrap();
+        pool.get(f, 0).unwrap(); // page 0 now most recent
+        pool.get(f, 2).unwrap(); // evicts page 1
+        assert!(pool.contains(f, 0));
+        assert!(!pool.contains(f, 1));
+        assert!(pool.contains(f, 2));
+        assert_eq!(pool.stats().evictions, 1);
+    }
+
+    #[test]
+    fn run_with_cached_interior_reads_only_gaps() {
+        let (disk, f, _) = setup(6, 6);
+        let pool = BufferPool::new(&disk, 6);
+        pool.get(f, 2).unwrap();
+        disk.reset_stats();
+        // Run 0..6 with page 2 resident: reads runs [0,2) and [3,6).
+        let pages = pool.get_run(f, 0, 6).unwrap();
+        assert_eq!(pages.len(), 6);
+        assert_eq!(disk.stats().total_reads(), 5);
+        assert_eq!(pool.stats().hits, 1);
+        // Data is correct and in order.
+        for (i, p) in pages.iter().enumerate() {
+            assert_eq!(p[0], i as u8);
+        }
+    }
+
+    #[test]
+    fn consecutive_small_docs_share_page_cost() {
+        // Two "documents" living in one page cost a single read: the
+        // min{D, N} effect of section 5.1.
+        let (disk, f, _) = setup(1, 2);
+        let pool = BufferPool::new(&disk, 2);
+        pool.get(f, 0).unwrap(); // doc A
+        pool.get(f, 0).unwrap(); // doc B on the same page
+        assert_eq!(disk.stats().total_reads(), 1);
+    }
+
+    #[test]
+    fn clear_empties_pool() {
+        let (disk, f, _) = setup(3, 3);
+        let pool = BufferPool::new(&disk, 3);
+        pool.get_run(f, 0, 3).unwrap();
+        assert_eq!(pool.len(), 3);
+        pool.clear();
+        assert!(pool.is_empty());
+        pool.get(f, 0).unwrap();
+        assert_eq!(pool.stats().misses, 4);
+    }
+
+    #[test]
+    fn capacity_one_pool_works() {
+        let (disk, f, _) = setup(3, 1);
+        let pool = BufferPool::new(&disk, 1);
+        for round in 0..2 {
+            for p in 0..3 {
+                let page = pool.get(f, p).unwrap();
+                assert_eq!(page[0], p as u8, "round {round}");
+            }
+        }
+        assert_eq!(pool.stats().hits, 0);
+        assert_eq!(pool.stats().misses, 6);
+        assert_eq!(pool.stats().evictions, 5);
+    }
+
+    #[test]
+    fn eviction_reuses_slots() {
+        let (disk, f, _) = setup(8, 2);
+        let pool = BufferPool::new(&disk, 2);
+        for p in 0..8 {
+            pool.get(f, p).unwrap();
+        }
+        // The slot arena must not grow beyond capacity.
+        assert!(pool.state.lock().slots.len() <= 2);
+    }
+}

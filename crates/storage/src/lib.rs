@@ -1,0 +1,29 @@
+//! Simulated storage layer with the paper's I/O cost model.
+//!
+//! Section 3 of the paper abstracts the hardware to a single cost unit —
+//! page I/Os — with one refinement: a random page read costs `α` times a
+//! sequential one because of the extra seek and rotational delay. Documents
+//! and inverted-file entries are assumed to be stored *tightly packed in
+//! consecutive storage locations*, so a full scan of a structure of `D`
+//! pages costs `D` sequential I/Os, while fetching `N` documents one at a
+//! time in random order costs about `N·⌈S⌉·α`.
+//!
+//! [`DiskSim`] reproduces exactly this accounting: every read is classified
+//! as sequential (it continues the head position of the previous read) or
+//! random (everything else), and [`IoStats::cost`] charges `seq + α·rand`.
+//! An *interference mode* reclassifies every run as random, modeling the
+//! paper's worst-case `hhr`/`hvr`/`vvr` scenario in which the I/O device
+//! serves other obligations between any two requests.
+//!
+//! [`BufferPool`] is a budgeted LRU page cache; [`MemTracker`] enforces the
+//! byte-level memory budget `B·P` that every join executor must respect.
+
+pub mod buffer;
+pub mod disk;
+pub mod memory;
+pub mod span;
+
+pub use buffer::{BufferPool, BufferStats};
+pub use disk::{DiskSim, FileId, IoStats};
+pub use memory::MemTracker;
+pub use span::ByteSpan;

@@ -1,0 +1,85 @@
+//! Explore the integrated algorithm's decision surface: which of HHNL,
+//! HVNL, VVM wins as the workload shape changes, at the paper's full TREC-1
+//! scale (pure cost-model arithmetic — no data is generated).
+//!
+//! ```text
+//! cargo run --release --example algorithm_picker
+//! ```
+
+use textjoin::costmodel::{choose, CostEstimates, IoScenario, JoinInputs};
+use textjoin::prelude::*;
+
+fn show(label: &str, inputs: &JoinInputs) {
+    let est = CostEstimates::compute(inputs);
+    let (best, cost) = est.best(IoScenario::Dedicated);
+    println!(
+        "{label:<44} hhs={:>10.0} hvs={:>10.0} vvs={:>10.0}  → {best} ({cost:.0})",
+        est.hhnl_seq, est.hvnl_seq, est.vvm_seq
+    );
+}
+
+fn main() {
+    let sys = SystemParams::paper_base();
+    let query = QueryParams::paper_base();
+    let wsj = CollectionStats::wsj();
+    let fr = CollectionStats::fr();
+    let doe = CollectionStats::doe();
+
+    println!("base parameters: B = 10 000 pages, P = 4KB, α = 5, λ = 20, δ = 0.1\n");
+
+    println!("— full self-joins (group 1 regime): HHNL territory —");
+    for (name, c) in [("WSJ ⋈ WSJ", wsj), ("FR ⋈ FR", fr), ("DOE ⋈ DOE", doe)] {
+        show(name, &JoinInputs::with_paper_q(c, c, sys, query));
+    }
+
+    println!("\n— shrinking the outer side of WSJ ⋈ WSJ (group 3 regime) —");
+    for m in [1u64, 5, 20, 50, 100, 200, 500, 2000] {
+        let inputs =
+            JoinInputs::with_paper_q(wsj, wsj.select_docs(m), sys, query).with_selected_outer(wsj);
+        show(&format!("WSJ ⋈ (WSJ with {m} selected docs)"), &inputs);
+    }
+
+    println!("\n— derived collections: fewer, larger documents (group 5 regime) —");
+    for f in [1u64, 4, 16, 64] {
+        let d = fr.derive_scaled(f);
+        show(
+            &format!(
+                "FR/{f} ⋈ FR/{f} ({} docs of {} terms)",
+                d.num_docs, d.avg_terms_per_doc
+            ),
+            &JoinInputs::with_paper_q(d, d, sys, query),
+        );
+    }
+
+    println!("\n— the same, priced under the worst-case shared device —");
+    for f in [16u64, 64] {
+        let d = fr.derive_scaled(f);
+        let inputs = JoinInputs::with_paper_q(d, d, sys, query);
+        let dedicated = choose(&inputs, IoScenario::Dedicated);
+        let shared = choose(&inputs, IoScenario::SharedWorstCase);
+        println!(
+            "FR/{f}: dedicated drive → {dedicated}, shared worst case → {shared} \
+             (finding 5: only VVM is re-ranked)"
+        );
+    }
+
+    // The multidatabase dimension: the collections live at different
+    // sites, so shipping costs join the picture (the paper's future-work
+    // item 2). The standard term-number mapping of section 3 matters:
+    // without it, shipped documents are ~5× larger.
+    use textjoin::costmodel::{choose_distributed, CommParams, TermEncoding};
+    println!("\n— distributed: WSJ at site 1, a 50-doc selection of DOE at site 2 —");
+    let doe_sel = doe.select_docs(50);
+    let inputs = JoinInputs::with_paper_q(wsj, doe_sel, sys, query).with_selected_outer(doe);
+    for (label, encoding) in [
+        ("standard term numbers", TermEncoding::StandardNumbers),
+        ("actual term strings  ", TermEncoding::ActualTerms),
+    ] {
+        for beta in [0.5, 5.0] {
+            let comm = CommParams { beta, encoding };
+            if let Some((alg, site, cost)) = choose_distributed(&inputs, &comm) {
+                println!("{label}, β={beta:<4} → run {alg} at {site:?} (total {cost:.0})");
+            }
+        }
+    }
+}

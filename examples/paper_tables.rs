@@ -1,0 +1,37 @@
+//! Regenerate the paper's evaluation tables from the library (same output
+//! as the `textjoin-sim` binary, driven through the facade crate).
+//!
+//! ```text
+//! cargo run --release --example paper_tables            # everything
+//! cargo run --release --example paper_tables -- t1      # one table set
+//! cargo run --release --example paper_tables -- group3
+//! ```
+
+use textjoin::sim::{findings, groups};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let all = which == "all";
+
+    if all || which == "t1" {
+        println!("{}", groups::t1_statistics());
+    }
+    if all || which == "group1" {
+        groups::group1().iter().for_each(|t| println!("{t}"));
+    }
+    if all || which == "group2" {
+        groups::group2().iter().for_each(|t| println!("{t}"));
+    }
+    if all || which == "group3" {
+        groups::group3().iter().for_each(|t| println!("{t}"));
+    }
+    if all || which == "group4" {
+        groups::group4().iter().for_each(|t| println!("{t}"));
+    }
+    if all || which == "group5" {
+        groups::group5().iter().for_each(|t| println!("{t}"));
+    }
+    if all || which == "findings" {
+        println!("{}", findings::findings_table());
+    }
+}

@@ -1,0 +1,86 @@
+//! Quickstart: run all three join algorithms on synthetic collections and
+//! compare their measured costs with the integrated optimizer's choice.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+use textjoin::core::{hhnl, hvnl, integrated, vvm};
+use textjoin::prelude::*;
+use textjoin::storage::DiskSim;
+
+fn main() -> textjoin::Result<()> {
+    // A simulated disk with 4KB pages, as in the paper.
+    let disk = Arc::new(DiskSim::new(4096));
+
+    // Two synthetic collections: 600 "inner" documents and 150 "outer"
+    // documents of ~50 terms each over a shared 3000-term vocabulary.
+    let inner = SynthSpec::from_stats(CollectionStats::new(600, 50.0, 3000), 42)
+        .generate(Arc::clone(&disk), "inner")?;
+    let outer = SynthSpec::from_stats(CollectionStats::new(150, 50.0, 3000), 43)
+        .generate(Arc::clone(&disk), "outer")?;
+
+    // Inverted files (with their B+trees) for both collections.
+    let inner_inv = InvertedFile::build(Arc::clone(&disk), "inner", &inner)?;
+    let outer_inv = InvertedFile::build(Arc::clone(&disk), "outer", &outer)?;
+
+    // The join: for each outer document, the λ = 5 most similar inner
+    // documents, under a 64-page buffer.
+    let spec = JoinSpec::new(&inner, &outer)
+        .with_sys(SystemParams::paper_base().with_buffer_pages(64))
+        .with_query(QueryParams::paper_base().with_lambda(5));
+
+    println!("collections: inner N={} outer N={}", 600, 150);
+    println!(
+        "{:<6} {:>12} {:>12} {:>8} {:>8}",
+        "alg", "seq reads", "rand reads", "cost", "passes"
+    );
+
+    let mut results = Vec::new();
+    for (name, outcome) in [
+        ("HHNL", hhnl::execute(&spec)?),
+        ("HVNL", hvnl::execute(&spec, &inner_inv)?),
+        ("VVM", vvm::execute(&spec, &inner_inv, &outer_inv)?),
+    ] {
+        println!(
+            "{:<6} {:>12} {:>12} {:>8.0} {:>8}",
+            name,
+            outcome.stats.io.seq_reads,
+            outcome.stats.io.rand_reads,
+            outcome.stats.cost,
+            outcome.stats.passes,
+        );
+        results.push(outcome.result);
+    }
+
+    // The three algorithms must agree exactly.
+    assert_eq!(
+        results[0], results[1],
+        "HHNL and HVNL must produce the same join"
+    );
+    assert_eq!(
+        results[1], results[2],
+        "HVNL and VVM must produce the same join"
+    );
+
+    // The integrated algorithm estimates all six costs and runs the
+    // cheapest — the paper's section 6.1 proposal.
+    let chosen = integrated::execute(&spec, &inner_inv, &outer_inv, IoScenario::Dedicated)?;
+    println!(
+        "\nintegrated optimizer chose {} (estimates: hhs={:.0} hvs={:.0} vvs={:.0})",
+        chosen.chosen,
+        chosen.estimates.hhnl_seq,
+        chosen.estimates.hvnl_seq,
+        chosen.estimates.vvm_seq,
+    );
+    assert_eq!(chosen.outcome.result, results[0]);
+
+    // Show a couple of matches.
+    let (outer_doc, matches) = chosen.outcome.result.iter().next().expect("non-empty");
+    println!("\nexample: outer document {outer_doc} matches:");
+    for m in matches.iter().take(3) {
+        println!("  inner document {:>4}  similarity {}", m.inner, m.score);
+    }
+    Ok(())
+}

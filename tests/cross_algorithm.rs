@@ -1,0 +1,254 @@
+//! The central invariant of the reproduction: HHNL, HVNL and VVM are three
+//! evaluation strategies for the *same* operator, so on identical inputs
+//! they must produce identical results — and all must agree with the naive
+//! in-memory reference scorer.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use textjoin::core::{hhnl, hvnl, reference, vvm};
+use textjoin::prelude::*;
+use textjoin::storage::DiskSim;
+
+#[allow(clippy::type_complexity)]
+fn build(
+    n1: u64,
+    n2: u64,
+    k: f64,
+    vocab: u64,
+    seed: u64,
+) -> (
+    Arc<DiskSim>,
+    Collection,
+    Collection,
+    InvertedFile,
+    InvertedFile,
+    Vec<Document>,
+    Vec<Document>,
+) {
+    let disk = Arc::new(DiskSim::new(512));
+    let d1 = SynthSpec::from_stats(CollectionStats::new(n1, k, vocab), seed).generate_docs();
+    let d2 = SynthSpec::from_stats(CollectionStats::new(n2, k, vocab), seed + 1).generate_docs();
+    let c1 = Collection::build(Arc::clone(&disk), "c1", d1.clone()).unwrap();
+    let c2 = Collection::build(Arc::clone(&disk), "c2", d2.clone()).unwrap();
+    let inv1 = InvertedFile::build(Arc::clone(&disk), "c1", &c1).unwrap();
+    let inv2 = InvertedFile::build(Arc::clone(&disk), "c2", &c2).unwrap();
+    (disk, c1, c2, inv1, inv2, d1, d2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random collection shapes, λ and buffer sizes: exact agreement of all
+    /// three executors and the reference under the raw-count similarity.
+    #[test]
+    fn prop_three_algorithms_agree(
+        n1 in 1u64..40,
+        n2 in 1u64..30,
+        k in 3u64..25,
+        vocab in 20u64..200,
+        lambda in 1usize..8,
+        buffer_pages in 24u64..200,
+        seed in 0u64..1000,
+    ) {
+        let (_disk, c1, c2, inv1, inv2, d1, d2) = build(n1, n2, k as f64, vocab, seed);
+        let spec = JoinSpec::new(&c1, &c2)
+            .with_sys(SystemParams { buffer_pages, page_size: 512, alpha: 5.0 })
+            .with_query(QueryParams { lambda, delta: 1.0 });
+
+        let want = reference::naive_join(&d1, &d2, OuterDocs::Full, lambda, Weighting::RawCount);
+        let hh = hhnl::execute(&spec).unwrap();
+        prop_assert_eq!(&hh.result, &want, "HHNL disagrees with reference");
+        let hv = hvnl::execute(&spec, &inv1).unwrap();
+        prop_assert_eq!(&hv.result, &want, "HVNL disagrees with reference");
+        let vv = vvm::execute(&spec, &inv1, &inv2).unwrap();
+        prop_assert_eq!(&vv.result, &want, "VVM disagrees with reference");
+
+        // Budget compliance: no executor may exceed B·P bytes.
+        let budget = spec.sys.buffer_bytes();
+        prop_assert!(hh.stats.mem_high_water_bytes <= budget);
+        prop_assert!(hv.stats.mem_high_water_bytes <= budget);
+        prop_assert!(vv.stats.mem_high_water_bytes <= budget);
+    }
+
+    /// Same agreement with an outer-side selection (group 3 semantics) and
+    /// an inner-side filter (selection on the inner relation).
+    #[test]
+    fn prop_agreement_under_selections(
+        n1 in 4u64..30,
+        n2 in 4u64..25,
+        k in 3u64..15,
+        vocab in 20u64..120,
+        lambda in 1usize..5,
+        seed in 0u64..1000,
+        outer_pick in prop::collection::btree_set(0u32..25, 1..6),
+        inner_pick in prop::collection::btree_set(0u32..30, 1..8),
+    ) {
+        let (_disk, c1, c2, inv1, inv2, d1, d2) = build(n1, n2, k as f64, vocab, seed);
+        let outer_ids: Vec<DocId> = outer_pick
+            .into_iter()
+            .filter(|&i| (i as u64) < n2)
+            .map(DocId::new)
+            .collect();
+        let inner_ids: Vec<DocId> = inner_pick
+            .into_iter()
+            .filter(|&i| (i as u64) < n1)
+            .map(DocId::new)
+            .collect();
+        prop_assume!(!outer_ids.is_empty() && !inner_ids.is_empty());
+
+        let spec = JoinSpec::new(&c1, &c2)
+            .with_outer_docs(OuterDocs::Selected(&outer_ids))
+            .with_inner_docs(&inner_ids)
+            .with_sys(SystemParams { buffer_pages: 100, page_size: 512, alpha: 5.0 })
+            .with_query(QueryParams { lambda, delta: 1.0 });
+
+        let want = reference::naive_join_filtered(
+            &d1,
+            &d2,
+            OuterDocs::Selected(&outer_ids),
+            Some(&inner_ids),
+            lambda,
+            Weighting::RawCount,
+        );
+        prop_assert_eq!(&hhnl::execute(&spec).unwrap().result, &want);
+        prop_assert_eq!(&hvnl::execute(&spec, &inv1).unwrap().result, &want);
+        prop_assert_eq!(&vvm::execute(&spec, &inv1, &inv2).unwrap().result, &want);
+    }
+
+    /// Cosine scores: exact agreement (a single division of an exact
+    /// integer sum cannot depend on the algorithm).
+    #[test]
+    fn prop_cosine_agreement(
+        n1 in 2u64..20,
+        n2 in 2u64..15,
+        seed in 0u64..500,
+    ) {
+        let (_disk, c1, c2, inv1, inv2, d1, d2) = build(n1, n2, 8.0, 60, seed);
+        let spec = JoinSpec::new(&c1, &c2)
+            .with_weighting(Weighting::Cosine)
+            .with_sys(SystemParams { buffer_pages: 100, page_size: 512, alpha: 5.0 })
+            .with_query(QueryParams { lambda: 4, delta: 1.0 });
+        let want = reference::naive_join(&d1, &d2, OuterDocs::Full, 4, Weighting::Cosine);
+        prop_assert!(hhnl::execute(&spec).unwrap().result.approx_eq(&want, 1e-12));
+        prop_assert!(hvnl::execute(&spec, &inv1).unwrap().result.approx_eq(&want, 1e-12));
+        prop_assert!(vvm::execute(&spec, &inv1, &inv2).unwrap().result.approx_eq(&want, 1e-12));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every execution path — forward, backward and parallel HHNL, HVNL
+    /// over either posting codec, VVM over either codec — agrees with the
+    /// reference.
+    #[test]
+    fn prop_all_execution_paths_agree(
+        n1 in 2u64..30,
+        n2 in 2u64..20,
+        k in 3u64..15,
+        vocab in 20u64..150,
+        lambda in 1usize..6,
+        workers in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        use textjoin::core::parallel;
+        use textjoin::invfile::PostingCodec;
+
+        let disk = Arc::new(DiskSim::new(512));
+        let d1 =
+            SynthSpec::from_stats(CollectionStats::new(n1, k as f64, vocab), seed).generate_docs();
+        let d2 = SynthSpec::from_stats(CollectionStats::new(n2, k as f64, vocab), seed + 1)
+            .generate_docs();
+        let c1 = Collection::build(Arc::clone(&disk), "c1", d1.clone()).unwrap();
+        let c2 = Collection::build(Arc::clone(&disk), "c2", d2.clone()).unwrap();
+        let spec = JoinSpec::new(&c1, &c2)
+            .with_sys(SystemParams { buffer_pages: 120, page_size: 512, alpha: 5.0 })
+            .with_query(QueryParams { lambda, delta: 1.0 });
+        let want = reference::naive_join(&d1, &d2, OuterDocs::Full, lambda, Weighting::RawCount);
+
+        prop_assert_eq!(&hhnl::execute(&spec).unwrap().result, &want);
+        prop_assert_eq!(&hhnl::execute_backward(&spec).unwrap().result, &want);
+        prop_assert_eq!(&parallel::execute_hhnl(&spec, workers).unwrap().result, &want);
+        for codec in [PostingCodec::Fixed5, PostingCodec::VarintGap] {
+            let tag = format!("{codec:?}");
+            let inv1 = InvertedFile::build_with(
+                Arc::clone(&disk),
+                &format!("c1-{tag}"),
+                &c1,
+                codec,
+            )
+            .unwrap();
+            let inv2 = InvertedFile::build_with(
+                Arc::clone(&disk),
+                &format!("c2-{tag}"),
+                &c2,
+                codec,
+            )
+            .unwrap();
+            prop_assert_eq!(&hvnl::execute(&spec, &inv1).unwrap().result, &want, "{:?}", codec);
+            prop_assert_eq!(
+                &vvm::execute(&spec, &inv1, &inv2).unwrap().result,
+                &want,
+                "{:?}",
+                codec
+            );
+        }
+    }
+
+    /// Self-joins with self-pair exclusion (clustering mode) agree across
+    /// all three algorithms and never match a document to itself.
+    #[test]
+    fn prop_self_join_excludes_self_pairs(
+        n in 2u64..25,
+        k in 3u64..12,
+        vocab in 15u64..100,
+        lambda in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        let disk = Arc::new(DiskSim::new(512));
+        let docs =
+            SynthSpec::from_stats(CollectionStats::new(n, k as f64, vocab), seed).generate_docs();
+        let c = Collection::build(Arc::clone(&disk), "c", docs.clone()).unwrap();
+        let inv = InvertedFile::build(Arc::clone(&disk), "c", &c).unwrap();
+        let spec = JoinSpec::new(&c, &c)
+            .with_sys(SystemParams { buffer_pages: 120, page_size: 512, alpha: 5.0 })
+            .with_query(QueryParams { lambda, delta: 1.0 })
+            .with_exclude_self();
+        let want = reference::naive_join_full(
+            &docs,
+            &docs,
+            OuterDocs::Full,
+            None,
+            lambda,
+            Weighting::RawCount,
+            true,
+        );
+        let hh = hhnl::execute(&spec).unwrap();
+        prop_assert_eq!(&hh.result, &want);
+        prop_assert_eq!(&hvnl::execute(&spec, &inv).unwrap().result, &want);
+        prop_assert_eq!(&vvm::execute(&spec, &inv, &inv).unwrap().result, &want);
+        for (outer, matches) in hh.result.iter() {
+            prop_assert!(matches.iter().all(|m| m.inner != outer));
+        }
+    }
+}
+
+/// The integrated dispatcher agrees with whatever algorithm it picks, on a
+/// fixed non-trivial workload.
+#[test]
+fn integrated_agrees_with_reference() {
+    let (_disk, c1, c2, inv1, inv2, d1, d2) = build(60, 40, 12.0, 300, 7);
+    let spec = JoinSpec::new(&c1, &c2)
+        .with_sys(SystemParams {
+            buffer_pages: 64,
+            page_size: 512,
+            alpha: 5.0,
+        })
+        .with_query(QueryParams {
+            lambda: 5,
+            delta: 1.0,
+        });
+    let got = integrated::execute(&spec, &inv1, &inv2, IoScenario::Dedicated).unwrap();
+    let want = reference::naive_join(&d1, &d2, OuterDocs::Full, 5, Weighting::RawCount);
+    assert_eq!(got.outcome.result, want);
+}

@@ -1,0 +1,109 @@
+//! Failure injection: corrupted on-disk structures must surface as
+//! `Error::Corrupt` (or another typed error), never as panics or silently
+//! wrong results.
+
+use std::sync::Arc;
+use textjoin::common::Error;
+use textjoin::invfile::BTreeFile;
+use textjoin::prelude::*;
+use textjoin::storage::DiskSim;
+
+fn collection_on(disk: &Arc<DiskSim>) -> Collection {
+    SynthSpec::from_stats(CollectionStats::new(40, 12.0, 200), 5)
+        .generate(Arc::clone(disk), "c")
+        .unwrap()
+}
+
+#[test]
+fn corrupt_document_page_fails_scan_without_panicking() {
+    let disk = Arc::new(DiskSim::new(256));
+    let c = collection_on(&disk);
+    // Overwrite the first data page with bytes that decode into
+    // out-of-order cells.
+    let file = c.store().file();
+    let garbage = vec![0xFFu8; 255];
+    disk.write_page(file, 0, &garbage).unwrap();
+
+    let outcome: Vec<_> = c.store().scan().collect();
+    assert!(
+        outcome.iter().any(|r| matches!(r, Err(Error::Corrupt(_)))),
+        "scan over a corrupted page must report corruption"
+    );
+}
+
+#[test]
+fn corrupt_document_read_direct_reports_corruption() {
+    let disk = Arc::new(DiskSim::new(256));
+    let c = collection_on(&disk);
+    disk.write_page(c.store().file(), 0, &[0xAB; 250]).unwrap();
+    let err = c.store().read_doc_direct(DocId::new(0)).unwrap_err();
+    assert!(matches!(err, Error::Corrupt(_)), "got {err:?}");
+}
+
+#[test]
+fn corrupt_btree_node_kind_is_reported() {
+    let disk = Arc::new(DiskSim::new(256));
+    let entries: Vec<_> = (0..200u32)
+        .map(|i| {
+            (
+                TermId::new(i),
+                textjoin::invfile::TermEntry {
+                    ordinal: i,
+                    doc_freq: 1,
+                },
+            )
+        })
+        .collect();
+    let tree = BTreeFile::bulk_load(Arc::clone(&disk), "bt", &entries).unwrap();
+    // Stamp an invalid node kind over page 0 (a leaf).
+    let mut page = vec![0u8; 256];
+    page[0] = 9; // neither leaf (0) nor internal (1)
+    disk.write_page(tree.file(), 0, &page).unwrap();
+
+    // Either the search path or the full load must hit the bad node.
+    let search_err = (0..200u32)
+        .map(|i| tree.search(TermId::new(i)))
+        .find_map(|r| r.err());
+    let load_err = tree.load_leaves().err();
+    let err = search_err
+        .or(load_err)
+        .expect("corruption must be detected");
+    assert!(matches!(err, Error::Corrupt(_)), "got {err:?}");
+}
+
+#[test]
+fn executor_surfaces_storage_errors_as_results() {
+    // A join over a corrupted inner collection returns Err, not panic.
+    let disk = Arc::new(DiskSim::new(256));
+    let c1 = collection_on(&disk);
+    let c2 = SynthSpec::from_stats(CollectionStats::new(10, 12.0, 200), 6)
+        .generate(Arc::clone(&disk), "c2")
+        .unwrap();
+    disk.write_page(c1.store().file(), 1, &[0xEE; 200]).unwrap();
+    let spec = JoinSpec::new(&c1, &c2).with_sys(SystemParams {
+        buffer_pages: 64,
+        page_size: 256,
+        alpha: 5.0,
+    });
+    let err = textjoin::core::hhnl::execute(&spec).unwrap_err();
+    assert!(matches!(err, Error::Corrupt(_)), "got {err:?}");
+}
+
+#[test]
+fn out_of_bounds_reads_are_typed_errors() {
+    let disk = Arc::new(DiskSim::new(256));
+    let f = disk.create_file("tiny").unwrap();
+    disk.append_page(f, &[1, 2, 3]).unwrap();
+    assert!(matches!(
+        disk.read_page(f, 5).unwrap_err(),
+        Error::PageOutOfBounds { .. }
+    ));
+    assert!(matches!(
+        disk.read_run(f, 0, 9).unwrap_err(),
+        Error::PageOutOfBounds { .. }
+    ));
+    assert!(matches!(
+        disk.write_page(f, 7, &[0]).unwrap_err(),
+        Error::PageOutOfBounds { .. }
+    ));
+}

@@ -1,0 +1,166 @@
+//! Paper-level reproduction checks: the statistics table, all five
+//! experiment groups, the five findings, and the model-vs-measured
+//! validation — everything EXPERIMENTS.md records, asserted.
+
+use textjoin::costmodel::{Algorithm, CostEstimates, IoScenario, JoinInputs};
+use textjoin::prelude::*;
+use textjoin::sim::{findings, groups, validate};
+
+#[test]
+fn t1_statistics_table_matches_paper() {
+    let t = groups::t1_statistics();
+    assert_eq!(t.rows.len(), 3);
+    for row in &t.rows {
+        // Collection pages: ours within 5% of the paper's published value.
+        let paper: f64 = row[4].parse().unwrap();
+        let ours: f64 = row[5].parse().unwrap();
+        assert!(
+            (paper - ours).abs() / paper < 0.05,
+            "collection size drift: {row:?}"
+        );
+        // Average entry size within the table's rounding.
+        let paper_j: f64 = row[8].parse().unwrap();
+        let ours_j: f64 = row[9].parse().unwrap();
+        assert!((paper_j - ours_j).abs() < 0.02, "entry size drift: {row:?}");
+    }
+}
+
+#[test]
+fn all_groups_generate_complete_tables() {
+    assert_eq!(
+        groups::group1().len(),
+        6,
+        "3 collections × (B sweep + α sweep)"
+    );
+    assert_eq!(groups::group2().len(), 6, "6 ordered pairs");
+    assert_eq!(groups::group3().len(), 3);
+    assert_eq!(groups::group4().len(), 3);
+    assert_eq!(groups::group5().len(), 3);
+    for t in groups::group1().iter().chain(groups::group2().iter()) {
+        assert!(!t.rows.is_empty());
+        // Every row names a winner.
+        for row in &t.rows {
+            assert!(
+                ["HHNL", "HVNL", "VVM"].contains(&row[7].as_str()),
+                "{row:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn five_findings_hold() {
+    let all = findings::check_findings();
+    assert_eq!(all.len(), 5);
+    for f in &all {
+        assert!(
+            f.holds,
+            "finding {} failed: {}\n  evidence: {}",
+            f.id, f.claim, f.evidence
+        );
+    }
+}
+
+#[test]
+fn group1_alpha_only_scales_the_random_estimates() {
+    // In group 1's α sweep, the sequential estimates must be flat while the
+    // worst-case estimates grow with α.
+    for t in groups::group1() {
+        if !t.title.contains("varying α") {
+            continue;
+        }
+        let hhs: Vec<f64> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        assert!(
+            hhs.windows(2).all(|w| w[0] == w[1]),
+            "hhs must not depend on α: {hhs:?}"
+        );
+        let hhr: Vec<f64> = t.rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        assert!(
+            hhr.windows(2).all(|w| w[0] <= w[1]),
+            "hhr must grow with α: {hhr:?}"
+        );
+    }
+}
+
+#[test]
+fn group3_crossover_shape() {
+    // Along each group-3 sweep, HVNL's cost grows with M while HHNL's
+    // stays within a factor of its full-join cost, producing exactly one
+    // crossover from HVNL to not-HVNL.
+    for t in groups::group3() {
+        let winners: Vec<&str> = t.rows.iter().map(|r| r[7].as_str()).collect();
+        let first_non_hvnl = winners
+            .iter()
+            .position(|w| *w != "HVNL")
+            .unwrap_or(winners.len());
+        assert!(
+            winners[..first_non_hvnl].iter().all(|w| *w == "HVNL")
+                && winners[first_non_hvnl..].iter().all(|w| *w != "HVNL"),
+            "{}: winners not a single HVNL→other crossover: {winners:?}",
+            t.title
+        );
+    }
+}
+
+#[test]
+fn validation_quick_band() {
+    let rows = validate::validate_all(&validate::quick_configs()).unwrap();
+    for r in &rows {
+        let band = match r.algorithm {
+            Algorithm::Hhnl | Algorithm::Vvm => 0.5..=2.0,
+            Algorithm::Hvnl => 0.2..=5.0,
+        };
+        assert!(
+            band.contains(&r.ratio()),
+            "{} {}: ratio {:.2} outside band",
+            r.label,
+            r.algorithm,
+            r.ratio()
+        );
+    }
+}
+
+#[test]
+fn hhnl_is_insensitive_to_lambda() {
+    // Section 6: "only HHNL involves λ and it is not really sensitive to
+    // λ" — λ only shaves a few similarity slots off each outer document's
+    // memory share.
+    let base = JoinInputs::with_paper_q(
+        CollectionStats::wsj(),
+        CollectionStats::wsj(),
+        SystemParams::paper_base(),
+        QueryParams::paper_base().with_lambda(1),
+    );
+    let big_lambda = JoinInputs {
+        query: QueryParams::paper_base().with_lambda(100),
+        ..base
+    };
+    let c1 = textjoin::costmodel::hhnl::sequential(&base).unwrap();
+    let c100 = textjoin::costmodel::hhnl::sequential(&big_lambda).unwrap();
+    assert!(
+        (c100 - c1).abs() / c1 < 0.25,
+        "λ=1 → {c1}, λ=100 → {c100}: HHNL should be λ-insensitive"
+    );
+    assert!(c100 >= c1, "more λ slots can only shrink the batch");
+}
+
+#[test]
+fn backward_order_symmetry_of_inputs() {
+    // Swapping the collections (the backward order of section 4.1) swaps
+    // the roles in the estimates.
+    let i = JoinInputs::with_paper_q(
+        CollectionStats::wsj(),
+        CollectionStats::doe(),
+        SystemParams::paper_base(),
+        QueryParams::paper_base(),
+    );
+    let back = i.swapped();
+    assert_eq!(back.inner, i.outer);
+    let est_fwd = CostEstimates::compute(&i);
+    let est_back = CostEstimates::compute(&back);
+    // Different orders genuinely cost differently (asymmetric operator).
+    assert_ne!(est_fwd.hhnl_seq, est_back.hhnl_seq);
+    assert!(est_fwd
+        .cost(Algorithm::Hhnl, IoScenario::Dedicated)
+        .is_finite());
+}

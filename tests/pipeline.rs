@@ -1,0 +1,208 @@
+//! End-to-end pipeline tests: raw text → term registry → collections →
+//! inverted files → extended SQL → result tuples.
+
+use std::sync::Arc;
+use textjoin::prelude::*;
+use textjoin::query::{parse, plan, run_query};
+use textjoin::storage::DiskSim;
+
+fn catalog() -> Catalog {
+    let disk = Arc::new(DiskSim::new(4096));
+    let mut catalog = Catalog::new(disk);
+    let mut positions = RelationBuilder::new("Positions")
+        .column("P#", ColumnType::Int)
+        .column("Title", ColumnType::Str)
+        .column("Job_descr", ColumnType::Text);
+    for (pnum, title, descr) in [
+        (
+            1,
+            "Database Engineer",
+            "query optimization, indexing, storage engines, join processing",
+        ),
+        (
+            2,
+            "IR Engineer",
+            "inverted files, text retrieval, ranking, document collections",
+        ),
+        (3, "Pastry Chef", "baking, pastry, desserts, chocolate work"),
+    ] {
+        positions = positions
+            .row(vec![
+                Value::Int(pnum),
+                Value::Str(title.into()),
+                Value::Text(descr.into()),
+            ])
+            .unwrap();
+    }
+    catalog.add(positions).unwrap();
+
+    let mut applicants = RelationBuilder::new("Applicants")
+        .column("Name", ColumnType::Str)
+        .column("Years", ColumnType::Int)
+        .column("Resume", ColumnType::Text);
+    for (name, years, resume) in [
+        (
+            "Ada",
+            12,
+            "expert in query optimization, join processing and storage engines",
+        ),
+        (
+            "Bea",
+            3,
+            "text retrieval systems, inverted files, ranking functions",
+        ),
+        ("Cyd", 8, "chocolate desserts, baking and pastry"),
+        ("Dov", 1, "indexing and query optimization internships"),
+    ] {
+        applicants = applicants
+            .row(vec![
+                Value::Str(name.into()),
+                Value::Int(years),
+                Value::Text(resume.into()),
+            ])
+            .unwrap();
+    }
+    catalog.add(applicants).unwrap();
+    catalog
+}
+
+#[test]
+fn sql_round_trip_produces_sensible_matches() {
+    let c = catalog();
+    let out = run_query(
+        &c,
+        "Select P.Title, A.Name From Positions P, Applicants A \
+         Where A.Resume SIMILAR_TO(1) P.Job_descr",
+        SystemParams::paper_base(),
+        QueryParams::paper_base(),
+        IoScenario::Dedicated,
+    )
+    .unwrap();
+    // Best applicant per position.
+    let pairs: Vec<(String, String)> = out
+        .rows
+        .iter()
+        .map(|r| (r[0].to_string(), r[1].to_string()))
+        .collect();
+    assert!(pairs.contains(&("Database Engineer".into(), "Ada".into())));
+    assert!(pairs.contains(&("IR Engineer".into(), "Bea".into())));
+    assert!(pairs.contains(&("Pastry Chef".into(), "Cyd".into())));
+}
+
+#[test]
+fn selections_compose_with_the_textual_join() {
+    let c = catalog();
+    let out = run_query(
+        &c,
+        "Select P.Title, A.Name From Positions P, Applicants A \
+         Where P.Title like '%Engineer%' and A.Years >= 5 \
+         and A.Resume SIMILAR_TO(2) P.Job_descr",
+        SystemParams::paper_base(),
+        QueryParams::paper_base(),
+        IoScenario::Dedicated,
+    )
+    .unwrap();
+    for row in &out.rows {
+        let title = row[0].to_string();
+        let name = row[1].to_string();
+        assert!(
+            title.contains("Engineer"),
+            "selection on title violated: {title}"
+        );
+        assert!(
+            name != "Cyd" && name != "Dov",
+            "inner selection violated: {name}"
+        );
+    }
+    assert!(!out.rows.is_empty());
+}
+
+#[test]
+fn plan_exposes_estimates_and_pushdown() {
+    let c = catalog();
+    let q = parse(
+        "Select A.Name From Positions P, Applicants A \
+         Where P.Title like '%Chef%' and A.Resume SIMILAR_TO(1) P.Job_descr",
+    )
+    .unwrap();
+    let p = plan(
+        &c,
+        &q,
+        SystemParams::paper_base(),
+        QueryParams::paper_base(),
+        IoScenario::Dedicated,
+    )
+    .unwrap();
+    assert_eq!(p.outer_rows.as_deref(), Some(&[DocId::new(2)][..]));
+    assert_eq!(p.inputs.outer.num_docs, 1);
+    assert!(p
+        .estimates
+        .cost(p.chosen, IoScenario::Dedicated)
+        .is_finite());
+}
+
+#[test]
+fn standard_term_mapping_aligns_collections() {
+    // Section 3: the shared registry gives both relations the same term
+    // numbers, so cross-collection similarities are meaningful.
+    let c = catalog();
+    let positions = c.relation("Positions").unwrap();
+    let applicants = c.relation("Applicants").unwrap();
+    // "optimization" is stemmed to "optimiz" by the ingestion pipeline;
+    // the registry stores stemmed forms.
+    let term = c
+        .registry()
+        .lookup("optimiz")
+        .expect("registered stemmed term");
+    let p_df = positions
+        .text_column("Job_descr")
+        .unwrap()
+        .collection
+        .profile()
+        .doc_frequency(term);
+    let a_df = applicants
+        .text_column("Resume")
+        .unwrap()
+        .collection
+        .profile()
+        .doc_frequency(term);
+    assert_eq!(p_df, 1); // one job description mentions optimization
+    assert_eq!(a_df, 2); // two resumes do
+}
+
+#[test]
+fn asymmetry_of_similar_to() {
+    // "A.Resume SIMILAR_TO(λ) P.Job_descr" and the reverse are different
+    // queries (section 2): one produces λ matches per position, the other
+    // λ matches per resume.
+    let c = catalog();
+    let forward = run_query(
+        &c,
+        "Select P.Title, A.Name From Positions P, Applicants A \
+         Where A.Resume SIMILAR_TO(1) P.Job_descr",
+        SystemParams::paper_base(),
+        QueryParams::paper_base(),
+        IoScenario::Dedicated,
+    )
+    .unwrap();
+    let backward = run_query(
+        &c,
+        "Select P.Title, A.Name From Positions P, Applicants A \
+         Where P.Job_descr SIMILAR_TO(1) A.Resume",
+        SystemParams::paper_base(),
+        QueryParams::paper_base(),
+        IoScenario::Dedicated,
+    )
+    .unwrap();
+    assert_eq!(forward.rows.len(), 3, "one row per position");
+    assert_eq!(backward.rows.len(), 4, "one row per applicant");
+}
+
+#[test]
+fn tokenizer_pipeline_feeds_real_text() {
+    let mut registry = TermRegistry::new();
+    let doc = registry.ingest("Databases, DATABASES, database!");
+    assert_eq!(doc.num_terms(), 1, "case folding and stemming conflate");
+    let doc2 = registry.ingest_readonly("database");
+    assert_eq!(doc.dot(&doc2).value(), 3.0);
+}
