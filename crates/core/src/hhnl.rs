@@ -19,10 +19,12 @@ use crate::topk::TopK;
 use textjoin_collection::Document;
 use textjoin_common::{DocId, Error, Result};
 use textjoin_costmodel::Algorithm;
+use textjoin_obs::Tracer;
 use textjoin_storage::MemTracker;
 
 /// Executes the join with HHNL.
 pub fn execute(spec: &JoinSpec<'_>) -> Result<JoinOutcome> {
+    let mut root = Tracer::maybe(spec.trace, "hhnl");
     let disk = spec.inner.store().disk();
     let start_io = disk.stats();
     let tracker = MemTracker::new(&spec.sys);
@@ -72,7 +74,19 @@ pub fn execute(spec: &JoinSpec<'_>) -> Result<JoinOutcome> {
         }
 
         // One pass over the inner collection for this batch.
-        scan_inner_against(spec, &mut batch, &mut cpu)?;
+        {
+            let mut pass_span = root.child("hhnl.inner_scan");
+            let pass_io = disk.stats();
+            let ops_before = cpu.sim_ops;
+            scan_inner_against(spec, &mut batch, &mut cpu)?;
+            if pass_span.is_enabled() {
+                let d = disk.stats().since(&pass_io);
+                pass_span.record("batch_docs", batch.len() as u64);
+                pass_span.record("seq_reads", d.seq_reads);
+                pass_span.record("rand_reads", d.rand_reads);
+                pass_span.record("sim_ops", cpu.sim_ops - ops_before);
+            }
+        }
         passes += 1;
         for (id, _, topk) in batch {
             rows.push((id, topk.into_matches()));
@@ -81,6 +95,12 @@ pub fn execute(spec: &JoinSpec<'_>) -> Result<JoinOutcome> {
     }
 
     let io = disk.stats().since(&start_io);
+    if root.is_enabled() {
+        root.record("passes", passes);
+        root.record("seq_reads", io.seq_reads);
+        root.record("rand_reads", io.rand_reads);
+        root.record("sim_ops", cpu.sim_ops);
+    }
     Ok(JoinOutcome {
         result: JoinResult::from_rows(rows),
         stats: ExecStats {
@@ -113,6 +133,7 @@ struct CpuCounters {
 /// order. It can still win when `C1` is much smaller than `C2` (fewer
 /// scans of the big collection).
 pub fn execute_backward(spec: &JoinSpec<'_>) -> Result<JoinOutcome> {
+    let mut root = Tracer::maybe(spec.trace, "hhnl.backward");
     let disk = spec.inner.store().disk();
     let start_io = disk.stats();
     let tracker = MemTracker::new(&spec.sys);
@@ -172,6 +193,8 @@ pub fn execute_backward(spec: &JoinSpec<'_>) -> Result<JoinOutcome> {
 
         // One pass over the outer documents for this inner batch.
         passes += 1;
+        let mut pass_span = root.child("hhnl.outer_scan");
+        pass_span.record("batch_docs", batch.len() as u64);
         spec.for_each_outer_doc(|outer_id, outer_doc| {
             let heap = heaps
                 .entry(outer_id.raw())
@@ -196,6 +219,7 @@ pub fn execute_backward(spec: &JoinSpec<'_>) -> Result<JoinOutcome> {
             }
             Ok(())
         })?;
+        drop(pass_span);
         tracker.release(batch_bytes);
     }
 
@@ -213,6 +237,12 @@ pub fn execute_backward(spec: &JoinSpec<'_>) -> Result<JoinOutcome> {
     }
 
     let io = disk.stats().since(&start_io);
+    if root.is_enabled() {
+        root.record("passes", passes);
+        root.record("seq_reads", io.seq_reads);
+        root.record("rand_reads", io.rand_reads);
+        root.record("sim_ops", cpu.sim_ops);
+    }
     Ok(JoinOutcome {
         result: JoinResult::from_rows(rows),
         stats: ExecStats {
@@ -457,6 +487,43 @@ mod tests {
             crate::Weighting::RawCount,
         );
         assert_eq!(got.result, want);
+    }
+
+    #[test]
+    fn attached_tracer_captures_phase_spans() {
+        let (_, c1, c2, _, _) = fixture(25, 40, 12.0, 100, 128);
+        let tracer = textjoin_obs::Tracer::enabled(256);
+        let spec = JoinSpec::new(&c1, &c2)
+            .with_sys(SystemParams {
+                buffer_pages: 4,
+                page_size: 128,
+                alpha: 5.0,
+            })
+            .with_query(QueryParams::paper_base().with_lambda(3))
+            .with_trace(&tracer);
+        let got = execute(&spec).unwrap();
+        let spans = tracer.finished();
+        let root = spans.iter().find(|s| s.name == "hhnl").expect("root span");
+        assert!(root.fields.contains(&("passes", got.stats.passes)));
+        assert!(root.fields.contains(&("seq_reads", got.stats.io.seq_reads)));
+        let scans = spans.iter().filter(|s| s.name == "hhnl.inner_scan");
+        assert_eq!(scans.count() as u64, got.stats.passes);
+        // Per-pass page deltas sum to the run's total reads.
+        let per_pass: u64 = spans
+            .iter()
+            .filter(|s| s.name == "hhnl.inner_scan")
+            .flat_map(|s| &s.fields)
+            .filter(|(k, _)| *k == "seq_reads" || *k == "rand_reads")
+            .map(|(_, v)| v)
+            .sum();
+        assert!(per_pass <= got.stats.io.total_reads());
+        // Without a tracer nothing is recorded and results are identical.
+        let untraced = execute(&JoinSpec {
+            trace: None,
+            ..spec
+        })
+        .unwrap();
+        assert_eq!(untraced.result, got.result);
     }
 
     #[test]

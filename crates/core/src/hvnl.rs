@@ -23,6 +23,7 @@ use textjoin_collection::Document;
 use textjoin_common::{DCell, DocId, Result, TermId};
 use textjoin_costmodel::Algorithm;
 use textjoin_invfile::InvertedFile;
+use textjoin_obs::Tracer;
 use textjoin_storage::MemTracker;
 
 /// Cache replacement policies for inverted-file entries.
@@ -69,12 +70,14 @@ pub fn execute_with(
     inner_inv: &InvertedFile,
     options: HvnlOptions,
 ) -> Result<JoinOutcome> {
+    let mut root = Tracer::maybe(spec.trace, "hvnl");
     let disk = spec.inner.store().disk();
     let start_io = disk.stats();
     let tracker = MemTracker::new(&spec.sys);
 
     // One-time cost: read the whole B+tree into memory (Bt1) and keep it
     // resident for the duration of the join.
+    let mut setup_span = root.child("hvnl.setup");
     let dict = inner_inv.btree().load_leaves()?;
     tracker.allocate(dict.size_bytes().max(1), "HVNL B+tree dictionary")?;
     // Room for the outer document currently being processed (⌈S2⌉).
@@ -113,7 +116,15 @@ pub fn execute_with(
     // cheaper than fetching the needed entries at the random rate, read it
     // in up front.
     state.maybe_preload_inverted_file()?;
+    if setup_span.is_enabled() {
+        let d = disk.stats().since(&start_io);
+        setup_span.record("seq_reads", d.seq_reads);
+        setup_span.record("rand_reads", d.rand_reads);
+        setup_span.record("preloaded_entries", state.cache.len() as u64);
+    }
+    drop(setup_span);
 
+    let mut scan_span = root.child("hvnl.outer_scan");
     match options.order {
         OuterOrder::Storage => {
             for item in spec.outer_iter() {
@@ -155,7 +166,19 @@ pub fn execute_with(
     let (entry_fetches, cache_hits, sim_ops) =
         (state.entry_fetches, state.cache_hits, state.sim_ops);
     drop(state);
+    if scan_span.is_enabled() {
+        scan_span.record("entry_fetches", entry_fetches);
+        scan_span.record("cache_hits", cache_hits);
+        scan_span.record("sim_ops", sim_ops);
+    }
+    drop(scan_span);
     let io = disk.stats().since(&start_io);
+    if root.is_enabled() {
+        root.record("seq_reads", io.seq_reads);
+        root.record("rand_reads", io.rand_reads);
+        root.record("entry_fetches", entry_fetches);
+        root.record("cache_hits", cache_hits);
+    }
     Ok(JoinOutcome {
         result: JoinResult::from_rows(rows),
         stats: ExecStats {
@@ -249,8 +272,16 @@ impl HvnlState<'_, '_> {
             .iter()
             .partition(|c| self.cache.contains(c.term));
 
+        // Entries this document is guaranteed to need are pinned so that
+        // evictions forced while fetching its *uncached* terms cannot throw
+        // away a hit we already counted on; each pin is released once the
+        // term has been consumed.
+        for cell in &cached_terms {
+            self.cache.pin(cell.term);
+        }
         for cell in cached_terms.iter().chain(uncached_terms.iter()) {
             // Terms that do not appear in C1 have no entry and cost nothing.
+            self.cache.unpin(cell.term);
             let Some(entry) = self.dict.lookup(cell.term) else {
                 continue;
             };
@@ -346,6 +377,11 @@ impl HvnlState<'_, '_> {
                             Ok(()) => break,
                             Err(err) => match self.cache.evict_one() {
                                 Some(freed) => self.tracker.release(freed),
+                                // Mandatory space outranks pin hints: the
+                                // pins are released first (so the entries
+                                // become evictable) rather than ever
+                                // evicting a pinned entry directly.
+                                None if self.cache.has_pinned() => self.cache.unpin_all(),
                                 None => return Err(err),
                             },
                         }
@@ -374,6 +410,9 @@ struct CacheSlot {
     cells: Vec<textjoin_common::ICell>,
     bytes: u64,
     key: (u64, u32),
+    /// Pinned slots are exempt from eviction: their key is withdrawn from
+    /// the eviction order until [`EntryCache::unpin`] restores it.
+    pinned: bool,
 }
 
 impl EntryCache {
@@ -396,9 +435,15 @@ impl EntryCache {
         let refresh_lru = self.policy == EvictionPolicy::Lru;
         let slot = self.entries.get_mut(&term)?;
         if refresh_lru {
-            self.order.remove(&slot.key);
+            // A pinned slot's key is not in the order set; just refresh
+            // the key so unpinning restores the right recency.
+            if !slot.pinned {
+                self.order.remove(&slot.key);
+            }
             slot.key = (tick, term.raw());
-            self.order.insert(slot.key);
+            if !slot.pinned {
+                self.order.insert(slot.key);
+            }
         }
         Some(&slot.cells)
     }
@@ -417,10 +462,20 @@ impl EntryCache {
             EvictionPolicy::Lru => (self.tick, term.raw()),
         };
         self.order.insert(key);
-        self.entries.insert(term, CacheSlot { cells, bytes, key });
+        self.entries.insert(
+            term,
+            CacheSlot {
+                cells,
+                bytes,
+                key,
+                pinned: false,
+            },
+        );
     }
 
-    /// Evicts the lowest-priority entry, returning the bytes it freed.
+    /// Evicts the lowest-priority *unpinned* entry, returning the bytes it
+    /// freed. Pinned entries are invisible here: their keys are withdrawn
+    /// from the eviction order, so a pinned entry is never evicted.
     fn evict_one(&mut self) -> Option<u64> {
         let key = *self.order.iter().next()?;
         self.order.remove(&key);
@@ -429,7 +484,41 @@ impl EntryCache {
         Some(slot.bytes)
     }
 
-    #[cfg(test)]
+    /// Exempts a cached entry from eviction until [`Self::unpin`].
+    fn pin(&mut self, term: TermId) {
+        if let Some(slot) = self.entries.get_mut(&term) {
+            if !slot.pinned {
+                slot.pinned = true;
+                self.order.remove(&slot.key);
+            }
+        }
+    }
+
+    /// Makes a pinned entry evictable again.
+    fn unpin(&mut self, term: TermId) {
+        if let Some(slot) = self.entries.get_mut(&term) {
+            if slot.pinned {
+                slot.pinned = false;
+                self.order.insert(slot.key);
+            }
+        }
+    }
+
+    /// Releases every pin (mandatory allocations outrank pin hints).
+    fn unpin_all(&mut self) {
+        for slot in self.entries.values_mut() {
+            if slot.pinned {
+                slot.pinned = false;
+                self.order.insert(slot.key);
+            }
+        }
+    }
+
+    /// Whether any entry is currently pinned.
+    fn has_pinned(&self) -> bool {
+        self.entries.values().any(|s| s.pinned)
+    }
+
     fn len(&self) -> usize {
         self.entries.len()
     }
@@ -621,5 +710,87 @@ mod tests {
         cache.evict_one();
         assert!(cache.contains(TermId::new(1)));
         assert!(!cache.contains(TermId::new(2)));
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Accounting invariant: every inverted-entry lookup is either a
+        /// disk fetch or a cache hit — `entry_fetches + cache_hits` equals
+        /// the number of (outer document, term-known-to-C1) pairs, under
+        /// any memory budget (raw-count weighting, where no term factor
+        /// vanishes).
+        #[test]
+        fn fetches_plus_hits_account_for_every_lookup(
+            n1 in 5u64..30,
+            n2 in 5u64..20,
+            vocab in 20u64..80,
+            buffer_pages in 8u64..400,
+            lambda in 1usize..6
+        ) {
+            let (_, c1, c2, inv, _, d2) = fixture(n1, n2, 10.0, vocab, 128);
+            let spec = JoinSpec::new(&c1, &c2)
+                .with_sys(SystemParams {
+                    buffer_pages,
+                    page_size: 128,
+                    alpha: 5.0,
+                })
+                .with_query(QueryParams::paper_base().with_lambda(lambda));
+            let got = match execute(&spec, &inv) {
+                Ok(got) => got,
+                // A budget too small for the mandatory structures is a
+                // legitimate outcome, not an accounting violation.
+                Err(textjoin_common::Error::InsufficientMemory { .. }) => return Ok(()),
+                Err(e) => return Err(proptest::test_runner::TestCaseError::fail(e.to_string())),
+            };
+            let dict = inv.btree().load_leaves().unwrap();
+            let lookups: u64 = d2
+                .iter()
+                .map(|doc| {
+                    doc.cells()
+                        .iter()
+                        .filter(|c| dict.lookup(c.term).is_some())
+                        .count() as u64
+                })
+                .sum();
+            prop_assert_eq!(got.stats.entry_fetches + got.stats.cache_hits, lookups);
+        }
+
+        /// The lowest-outer-df eviction policy never evicts a pinned
+        /// entry: after draining `evict_one`, exactly the pinned entries
+        /// survive, and unpinning makes them evictable again.
+        #[test]
+        fn pinned_entries_are_never_evicted(
+            dfs in prop::collection::vec(0u32..50, 1..20),
+            pin_bits in prop::collection::vec(prop::bool::ANY, 20)
+        ) {
+            let mut cache = EntryCache::new(EvictionPolicy::LowestOuterDf);
+            let cells = vec![ICell::new(DocId::new(0), 1)];
+            for (i, &df) in dfs.iter().enumerate() {
+                cache.insert(TermId::new(i as u32), cells.clone(), 8, df);
+            }
+            let pinned: Vec<u32> = (0..dfs.len() as u32)
+                .filter(|&i| pin_bits[i as usize])
+                .collect();
+            for &t in &pinned {
+                cache.pin(TermId::new(t));
+            }
+            while cache.evict_one().is_some() {}
+            for i in 0..dfs.len() as u32 {
+                prop_assert_eq!(
+                    cache.contains(TermId::new(i)),
+                    pinned.contains(&i),
+                    "term {} pinned={}",
+                    i,
+                    pinned.contains(&i)
+                );
+            }
+            prop_assert_eq!(cache.has_pinned(), !pinned.is_empty());
+            // Unpinning restores evictability; the cache drains fully.
+            cache.unpin_all();
+            prop_assert_eq!(cache.len(), pinned.len());
+            while cache.evict_one().is_some() {}
+            prop_assert_eq!(cache.len(), 0);
+        }
     }
 }

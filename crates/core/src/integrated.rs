@@ -15,6 +15,7 @@ use crate::{hhnl, hvnl, vvm};
 use textjoin_common::{Error, Result};
 use textjoin_costmodel::{Algorithm, CostEstimates, IoScenario};
 use textjoin_invfile::InvertedFile;
+use textjoin_obs::Tracer;
 
 /// The integrated algorithm's decision and execution record.
 #[derive(Debug)]
@@ -35,6 +36,7 @@ pub fn execute(
     outer_inv: &InvertedFile,
     scenario: IoScenario,
 ) -> Result<IntegratedOutcome> {
+    let mut root = Tracer::maybe(spec.trace, "integrated");
     let estimates = CostEstimates::compute(&spec.cost_inputs());
 
     let mut ranked: Vec<(Algorithm, f64)> = Algorithm::ALL
@@ -44,7 +46,8 @@ pub fn execute(
     ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
 
     let mut last_err: Option<Error> = None;
-    for (algorithm, cost) in ranked {
+    let mut fallbacks = 0u64;
+    for (algorithm, cost) in ranked.iter().copied() {
         if cost.is_infinite() {
             break;
         }
@@ -55,13 +58,28 @@ pub fn execute(
         };
         match attempt {
             Ok(outcome) => {
+                if root.is_enabled() {
+                    // Why this algorithm: the full cost ranking it won.
+                    root.detail(|| {
+                        let ranking = ranked
+                            .iter()
+                            .map(|(a, c)| format!("{a}={c:.1}"))
+                            .collect::<Vec<_>>()
+                            .join(" < ");
+                        format!("chose {algorithm}: {ranking}")
+                    });
+                    root.record("fallbacks", fallbacks);
+                }
                 return Ok(IntegratedOutcome {
                     chosen: algorithm,
                     estimates,
                     outcome,
-                })
+                });
             }
-            Err(e @ Error::InsufficientMemory { .. }) => last_err = Some(e),
+            Err(e @ Error::InsufficientMemory { .. }) => {
+                fallbacks += 1;
+                last_err = Some(e);
+            }
             Err(e) => return Err(e),
         }
     }

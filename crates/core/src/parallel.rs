@@ -66,36 +66,24 @@ pub fn execute_hhnl(spec: &JoinSpec<'_>, workers: usize) -> Result<JoinOutcome> 
     })
     .expect("crossbeam scope panicked")?;
 
-    // Merge: rows are disjoint by construction.
+    // Merge: rows are disjoint by construction; worker counters add up
+    // (mem high-waters included — the workers run concurrently).
     let mut rows = Vec::with_capacity(outer_ids.len());
-    let mut passes = 0;
-    let mut mem = 0;
-    let mut sim_ops = 0;
-    let mut cells = 0;
+    let mut stats = ExecStats::zero(Algorithm::Hhnl);
     for outcome in outcomes {
         for (id, matches) in outcome.result.iter() {
             rows.push((id, matches.to_vec()));
         }
-        passes += outcome.stats.passes;
-        // Workers run concurrently: budgets add up.
-        mem += outcome.stats.mem_high_water_bytes;
-        sim_ops += outcome.stats.sim_ops;
-        cells += outcome.stats.cells_touched;
+        stats += &outcome.stats;
     }
-    let io = disk.stats().since(&start_io);
+    // The global I/O tally supersedes the per-worker sums: concurrent scans
+    // interleave at the shared disk, so the interleaved classification is
+    // the one the cost metric should price.
+    stats.io = disk.stats().since(&start_io);
+    stats.cost = stats.io.cost(spec.sys.alpha);
     Ok(JoinOutcome {
         result: JoinResult::from_rows(rows),
-        stats: ExecStats {
-            algorithm: Algorithm::Hhnl,
-            io,
-            cost: io.cost(spec.sys.alpha),
-            mem_high_water_bytes: mem,
-            passes,
-            entry_fetches: 0,
-            cache_hits: 0,
-            sim_ops,
-            cells_touched: cells,
-        },
+        stats,
     })
 }
 

@@ -97,6 +97,72 @@ pub struct ExecStats {
     pub cells_touched: u64,
 }
 
+impl ExecStats {
+    /// Zeroed statistics for an algorithm — the identity of [`merge`].
+    ///
+    /// [`merge`]: Self::merge
+    pub fn zero(algorithm: Algorithm) -> Self {
+        Self {
+            algorithm,
+            io: IoStats::default(),
+            cost: 0.0,
+            mem_high_water_bytes: 0,
+            passes: 0,
+            entry_fetches: 0,
+            cache_hits: 0,
+            sim_ops: 0,
+            cells_touched: 0,
+        }
+    }
+
+    /// Folds another run's statistics into this one, saturating on
+    /// overflow. Counters add; memory high-waters add too, because merged
+    /// stats come from *concurrent* workers whose budgets coexist (the
+    /// parallel executor's accounting). The algorithm tag must agree.
+    pub fn merge(&mut self, other: &ExecStats) {
+        debug_assert_eq!(self.algorithm, other.algorithm, "merging unlike runs");
+        self.io.merge(&other.io);
+        self.cost += other.cost;
+        self.mem_high_water_bytes = self
+            .mem_high_water_bytes
+            .saturating_add(other.mem_high_water_bytes);
+        self.passes = self.passes.saturating_add(other.passes);
+        self.entry_fetches = self.entry_fetches.saturating_add(other.entry_fetches);
+        self.cache_hits = self.cache_hits.saturating_add(other.cache_hits);
+        self.sim_ops = self.sim_ops.saturating_add(other.sim_ops);
+        self.cells_touched = self.cells_touched.saturating_add(other.cells_touched);
+    }
+}
+
+impl std::ops::AddAssign<&ExecStats> for ExecStats {
+    fn add_assign(&mut self, rhs: &ExecStats) {
+        self.merge(rhs);
+    }
+}
+
+impl std::fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {}, cost {:.1}, {} passes, {} sim ops, mem high water {} bytes",
+            self.algorithm,
+            self.io,
+            self.cost,
+            self.passes,
+            self.sim_ops,
+            self.mem_high_water_bytes
+        )?;
+        if self.entry_fetches > 0 || self.cache_hits > 0 {
+            write!(
+                f,
+                ", {} entry fetches, {} cache hits",
+                self.entry_fetches, self.cache_hits
+            )?;
+        }
+        Ok(())
+    }
+}
+
 /// A completed join: the result plus its execution statistics.
 #[derive(Clone, Debug)]
 pub struct JoinOutcome {
@@ -146,5 +212,36 @@ mod tests {
         let a = JoinResult::from_rows(vec![(DocId::new(1), vec![m(0, 7.0)])]);
         let b = JoinResult::from_rows(vec![(DocId::new(1), vec![m(0, 7.0)])]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exec_stats_merge_saturates_and_displays() {
+        let mut a = ExecStats::zero(Algorithm::Hvnl);
+        a.io.seq_reads = 10;
+        a.io.rand_reads = 4;
+        a.cost = 30.0;
+        a.passes = 1;
+        a.entry_fetches = u64::MAX - 1;
+        a.cache_hits = 3;
+        a.sim_ops = 100;
+        let mut b = ExecStats::zero(Algorithm::Hvnl);
+        b.io.seq_reads = 5;
+        b.cost = 5.0;
+        b.passes = 2;
+        b.entry_fetches = 10;
+        b.mem_high_water_bytes = 64;
+        a += &b;
+        assert_eq!(a.io.seq_reads, 15);
+        assert_eq!(a.passes, 3);
+        assert_eq!(a.entry_fetches, u64::MAX, "saturates, never wraps");
+        assert_eq!(a.mem_high_water_bytes, 64);
+        assert_eq!(a.cost, 35.0);
+        let text = a.to_string();
+        assert!(text.starts_with("HVNL: "), "{text}");
+        assert!(text.contains("3 passes"), "{text}");
+        assert!(text.contains("cache hits"), "{text}");
+        // The HVNL-only clause disappears when those counters are zero.
+        let plain = ExecStats::zero(Algorithm::Hhnl).to_string();
+        assert!(!plain.contains("cache hits"), "{plain}");
     }
 }

@@ -3,6 +3,7 @@
 use textjoin_collection::{Collection, Document};
 use textjoin_common::{CollectionStats, DocId, QueryParams, Result, SystemParams};
 use textjoin_costmodel::JoinInputs;
+use textjoin_obs::Tracer;
 
 use crate::weighting::Weighting;
 
@@ -57,6 +58,9 @@ pub struct JoinSpec<'a> {
     /// when true, a pair with equal inner and outer document numbers is
     /// skipped, so a document does not trivially match itself.
     pub exclude_self: bool,
+    /// Optional tracer the executors open phase/batch spans on. `None`
+    /// (the default) keeps every instrumentation point a single branch.
+    pub trace: Option<&'a Tracer>,
 }
 
 impl<'a> JoinSpec<'a> {
@@ -71,6 +75,15 @@ impl<'a> JoinSpec<'a> {
             query: QueryParams::paper_base(),
             weighting: Weighting::RawCount,
             exclude_self: false,
+            trace: None,
+        }
+    }
+
+    /// Attaches a tracer; executors will open spans per phase and batch.
+    pub fn with_trace(self, trace: &'a Tracer) -> Self {
+        Self {
+            trace: Some(trace),
+            ..self
         }
     }
 

@@ -22,6 +22,7 @@ use std::collections::HashMap;
 use textjoin_common::{DocId, Error, Result, SIM_VALUE_BYTES};
 use textjoin_costmodel::Algorithm;
 use textjoin_invfile::InvertedFile;
+use textjoin_obs::Tracer;
 use textjoin_storage::MemTracker;
 
 /// Bytes charged per live accumulator. The paper budgets exactly 4 bytes
@@ -92,6 +93,10 @@ fn run(
     outer_ids: &[DocId],
     partitions: u64,
 ) -> Result<JoinOutcome> {
+    let mut root = Tracer::maybe(spec.trace, "vvm");
+    if root.is_enabled() {
+        root.record("partitions", partitions);
+    }
     let disk = spec.inner.store().disk();
     let start_io = disk.stats();
     let tracker = MemTracker::new(&spec.sys);
@@ -111,6 +116,9 @@ fn run(
 
     for chunk in outer_ids.chunks(chunk_size) {
         passes += 1;
+        let mut pass_span = root.child("vvm.merge_pass");
+        let pass_io = disk.stats();
+        let ops_before = sim_ops;
         // s → (r → accumulated weighted sum); membership tested against the
         // chunk's contiguous id range via binary search on the sorted chunk.
         let mut acc: HashMap<u32, HashMap<u32, f64>> = HashMap::new();
@@ -200,9 +208,22 @@ fn run(
             rows.push((outer_id, topk.into_matches()));
         }
         tracker.release(acc_bytes);
+        if pass_span.is_enabled() {
+            let d = disk.stats().since(&pass_io);
+            pass_span.record("outer_docs", chunk.len() as u64);
+            pass_span.record("seq_reads", d.seq_reads);
+            pass_span.record("rand_reads", d.rand_reads);
+            pass_span.record("sim_ops", sim_ops - ops_before);
+        }
     }
 
     let io = disk.stats().since(&start_io);
+    if root.is_enabled() {
+        root.record("passes", passes);
+        root.record("seq_reads", io.seq_reads);
+        root.record("rand_reads", io.rand_reads);
+        root.record("sim_ops", sim_ops);
+    }
     Ok(JoinOutcome {
         result: JoinResult::from_rows(rows),
         stats: ExecStats {

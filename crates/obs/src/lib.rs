@@ -1,0 +1,26 @@
+//! `textjoin-obs` — unified observability for the textjoin stack.
+//!
+//! The paper this repository reproduces is an exercise in *cost
+//! accounting*: its findings rest on knowing exactly how many sequential
+//! and random pages each join algorithm touches. This crate makes that
+//! accounting a first-class runtime facility instead of scattered one-off
+//! counters:
+//!
+//! - [`metrics`] — a sharded, atomic metrics registry. Counters, gauges
+//!   and fixed-bucket histograms are addressed by static name plus label,
+//!   cost one atomic op to update, and export as JSON-lines or
+//!   Prometheus text.
+//! - [`trace`] — a lightweight span tracer. Hierarchical timed spans
+//!   carry per-span metric deltas (pages read, cache hits, similarity
+//!   ops) into a bounded ring buffer. The [`trace::Tracer`] handle is a
+//!   no-op when disabled, so instrumented hot paths pay one branch.
+//!
+//! The crate is intentionally dependency-free (std only) and sits below
+//! every other `textjoin-*` crate so storage, executors and the query
+//! layer can all emit into one registry/trace.
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, MetricSnapshot, MetricValue, Registry};
+pub use trace::{Span, SpanRecord, Tracer};

@@ -1,0 +1,475 @@
+//! Sharded atomic metrics registry.
+//!
+//! Metrics are addressed by a `&'static str` name plus an owned label
+//! (typically a file or collection name). Registration takes a shard
+//! lock once; the returned handle is a clonable `Arc` around plain
+//! atomics, so updates on hot paths are single atomic instructions with
+//! no locking. Shards keep unrelated registrations from contending.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+const SHARDS: usize = 8;
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn inc_by(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can move in both directions.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if it is below (high-water tracking).
+    pub fn fetch_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Inclusive upper bounds, strictly increasing; an implicit `+Inf`
+    /// bucket follows.
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket histogram of `u64` observations.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    pub fn observe(&self, v: u64) {
+        let core = &self.0;
+        let idx = core.bounds.partition_point(|&b| b < v);
+        core.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        core.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A point-in-time reading of one registered metric.
+#[derive(Clone, Debug)]
+pub struct MetricSnapshot {
+    pub name: &'static str,
+    pub label: String,
+    pub value: MetricValue,
+}
+
+/// The value part of a [`MetricSnapshot`].
+#[derive(Clone, Debug)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(i64),
+    /// `(bounds, bucket counts (one extra for +Inf), total count, sum)`.
+    Histogram {
+        bounds: Vec<u64>,
+        buckets: Vec<u64>,
+        count: u64,
+        sum: u64,
+    },
+}
+
+#[derive(Default)]
+struct Shard {
+    map: Mutex<HashMap<(&'static str, String), Metric>>,
+}
+
+/// The sharded registry. Cheap to clone handles out of; cheap to share
+/// behind an `Arc`.
+#[derive(Default)]
+pub struct Registry {
+    shards: [Shard; SHARDS],
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shard(&self, name: &str, label: &str) -> &Shard {
+        // FNV-1a over name+label picks the shard.
+        let mut h = 0xcbf29ce484222325u64;
+        for b in name.bytes().chain(label.bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        &self.shards[(h % SHARDS as u64) as usize]
+    }
+
+    /// Gets or creates the counter `name{label}`.
+    pub fn counter(&self, name: &'static str, label: impl Into<String>) -> Counter {
+        let label = label.into();
+        let shard = self.shard(name, &label);
+        let mut map = shard.map.lock().unwrap_or_else(|e| e.into_inner());
+        match map
+            .entry((name, label))
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// Gets or creates the gauge `name{label}`.
+    pub fn gauge(&self, name: &'static str, label: impl Into<String>) -> Gauge {
+        let label = label.into();
+        let shard = self.shard(name, &label);
+        let mut map = shard.map.lock().unwrap_or_else(|e| e.into_inner());
+        match map
+            .entry((name, label))
+            .or_insert_with(|| Metric::Gauge(Gauge::default()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// Gets or creates the histogram `name{label}` with the given
+    /// inclusive bucket bounds (strictly increasing; `+Inf` is implicit).
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        label: impl Into<String>,
+        bounds: &[u64],
+    ) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let label = label.into();
+        let shard = self.shard(name, &label);
+        let mut map = shard.map.lock().unwrap_or_else(|e| e.into_inner());
+        match map.entry((name, label)).or_insert_with(|| {
+            Metric::Histogram(Histogram(Arc::new(HistogramCore {
+                bounds: bounds.to_vec(),
+                buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            })))
+        }) {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// A consistent-enough reading of every metric, sorted by name then
+    /// label. (Individual atomics are read without a global lock; counts
+    /// may be mid-update across metrics, never within one.)
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let map = shard.map.lock().unwrap_or_else(|e| e.into_inner());
+            for ((name, label), metric) in map.iter() {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram {
+                        bounds: h.0.bounds.clone(),
+                        buckets: h
+                            .0
+                            .buckets
+                            .iter()
+                            .map(|b| b.load(Ordering::Relaxed))
+                            .collect(),
+                        count: h.count(),
+                        sum: h.sum(),
+                    },
+                };
+                out.push(MetricSnapshot {
+                    name,
+                    label: label.clone(),
+                    value,
+                });
+            }
+        }
+        out.sort_by(|a, b| (a.name, &a.label).cmp(&(b.name, &b.label)));
+        out
+    }
+
+    /// One JSON object per metric, newline-separated.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for m in self.snapshot() {
+            let _ = write!(
+                out,
+                "{{\"metric\":\"{}\",\"label\":\"{}\"",
+                escape_json(m.name),
+                escape_json(&m.label)
+            );
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, ",\"kind\":\"counter\",\"value\":{v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = write!(out, ",\"kind\":\"gauge\",\"value\":{v}");
+                }
+                MetricValue::Histogram {
+                    bounds,
+                    buckets,
+                    count,
+                    sum,
+                } => {
+                    let _ = write!(
+                        out,
+                        ",\"kind\":\"histogram\",\"count\":{count},\"sum\":{sum},\"buckets\":["
+                    );
+                    for (i, c) in buckets.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        match bounds.get(i) {
+                            Some(le) => {
+                                let _ = write!(out, "{{\"le\":{le},\"count\":{c}}}");
+                            }
+                            None => {
+                                let _ = write!(out, "{{\"le\":\"+Inf\",\"count\":{c}}}");
+                            }
+                        }
+                    }
+                    out.push(']');
+                }
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Prometheus text exposition format (metric names sanitized to
+    /// `[a-zA-Z0-9_]`, label rendered as `{label="..."}`).
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        let mut last_name = "";
+        for m in self.snapshot() {
+            let prom_name = sanitize_prom(m.name);
+            let type_line = match &m.value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram { .. } => "histogram",
+            };
+            if m.name != last_name {
+                let _ = writeln!(out, "# TYPE {prom_name} {type_line}");
+                last_name = m.name;
+            }
+            let label = if m.label.is_empty() {
+                String::new()
+            } else {
+                format!("{{label=\"{}\"}}", escape_json(&m.label))
+            };
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{prom_name}{label} {v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{prom_name}{label} {v}");
+                }
+                MetricValue::Histogram {
+                    bounds,
+                    buckets,
+                    count,
+                    sum,
+                } => {
+                    let inner = if m.label.is_empty() {
+                        String::new()
+                    } else {
+                        format!("label=\"{}\",", escape_json(&m.label))
+                    };
+                    let mut cumulative = 0u64;
+                    for (i, c) in buckets.iter().enumerate() {
+                        cumulative += c;
+                        let le = match bounds.get(i) {
+                            Some(b) => b.to_string(),
+                            None => "+Inf".to_string(),
+                        };
+                        let _ =
+                            writeln!(out, "{prom_name}_bucket{{{inner}le=\"{le}\"}} {cumulative}");
+                    }
+                    let _ = writeln!(out, "{prom_name}_sum{label} {sum}");
+                    let _ = writeln!(out, "{prom_name}_count{label} {count}");
+                }
+            }
+        }
+        out
+    }
+}
+
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn sanitize_prom(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_gauge_round_trip() {
+        let r = Registry::new();
+        let c = r.counter("disk.seq_reads", "c1");
+        c.inc();
+        c.inc_by(4);
+        assert_eq!(c.get(), 5);
+        // Same name+label resolves to the same underlying atomic.
+        assert_eq!(r.counter("disk.seq_reads", "c1").get(), 5);
+
+        let g = r.gauge("mem.bytes", "");
+        g.set(100);
+        g.add(20);
+        g.sub(5);
+        g.fetch_max(90);
+        assert_eq!(g.get(), 115);
+    }
+
+    #[test]
+    fn histogram_buckets_observations() {
+        let r = Registry::new();
+        let h = r.histogram("span.us", "", &[10, 100, 1000]);
+        for v in [3, 9, 10, 11, 500, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 3 + 9 + 10 + 11 + 500 + 5000);
+        let snap = r.snapshot();
+        match &snap[0].value {
+            MetricValue::Histogram { buckets, .. } => {
+                assert_eq!(buckets, &vec![3, 1, 1, 1]);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_sorted_and_labeled() {
+        let r = Registry::new();
+        r.counter("b.z", "l2").inc();
+        r.counter("a.z", "l1").inc_by(7);
+        r.counter("b.z", "l1").inc();
+        let snap = r.snapshot();
+        let keys: Vec<_> = snap.iter().map(|m| (m.name, m.label.as_str())).collect();
+        assert_eq!(keys, vec![("a.z", "l1"), ("b.z", "l1"), ("b.z", "l2")]);
+    }
+
+    #[test]
+    fn json_lines_one_object_per_metric() {
+        let r = Registry::new();
+        r.counter("disk.writes", "x\"y").inc();
+        r.histogram("h", "", &[1]).observe(2);
+        let text = r.to_json_lines();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("\"label\":\"x\\\"y\""), "{text}");
+        assert!(text.contains("\"le\":\"+Inf\""), "{text}");
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let r = Registry::new();
+        r.counter("disk.seq_reads", "c1").inc_by(3);
+        let h = r.histogram("span.us", "", &[10, 100]);
+        h.observe(5);
+        h.observe(50);
+        let text = r.to_prometheus_text();
+        assert!(text.contains("# TYPE disk_seq_reads counter"), "{text}");
+        assert!(text.contains("disk_seq_reads{label=\"c1\"} 3"), "{text}");
+        assert!(text.contains("span_us_bucket{le=\"10\"} 1"), "{text}");
+        assert!(text.contains("span_us_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("span_us_count 2"), "{text}");
+    }
+
+    #[test]
+    fn shards_do_not_alias_distinct_metrics() {
+        let r = Registry::new();
+        for i in 0..64 {
+            r.counter("m.n", format!("label{i}")).inc_by(i);
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 64);
+    }
+
+    #[test]
+    fn concurrent_updates_are_not_lost() {
+        let r = std::sync::Arc::new(Registry::new());
+        let c = r.counter("c", "");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+    }
+}

@@ -1,0 +1,377 @@
+//! Lightweight span tracing.
+//!
+//! A [`Tracer`] is either disabled — the default, in which case every
+//! operation on it and on its [`Span`]s is a branch on a `None` — or
+//! enabled with a bounded ring buffer of finished [`SpanRecord`]s and an
+//! attached metrics [`Registry`]. Spans are hierarchical (explicit
+//! parenting via [`Span::child`], no thread-locals) and carry named
+//! `u64` fields so executors can attach per-span metric deltas: pages
+//! read, cache hits, similarity operations.
+
+use crate::metrics::{escape_json, Registry};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A finished span, as stored in the tracer's ring buffer.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Unique id within this tracer (1-based; 0 means "no parent").
+    pub id: u64,
+    /// Id of the enclosing span, or 0 for roots.
+    pub parent: u64,
+    /// Static span name, e.g. `"hhnl"` or `"inner_scan"`.
+    pub name: &'static str,
+    /// Free-form detail, e.g. a batch number or chosen-algorithm note.
+    pub detail: String,
+    /// Microseconds from tracer creation to span start.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+    /// Named metric deltas recorded on the span.
+    pub fields: Vec<(&'static str, u64)>,
+}
+
+struct Ring {
+    records: Vec<SpanRecord>,
+    capacity: usize,
+    head: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, record: SpanRecord) {
+        if self.records.len() < self.capacity {
+            self.records.push(record);
+        } else {
+            self.dropped += 1;
+            self.records[self.head] = record;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Records in completion order (oldest first).
+    fn in_order(&self) -> Vec<SpanRecord> {
+        let mut out = Vec::with_capacity(self.records.len());
+        out.extend_from_slice(&self.records[self.head..]);
+        out.extend_from_slice(&self.records[..self.head]);
+        out
+    }
+}
+
+struct Shared {
+    ring: Mutex<Ring>,
+    next_id: AtomicU64,
+    epoch: Instant,
+    registry: Arc<Registry>,
+}
+
+/// Handle to the tracing facility. `Clone` is cheap (an `Option<Arc>`);
+/// a disabled tracer makes every instrumentation point a single branch.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    shared: Option<Arc<Shared>>,
+}
+
+impl Tracer {
+    /// The no-op tracer: spans are free, nothing is recorded.
+    pub fn disabled() -> Self {
+        Self { shared: None }
+    }
+
+    /// An enabled tracer retaining at most `capacity` finished spans
+    /// (oldest evicted first), with its own metrics registry.
+    pub fn enabled(capacity: usize) -> Self {
+        Self::with_registry(capacity, Arc::new(Registry::new()))
+    }
+
+    /// An enabled tracer writing span-duration observations and sharing
+    /// the given registry.
+    pub fn with_registry(capacity: usize, registry: Arc<Registry>) -> Self {
+        Self {
+            shared: Some(Arc::new(Shared {
+                ring: Mutex::new(Ring {
+                    records: Vec::new(),
+                    capacity: capacity.max(1),
+                    head: 0,
+                    dropped: 0,
+                }),
+                next_id: AtomicU64::new(1),
+                epoch: Instant::now(),
+                registry,
+            })),
+        }
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// The registry events are counted into, when enabled.
+    pub fn registry(&self) -> Option<&Arc<Registry>> {
+        self.shared.as_ref().map(|s| &s.registry)
+    }
+
+    /// Opens a root span. On a disabled tracer this is free.
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        self.open(name, 0)
+    }
+
+    /// Opens a span on an optional tracer reference — the form executors
+    /// use with `JoinSpec::trace`.
+    pub fn maybe<'t>(trace: Option<&'t Tracer>, name: &'static str) -> Span<'t> {
+        match trace {
+            Some(t) => t.span(name),
+            None => Span::noop(),
+        }
+    }
+
+    fn open(&self, name: &'static str, parent: u64) -> Span<'_> {
+        match &self.shared {
+            None => Span::noop(),
+            Some(shared) => Span {
+                shared: Some(shared),
+                id: shared.next_id.fetch_add(1, Ordering::Relaxed),
+                parent,
+                name,
+                detail: String::new(),
+                start: Instant::now(),
+                fields: Vec::new(),
+            },
+        }
+    }
+
+    /// Number of spans evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        match &self.shared {
+            None => 0,
+            Some(shared) => {
+                shared
+                    .ring
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .dropped
+            }
+        }
+    }
+
+    /// Finished spans in completion order (children precede parents).
+    pub fn finished(&self) -> Vec<SpanRecord> {
+        match &self.shared {
+            None => Vec::new(),
+            Some(shared) => shared
+                .ring
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .in_order(),
+        }
+    }
+
+    /// One JSON object per finished span, newline-separated; fields are
+    /// inlined as top-level keys.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for s in self.finished() {
+            let _ = write!(
+                out,
+                "{{\"span\":{},\"parent\":{},\"name\":\"{}\",\"start_us\":{},\"dur_us\":{}",
+                s.id,
+                s.parent,
+                escape_json(s.name),
+                s.start_us,
+                s.dur_us
+            );
+            if !s.detail.is_empty() {
+                let _ = write!(out, ",\"detail\":\"{}\"", escape_json(&s.detail));
+            }
+            for (k, v) in &s.fields {
+                let _ = write!(out, ",\"{}\":{v}", escape_json(k));
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+/// An open span. Records itself into the tracer's ring when dropped;
+/// all methods are no-ops on a disabled tracer.
+pub struct Span<'t> {
+    shared: Option<&'t Arc<Shared>>,
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    detail: String,
+    start: Instant,
+    fields: Vec<(&'static str, u64)>,
+}
+
+impl<'t> Span<'t> {
+    fn noop() -> Self {
+        Self {
+            shared: None,
+            id: 0,
+            parent: 0,
+            name: "",
+            detail: String::new(),
+            // Never read on the no-op path, but `Instant` has no cheap
+            // dummy; one `now()` per *constructed* noop span would defeat
+            // the one-branch contract, so reuse a process-wide constant.
+            start: *NOOP_INSTANT.get_or_init(Instant::now),
+            fields: Vec::new(),
+        }
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Opens a child span of this one.
+    pub fn child(&self, name: &'static str) -> Span<'t> {
+        match self.shared {
+            None => Span::noop(),
+            Some(shared) => Span {
+                shared: Some(shared),
+                id: shared.next_id.fetch_add(1, Ordering::Relaxed),
+                parent: self.id,
+                name,
+                detail: String::new(),
+                start: Instant::now(),
+                fields: Vec::new(),
+            },
+        }
+    }
+
+    /// Attaches a named metric delta (pages read, cache hits, …).
+    #[inline]
+    pub fn record(&mut self, field: &'static str, value: u64) {
+        if self.shared.is_some() {
+            self.fields.push((field, value));
+        }
+    }
+
+    /// Sets the free-form detail string (lazily: the closure only runs
+    /// when the span is live).
+    #[inline]
+    pub fn detail(&mut self, f: impl FnOnce() -> String) {
+        if self.shared.is_some() {
+            self.detail = f();
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let Some(shared) = self.shared else {
+            return;
+        };
+        let end = Instant::now();
+        let start_us = self
+            .start
+            .saturating_duration_since(shared.epoch)
+            .as_micros() as u64;
+        let dur_us = end.saturating_duration_since(self.start).as_micros() as u64;
+        let record = SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            name: self.name,
+            detail: std::mem::take(&mut self.detail),
+            start_us,
+            dur_us,
+            fields: std::mem::take(&mut self.fields),
+        };
+        shared
+            .ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(record);
+    }
+}
+
+// One shared Instant for no-op spans; taken once per process.
+static NOOP_INSTANT: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        {
+            let mut s = t.span("root");
+            s.record("pages", 5);
+            let _c = s.child("leaf");
+        }
+        assert!(!t.is_enabled());
+        assert!(t.finished().is_empty());
+        assert_eq!(t.to_json_lines(), "");
+    }
+
+    #[test]
+    fn spans_nest_and_carry_fields() {
+        let t = Tracer::enabled(16);
+        {
+            let mut root = t.span("join");
+            root.record("pages", 10);
+            root.detail(|| "batch 0".to_string());
+            {
+                let mut child = root.child("scan");
+                child.record("hits", 3);
+            }
+        }
+        let spans = t.finished();
+        assert_eq!(spans.len(), 2);
+        // Children finish first.
+        assert_eq!(spans[0].name, "scan");
+        assert_eq!(spans[1].name, "join");
+        assert_eq!(spans[0].parent, spans[1].id);
+        assert_eq!(spans[1].parent, 0);
+        assert_eq!(spans[1].fields, vec![("pages", 10)]);
+        assert_eq!(spans[1].detail, "batch 0");
+        let json = t.to_json_lines();
+        assert_eq!(json.lines().count(), 2);
+        assert!(json.contains("\"name\":\"scan\""), "{json}");
+        assert!(json.contains("\"hits\":3"), "{json}");
+    }
+
+    #[test]
+    fn ring_buffer_bounds_and_counts_drops() {
+        let t = Tracer::enabled(4);
+        for i in 0..10 {
+            let mut s = t.span("s");
+            s.record("i", i);
+        }
+        let spans = t.finished();
+        assert_eq!(spans.len(), 4);
+        assert_eq!(t.dropped(), 6);
+        // The four newest survive, oldest first.
+        let is: Vec<u64> = spans.iter().map(|s| s.fields[0].1).collect();
+        assert_eq!(is, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn maybe_handles_both_arms() {
+        let t = Tracer::enabled(4);
+        {
+            let _s = Tracer::maybe(Some(&t), "present");
+            let _n = Tracer::maybe(None, "absent");
+        }
+        assert_eq!(t.finished().len(), 1);
+        assert_eq!(t.finished()[0].name, "present");
+    }
+
+    #[test]
+    fn tracer_exposes_its_registry() {
+        let t = Tracer::enabled(4);
+        t.registry().unwrap().counter("c", "").inc();
+        assert!(t
+            .registry()
+            .unwrap()
+            .to_json_lines()
+            .contains("\"value\":1"));
+        assert!(Tracer::disabled().registry().is_none());
+    }
+}

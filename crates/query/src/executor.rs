@@ -40,6 +40,18 @@ pub fn execute_plan(
     sys: SystemParams,
     base_query_params: QueryParams,
 ) -> Result<QueryOutput> {
+    execute_plan_traced(catalog, p, sys, base_query_params, None)
+}
+
+/// Executes an already-planned query, opening executor spans on `trace`
+/// when one is given (the `EXPLAIN ANALYZE` path).
+pub fn execute_plan_traced(
+    catalog: &Catalog,
+    p: &Plan,
+    sys: SystemParams,
+    base_query_params: QueryParams,
+    trace: Option<&textjoin_obs::Tracer>,
+) -> Result<QueryOutput> {
     let inner_rel = catalog
         .relation(&p.inner_rel)
         .expect("planned relation exists");
@@ -61,6 +73,9 @@ pub fn execute_plan(
     }
     if let Some(ids) = &p.inner_rows {
         spec = spec.with_inner_docs(ids);
+    }
+    if let Some(t) = trace {
+        spec = spec.with_trace(t);
     }
 
     let outcome = match p.chosen {

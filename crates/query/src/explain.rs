@@ -1,13 +1,23 @@
 //! `EXPLAIN` for textual-join queries: show the plan, the pushdown, the
 //! six cost estimates and the integrated algorithm's choice — the paper's
 //! section 6.1 decision procedure, made visible.
+//!
+//! `EXPLAIN ANALYZE` goes further: it *runs* every feasible algorithm on
+//! the actual data, renders the measured execution statistics and the
+//! per-phase span timings of the chosen one, and reports the drift of each
+//! of the paper's six cost formulas (`hhs`/`hhr`/`hvs`/`hvr`/`vvs`/`vvr`)
+//! against the measured page traffic — the model-validation experiment of
+//! section 6, on demand.
 
 use crate::catalog::Catalog;
 use crate::parser::parse;
 use crate::planner::{plan, Plan};
+use std::collections::HashMap;
 use std::fmt::Write as _;
-use textjoin_common::{QueryParams, Result, SystemParams};
+use textjoin_common::{Error, QueryParams, Result, SystemParams};
+use textjoin_core::{hhnl, hvnl, vvm, ExecStats, JoinSpec, OuterDocs};
 use textjoin_costmodel::{Algorithm, IoScenario};
+use textjoin_obs::{SpanRecord, Tracer};
 
 /// Plans the query and renders a human-readable explanation.
 pub fn explain_query(
@@ -86,6 +96,234 @@ fn render(p: &Plan, sys: SystemParams, scenario: IoScenario) -> String {
     out
 }
 
+/// One predicted-vs-measured line of the drift report.
+#[derive(Clone, Debug)]
+pub struct DriftRow {
+    /// The paper's formula name: `hhs`, `hhr`, `hvs`, `hvr`, `vvs`, `vvr`.
+    pub formula: &'static str,
+    /// The algorithm the formula models.
+    pub algorithm: Algorithm,
+    /// The formula's prediction in page-cost units (`INFINITY` when the
+    /// algorithm is infeasible in the given memory).
+    pub predicted: f64,
+    /// The measured cost under the same pricing, or `None` when the
+    /// algorithm could not run (insufficient memory at run time).
+    pub measured: Option<f64>,
+    /// Signed percent error `(measured − predicted) / predicted · 100`,
+    /// when both sides are available and the prediction is finite.
+    pub percent_error: Option<f64>,
+}
+
+/// The result of `EXPLAIN ANALYZE`: the rendered report plus the raw
+/// numbers it was built from, for programmatic checks.
+pub struct AnalyzeOutput {
+    /// The full human-readable report.
+    pub text: String,
+    /// The algorithm the plan chose (and which was traced).
+    pub executed: Algorithm,
+    /// Measured statistics of the chosen algorithm's run, when feasible.
+    pub stats: Option<ExecStats>,
+    /// Model-vs-measured drift, one row per cost formula.
+    pub drift: Vec<DriftRow>,
+}
+
+impl AnalyzeOutput {
+    /// The drift row for one formula name.
+    pub fn row(&self, formula: &str) -> Option<&DriftRow> {
+        self.drift.iter().find(|r| r.formula == formula)
+    }
+}
+
+/// Plans the query, runs every feasible algorithm against the stored
+/// collections, and renders estimates, measured statistics, per-phase
+/// span timings and the model-vs-measured drift report.
+pub fn explain_analyze_query(
+    catalog: &Catalog,
+    sql: &str,
+    sys: SystemParams,
+    base_query_params: QueryParams,
+    scenario: IoScenario,
+) -> Result<AnalyzeOutput> {
+    let query = parse(sql)?;
+    let p = plan(catalog, &query, sys, base_query_params, scenario)?;
+
+    let inner_rel = catalog
+        .relation(&p.inner_rel)
+        .expect("planned relation exists");
+    let outer_rel = catalog
+        .relation(&p.outer_rel)
+        .expect("planned relation exists");
+    let inner_tc = inner_rel
+        .text_column(&p.inner_column)
+        .expect("planned text column");
+    let outer_tc = outer_rel
+        .text_column(&p.outer_column)
+        .expect("planned text column");
+
+    let mut base = JoinSpec::new(&inner_tc.collection, &outer_tc.collection)
+        .with_sys(sys)
+        .with_query(base_query_params.with_lambda(p.lambda));
+    if let Some(ids) = &p.outer_rows {
+        base = base.with_outer_docs(OuterDocs::Selected(ids));
+    }
+    if let Some(ids) = &p.inner_rows {
+        base = base.with_inner_docs(ids);
+    }
+
+    // Run each feasible algorithm once. The plan's choice runs with the
+    // tracer attached so its phase spans appear in the report.
+    let tracer = Tracer::enabled(1024);
+    let mut measured: [Option<ExecStats>; 3] = [None, None, None];
+    for (i, alg) in Algorithm::ALL.into_iter().enumerate() {
+        if p.estimates.cost(alg, IoScenario::Dedicated).is_infinite() {
+            continue;
+        }
+        let spec = if alg == p.chosen {
+            base.with_trace(&tracer)
+        } else {
+            base
+        };
+        let run = match alg {
+            Algorithm::Hhnl => hhnl::execute(&spec),
+            Algorithm::Hvnl => hvnl::execute(&spec, &inner_tc.inverted),
+            Algorithm::Vvm => vvm::execute(&spec, &inner_tc.inverted, &outer_tc.inverted),
+        };
+        match run {
+            Ok(out) => measured[i] = Some(out.stats),
+            // The estimate was optimistic; report the formula as
+            // unmeasurable rather than failing the whole ANALYZE.
+            Err(Error::InsufficientMemory { .. }) => {}
+            Err(e) => return Err(e),
+        }
+    }
+
+    // Drift: the sequential formulas price the run's actual seq/rand page
+    // classification (seq + α·rand); the worst-case-random formulas price
+    // the same page traffic with every read reclassified as random (the
+    // paper's interference scenario), i.e. α · total pages.
+    let mut drift = Vec::with_capacity(6);
+    for (i, alg) in Algorithm::ALL.into_iter().enumerate() {
+        let (seq_name, rand_name) = match alg {
+            Algorithm::Hhnl => ("hhs", "hhr"),
+            Algorithm::Hvnl => ("hvs", "hvr"),
+            Algorithm::Vvm => ("vvs", "vvr"),
+        };
+        let stats = measured[i].as_ref();
+        let rows = [
+            (
+                seq_name,
+                IoScenario::Dedicated,
+                stats.map(|s| s.io.cost(sys.alpha)),
+            ),
+            (
+                rand_name,
+                IoScenario::SharedWorstCase,
+                stats.map(|s| sys.alpha * s.io.total_reads() as f64),
+            ),
+        ];
+        for (formula, sc, meas) in rows {
+            let predicted = p.estimates.cost(alg, sc);
+            let percent_error = match meas {
+                Some(m) if predicted.is_finite() && predicted > 0.0 => {
+                    Some((m - predicted) / predicted * 100.0)
+                }
+                _ => None,
+            };
+            drift.push(DriftRow {
+                formula,
+                algorithm: alg,
+                predicted,
+                measured: meas,
+                percent_error,
+            });
+        }
+    }
+
+    let chosen_idx = Algorithm::ALL
+        .iter()
+        .position(|a| *a == p.chosen)
+        .expect("chosen is one of ALL");
+    let stats = measured[chosen_idx];
+
+    let mut text = String::from("EXPLAIN ANALYZE\n");
+    text.push_str(&render(&p, sys, scenario));
+    let _ = writeln!(text, "  analyze:");
+    match &stats {
+        Some(s) => {
+            let _ = writeln!(text, "    executed {s}");
+        }
+        None => {
+            let _ = writeln!(
+                text,
+                "    executed {}: infeasible at run time (insufficient memory)",
+                p.chosen
+            );
+        }
+    }
+    let _ = writeln!(
+        text,
+        "    drift (page-cost units; % = (measured − predicted)/predicted):"
+    );
+    for row in &drift {
+        let predicted = if row.predicted.is_finite() {
+            format!("{:>12.1}", row.predicted)
+        } else {
+            format!("{:>12}", "inf")
+        };
+        let (meas, err) = match (row.measured, row.percent_error) {
+            (Some(m), Some(e)) => (format!("{m:>12.1}"), format!("{e:>+7.1}%")),
+            (Some(m), None) => (format!("{m:>12.1}"), "      —".to_string()),
+            _ => (format!("{:>12}", "n/a"), "      —".to_string()),
+        };
+        let _ = writeln!(text, "      {} {predicted} vs {meas} {err}", row.formula);
+    }
+    let _ = writeln!(text, "    spans ({} recorded):", tracer.finished().len());
+    render_span_tree(&mut text, &tracer.finished());
+
+    Ok(AnalyzeOutput {
+        text,
+        executed: p.chosen,
+        stats,
+        drift,
+    })
+}
+
+/// Renders finished spans as an indented tree (roots first, children by
+/// start time).
+fn render_span_tree(out: &mut String, spans: &[SpanRecord]) {
+    let mut children: HashMap<u64, Vec<&SpanRecord>> = HashMap::new();
+    for s in spans {
+        children.entry(s.parent).or_default().push(s);
+    }
+    for v in children.values_mut() {
+        v.sort_by_key(|s| (s.start_us, s.id));
+    }
+    fn rec(out: &mut String, children: &HashMap<u64, Vec<&SpanRecord>>, id: u64, depth: usize) {
+        let Some(kids) = children.get(&id) else {
+            return;
+        };
+        for s in kids {
+            let _ = write!(
+                out,
+                "      {:indent$}{} {}µs",
+                "",
+                s.name,
+                s.dur_us,
+                indent = depth * 2
+            );
+            if !s.detail.is_empty() {
+                let _ = write!(out, " — {}", s.detail);
+            }
+            for (k, v) in &s.fields {
+                let _ = write!(out, " {k}={v}");
+            }
+            out.push('\n');
+            rec(out, children, s.id, depth + 1);
+        }
+    }
+    rec(out, &children, 0, 0);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +383,104 @@ mod tests {
         assert!(text.contains("← chosen"), "{text}");
         assert!(text.contains("HHNL") && text.contains("HVNL") && text.contains("VVM"));
         assert!(text.contains("SIMILARITY"));
+    }
+
+    /// A catalog big enough that per-scan seeks and final-page ceilings
+    /// are noise next to the sequential page counts the formulas predict.
+    /// Every document gets exactly `words_per_doc` distinct words drawn
+    /// from a shared rotating vocabulary.
+    fn big_catalog(
+        page_size: usize,
+        inner_rows: usize,
+        outer_rows: usize,
+        words_per_doc: usize,
+        vocab: usize,
+    ) -> Catalog {
+        assert!(words_per_doc <= vocab, "rows must hold distinct words");
+        let word = |i: usize| format!("w{:03}", i % vocab);
+        let disk = Arc::new(DiskSim::new(page_size));
+        let mut c = Catalog::new(disk);
+        let mut docs = RelationBuilder::new("Docs")
+            .column("Id", ColumnType::Int)
+            .column("Body", ColumnType::Text);
+        for r in 0..inner_rows {
+            let text: Vec<String> = (0..words_per_doc).map(|j| word(r * 7 + j)).collect();
+            docs = docs
+                .row(vec![Value::Int(r as i64), Value::Text(text.join(" "))])
+                .unwrap();
+        }
+        c.add(docs).unwrap();
+        let mut queries = RelationBuilder::new("Queries")
+            .column("Id", ColumnType::Int)
+            .column("Body", ColumnType::Text);
+        for r in 0..outer_rows {
+            let text: Vec<String> = (0..words_per_doc).map(|j| word(r * 11 + 3 + j)).collect();
+            queries = queries
+                .row(vec![Value::Int(r as i64), Value::Text(text.join(" "))])
+                .unwrap();
+        }
+        c.add(queries).unwrap();
+        c
+    }
+
+    #[test]
+    fn analyze_drift_under_ten_percent_for_hhnl_and_vvm() {
+        let c = big_catalog(512, 200, 100, 60, 300);
+        let sys = SystemParams {
+            buffer_pages: 2000,
+            page_size: 512,
+            alpha: 5.0,
+        };
+        let out = explain_analyze_query(
+            &c,
+            "Select D.Id, Q.Id From Docs D, Queries Q \
+             Where D.Body SIMILAR_TO(3) Q.Body",
+            sys,
+            QueryParams::paper_base(),
+            IoScenario::Dedicated,
+        )
+        .unwrap();
+        for formula in ["hhs", "vvs"] {
+            let row = out.row(formula).expect("row exists");
+            let err = row
+                .percent_error
+                .unwrap_or_else(|| panic!("{formula} did not run: {:?}", row.measured));
+            assert!(
+                err.abs() < 10.0,
+                "{formula}: predicted {:.1}, measured {:?}, drift {err:+.1}%",
+                row.predicted,
+                row.measured,
+            );
+        }
+    }
+
+    #[test]
+    fn analyze_report_shows_stats_drift_and_spans() {
+        let c = catalog();
+        let out = explain_analyze_query(
+            &c,
+            "Select P.Title, A.Name From Positions P, Applicants A \
+             Where A.Resume SIMILAR_TO(2) P.Job_descr",
+            SystemParams::paper_base(),
+            QueryParams::paper_base(),
+            IoScenario::Dedicated,
+        )
+        .unwrap();
+        assert!(out.text.starts_with("EXPLAIN ANALYZE\n"), "{}", out.text);
+        assert!(out.text.contains("analyze:"), "{}", out.text);
+        assert!(out.text.contains("executed "), "{}", out.text);
+        assert!(out.text.contains("drift"), "{}", out.text);
+        for f in ["hhs", "hhr", "hvs", "hvr", "vvs", "vvr"] {
+            assert!(out.text.contains(f), "missing {f} in:\n{}", out.text);
+        }
+        assert_eq!(out.drift.len(), 6);
+        // The chosen algorithm ran with the tracer attached, so its root
+        // span appears in the report.
+        let stats = out.stats.expect("chosen algorithm ran");
+        assert_eq!(stats.algorithm, out.executed);
+        assert!(out.text.contains("spans ("), "{}", out.text);
+        let root = out.executed.to_string().to_lowercase();
+        assert!(out.text.contains(&root), "no {root} span in:\n{}", out.text);
     }
 
     #[test]

@@ -38,6 +38,6 @@ pub mod planner;
 pub use ast::{ColumnRef, Literal, Predicate, Query};
 pub use catalog::{Catalog, ColumnType, Relation, RelationBuilder, Value};
 pub use executor::{run_query, QueryOutput};
-pub use explain::explain_query;
+pub use explain::{explain_analyze_query, explain_query, AnalyzeOutput, DriftRow};
 pub use parser::parse;
 pub use planner::{plan, Plan};

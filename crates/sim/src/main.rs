@@ -15,16 +15,51 @@
 //! textjoin-sim all [scale]        # everything above
 //!
 //! Append `--csv` to any table command to emit CSV instead of the grid.
+//! Append `--trace-out <path>` to `validate` or `all` to also run each
+//! scenario with span tracing and metric mirroring enabled and dump the
+//! combined JSON-lines (spans, then metrics, prefixed by a scenario
+//! marker line) to `<path>`.
 //! ```
 
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use textjoin_sim::{findings, groups, validate, Table};
+
+/// Writes one scenario-marker line plus the span/metric JSON-lines of each
+/// traced scenario run.
+fn write_traces(path: &Path, cfgs: &[validate::ValidationConfig]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    for cfg in cfgs {
+        match validate::trace_one(cfg) {
+            Ok(dump) => {
+                writeln!(f, "{{\"scenario\":{:?}}}", cfg.label)?;
+                f.write_all(dump.as_bytes())?;
+            }
+            Err(e) => eprintln!("{}: trace failed: {e}", cfg.label),
+        }
+    }
+    Ok(())
+}
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // `--csv` anywhere switches table output to CSV (for plotting).
     let csv = args.iter().any(|a| a == "--csv");
     args.retain(|a| a != "--csv");
+    // `--trace-out <path>` dumps span/metric JSON-lines per scenario.
+    let trace_out: Option<PathBuf> = match args.iter().position(|a| a == "--trace-out") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                eprintln!("--trace-out needs a path argument");
+                return ExitCode::FAILURE;
+            }
+            let p = PathBuf::from(&args[i + 1]);
+            args.drain(i..=i + 1);
+            Some(p)
+        }
+        None => None,
+    };
     let command = args.first().map(String::as_str).unwrap_or("all");
     let scale: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100);
 
@@ -38,16 +73,27 @@ fn main() -> ExitCode {
 
     let run_validate = |scale: u64| -> ExitCode {
         eprintln!("generating scaled collections and running all executors …");
-        match validate::validate_all(&validate::paper_scaled_configs(scale)) {
+        let cfgs = validate::paper_scaled_configs(scale);
+        match validate::validate_all(&cfgs) {
             Ok(rows) => {
                 println!("{}", validate::validation_table(&rows));
-                ExitCode::SUCCESS
             }
             Err(e) => {
                 eprintln!("validation failed: {e}");
-                ExitCode::FAILURE
+                return ExitCode::FAILURE;
             }
         }
+        if let Some(path) = &trace_out {
+            eprintln!("re-running scenarios with tracing enabled …");
+            match write_traces(path, &cfgs) {
+                Ok(()) => eprintln!("wrote span/metric trace to {}", path.display()),
+                Err(e) => {
+                    eprintln!("writing {} failed: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        ExitCode::SUCCESS
     };
 
     match command {

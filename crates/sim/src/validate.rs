@@ -210,6 +210,44 @@ pub fn validate_worst_case(cfg: &ValidationConfig) -> Result<Vec<ValidationRow>>
     Ok(rows)
 }
 
+/// Runs one scenario with a span tracer and a metric registry attached —
+/// the `--trace-out` path of the sim binary. All three executors run with
+/// phase spans recorded into one ring; the disk mirrors its counters into
+/// the registry. Returns the combined JSON-lines dump: one line per span
+/// (executor phases and batches) followed by one line per metric.
+pub fn trace_one(cfg: &ValidationConfig) -> Result<String> {
+    use textjoin_obs::{Registry, Tracer};
+    use textjoin_storage::DiskMetrics;
+
+    let registry = Arc::new(Registry::new());
+    let disk = Arc::new(DiskSim::new(cfg.sys.page_size));
+    disk.set_metrics(Some(DiskMetrics::register(&registry, &cfg.label)));
+    let c1 = cfg.spec1.generate(Arc::clone(&disk), "c1")?;
+    let c2 = cfg.spec2.generate(Arc::clone(&disk), "c2")?;
+    let inv1 = InvertedFile::build(Arc::clone(&disk), "c1", &c1)?;
+    let inv2 = InvertedFile::build(Arc::clone(&disk), "c2", &c2)?;
+
+    let tracer = Tracer::with_registry(4096, Arc::clone(&registry));
+    let spec = JoinSpec::new(&c1, &c2)
+        .with_sys(cfg.sys)
+        .with_query(cfg.query)
+        .with_trace(&tracer);
+
+    disk.reset_stats();
+    disk.reset_head();
+    hhnl::execute(&spec)?;
+    disk.reset_stats();
+    disk.reset_head();
+    hvnl::execute(&spec, &inv1)?;
+    disk.reset_stats();
+    disk.reset_head();
+    vvm::execute(&spec, &inv1, &inv2)?;
+
+    let mut out = tracer.to_json_lines();
+    out.push_str(&registry.to_json_lines());
+    Ok(out)
+}
+
 /// Runs several scenarios in parallel (one thread per scenario — each has
 /// its own simulated disk).
 pub fn validate_all(configs: &[ValidationConfig]) -> Result<Vec<ValidationRow>> {
@@ -461,6 +499,19 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn trace_dump_holds_executor_spans_and_disk_metrics() {
+        let dump = trace_one(&quick_configs()[0]).unwrap();
+        for name in ["\"hhnl\"", "\"hvnl\"", "\"vvm\""] {
+            assert!(dump.contains(name), "missing root span {name} in:\n{dump}");
+        }
+        assert!(dump.contains("disk.seq_reads"), "{dump}");
+        assert!(
+            dump.lines().all(|l| l.starts_with('{') && l.ends_with('}')),
+            "every line must be a JSON object"
+        );
     }
 
     #[test]

@@ -15,8 +15,10 @@
 use crate::disk::{DiskSim, FileId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::Arc;
 use textjoin_common::Result;
+use textjoin_obs::{Counter, Registry};
 
 /// Cache hit/miss counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -27,6 +29,36 @@ pub struct BufferStats {
     pub misses: u64,
     /// Pages evicted to make room.
     pub evictions: u64,
+}
+
+impl fmt::Display for BufferStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits, {} misses, {} evictions",
+            self.hits, self.misses, self.evictions
+        )
+    }
+}
+
+/// Counter handles a [`BufferPool`] emits hit/miss/eviction events into
+/// when attached via [`BufferPool::set_metrics`].
+#[derive(Clone)]
+pub struct PoolMetrics {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+}
+
+impl PoolMetrics {
+    /// Registers the three pool counters under `label`.
+    pub fn register(registry: &Registry, label: &str) -> Self {
+        Self {
+            hits: registry.counter("buffer.hits", label),
+            misses: registry.counter("buffer.misses", label),
+            evictions: registry.counter("buffer.evictions", label),
+        }
+    }
 }
 
 type Key = (FileId, u64);
@@ -50,6 +82,8 @@ struct LruState {
     tail: usize,
     capacity: usize,
     stats: BufferStats,
+    /// Optional observability sink, updated under this same lock.
+    metrics: Option<PoolMetrics>,
 }
 
 impl LruState {
@@ -95,6 +129,9 @@ impl LruState {
             self.map.remove(&old_key);
             self.free.push(victim);
             self.stats.evictions += 1;
+            if let Some(m) = &self.metrics {
+                m.evictions.inc();
+            }
         }
         let idx = match self.free.pop() {
             Some(i) => {
@@ -144,6 +181,7 @@ impl<'d> BufferPool<'d> {
                 tail: NIL,
                 capacity: capacity_pages,
                 stats: BufferStats::default(),
+                metrics: None,
             }),
         }
     }
@@ -171,6 +209,13 @@ impl<'d> BufferPool<'d> {
     /// Hit/miss/eviction counters.
     pub fn stats(&self) -> BufferStats {
         self.state.lock().stats
+    }
+
+    /// Attaches (or with `None`, detaches) an observability sink: cache
+    /// hits, misses and evictions are mirrored into the registered
+    /// counters under the pool's existing lock.
+    pub fn set_metrics(&self, metrics: Option<PoolMetrics>) {
+        self.state.lock().metrics = metrics;
     }
 
     /// Whether a page is resident (does not touch recency).
@@ -204,11 +249,12 @@ impl<'d> BufferPool<'d> {
         {
             let mut st = self.state.lock();
             let mut run_start: Option<u64> = None;
+            let mut hits = 0u64;
             for i in 0..len {
                 let page = start + i;
                 if let Some(&idx) = st.map.get(&(file, page)) {
                     st.touch(idx);
-                    st.stats.hits += 1;
+                    hits += 1;
                     out[i as usize] = Some(Arc::clone(&st.slots[idx].data));
                     if let Some(rs) = run_start.take() {
                         missing_runs.push((rs, page - rs));
@@ -220,6 +266,12 @@ impl<'d> BufferPool<'d> {
             if let Some(rs) = run_start {
                 missing_runs.push((rs, start + len - rs));
             }
+            st.stats.hits += hits;
+            if let Some(m) = &st.metrics {
+                if hits > 0 {
+                    m.hits.inc_by(hits);
+                }
+            }
         }
 
         // Pass 2: fetch missing runs (disk classifies them) and install.
@@ -227,6 +279,9 @@ impl<'d> BufferPool<'d> {
             let pages = self.disk.read_run(file, rs, rl)?;
             let mut st = self.state.lock();
             st.stats.misses += rl;
+            if let Some(m) = &st.metrics {
+                m.misses.inc_by(rl);
+            }
             for (j, data) in pages.into_iter().enumerate() {
                 let page = rs + j as u64;
                 out[(page - start) as usize] = Some(Arc::clone(&data));
@@ -336,6 +391,22 @@ mod tests {
         assert_eq!(pool.stats().hits, 0);
         assert_eq!(pool.stats().misses, 6);
         assert_eq!(pool.stats().evictions, 5);
+    }
+
+    #[test]
+    fn attached_metrics_mirror_pool_events() {
+        let registry = textjoin_obs::Registry::new();
+        let (disk, f, _) = setup(4, 2);
+        let pool = BufferPool::new(&disk, 2);
+        pool.set_metrics(Some(PoolMetrics::register(&registry, "pool")));
+        pool.get(f, 0).unwrap(); // miss
+        pool.get(f, 0).unwrap(); // hit
+        pool.get(f, 1).unwrap(); // miss
+        pool.get(f, 2).unwrap(); // miss + eviction
+        assert_eq!(registry.counter("buffer.hits", "pool").get(), 1);
+        assert_eq!(registry.counter("buffer.misses", "pool").get(), 3);
+        assert_eq!(registry.counter("buffer.evictions", "pool").get(), 1);
+        assert_eq!(pool.stats().to_string(), "1 hits, 3 misses, 1 evictions");
     }
 
     #[test]

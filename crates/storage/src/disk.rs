@@ -26,6 +26,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 use textjoin_common::{Error, Result};
+use textjoin_obs::{Counter, Registry};
 
 /// Identifier of a file within a [`DiskSim`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -77,6 +78,55 @@ impl IoStats {
             writes: self.writes - earlier.writes,
         }
     }
+
+    /// Saturating element-wise accumulation — the aggregation parallel
+    /// executors and the sim harness need when summing per-worker or
+    /// per-run counters.
+    pub fn merge(&mut self, other: &IoStats) {
+        self.seq_reads = self.seq_reads.saturating_add(other.seq_reads);
+        self.rand_reads = self.rand_reads.saturating_add(other.rand_reads);
+        self.writes = self.writes.saturating_add(other.writes);
+    }
+}
+
+impl std::ops::AddAssign<IoStats> for IoStats {
+    fn add_assign(&mut self, other: IoStats) {
+        self.merge(&other);
+    }
+}
+
+impl fmt::Display for IoStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} seq + {} rand reads ({} total), {} writes",
+            self.seq_reads,
+            self.rand_reads,
+            self.total_reads(),
+            self.writes
+        )
+    }
+}
+
+/// Counter handles a [`DiskSim`] emits read/write events into when
+/// attached via [`DiskSim::set_metrics`].
+#[derive(Clone)]
+pub struct DiskMetrics {
+    seq_reads: Counter,
+    rand_reads: Counter,
+    writes: Counter,
+}
+
+impl DiskMetrics {
+    /// Registers the three disk counters under `label` (typically the
+    /// experiment or catalog name).
+    pub fn register(registry: &Registry, label: &str) -> Self {
+        Self {
+            seq_reads: registry.counter("disk.seq_reads", label),
+            rand_reads: registry.counter("disk.rand_reads", label),
+            writes: registry.counter("disk.writes", label),
+        }
+    }
 }
 
 #[derive(Default)]
@@ -91,6 +141,36 @@ struct HeadState {
     heads: HashMap<FileId, u64>,
     stats: IoStats,
     interference: bool,
+    /// Optional observability sink; updated under the same lock that
+    /// already guards `stats`, so attaching metrics adds no extra
+    /// synchronisation to the read path.
+    metrics: Option<DiskMetrics>,
+}
+
+impl HeadState {
+    #[inline]
+    fn charge_seq(&mut self, pages: u64) {
+        self.stats.seq_reads += pages;
+        if let Some(m) = &self.metrics {
+            m.seq_reads.inc_by(pages);
+        }
+    }
+
+    #[inline]
+    fn charge_rand(&mut self, pages: u64) {
+        self.stats.rand_reads += pages;
+        if let Some(m) = &self.metrics {
+            m.rand_reads.inc_by(pages);
+        }
+    }
+
+    #[inline]
+    fn charge_write(&mut self) {
+        self.stats.writes += 1;
+        if let Some(m) = &self.metrics {
+            m.writes.inc();
+        }
+    }
 }
 
 /// An in-memory disk simulator with sequential/random accounting.
@@ -117,6 +197,7 @@ impl DiskSim {
                 heads: HashMap::new(),
                 stats: IoStats::default(),
                 interference: false,
+                metrics: None,
             }),
         }
     }
@@ -177,8 +258,10 @@ impl DiskSim {
         let mut page = vec![0u8; self.page_size];
         page[..data.len()].copy_from_slice(data);
         f.pages.push(page.into());
-        self.state.lock().stats.writes += 1;
-        Ok(f.pages.len() as u64 - 1)
+        let len = f.pages.len() as u64;
+        drop(files);
+        self.state.lock().charge_write();
+        Ok(len - 1)
     }
 
     /// Overwrites an existing page in place (used by mutable structures
@@ -205,7 +288,7 @@ impl DiskSim {
         buf[..data.len()].copy_from_slice(data);
         f.pages[page as usize] = buf.into();
         drop(files);
-        self.state.lock().stats.writes += 1;
+        self.state.lock().charge_write();
         Ok(())
     }
 
@@ -270,9 +353,9 @@ impl DiskSim {
         let mut st = self.state.lock();
         let sequential = !st.interference && st.heads.get(&file) == Some(&start);
         if sequential {
-            st.stats.seq_reads += len;
+            st.charge_seq(len);
         } else {
-            st.stats.rand_reads += len;
+            st.charge_rand(len);
         }
         st.heads.insert(file, start + len);
         Ok(out)
@@ -310,14 +393,14 @@ impl DiskSim {
 
         let mut st = self.state.lock();
         if st.interference {
-            st.stats.rand_reads += len;
+            st.charge_rand(len);
         } else {
             let continues = st.heads.get(&file) == Some(&start);
             if continues {
-                st.stats.seq_reads += len;
+                st.charge_seq(len);
             } else {
-                st.stats.rand_reads += 1;
-                st.stats.seq_reads += len - 1;
+                st.charge_rand(1);
+                st.charge_seq(len - 1);
             }
         }
         st.heads.insert(file, start + len);
@@ -334,11 +417,19 @@ impl DiskSim {
         let mut st = self.state.lock();
         let sequential = !st.interference && st.heads.get(&file) == Some(&start);
         if sequential {
-            st.stats.seq_reads += len;
+            st.charge_seq(len);
         } else {
-            st.stats.rand_reads += len;
+            st.charge_rand(len);
         }
         st.heads.insert(file, start + len);
+    }
+
+    /// Attaches (or with `None`, detaches) an observability sink: every
+    /// page read/write is mirrored into the registered counters. Updates
+    /// happen under the existing accounting lock, so the read path gains
+    /// no extra synchronisation.
+    pub fn set_metrics(&self, metrics: Option<DiskMetrics>) {
+        self.state.lock().metrics = metrics;
     }
 }
 
@@ -502,6 +593,41 @@ mod tests {
         let p = disk.read_page(f, 0).unwrap();
         assert_eq!(&p[..4], &[1, 2, 3, 0]);
         assert_eq!(disk.stats().writes, 2);
+    }
+
+    #[test]
+    fn display_and_merge_io_stats() {
+        let mut a = IoStats {
+            seq_reads: 10,
+            rand_reads: 4,
+            writes: 2,
+        };
+        assert_eq!(a.to_string(), "10 seq + 4 rand reads (14 total), 2 writes");
+        a += IoStats {
+            seq_reads: 1,
+            rand_reads: u64::MAX,
+            writes: 0,
+        };
+        assert_eq!(a.seq_reads, 11);
+        assert_eq!(a.rand_reads, u64::MAX, "merge saturates");
+        assert_eq!(a.writes, 2);
+    }
+
+    #[test]
+    fn attached_metrics_mirror_io_events() {
+        let registry = Registry::new();
+        let (disk, f) = disk_with_file(10);
+        disk.set_metrics(Some(DiskMetrics::register(&registry, "t1")));
+        disk.read_scan(f, 0, 10).unwrap(); // 1 rand + 9 seq
+        disk.read_run(f, 0, 2).unwrap(); // head at 10 → 2 rand
+        disk.append_page(f, &[1]).unwrap();
+        assert_eq!(registry.counter("disk.seq_reads", "t1").get(), 9);
+        assert_eq!(registry.counter("disk.rand_reads", "t1").get(), 3);
+        assert_eq!(registry.counter("disk.writes", "t1").get(), 1);
+        // Detach: further I/O leaves the counters untouched.
+        disk.set_metrics(None);
+        disk.read_run(f, 0, 2).unwrap();
+        assert_eq!(registry.counter("disk.rand_reads", "t1").get(), 3);
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod disk;
 pub mod memory;
 pub mod span;
 
-pub use buffer::{BufferPool, BufferStats};
-pub use disk::{DiskSim, FileId, IoStats};
+pub use buffer::{BufferPool, BufferStats, PoolMetrics};
+pub use disk::{DiskMetrics, DiskSim, FileId, IoStats};
 pub use memory::MemTracker;
 pub use span::ByteSpan;

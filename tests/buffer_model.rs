@@ -4,7 +4,6 @@
 //! (c) never re-read a page that was already resident at request time.
 
 use proptest::prelude::*;
-use std::sync::Arc;
 use textjoin::storage::{BufferPool, DiskSim};
 
 #[derive(Clone, Debug)]

@@ -9,7 +9,13 @@ use textjoin::storage::DiskSim;
 #[allow(clippy::type_complexity)]
 fn fixture(
     seed: u64,
-) -> (Arc<DiskSim>, Collection, Collection, InvertedFile, InvertedFile) {
+) -> (
+    Arc<DiskSim>,
+    Collection,
+    Collection,
+    InvertedFile,
+    InvertedFile,
+) {
     let disk = Arc::new(DiskSim::new(1024));
     let c1 = SynthSpec::from_stats(CollectionStats::new(120, 15.0, 600), seed)
         .generate(Arc::clone(&disk), "c1")
@@ -26,8 +32,15 @@ fn fixture(
 fn hhnl_io_decomposes_into_passes() {
     let (disk, c1, c2, _, _) = fixture(1);
     let spec = JoinSpec::new(&c1, &c2)
-        .with_sys(SystemParams { buffer_pages: 16, page_size: 1024, alpha: 5.0 })
-        .with_query(QueryParams { lambda: 3, delta: 1.0 });
+        .with_sys(SystemParams {
+            buffer_pages: 16,
+            page_size: 1024,
+            alpha: 5.0,
+        })
+        .with_query(QueryParams {
+            lambda: 3,
+            delta: 1.0,
+        });
     disk.reset_stats();
     disk.reset_head();
     let got = hhnl::execute(&spec).unwrap();
@@ -43,8 +56,15 @@ fn hhnl_io_decomposes_into_passes() {
 fn hvnl_fetch_accounting_is_consistent() {
     let (disk, c1, c2, inv1, _) = fixture(2);
     let spec = JoinSpec::new(&c1, &c2)
-        .with_sys(SystemParams { buffer_pages: 64, page_size: 1024, alpha: 5.0 })
-        .with_query(QueryParams { lambda: 3, delta: 1.0 });
+        .with_sys(SystemParams {
+            buffer_pages: 64,
+            page_size: 1024,
+            alpha: 5.0,
+        })
+        .with_query(QueryParams {
+            lambda: 3,
+            delta: 1.0,
+        });
     disk.reset_stats();
     disk.reset_head();
     let got = hvnl::execute(&spec, &inv1).unwrap();
@@ -66,8 +86,15 @@ fn hvnl_fetch_accounting_is_consistent() {
 fn vvm_io_is_passes_times_both_files() {
     let (disk, c1, c2, inv1, inv2) = fixture(3);
     let spec = JoinSpec::new(&c1, &c2)
-        .with_sys(SystemParams { buffer_pages: 16, page_size: 1024, alpha: 5.0 })
-        .with_query(QueryParams { lambda: 3, delta: 1.0 });
+        .with_sys(SystemParams {
+            buffer_pages: 16,
+            page_size: 1024,
+            alpha: 5.0,
+        })
+        .with_query(QueryParams {
+            lambda: 3,
+            delta: 1.0,
+        });
     disk.reset_stats();
     disk.reset_head();
     let got = vvm::execute(&spec, &inv1, &inv2).unwrap();
@@ -81,8 +108,15 @@ fn vvm_io_is_passes_times_both_files() {
 fn interference_multiplies_cost_but_not_reads() {
     let (disk, c1, c2, _, _) = fixture(4);
     let spec = JoinSpec::new(&c1, &c2)
-        .with_sys(SystemParams { buffer_pages: 32, page_size: 1024, alpha: 5.0 })
-        .with_query(QueryParams { lambda: 3, delta: 1.0 });
+        .with_sys(SystemParams {
+            buffer_pages: 32,
+            page_size: 1024,
+            alpha: 5.0,
+        })
+        .with_query(QueryParams {
+            lambda: 3,
+            delta: 1.0,
+        });
 
     disk.reset_stats();
     disk.reset_head();
@@ -94,7 +128,10 @@ fn interference_multiplies_cost_but_not_reads() {
     let noisy = hhnl::execute(&spec).unwrap();
     disk.set_interference(false);
 
-    assert_eq!(calm.result, noisy.result, "interference must not change answers");
+    assert_eq!(
+        calm.result, noisy.result,
+        "interference must not change answers"
+    );
     assert_eq!(calm.stats.io.total_reads(), noisy.stats.io.total_reads());
     assert!(
         (noisy.stats.cost - calm.stats.io.total_reads() as f64 * spec.sys.alpha).abs() < 1e-9,
@@ -114,7 +151,10 @@ fn derived_sizes_bundle_matches_individual_accessors() {
         assert_eq!(d.avg_doc_pages, stats.avg_doc_pages(params.page_size));
         assert_eq!(d.collection_pages, stats.collection_pages(params.page_size));
         assert_eq!(d.avg_entry_pages, stats.avg_entry_pages(params.page_size));
-        assert_eq!(d.inverted_file_pages, stats.inverted_file_pages(params.page_size));
+        assert_eq!(
+            d.inverted_file_pages,
+            stats.inverted_file_pages(params.page_size)
+        );
         assert_eq!(d.btree_pages, stats.btree_pages(params.page_size));
     }
 }
@@ -126,8 +166,7 @@ fn measured_profile_matches_store_geometry() {
     let (_disk, c1, _, inv1, _) = fixture(9);
     let stats = c1.profile().stats();
     assert_eq!(stats.num_docs, c1.store().num_docs());
-    let expected_bytes =
-        (stats.num_docs as f64 * stats.avg_terms_per_doc * 5.0).round() as u64;
+    let expected_bytes = (stats.num_docs as f64 * stats.avg_terms_per_doc * 5.0).round() as u64;
     assert_eq!(c1.store().total_bytes(), expected_bytes);
     // The inverted file holds exactly the same cells (|d#| = |t#| → same
     // total size, the section 3 observation).
@@ -138,8 +177,15 @@ fn measured_profile_matches_store_geometry() {
 fn sim_ops_are_invariant_across_algorithms_and_orders() {
     let (_disk, c1, c2, inv1, inv2) = fixture(5);
     let spec = JoinSpec::new(&c1, &c2)
-        .with_sys(SystemParams { buffer_pages: 64, page_size: 1024, alpha: 5.0 })
-        .with_query(QueryParams { lambda: 3, delta: 1.0 });
+        .with_sys(SystemParams {
+            buffer_pages: 64,
+            page_size: 1024,
+            alpha: 5.0,
+        })
+        .with_query(QueryParams {
+            lambda: 3,
+            delta: 1.0,
+        });
     let ops: Vec<u64> = vec![
         hhnl::execute(&spec).unwrap().stats.sim_ops,
         hhnl::execute_backward(&spec).unwrap().stats.sim_ops,

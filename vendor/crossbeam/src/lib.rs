@@ -1,0 +1,87 @@
+//! Offline stand-in for `crossbeam`, providing only the scoped-thread API
+//! this workspace uses (`crossbeam::thread::scope` with closures that
+//! receive `&Scope` and return joinable handles).
+//!
+//! Backed by `std::thread::scope`, which provides the same structured
+//! guarantee (all spawned threads join before `scope` returns). Matching
+//! crossbeam's signature, `scope` returns `thread::Result<R>`: `Ok` with
+//! the closure's value when no spawned thread panicked. Unlike crossbeam —
+//! which collects child panics into the `Err` arm — `std::thread::scope`
+//! resumes a child's panic on the parent, so a panicking child aborts the
+//! scope instead of surfacing as `Err`; callers here only ever `expect`
+//! the result, so the difference is unobservable in this workspace.
+
+pub mod thread {
+    /// Scoped-thread handle passed to `scope`'s closure and to every
+    /// spawned closure (crossbeam spawns receive `&Scope` as an argument).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a scoped thread; `join` returns the closure's value.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || {
+                    let scope = Scope { inner: inner_scope };
+                    f(&scope)
+                }),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope handle; every thread spawned through the
+    /// handle is joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            let scope = Scope { inner: s };
+            f(&scope)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let n = crate::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 7u32).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 7);
+    }
+}

@@ -1,0 +1,275 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses as a
+//! deterministic, generate-only property-test harness:
+//!
+//! - [`strategy::Strategy`] with `prop_map`, ranges, tuples, [`Just`],
+//!   unions (`prop_oneof!`), [`collection::vec`], [`collection::btree_map`]
+//!   and [`bool::ANY`];
+//! - the [`proptest!`] macro (with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header),
+//!   `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`;
+//! - a runner that executes N deterministic cases per test and reports the
+//!   failing inputs (`Debug`-printed) and case number on failure.
+//!
+//! Differences from the real crate, by design: no shrinking (a failure
+//! reports the raw generated inputs, not a minimal counterexample), no
+//! persisted failure seeds (cases are seeded deterministically from the
+//! test name, so a failure reproduces on every run), and no weighted
+//! `prop_oneof!` arms.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Just;
+
+/// Strategies for primitive `bool` (`proptest::bool::ANY`).
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Generates `true` or `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection::{vec, btree_map}`).
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy};
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeMap;
+
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `BTreeSet` built from up to `size` generated elements (duplicates
+    /// collapse, so the final length may be smaller).
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.sample(rng);
+            (0..target).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// A `BTreeMap` built from up to `size` generated pairs (duplicate
+    /// keys collapse, so the final length may be smaller).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.sample(rng);
+            (0..target)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+}
+
+/// Everything a test module needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Runs every generated value of a test case through `$cond`; on failure
+/// the case aborts and the harness reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)+));
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}: {}", l, r, format!($($fmt)+));
+    }};
+}
+
+/// Discards the current case (it does not count toward the case budget)
+/// when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Picks one of the argument strategies uniformly per case. All arms must
+/// produce the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+/// Declares property tests. Each `fn name(binding in strategy, other: Type)`
+/// becomes a `#[test]` running `ProptestConfig::cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            $crate::test_runner::run(&__config, stringify!($name), |__rng| {
+                let mut __inputs = ::std::string::String::new();
+                $crate::__proptest_bind!(__rng, __inputs; $($params)*);
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                (__inputs, __outcome)
+            });
+        }
+    )*};
+}
+
+/// Parameter-list muncher: each `name in strategy` or `name: Type`
+/// parameter becomes a `let` binding generated from its strategy, plus a
+/// `Debug` line appended to the failure report.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, $inputs:ident;) => {};
+    ($rng:ident, $inputs:ident; $an:ident in $strat:expr) => {
+        $crate::__proptest_bind!($rng, $inputs; $an in $strat,);
+    };
+    ($rng:ident, $inputs:ident; $an:ident in $strat:expr, $($rest:tt)*) => {
+        let $an = $crate::strategy::Strategy::generate(&($strat), $rng);
+        $inputs.push_str(&format!(concat!("  ", stringify!($an), " = {:?}\n"), &$an));
+        $crate::__proptest_bind!($rng, $inputs; $($rest)*);
+    };
+    ($rng:ident, $inputs:ident; $an:ident: $ty:ty) => {
+        $crate::__proptest_bind!($rng, $inputs; $an: $ty,);
+    };
+    ($rng:ident, $inputs:ident; $an:ident: $ty:ty, $($rest:tt)*) => {
+        let $an = $crate::strategy::Strategy::generate(
+            &<$ty as $crate::strategy::Arbitrary>::arbitrary(),
+            $rng,
+        );
+        $inputs.push_str(&format!(concat!("  ", stringify!($an), " = {:?}\n"), &$an));
+        $crate::__proptest_bind!($rng, $inputs; $($rest)*);
+    };
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op derives from the stand-in `serde_derive` and
+//! declares `Serialize`/`Deserialize` as universally satisfied marker
+//! traits. This keeps every `#[derive(Serialize, Deserialize)]` and any
+//! `T: Serialize` bound compiling without pulling in the real
+//! (network-fetched) crates; actual serialization in this workspace is
+//! hand-rolled (JSON-lines, Prometheus text, CSV).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod markers {
+    pub trait Serialize {}
+    impl<T: ?Sized> Serialize for T {}
+
+    pub trait Deserialize {}
+    impl<T: ?Sized> Deserialize for T {}
+}
+
+pub use markers::{Deserialize as DeserializeTrait, Serialize as SerializeTrait};
