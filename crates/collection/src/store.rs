@@ -15,7 +15,7 @@ use crate::document::Document;
 use crate::profile::CollectionProfile;
 use std::sync::Arc;
 use textjoin_common::{DocId, Result};
-use textjoin_storage::{BufferPool, ByteSpan, DiskSim, FileId};
+use textjoin_storage::{BufferPool, ByteSpan, DiskSim, FileId, PageKind};
 
 /// A read-only paged document store.
 pub struct DocumentStore {
@@ -186,7 +186,7 @@ pub struct DocumentStoreBuilder {
 impl DocumentStoreBuilder {
     /// Starts a new store in file `name` on `disk`.
     pub fn new(disk: Arc<DiskSim>, name: &str) -> Result<Self> {
-        let file = disk.create_file(name)?;
+        let file = disk.create_file_with_kind(name, PageKind::Documents)?;
         let page_size = disk.page_size();
         Ok(Self {
             disk,
@@ -220,6 +220,9 @@ impl DocumentStoreBuilder {
     }
 
     fn flush_page(&mut self) -> Result<()> {
+        // The disk takes exactly one page per write; partial tail pages are
+        // zero-padded here while `written_bytes` keeps the logical count.
+        self.page_buf.resize(self.disk.page_size(), 0);
         self.disk.append_page(self.file, &self.page_buf)?;
         self.written_bytes += self.disk.page_size() as u64;
         self.page_buf.clear();

@@ -38,6 +38,16 @@ pub enum Error {
     Plan(String),
     /// Invalid argument or configuration.
     InvalidArgument(String),
+    /// A read failed even after the retry policy was exhausted — the
+    /// simulated-disk analogue of an unrecoverable device error.
+    Io {
+        /// Name of the simulated file.
+        file: String,
+        /// Offending page number.
+        page: u64,
+        /// Read attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for Error {
@@ -63,6 +73,14 @@ impl fmt::Display for Error {
             Error::Parse(msg) => write!(f, "parse error: {msg}"),
             Error::Plan(msg) => write!(f, "planning error: {msg}"),
             Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            Error::Io {
+                file,
+                page,
+                attempts,
+            } => write!(
+                f,
+                "i/o error on file '{file}' page {page} after {attempts} attempts"
+            ),
         }
     }
 }
@@ -89,6 +107,14 @@ mod tests {
             available_pages: 4,
         };
         assert!(e.to_string().contains("HHNL outer batch"));
+
+        let e = Error::Io {
+            file: "wsj.docs".into(),
+            page: 7,
+            attempts: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("wsj.docs") && msg.contains('7') && msg.contains('3'));
     }
 
     #[test]

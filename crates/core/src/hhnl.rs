@@ -52,7 +52,14 @@ pub fn execute(spec: &JoinSpec<'_>) -> Result<JoinOutcome> {
                 None => outer.next(),
             };
             let Some(item) = item else { break };
-            let (id, doc) = item?;
+            let (id, doc) = match item {
+                Ok(pair) => pair,
+                Err(e) if spec.skippable(&e) => {
+                    cpu.skipped_docs += 1;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             let need = doc.size_bytes().max(1) + TopK::budget_bytes(lambda);
             if tracker.allocate(need, "HHNL outer batch").is_err() {
                 if batch.is_empty() {
@@ -101,27 +108,32 @@ pub fn execute(spec: &JoinSpec<'_>) -> Result<JoinOutcome> {
         root.record("rand_reads", io.rand_reads);
         root.record("sim_ops", cpu.sim_ops);
     }
+    let stats = ExecStats {
+        algorithm: Algorithm::Hhnl,
+        io,
+        cost: io.cost(spec.sys.alpha),
+        mem_high_water_bytes: tracker.high_water(),
+        passes,
+        entry_fetches: 0,
+        cache_hits: 0,
+        sim_ops: cpu.sim_ops,
+        cells_touched: cpu.cells_touched,
+        skipped_docs: cpu.skipped_docs,
+        skipped_entries: 0,
+    };
     Ok(JoinOutcome {
         result: JoinResult::from_rows(rows),
-        stats: ExecStats {
-            algorithm: Algorithm::Hhnl,
-            io,
-            cost: io.cost(spec.sys.alpha),
-            mem_high_water_bytes: tracker.high_water(),
-            passes,
-            entry_fetches: 0,
-            cache_hits: 0,
-            sim_ops: cpu.sim_ops,
-            cells_touched: cpu.cells_touched,
-        },
+        quality: stats.quality(),
+        stats,
     })
 }
 
-/// CPU work accumulated by an HHNL run.
+/// CPU work (and degraded-mode skips) accumulated by an HHNL run.
 #[derive(Default)]
 struct CpuCounters {
     sim_ops: u64,
     cells_touched: u64,
+    skipped_docs: u64,
 }
 
 /// Executes the join with HHNL in the *backward order* of section 4.1: the
@@ -168,7 +180,14 @@ pub fn execute_backward(spec: &JoinSpec<'_>) -> Result<JoinOutcome> {
                 None => inner.next(),
             };
             let Some(item) = item else { break };
-            let (id, doc) = item?;
+            let (id, doc) = match item {
+                Ok(pair) => pair,
+                Err(e) if spec.skippable(&e) => {
+                    cpu.skipped_docs += 1;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             if !spec.inner_doc_allowed(id) {
                 continue;
             }
@@ -195,7 +214,15 @@ pub fn execute_backward(spec: &JoinSpec<'_>) -> Result<JoinOutcome> {
         passes += 1;
         let mut pass_span = root.child("hhnl.outer_scan");
         pass_span.record("batch_docs", batch.len() as u64);
-        spec.for_each_outer_doc(|outer_id, outer_doc| {
+        for item in spec.outer_iter() {
+            let (outer_id, outer_doc) = match item {
+                Ok(pair) => pair,
+                Err(e) if spec.skippable(&e) => {
+                    cpu.skipped_docs += 1;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             let heap = heaps
                 .entry(outer_id.raw())
                 .or_insert_with(|| TopK::new(lambda));
@@ -217,8 +244,7 @@ pub fn execute_backward(spec: &JoinSpec<'_>) -> Result<JoinOutcome> {
                     heap.offer(*inner_id, score);
                 }
             }
-            Ok(())
-        })?;
+        }
         drop(pass_span);
         tracker.release(batch_bytes);
     }
@@ -230,10 +256,13 @@ pub fn execute_backward(spec: &JoinSpec<'_>) -> Result<JoinOutcome> {
         .map(|(id, heap)| (DocId::new(id), heap.into_matches()))
         .collect();
     if rows.is_empty() && num_outer > 0 {
-        spec.for_each_outer_doc(|outer_id, _| {
-            rows.push((outer_id, Vec::new()));
-            Ok(())
-        })?;
+        for item in spec.outer_iter() {
+            match item {
+                Ok((outer_id, _)) => rows.push((outer_id, Vec::new())),
+                Err(e) if spec.skippable(&e) => cpu.skipped_docs += 1,
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     let io = disk.stats().since(&start_io);
@@ -243,19 +272,23 @@ pub fn execute_backward(spec: &JoinSpec<'_>) -> Result<JoinOutcome> {
         root.record("rand_reads", io.rand_reads);
         root.record("sim_ops", cpu.sim_ops);
     }
+    let stats = ExecStats {
+        algorithm: Algorithm::Hhnl,
+        io,
+        cost: io.cost(spec.sys.alpha),
+        mem_high_water_bytes: tracker.high_water(),
+        passes,
+        entry_fetches: 0,
+        cache_hits: 0,
+        sim_ops: cpu.sim_ops,
+        cells_touched: cpu.cells_touched,
+        skipped_docs: cpu.skipped_docs,
+        skipped_entries: 0,
+    };
     Ok(JoinOutcome {
         result: JoinResult::from_rows(rows),
-        stats: ExecStats {
-            algorithm: Algorithm::Hhnl,
-            io,
-            cost: io.cost(spec.sys.alpha),
-            mem_high_water_bytes: tracker.high_water(),
-            passes,
-            entry_fetches: 0,
-            cache_hits: 0,
-            sim_ops: cpu.sim_ops,
-            cells_touched: cpu.cells_touched,
-        },
+        quality: stats.quality(),
+        stats,
     })
 }
 
@@ -269,7 +302,14 @@ fn scan_inner_against(
     let inner_profile = spec.inner.profile();
     let outer_profile = spec.outer.profile();
     for item in spec.inner.store().scan() {
-        let (inner_id, inner_doc) = item?;
+        let (inner_id, inner_doc) = match item {
+            Ok(pair) => pair,
+            Err(e) if spec.skippable(&e) => {
+                cpu.skipped_docs += 1;
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
         if !spec.inner_doc_allowed(inner_id) {
             continue;
         }

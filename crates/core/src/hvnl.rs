@@ -76,7 +76,9 @@ pub fn execute_with(
     let tracker = MemTracker::new(&spec.sys);
 
     // One-time cost: read the whole B+tree into memory (Bt1) and keep it
-    // resident for the duration of the join.
+    // resident for the duration of the join. A corrupt dictionary is a
+    // hard failure even in degraded mode — without it no entry can be
+    // located, so the integrated algorithm re-plans instead.
     let mut setup_span = root.child("hvnl.setup");
     let dict = inner_inv.btree().load_leaves()?;
     tracker.allocate(dict.size_bytes().max(1), "HVNL B+tree dictionary")?;
@@ -108,6 +110,8 @@ pub fn execute_with(
         entry_fetches: 0,
         cache_hits: 0,
         sim_ops: 0,
+        skipped_docs: 0,
+        skipped_entries: 0,
         current_outer: DocId::new(0),
     };
 
@@ -128,7 +132,14 @@ pub fn execute_with(
     match options.order {
         OuterOrder::Storage => {
             for item in spec.outer_iter() {
-                let (id, doc) = item?;
+                let (id, doc) = match item {
+                    Ok(pair) => pair,
+                    Err(e) if spec.skippable(&e) => {
+                        state.skipped_docs += 1;
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                };
                 state.process_outer_doc(id, &doc)?;
             }
         }
@@ -138,7 +149,14 @@ pub fn execute_with(
             let mut remaining: Vec<(DocId, Document)> = Vec::new();
             let mut held_bytes = 0u64;
             for item in spec.outer_iter() {
-                let (id, doc) = item?;
+                let (id, doc) = match item {
+                    Ok(pair) => pair,
+                    Err(e) if spec.skippable(&e) => {
+                        state.skipped_docs += 1;
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                };
                 held_bytes += doc.size_bytes().max(1);
                 tracker.allocate(doc.size_bytes().max(1), "HVNL greedy-order document set")?;
                 remaining.push((id, doc));
@@ -165,6 +183,7 @@ pub fn execute_with(
     let rows = std::mem::take(&mut state.rows);
     let (entry_fetches, cache_hits, sim_ops) =
         (state.entry_fetches, state.cache_hits, state.sim_ops);
+    let (skipped_docs, skipped_entries) = (state.skipped_docs, state.skipped_entries);
     drop(state);
     if scan_span.is_enabled() {
         scan_span.record("entry_fetches", entry_fetches);
@@ -179,20 +198,24 @@ pub fn execute_with(
         root.record("entry_fetches", entry_fetches);
         root.record("cache_hits", cache_hits);
     }
+    let stats = ExecStats {
+        algorithm: Algorithm::Hvnl,
+        io,
+        cost: io.cost(spec.sys.alpha),
+        mem_high_water_bytes: tracker.high_water(),
+        passes: 1,
+        entry_fetches,
+        cache_hits,
+        sim_ops,
+        // HVNL only ever visits non-zero cells: every touch is an op.
+        cells_touched: sim_ops,
+        skipped_docs,
+        skipped_entries,
+    };
     Ok(JoinOutcome {
         result: JoinResult::from_rows(rows),
-        stats: ExecStats {
-            algorithm: Algorithm::Hvnl,
-            io,
-            cost: io.cost(spec.sys.alpha),
-            mem_high_water_bytes: tracker.high_water(),
-            passes: 1,
-            entry_fetches,
-            cache_hits,
-            sim_ops,
-            // HVNL only ever visits non-zero cells: every touch is an op.
-            cells_touched: sim_ops,
-        },
+        quality: stats.quality(),
+        stats,
     })
 }
 
@@ -217,6 +240,10 @@ struct HvnlState<'a, 'b> {
     entry_fetches: u64,
     cache_hits: u64,
     sim_ops: u64,
+    /// Degraded mode: outer documents skipped because they were unreadable.
+    skipped_docs: u64,
+    /// Degraded mode: inverted entries skipped because they were unreadable.
+    skipped_entries: u64,
     /// Outer document currently being processed (for self-pair exclusion).
     current_outer: DocId,
 }
@@ -252,7 +279,16 @@ impl HvnlState<'_, '_> {
             return Ok(());
         }
         for item in inv.scan() {
-            let (term, cells) = item?;
+            let (term, cells) = match item {
+                Ok(pair) => pair,
+                Err(e) if self.spec.skippable(&e) => {
+                    // The entry stays out of the cache; a later lookup of
+                    // this term will retry it on demand (and skip it there
+                    // too if the page is genuinely unreadable).
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             let bytes = cached_entry_bytes(&cells);
             self.tracker
                 .allocate(bytes, "HVNL preloaded inverted file")?;
@@ -326,9 +362,19 @@ impl HvnlState<'_, '_> {
             return Ok(());
         }
 
-        // Fetch from disk (⌈J1⌉ random pages) and try to cache.
+        // Fetch from disk (⌈J1⌉ random pages) and try to cache. A failed
+        // fetch still counts as a fetch attempt; in degraded mode the
+        // unreadable entry is skipped (its postings contribute nothing)
+        // and counted, rather than failing the whole join.
         self.entry_fetches += 1;
-        let cells = self.inner_inv.read_entry(ordinal)?;
+        let cells = match self.inner_inv.read_entry(ordinal) {
+            Ok(cells) => cells,
+            Err(e) if self.spec.skippable(&e) => {
+                self.skipped_entries += 1;
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
         let bytes = cached_entry_bytes(&cells);
 
         // Make room by evicting lowest-priority entries; an entry larger
@@ -477,11 +523,19 @@ impl EntryCache {
     /// freed. Pinned entries are invisible here: their keys are withdrawn
     /// from the eviction order, so a pinned entry is never evicted.
     fn evict_one(&mut self) -> Option<u64> {
-        let key = *self.order.iter().next()?;
-        self.order.remove(&key);
-        let term = TermId::new(key.1);
-        let slot = self.entries.remove(&term).expect("order and entries agree");
-        Some(slot.bytes)
+        while let Some(&key) = self.order.iter().next() {
+            self.order.remove(&key);
+            let term = TermId::new(key.1);
+            // The order set and the entry map are maintained in lockstep; a
+            // stale order key (which would indicate an internal bug) is
+            // dropped and the next candidate tried rather than panicking
+            // mid-join.
+            if let Some(slot) = self.entries.remove(&term) {
+                return Some(slot.bytes);
+            }
+            debug_assert!(false, "order and entries disagree on term {term:?}");
+        }
+        None
     }
 
     /// Exempts a cached entry from eviction until [`Self::unpin`].

@@ -6,8 +6,11 @@
 //! the construction: invoke the basic algorithm with the lowest estimated
 //! cost. This module wires the cost models of `textjoin-costmodel` to the
 //! executors of this crate. If the chosen algorithm turns out infeasible at
-//! run time (its memory estimate was optimistic), the next-cheapest
-//! algorithm is tried.
+//! run time (its memory estimate was optimistic) or fails hard mid-run on
+//! unreadable storage (a corrupt inverted file, an exhausted retry), the
+//! next-cheapest algorithm is tried — e.g. HVNL dying on a corrupt
+//! inverted-file dictionary re-plans onto HHNL, which never touches the
+//! inverted file at all.
 
 use crate::result::JoinOutcome;
 use crate::spec::JoinSpec;
@@ -76,7 +79,7 @@ pub fn execute(
                     outcome,
                 });
             }
-            Err(e @ Error::InsufficientMemory { .. }) => {
+            Err(e @ (Error::InsufficientMemory { .. } | Error::Corrupt(_) | Error::Io { .. })) => {
                 fallbacks += 1;
                 last_err = Some(e);
             }

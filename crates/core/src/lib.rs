@@ -38,7 +38,7 @@ pub mod topk;
 pub mod vvm;
 pub mod weighting;
 
-pub use result::{ExecStats, JoinOutcome, JoinResult, Match};
+pub use result::{ExecStats, JoinOutcome, JoinResult, Match, ResultQuality};
 pub use spec::{JoinSpec, OuterDocs};
 pub use topk::TopK;
 pub use weighting::Weighting;

@@ -83,6 +83,9 @@ pub fn execute_hhnl(spec: &JoinSpec<'_>, workers: usize) -> Result<JoinOutcome> 
     stats.cost = stats.io.cost(spec.sys.alpha);
     Ok(JoinOutcome {
         result: JoinResult::from_rows(rows),
+        // Merged stats carry every worker's skip counters, so the combined
+        // quality tag is partial as soon as any worker skipped anything.
+        quality: stats.quality(),
         stats,
     })
 }

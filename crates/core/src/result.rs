@@ -95,6 +95,12 @@ pub struct ExecStats {
     /// includes the non-matching merge steps — the whole document-term
     /// matrix; the vertical algorithms only visit non-zero structure).
     pub cells_touched: u64,
+    /// Documents skipped because they could not be read (degraded mode
+    /// only; zero otherwise).
+    pub skipped_docs: u64,
+    /// Inverted-file entries skipped because they could not be read
+    /// (degraded mode only; zero otherwise).
+    pub skipped_entries: u64,
 }
 
 impl ExecStats {
@@ -112,6 +118,18 @@ impl ExecStats {
             cache_hits: 0,
             sim_ops: 0,
             cells_touched: 0,
+            skipped_docs: 0,
+            skipped_entries: 0,
+        }
+    }
+
+    /// The quality tag the skip counters imply: [`ResultQuality::Partial`]
+    /// as soon as anything unreadable was skipped.
+    pub fn quality(&self) -> ResultQuality {
+        if self.skipped_docs > 0 || self.skipped_entries > 0 {
+            ResultQuality::Partial
+        } else {
+            ResultQuality::Full
         }
     }
 
@@ -131,6 +149,8 @@ impl ExecStats {
         self.cache_hits = self.cache_hits.saturating_add(other.cache_hits);
         self.sim_ops = self.sim_ops.saturating_add(other.sim_ops);
         self.cells_touched = self.cells_touched.saturating_add(other.cells_touched);
+        self.skipped_docs = self.skipped_docs.saturating_add(other.skipped_docs);
+        self.skipped_entries = self.skipped_entries.saturating_add(other.skipped_entries);
     }
 }
 
@@ -159,7 +179,35 @@ impl std::fmt::Display for ExecStats {
                 self.entry_fetches, self.cache_hits
             )?;
         }
+        if self.skipped_docs > 0 || self.skipped_entries > 0 {
+            write!(
+                f,
+                ", PARTIAL ({} docs + {} entries skipped)",
+                self.skipped_docs, self.skipped_entries
+            )?;
+        }
         Ok(())
+    }
+}
+
+/// Whether a join outcome covers everything it was asked to cover.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ResultQuality {
+    /// Every requested document and entry was read.
+    #[default]
+    Full,
+    /// Degraded-mode execution skipped unreadable data; the result is the
+    /// correct top-λ over what *could* be read, and the skip counters in
+    /// [`ExecStats`] say how much was lost.
+    Partial,
+}
+
+impl std::fmt::Display for ResultQuality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResultQuality::Full => write!(f, "full"),
+            ResultQuality::Partial => write!(f, "partial"),
+        }
     }
 }
 
@@ -170,6 +218,8 @@ pub struct JoinOutcome {
     pub result: JoinResult,
     /// Measured cost of producing it.
     pub stats: ExecStats,
+    /// Whether degraded-mode execution had to skip unreadable data.
+    pub quality: ResultQuality,
 }
 
 #[cfg(test)]
@@ -243,5 +293,18 @@ mod tests {
         // The HVNL-only clause disappears when those counters are zero.
         let plain = ExecStats::zero(Algorithm::Hhnl).to_string();
         assert!(!plain.contains("cache hits"), "{plain}");
+    }
+
+    #[test]
+    fn quality_tracks_skip_counters() {
+        let mut s = ExecStats::zero(Algorithm::Hhnl);
+        assert_eq!(s.quality(), ResultQuality::Full);
+        assert!(!s.to_string().contains("PARTIAL"), "{s}");
+        s.skipped_docs = 2;
+        s.skipped_entries = 1;
+        assert_eq!(s.quality(), ResultQuality::Partial);
+        assert!(s.to_string().contains("2 docs + 1 entries skipped"), "{s}");
+        assert_eq!(ResultQuality::Partial.to_string(), "partial");
+        assert_eq!(ResultQuality::default(), ResultQuality::Full);
     }
 }

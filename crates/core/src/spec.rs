@@ -61,6 +61,12 @@ pub struct JoinSpec<'a> {
     /// Optional tracer the executors open phase/batch spans on. `None`
     /// (the default) keeps every instrumentation point a single branch.
     pub trace: Option<&'a Tracer>,
+    /// Degraded mode: unreadable documents and inverted entries
+    /// (`Error::Corrupt` / `Error::Io`) are skipped and counted in
+    /// `ExecStats::skipped_*` instead of failing the join; the outcome is
+    /// tagged `ResultQuality::Partial`. Hard errors (insufficient memory,
+    /// out-of-bounds addressing) still propagate.
+    pub degraded: bool,
 }
 
 impl<'a> JoinSpec<'a> {
@@ -76,7 +82,25 @@ impl<'a> JoinSpec<'a> {
             weighting: Weighting::RawCount,
             exclude_self: false,
             trace: None,
+            degraded: false,
         }
+    }
+
+    /// Enables degraded mode: skip unreadable data instead of failing.
+    pub fn with_degraded(self) -> Self {
+        Self {
+            degraded: true,
+            ..self
+        }
+    }
+
+    /// Whether degraded mode may absorb this error by skipping the data it
+    /// covers. Only read-level failures qualify; planning and memory
+    /// errors always propagate.
+    #[inline]
+    pub fn skippable(&self, err: &textjoin_common::Error) -> bool {
+        use textjoin_common::Error;
+        self.degraded && matches!(err, Error::Corrupt(_) | Error::Io { .. })
     }
 
     /// Attaches a tracer; executors will open spans per phase and batch.

@@ -19,7 +19,7 @@ use crate::result::{ExecStats, JoinOutcome, JoinResult, Match};
 use crate::spec::{JoinSpec, OuterDocs};
 use crate::topk::TopK;
 use std::collections::HashMap;
-use textjoin_common::{DocId, Error, Result, SIM_VALUE_BYTES};
+use textjoin_common::{DocId, Error, ICell, Result, TermId, SIM_VALUE_BYTES};
 use textjoin_costmodel::Algorithm;
 use textjoin_invfile::InvertedFile;
 use textjoin_obs::Tracer;
@@ -86,6 +86,44 @@ fn estimate_partitions(
     Ok(((sm / m).ceil() as u64).clamp(1, num_outer.max(1)))
 }
 
+/// Holds the next readable entry of one inverted-file scan. In degraded
+/// mode, entries that cannot be read are skipped (and counted) so the merge
+/// continues over the readable remainder; otherwise the first read error
+/// aborts the merge.
+struct EntryCursor<I> {
+    iter: I,
+    current: Option<(TermId, Vec<ICell>)>,
+}
+
+impl<I: Iterator<Item = Result<(TermId, Vec<ICell>)>>> EntryCursor<I> {
+    fn new(iter: I, spec: &JoinSpec<'_>, skipped: &mut u64) -> Result<Self> {
+        let mut cursor = Self {
+            iter,
+            current: None,
+        };
+        cursor.advance(spec, skipped)?;
+        Ok(cursor)
+    }
+
+    /// Replaces `current` with the next readable entry (`None` at end of
+    /// scan), skipping unreadable ones when the spec allows it.
+    fn advance(&mut self, spec: &JoinSpec<'_>, skipped: &mut u64) -> Result<()> {
+        self.current = loop {
+            match self.iter.next() {
+                None => break None,
+                Some(Ok(pair)) => break Some(pair),
+                Some(Err(e)) if spec.skippable(&e) => *skipped += 1,
+                Some(Err(e)) => return Err(e),
+            }
+        };
+        Ok(())
+    }
+
+    fn term(&self) -> Option<TermId> {
+        self.current.as_ref().map(|(t, _)| *t)
+    }
+}
+
 fn run(
     spec: &JoinSpec<'_>,
     inner_inv: &InvertedFile,
@@ -113,6 +151,9 @@ fn run(
     let chunk_size = (outer_ids.len() as u64).div_ceil(partitions).max(1) as usize;
     let mut passes = 0u64;
     let mut sim_ops = 0u64;
+    // Accumulated across passes: a corrupt entry that survives the whole
+    // run is skipped (and counted) once per rescan.
+    let mut skipped_entries = 0u64;
 
     for chunk in outer_ids.chunks(chunk_size) {
         passes += 1;
@@ -124,37 +165,27 @@ fn run(
         let mut acc: HashMap<u32, HashMap<u32, f64>> = HashMap::new();
         let mut acc_bytes = 0u64;
 
-        let mut inner_scan = inner_inv.scan().peekable();
-        let mut outer_scan = outer_inv.scan().peekable();
+        let mut inner_cur = EntryCursor::new(inner_inv.scan(), spec, &mut skipped_entries)?;
+        let mut outer_cur = EntryCursor::new(outer_inv.scan(), spec, &mut skipped_entries)?;
 
         // Merge by term: advance the scan with the smaller term.
-        loop {
-            let inner_term = match inner_scan.peek() {
-                Some(Ok((t, _))) => *t,
-                Some(Err(_)) => {
-                    return Err(inner_scan.next().expect("peeked Some").expect_err("Err"))
-                }
-                None => break,
-            };
-            let outer_term = match outer_scan.peek() {
-                Some(Ok((t, _))) => *t,
-                Some(Err(_)) => {
-                    return Err(outer_scan.next().expect("peeked Some").expect_err("Err"))
-                }
-                None => break,
-            };
+        while let (Some(inner_term), Some(outer_term)) = (inner_cur.term(), outer_cur.term()) {
             match inner_term.cmp(&outer_term) {
                 std::cmp::Ordering::Less => {
-                    inner_scan.next();
+                    inner_cur.advance(spec, &mut skipped_entries)?;
                 }
                 std::cmp::Ordering::Greater => {
-                    outer_scan.next();
+                    outer_cur.advance(spec, &mut skipped_entries)?;
                 }
                 std::cmp::Ordering::Equal => {
-                    let (term, inner_cells) =
-                        inner_scan.next().expect("peeked Some").expect("peeked Ok");
-                    let (_, outer_cells) =
-                        outer_scan.next().expect("peeked Some").expect("peeked Ok");
+                    let Some((term, inner_cells)) = inner_cur.current.take() else {
+                        break;
+                    };
+                    let Some((_, outer_cells)) = outer_cur.current.take() else {
+                        break;
+                    };
+                    inner_cur.advance(spec, &mut skipped_entries)?;
+                    outer_cur.advance(spec, &mut skipped_entries)?;
                     let factor = spec.weighting.term_factor(term, inner_profile);
                     if factor == 0.0 {
                         continue;
@@ -224,20 +255,25 @@ fn run(
         root.record("rand_reads", io.rand_reads);
         root.record("sim_ops", sim_ops);
     }
+    let stats = ExecStats {
+        algorithm: Algorithm::Vvm,
+        io,
+        cost: io.cost(spec.sys.alpha),
+        mem_high_water_bytes: tracker.high_water(),
+        passes,
+        entry_fetches: 0,
+        cache_hits: 0,
+        sim_ops,
+        // VVM's merge only visits non-zero postings.
+        cells_touched: sim_ops,
+        // VVM never reads documents, only inverted files.
+        skipped_docs: 0,
+        skipped_entries,
+    };
     Ok(JoinOutcome {
         result: JoinResult::from_rows(rows),
-        stats: ExecStats {
-            algorithm: Algorithm::Vvm,
-            io,
-            cost: io.cost(spec.sys.alpha),
-            mem_high_water_bytes: tracker.high_water(),
-            passes,
-            entry_fetches: 0,
-            cache_hits: 0,
-            sim_ops,
-            // VVM's merge only visits non-zero postings.
-            cells_touched: sim_ops,
-        },
+        quality: stats.quality(),
+        stats,
     })
 }
 

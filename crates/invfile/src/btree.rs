@@ -30,7 +30,7 @@
 
 use std::sync::Arc;
 use textjoin_common::{Error, Result, TermId};
-use textjoin_storage::{DiskSim, FileId};
+use textjoin_storage::{DiskSim, FileId, PageKind};
 
 const HEADER_BYTES: usize = 7;
 const LEAF_CELL_BYTES: usize = 9;
@@ -158,7 +158,7 @@ impl BTreeFile {
             entries.windows(2).all(|w| w[0].0 < w[1].0),
             "bulk load input must be strictly increasing by term"
         );
-        let file = disk.create_file(name)?;
+        let file = disk.create_file_with_kind(name, PageKind::BTree)?;
         let page_size = disk.page_size();
         let leaf_cap = leaf_capacity(page_size);
         let internal_cap = internal_capacity(page_size);

@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use textjoin_collection::Collection;
 use textjoin_common::{ICell, Result, TermId};
-use textjoin_storage::{ByteSpan, DiskSim, FileId};
+use textjoin_storage::{ByteSpan, DiskSim, FileId, PageKind};
 
 /// Directory record of one inverted-file entry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -90,7 +90,7 @@ impl InvertedFile {
         let mut terms: Vec<TermId> = postings.keys().copied().collect();
         terms.sort();
 
-        let file = disk.create_file(&format!("{name}.inv"))?;
+        let file = disk.create_file_with_kind(&format!("{name}.inv"), PageKind::Postings)?;
         let page_size = disk.page_size();
         let mut directory = Vec::with_capacity(terms.len());
         let mut dict = Vec::with_capacity(terms.len());
@@ -132,7 +132,10 @@ impl InvertedFile {
             }
         }
         if !page_buf.is_empty() {
+            // Zero-pad the partial tail page (the disk takes exactly one
+            // page per write) but keep the logical byte count.
             let tail = page_buf.len() as u64;
+            page_buf.resize(page_size, 0);
             disk.append_page(file, &page_buf)?;
             written += tail;
         }

@@ -3,8 +3,10 @@
 use crate::catalog::{Catalog, Value};
 use crate::parser::parse;
 use crate::planner::{plan, OutputCol, Plan};
-use textjoin_common::{QueryParams, Result, Score, SystemParams};
-use textjoin_core::{hhnl, hvnl, vvm, Algorithm, ExecStats, IoScenario, JoinSpec, OuterDocs};
+use textjoin_common::{Error, QueryParams, Result, Score, SystemParams};
+use textjoin_core::{
+    hhnl, hvnl, vvm, Algorithm, ExecStats, IoScenario, JoinSpec, OuterDocs, ResultQuality,
+};
 use textjoin_costmodel::Algorithm as Alg;
 
 /// The result of running a textual-join query.
@@ -14,10 +16,13 @@ pub struct QueryOutput {
     /// Result tuples: one per `(outer row, matched inner row)` pair, in
     /// outer-row order, best match first.
     pub rows: Vec<Vec<Value>>,
-    /// Which algorithm the integrated optimizer executed.
+    /// Which algorithm the integrated optimizer executed (after any
+    /// fallback re-planning on unreadable storage).
     pub algorithm: Algorithm,
     /// Measured execution statistics.
     pub stats: ExecStats,
+    /// Whether degraded-mode execution had to skip unreadable data.
+    pub quality: ResultQuality,
 }
 
 /// Parses, plans and executes a query against the catalog.
@@ -78,10 +83,52 @@ pub fn execute_plan_traced(
         spec = spec.with_trace(t);
     }
 
-    let outcome = match p.chosen {
-        Alg::Hhnl => hhnl::execute(&spec)?,
-        Alg::Hvnl => hvnl::execute(&spec, &inner_tc.inverted)?,
-        Alg::Vvm => vvm::execute(&spec, &inner_tc.inverted, &outer_tc.inverted)?,
+    let run_alg = |alg: Alg, spec: &JoinSpec<'_>| match alg {
+        Alg::Hhnl => hhnl::execute(spec),
+        Alg::Hvnl => hvnl::execute(spec, &inner_tc.inverted),
+        Alg::Vvm => vvm::execute(spec, &inner_tc.inverted, &outer_tc.inverted),
+    };
+
+    // Run the plan's choice; if it dies mid-run on unreadable storage (a
+    // corrupt page, an exhausted retry), re-plan onto the remaining feasible
+    // algorithms cheapest-first — e.g. HVNL failing on a corrupt inverted
+    // file falls back to HHNL, which never touches the inverted file.
+    let mut executed = p.chosen;
+    let outcome = match run_alg(p.chosen, &spec) {
+        Ok(outcome) => outcome,
+        Err(e @ (Error::Corrupt(_) | Error::Io { .. })) => {
+            let mut fallbacks: Vec<Alg> = Alg::ALL.into_iter().filter(|a| *a != p.chosen).collect();
+            fallbacks.sort_by(|a, b| {
+                p.estimates
+                    .cost(*a, IoScenario::Dedicated)
+                    .total_cmp(&p.estimates.cost(*b, IoScenario::Dedicated))
+            });
+            let mut last_err = e;
+            let mut recovered = None;
+            for alg in fallbacks {
+                if p.estimates.cost(alg, IoScenario::Dedicated).is_infinite() {
+                    continue;
+                }
+                match run_alg(alg, &spec) {
+                    Ok(outcome) => {
+                        executed = alg;
+                        recovered = Some(outcome);
+                        break;
+                    }
+                    Err(
+                        e @ (Error::InsufficientMemory { .. }
+                        | Error::Corrupt(_)
+                        | Error::Io { .. }),
+                    ) => last_err = e,
+                    Err(e) => return Err(e),
+                }
+            }
+            match recovered {
+                Some(outcome) => outcome,
+                None => return Err(last_err),
+            }
+        }
+        Err(e) => return Err(e),
     };
 
     // Project: one tuple per (outer row, match), plus the similarity.
@@ -106,8 +153,9 @@ pub fn execute_plan_traced(
     Ok(QueryOutput {
         headers,
         rows,
-        algorithm: p.chosen,
+        algorithm: executed,
         stats: outcome.stats,
+        quality: outcome.quality,
     })
 }
 

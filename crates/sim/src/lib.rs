@@ -19,11 +19,15 @@
 //!   summary findings of section 6.1;
 //! * [`validate`] — our own addition: the executors of `textjoin-core` run
 //!   on scaled-down synthetic collections and their *measured* I/O cost is
-//!   compared against the section 5 formulas.
+//!   compared against the section 5 formulas;
+//! * [`chaos`] — seeded fault schedules (transient read errors, bit flips,
+//!   latency spikes) against real executor runs, checking retry absorption,
+//!   degraded-mode accounting and integrated-algorithm re-planning.
 //!
 //! Everything prints through [`table::Table`], one table per experiment,
 //! in the spirit of the tables the paper's tech report tabulates.
 
+pub mod chaos;
 pub mod findings;
 pub mod groups;
 pub mod presets;

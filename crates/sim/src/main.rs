@@ -12,6 +12,7 @@
 //! textjoin-sim sweep [scale]      # measured B sweep on scaled collections
 //! textjoin-sim codec [scale]      # fixed vs varint-gap posting codecs
 //! textjoin-sim validate [scale]   # measured vs predicted (default 100)
+//! textjoin-sim chaos [--seed N|A..B]   # fault-injection scenarios (default 1..4)
 //! textjoin-sim all [scale]        # everything above
 //!
 //! Append `--csv` to any table command to emit CSV instead of the grid.
@@ -24,7 +25,7 @@
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use textjoin_sim::{findings, groups, validate, Table};
+use textjoin_sim::{chaos, findings, groups, validate, Table};
 
 /// Writes one scenario-marker line plus the span/metric JSON-lines of each
 /// traced scenario run.
@@ -59,6 +60,22 @@ fn main() -> ExitCode {
             Some(p)
         }
         None => None,
+    };
+    // `--seed N` or `--seed A..B` (inclusive) selects chaos seeds.
+    let seeds: Vec<u64> = match args.iter().position(|a| a == "--seed") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                eprintln!("--seed needs a value: a number or an inclusive range A..B");
+                return ExitCode::FAILURE;
+            }
+            let Some(seeds) = chaos::parse_seeds(&args[i + 1]) else {
+                eprintln!("invalid --seed '{}'; expected N or A..B", args[i + 1]);
+                return ExitCode::FAILURE;
+            };
+            args.drain(i..=i + 1);
+            seeds
+        }
+        None => (1..=4).collect(),
     };
     let command = args.first().map(String::as_str).unwrap_or("all");
     let scale: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100);
@@ -136,6 +153,28 @@ fn main() -> ExitCode {
             }
         }
         "validate" => return run_validate(scale),
+        "chaos" => {
+            let mut failed = false;
+            for &seed in &seeds {
+                eprintln!("chaos seed {seed}: running fault-injection scenarios …");
+                match chaos::run_seed(seed) {
+                    Ok(checks) => {
+                        for c in &checks {
+                            let mark = if c.passed { "ok  " } else { "FAIL" };
+                            println!("{mark} seed={} [{}] {}", c.seed, c.scenario, c.check);
+                            failed |= !c.passed;
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("chaos seed {seed}: scenario setup failed: {e}");
+                        failed = true;
+                    }
+                }
+            }
+            if failed {
+                return ExitCode::FAILURE;
+            }
+        }
         "all" => {
             println!("{}", groups::t1_statistics());
             for t in groups::group1() {
@@ -160,7 +199,7 @@ fn main() -> ExitCode {
         other => {
             eprintln!(
                 "unknown command '{other}'; expected t1 | group1..group5 | findings | \
-                 validate [scale] | all [scale]"
+                 validate [scale] | chaos [--seed N|A..B] | all [scale]"
             );
             return ExitCode::FAILURE;
         }

@@ -306,7 +306,9 @@ mod tests {
         let disk = DiskSim::new(32);
         let f = disk.create_file("docs").unwrap();
         for i in 0..pages {
-            disk.append_page(f, &[i as u8]).unwrap();
+            let mut page = vec![0u8; 32];
+            page[0] = i as u8;
+            disk.append_page(f, &page).unwrap();
         }
         disk.reset_stats();
         disk.reset_head();

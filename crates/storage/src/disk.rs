@@ -20,6 +20,23 @@
 //! so interleaved scans of two files (e.g. VVM's merge) each stay
 //! sequential. The shared-device worst case is modeled by interference
 //! mode, which is what the `hhr`/`hvr`/`vvr` formulas describe.
+//!
+//! # Robustness
+//!
+//! Real devices fail, so the simulator can misbehave on demand:
+//!
+//! * every page carries an out-of-band header (magic, format version,
+//!   [`PageKind`], CRC32 of the payload) stamped on write and verified on
+//!   read — corruption surfaces as [`Error::Corrupt`] with file/page
+//!   context instead of decoding garbage;
+//! * a seeded [`FaultPlan`] injects transient read errors, torn writes,
+//!   single-bit flips and latency spikes on chosen
+//!   `(file, page, nth-access)` triples;
+//! * a [`RetryPolicy`] governs how many times a transient read failure is
+//!   re-attempted (each retry re-charged at the random rate) before the
+//!   read gives up with [`Error::Io`];
+//! * every injected fault, retry and give-up is counted in
+//!   [`FaultStats`] and mirrored into attached [`DiskMetrics`].
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -27,6 +44,92 @@ use std::fmt;
 use std::sync::Arc;
 use textjoin_common::{Error, Result};
 use textjoin_obs::{Counter, Registry};
+
+/// On-page format version. Version 1 was the raw payload-only layout;
+/// version 2 added the out-of-band page header (magic + kind + CRC32).
+pub const PAGE_FORMAT_VERSION: u8 = 2;
+
+/// Magic bytes opening every page header.
+pub const PAGE_MAGIC: [u8; 2] = *b"TJ";
+
+/// Size of the out-of-band page header in bytes: 2 magic, 1 version,
+/// 1 kind, 4 CRC32 (little-endian). Stored *next to* the page, not inside
+/// it, so payload capacity — and hence every page-count formula in the
+/// cost model — is unchanged.
+pub const PAGE_HEADER_BYTES: usize = 8;
+
+/// What a file's pages hold. Stamped into every page header on write and
+/// checked on read, so a page that wanders between files (or a corrupted
+/// kind byte) is caught before a codec sees it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[repr(u8)]
+pub enum PageKind {
+    /// Unstructured payload (tests, scratch files).
+    #[default]
+    Raw = 0,
+    /// Packed document store pages.
+    Documents = 1,
+    /// Inverted-file posting pages.
+    Postings = 2,
+    /// B+tree dictionary nodes.
+    BTree = 3,
+}
+
+impl PageKind {
+    fn from_u8(v: u8) -> Option<PageKind> {
+        match v {
+            0 => Some(PageKind::Raw),
+            1 => Some(PageKind::Documents),
+            2 => Some(PageKind::Postings),
+            3 => Some(PageKind::BTree),
+            _ => None,
+        }
+    }
+}
+
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE polynomial) over `data` — the checksum stored in every
+/// page header.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+fn make_header(kind: PageKind, payload: &[u8]) -> [u8; PAGE_HEADER_BYTES] {
+    let crc = crc32(payload).to_le_bytes();
+    [
+        PAGE_MAGIC[0],
+        PAGE_MAGIC[1],
+        PAGE_FORMAT_VERSION,
+        kind as u8,
+        crc[0],
+        crc[1],
+        crc[2],
+        crc[3],
+    ]
+}
 
 /// Identifier of a file within a [`DiskSim`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -108,31 +211,335 @@ impl fmt::Display for IoStats {
     }
 }
 
-/// Counter handles a [`DiskSim`] emits read/write events into when
-/// attached via [`DiskSim::set_metrics`].
+/// The kind of misbehaviour a [`Fault`] injects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The read fails `failures` consecutive times, then succeeds — the
+    /// classic recoverable device hiccup. Whether it is absorbed depends
+    /// on the [`RetryPolicy`].
+    TransientRead {
+        /// Consecutive failures before the page reads cleanly.
+        failures: u32,
+    },
+    /// The *write* persists only the first half of the payload (the tail
+    /// is zeroed) while the header keeps the checksum of the intended
+    /// bytes — detected as [`Error::Corrupt`] on the next read.
+    TornWrite,
+    /// Permanently flips one stored bit of the page (header or payload;
+    /// the offset is taken modulo the page's total bit width). Detected
+    /// by header verification on every subsequent read.
+    BitFlip {
+        /// Bit position in `header ‖ payload` space (modulo-reduced).
+        bit_offset: u64,
+    },
+    /// The device serves the whole run at the random rate — a seek-storm
+    /// latency spike. The read succeeds; only its price changes.
+    LatencySpike,
+}
+
+/// One planned fault: `kind` strikes the `nth_access` (0-based) of
+/// `(file, page)` on its path — reads for everything except
+/// [`FaultKind::TornWrite`], which counts writes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fault {
+    /// Target file.
+    pub file: FileId,
+    /// Target page within the file.
+    pub page: u64,
+    /// Which access to that page triggers the fault (0 = first).
+    pub nth_access: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of faults to inject. Each fault fires at most
+/// once; install with [`DiskSim::set_fault_plan`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one explicit fault.
+    pub fn with_fault(mut self, file: FileId, page: u64, nth_access: u64, kind: FaultKind) -> Self {
+        self.faults.push(Fault {
+            file,
+            page,
+            nth_access,
+            kind,
+        });
+        self
+    }
+
+    /// Builds a deterministic plan from a seed: one fault per target
+    /// `(file, page)`, with the kind and trigger access drawn from a
+    /// SplitMix64 stream (≈½ transient, ¼ bit flip, ¼ latency spike —
+    /// torn writes are write-path faults and are only planned explicitly).
+    /// The same seed and targets always produce the same plan.
+    pub fn seeded(seed: u64, targets: &[(FileId, u64)]) -> Self {
+        let mut state = seed ^ 0xD6E8_FEB8_6659_FD93;
+        let mut plan = FaultPlan::new();
+        for &(file, page) in targets {
+            let r = splitmix64(&mut state);
+            let nth_access = (r >> 32) & 1;
+            let kind = match r % 4 {
+                0 | 1 => FaultKind::TransientRead {
+                    failures: 1 + ((r >> 8) & 1) as u32,
+                },
+                2 => FaultKind::BitFlip {
+                    bit_offset: splitmix64(&mut state),
+                },
+                _ => FaultKind::LatencySpike,
+            };
+            plan = plan.with_fault(file, page, nth_access, kind);
+        }
+        plan
+    }
+
+    /// Number of planned faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The planned faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+}
+
+/// How long to wait between retry attempts. The simulator never sleeps;
+/// delays are accumulated into [`FaultStats::backoff_us`] so tests can
+/// assert the policy was honoured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backoff {
+    /// Retry immediately.
+    None,
+    /// A fixed delay (µs) before every retry.
+    Fixed(u64),
+    /// `base_us`, doubling on each further retry.
+    Exponential {
+        /// Delay before the first retry, in µs.
+        base_us: u64,
+    },
+}
+
+impl Backoff {
+    /// Delay before attempt number `attempt` (attempt 2 = first retry).
+    pub fn delay_us(&self, attempt: u32) -> u64 {
+        match *self {
+            Backoff::None => 0,
+            Backoff::Fixed(us) => us,
+            Backoff::Exponential { base_us } => {
+                base_us.saturating_mul(1u64 << (attempt.saturating_sub(2)).min(63))
+            }
+        }
+    }
+}
+
+/// How the read path responds to transient faults.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per page (1 = no retries). Must be ≥ 1.
+    pub max_attempts: u32,
+    /// Wait discipline between attempts.
+    pub backoff: Backoff,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff: Backoff::Exponential { base_us: 100 },
+        }
+    }
+}
+
+/// Cumulative fault-injection and recovery counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Transient read faults injected.
+    pub injected_transient: u64,
+    /// Torn writes injected.
+    pub injected_torn: u64,
+    /// Bit flips injected.
+    pub injected_bit_flips: u64,
+    /// Latency spikes injected.
+    pub injected_latency: u64,
+    /// Read attempts beyond the first (whether or not the page was
+    /// eventually read).
+    pub retries: u64,
+    /// Pages abandoned after `max_attempts` failures.
+    pub gave_up: u64,
+    /// Simulated backoff accumulated across all retries, in µs.
+    pub backoff_us: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected, of any kind.
+    pub fn total_injected(&self) -> u64 {
+        self.injected_transient
+            + self.injected_torn
+            + self.injected_bit_flips
+            + self.injected_latency
+    }
+
+    fn accumulate(&mut self, d: &FaultStats) {
+        self.injected_transient += d.injected_transient;
+        self.injected_torn += d.injected_torn;
+        self.injected_bit_flips += d.injected_bit_flips;
+        self.injected_latency += d.injected_latency;
+        self.retries += d.retries;
+        self.gave_up += d.gave_up;
+        self.backoff_us += d.backoff_us;
+    }
+}
+
+/// Counter handles a [`DiskSim`] emits read/write and fault events into
+/// when attached via [`DiskSim::set_metrics`].
 #[derive(Clone)]
 pub struct DiskMetrics {
     seq_reads: Counter,
     rand_reads: Counter,
     writes: Counter,
+    retries: Counter,
+    gave_up: Counter,
+    faults_transient: Counter,
+    faults_torn: Counter,
+    faults_bit_flip: Counter,
+    faults_latency: Counter,
 }
 
 impl DiskMetrics {
-    /// Registers the three disk counters under `label` (typically the
+    /// Registers the disk and fault counters under `label` (typically the
     /// experiment or catalog name).
     pub fn register(registry: &Registry, label: &str) -> Self {
         Self {
             seq_reads: registry.counter("disk.seq_reads", label),
             rand_reads: registry.counter("disk.rand_reads", label),
             writes: registry.counter("disk.writes", label),
+            retries: registry.counter("disk.retries", label),
+            gave_up: registry.counter("disk.gave_up", label),
+            faults_transient: registry.counter("faults.transient", label),
+            faults_torn: registry.counter("faults.torn_write", label),
+            faults_bit_flip: registry.counter("faults.bit_flip", label),
+            faults_latency: registry.counter("faults.latency", label),
         }
+    }
+
+    fn mirror_faults(&self, d: &FaultStats) {
+        self.retries.inc_by(d.retries);
+        self.gave_up.inc_by(d.gave_up);
+        self.faults_transient.inc_by(d.injected_transient);
+        self.faults_torn.inc_by(d.injected_torn);
+        self.faults_bit_flip.inc_by(d.injected_bit_flips);
+        self.faults_latency.inc_by(d.injected_latency);
     }
 }
 
 #[derive(Default)]
 struct FileData {
     name: String,
+    kind: PageKind,
     pages: Vec<Arc<[u8]>>,
+    headers: Vec<[u8; PAGE_HEADER_BYTES]>,
+}
+
+fn flip_stored_bit(f: &mut FileData, page: u64, bit_offset: u64, page_size: usize) {
+    let total_bits = ((PAGE_HEADER_BYTES + page_size) * 8) as u64;
+    let bit = bit_offset % total_bits;
+    let (byte, mask) = ((bit / 8) as usize, 1u8 << (bit % 8));
+    if byte < PAGE_HEADER_BYTES {
+        f.headers[page as usize][byte] ^= mask;
+    } else {
+        let mut v = f.pages[page as usize].to_vec();
+        v[byte - PAGE_HEADER_BYTES] ^= mask;
+        f.pages[page as usize] = v.into();
+    }
+}
+
+fn verify_page(f: &FileData, page: u64) -> Result<()> {
+    let h = &f.headers[page as usize];
+    let fail =
+        |reason: String| Error::Corrupt(format!("file '{}' page {}: {}", f.name, page, reason));
+    if h[0..2] != PAGE_MAGIC {
+        return Err(fail("bad page magic".into()));
+    }
+    if h[2] != PAGE_FORMAT_VERSION {
+        return Err(fail(format!(
+            "page format version {} (expected {PAGE_FORMAT_VERSION})",
+            h[2]
+        )));
+    }
+    match PageKind::from_u8(h[3]) {
+        Some(k) if k == f.kind => {}
+        Some(k) => return Err(fail(format!("page kind {k:?} in a {:?} file", f.kind))),
+        None => return Err(fail(format!("unknown page kind {}", h[3]))),
+    }
+    let stored = u32::from_le_bytes([h[4], h[5], h[6], h[7]]);
+    let computed = crc32(&f.pages[page as usize]);
+    if stored != computed {
+        return Err(fail(format!(
+            "checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+        )));
+    }
+    Ok(())
+}
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum FaultPath {
+    Read,
+    Write,
+}
+
+struct PlannedFault {
+    fault: Fault,
+    fired: bool,
+}
+
+struct FaultMachinery {
+    plan: Vec<PlannedFault>,
+    read_counts: HashMap<(FileId, u64), u64>,
+    write_counts: HashMap<(FileId, u64), u64>,
+    policy: RetryPolicy,
+    stats: FaultStats,
+}
+
+impl FaultMachinery {
+    fn take_fault(
+        &mut self,
+        file: FileId,
+        page: u64,
+        nth: u64,
+        path: FaultPath,
+    ) -> Option<FaultKind> {
+        let pf = self.plan.iter_mut().find(|pf| {
+            !pf.fired
+                && pf.fault.file == file
+                && pf.fault.page == page
+                && pf.fault.nth_access == nth
+                && (matches!(pf.fault.kind, FaultKind::TornWrite) == (path == FaultPath::Write))
+        })?;
+        pf.fired = true;
+        Some(pf.fault.kind)
+    }
 }
 
 struct HeadState {
@@ -173,7 +580,16 @@ impl HeadState {
     }
 }
 
-/// An in-memory disk simulator with sequential/random accounting.
+#[derive(Clone, Copy)]
+enum RunPricing {
+    /// Whole run sequential-or-random ([`DiskSim::read_run`]).
+    Run,
+    /// One seek then streaming ([`DiskSim::read_scan`]).
+    Scan,
+}
+
+/// An in-memory disk simulator with sequential/random accounting,
+/// checksummed pages, fault injection and retrying reads.
 ///
 /// All methods take `&self`; internal state is protected by mutexes so a
 /// `DiskSim` can be shared (e.g. between a document store and its inverted
@@ -183,6 +599,7 @@ pub struct DiskSim {
     files: Mutex<Vec<FileData>>,
     names: Mutex<HashMap<String, FileId>>,
     state: Mutex<HeadState>,
+    faults: Mutex<FaultMachinery>,
 }
 
 impl DiskSim {
@@ -199,6 +616,13 @@ impl DiskSim {
                 interference: false,
                 metrics: None,
             }),
+            faults: Mutex::new(FaultMachinery {
+                plan: Vec::new(),
+                read_counts: HashMap::new(),
+                write_counts: HashMap::new(),
+                policy: RetryPolicy::default(),
+                stats: FaultStats::default(),
+            }),
         }
     }
 
@@ -208,8 +632,15 @@ impl DiskSim {
         self.page_size
     }
 
-    /// Creates a new empty file. Names are informational but must be unique.
+    /// Creates a new empty file of [`PageKind::Raw`] pages. Names are
+    /// informational but must be unique.
     pub fn create_file(&self, name: &str) -> Result<FileId> {
+        self.create_file_with_kind(name, PageKind::Raw)
+    }
+
+    /// Creates a new empty file whose pages will be stamped (and checked)
+    /// as `kind`.
+    pub fn create_file_with_kind(&self, name: &str, kind: PageKind) -> Result<FileId> {
         let mut names = self.names.lock();
         if names.contains_key(name) {
             return Err(Error::InvalidArgument(format!(
@@ -220,7 +651,9 @@ impl DiskSim {
         let id = FileId(files.len() as u32);
         files.push(FileData {
             name: name.to_string(),
+            kind,
             pages: Vec::new(),
+            headers: Vec::new(),
         });
         names.insert(name.to_string(), id);
         Ok(id)
@@ -236,44 +669,78 @@ impl DiskSim {
         self.files.lock()[file.0 as usize].name.clone()
     }
 
+    /// The page kind a file was created with.
+    pub fn file_kind(&self, file: FileId) -> PageKind {
+        self.files.lock()[file.0 as usize].kind
+    }
+
     /// Number of pages currently in the file.
     pub fn num_pages(&self, file: FileId) -> u64 {
         self.files.lock()[file.0 as usize].pages.len() as u64
     }
 
-    /// Appends a page to the file, returning its page number. The payload is
-    /// zero-padded (or must fit) to the page size. Writes are not charged to
-    /// the read-cost model — the paper's analysis covers query processing,
-    /// not index construction — but are counted in [`IoStats::writes`].
-    pub fn append_page(&self, file: FileId, data: &[u8]) -> Result<u64> {
-        if data.len() > self.page_size {
+    fn validate_payload(&self, data: &[u8]) -> Result<()> {
+        if data.len() != self.page_size {
             return Err(Error::InvalidArgument(format!(
-                "payload of {} bytes exceeds page size {}",
+                "payload of {} bytes does not match page size {} \
+                 (pad partial pages explicitly — short writes are torn writes)",
                 data.len(),
                 self.page_size
             )));
         }
+        Ok(())
+    }
+
+    /// Injects any planned torn write for `(file, page)`, returning the
+    /// fault delta to mirror into metrics. Caller holds the `files` lock.
+    fn apply_write_faults(&self, file: FileId, page: u64, payload: &mut [u8]) -> FaultStats {
+        let mut delta = FaultStats::default();
+        let mut fm = self.faults.lock();
+        let count = fm.write_counts.entry((file, page)).or_insert(0);
+        let nth = *count;
+        *count += 1;
+        if fm.take_fault(file, page, nth, FaultPath::Write).is_some() {
+            delta.injected_torn += 1;
+            let keep = payload.len() / 2;
+            for b in &mut payload[keep..] {
+                *b = 0;
+            }
+        }
+        fm.stats.accumulate(&delta);
+        delta
+    }
+
+    /// Appends a page to the file, returning its page number. The payload
+    /// must be exactly one page; partial pages must be padded by the
+    /// caller (logical byte counts live in the callers' directories, not
+    /// here). The header (magic, version, kind, CRC32) is stored out of
+    /// band. Writes are not charged to the read-cost model — the paper's
+    /// analysis covers query processing, not index construction — but are
+    /// counted in [`IoStats::writes`].
+    pub fn append_page(&self, file: FileId, data: &[u8]) -> Result<u64> {
+        self.validate_payload(data)?;
         let mut files = self.files.lock();
         let f = &mut files[file.0 as usize];
-        let mut page = vec![0u8; self.page_size];
-        page[..data.len()].copy_from_slice(data);
-        f.pages.push(page.into());
-        let len = f.pages.len() as u64;
+        let page_no = f.pages.len() as u64;
+        let header = make_header(f.kind, data);
+        let mut payload = data.to_vec();
+        let delta = self.apply_write_faults(file, page_no, &mut payload);
+        f.headers.push(header);
+        f.pages.push(payload.into());
         drop(files);
-        self.state.lock().charge_write();
-        Ok(len - 1)
+        let mut st = self.state.lock();
+        st.charge_write();
+        if let Some(m) = &st.metrics {
+            m.mirror_faults(&delta);
+        }
+        Ok(page_no)
     }
 
     /// Overwrites an existing page in place (used by mutable structures
-    /// such as the B+tree during inserts). Counted in [`IoStats::writes`].
+    /// such as the B+tree during inserts). Same exact-length contract as
+    /// [`Self::append_page`]; counted in [`IoStats::writes`].
     pub fn write_page(&self, file: FileId, page: u64, data: &[u8]) -> Result<()> {
-        if data.len() > self.page_size {
-            return Err(Error::InvalidArgument(format!(
-                "payload of {} bytes exceeds page size {}",
-                data.len(),
-                self.page_size
-            )));
-        }
+        self.validate_payload(data)?;
         let mut files = self.files.lock();
         let f = &mut files[file.0 as usize];
         let n = f.pages.len() as u64;
@@ -284,11 +751,17 @@ impl DiskSim {
                 len: n,
             });
         }
-        let mut buf = vec![0u8; self.page_size];
-        buf[..data.len()].copy_from_slice(data);
-        f.pages[page as usize] = buf.into();
+        let header = make_header(f.kind, data);
+        let mut payload = data.to_vec();
+        let delta = self.apply_write_faults(file, page, &mut payload);
+        f.headers[page as usize] = header;
+        f.pages[page as usize] = payload.into();
         drop(files);
-        self.state.lock().charge_write();
+        let mut st = self.state.lock();
+        st.charge_write();
+        if let Some(m) = &st.metrics {
+            m.mirror_faults(&delta);
+        }
         Ok(())
     }
 
@@ -319,46 +792,90 @@ impl DiskSim {
         self.state.lock().heads.clear();
     }
 
+    /// Installs a fault schedule (replacing any previous one) and resets
+    /// the per-page access counters it is keyed on. [`FaultStats`] are
+    /// *not* reset — use [`Self::reset_fault_stats`].
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        let mut fm = self.faults.lock();
+        fm.plan = plan
+            .faults
+            .into_iter()
+            .map(|fault| PlannedFault {
+                fault,
+                fired: false,
+            })
+            .collect();
+        fm.read_counts.clear();
+        fm.write_counts.clear();
+    }
+
+    /// Removes any installed fault schedule.
+    pub fn clear_fault_plan(&self) {
+        self.set_fault_plan(FaultPlan::new());
+    }
+
+    /// Number of planned faults that have not fired yet.
+    pub fn pending_faults(&self) -> usize {
+        self.faults
+            .lock()
+            .plan
+            .iter()
+            .filter(|pf| !pf.fired)
+            .count()
+    }
+
+    /// Sets the read retry policy.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        assert!(policy.max_attempts >= 1, "at least one attempt required");
+        self.faults.lock().policy = policy;
+    }
+
+    /// The current read retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.faults.lock().policy
+    }
+
+    /// Snapshot of the cumulative fault-injection counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.lock().stats
+    }
+
+    /// Resets the fault counters (the installed plan is kept).
+    pub fn reset_fault_stats(&self) {
+        self.faults.lock().stats = FaultStats::default();
+    }
+
+    /// Permanently flips one stored bit of a page — the corruption hook
+    /// behind [`FaultKind::BitFlip`], also usable directly by tests. The
+    /// offset addresses `header ‖ payload` bit space (modulo-reduced), so
+    /// any flip lands somewhere header verification can see.
+    pub fn flip_bit(&self, file: FileId, page: u64, bit_offset: u64) -> Result<()> {
+        let mut files = self.files.lock();
+        let f = &mut files[file.0 as usize];
+        let n = f.pages.len() as u64;
+        if page >= n {
+            return Err(Error::PageOutOfBounds {
+                file: f.name.clone(),
+                page,
+                len: n,
+            });
+        }
+        flip_stored_bit(f, page, bit_offset, self.page_size);
+        Ok(())
+    }
+
     /// Reads a single page. Equivalent to `read_run(file, page, 1)`.
     pub fn read_page(&self, file: FileId, page: u64) -> Result<Arc<[u8]>> {
-        Ok(self
-            .read_run(file, page, 1)?
-            .pop()
-            .expect("run of length 1"))
+        let mut run = self.read_run(file, page, 1)?;
+        run.pop()
+            .ok_or_else(|| Error::Corrupt(format!("empty run reading page {page} of {file}")))
     }
 
     /// Reads `len` consecutive pages starting at `start`, classifying the
     /// whole run as sequential (it continues the head position) or random
     /// (all pages charged at the `α` rate), per the paper's model.
     pub fn read_run(&self, file: FileId, start: u64, len: u64) -> Result<Vec<Arc<[u8]>>> {
-        if len == 0 {
-            return Ok(Vec::new());
-        }
-        let files = self.files.lock();
-        let f = &files[file.0 as usize];
-        let n = f.pages.len() as u64;
-        if start + len > n {
-            return Err(Error::PageOutOfBounds {
-                file: f.name.clone(),
-                page: start + len - 1,
-                len: n,
-            });
-        }
-        let out: Vec<Arc<[u8]>> = f.pages[start as usize..(start + len) as usize]
-            .iter()
-            .map(Arc::clone)
-            .collect();
-        drop(files);
-
-        let mut st = self.state.lock();
-        let sequential = !st.interference && st.heads.get(&file) == Some(&start);
-        if sequential {
-            st.charge_seq(len);
-        } else {
-            st.charge_rand(len);
-        }
-        st.heads.insert(file, start + len);
-        Ok(out)
+        self.read_pages(file, start, len, RunPricing::Run)
     }
 
     /// Reads `len` consecutive pages as a *streamed scan*: only the first
@@ -372,11 +889,27 @@ impl DiskSim {
     ///
     /// [`read_run`]: Self::read_run
     pub fn read_scan(&self, file: FileId, start: u64, len: u64) -> Result<Vec<Arc<[u8]>>> {
+        self.read_pages(file, start, len, RunPricing::Scan)
+    }
+
+    /// Shared read path: bounds check, fault injection, retry accounting,
+    /// header verification, then I/O pricing. Transient faults are
+    /// retried per the [`RetryPolicy`] (each retry re-charged at the
+    /// random rate); verification failures are *not* retried — corruption
+    /// is permanent, so a re-read cannot help.
+    fn read_pages(
+        &self,
+        file: FileId,
+        start: u64,
+        len: u64,
+        pricing: RunPricing,
+    ) -> Result<Vec<Arc<[u8]>>> {
         if len == 0 {
             return Ok(Vec::new());
         }
-        let files = self.files.lock();
-        let f = &files[file.0 as usize];
+        let mut files = self.files.lock();
+        let page_size = self.page_size;
+        let f = &mut files[file.0 as usize];
         let n = f.pages.len() as u64;
         if start + len > n {
             return Err(Error::PageOutOfBounds {
@@ -385,31 +918,125 @@ impl DiskSim {
                 len: n,
             });
         }
-        let out: Vec<Arc<[u8]>> = f.pages[start as usize..(start + len) as usize]
-            .iter()
-            .map(Arc::clone)
-            .collect();
+
+        let mut delta = FaultStats::default();
+        let mut extra_rand = 0u64;
+        let mut force_random = false;
+        let mut failure: Option<Error> = None;
+        {
+            let mut fm = self.faults.lock();
+            let policy = fm.policy;
+            for p in start..start + len {
+                let count = fm.read_counts.entry((file, p)).or_insert(0);
+                let nth = *count;
+                *count += 1;
+                let Some(kind) = fm.take_fault(file, p, nth, FaultPath::Read) else {
+                    continue;
+                };
+                match kind {
+                    FaultKind::TransientRead { failures } => {
+                        delta.injected_transient += 1;
+                        let attempts = (failures + 1).min(policy.max_attempts);
+                        let retries = u64::from(attempts.saturating_sub(1));
+                        delta.retries += retries;
+                        extra_rand += retries;
+                        for a in 2..=attempts {
+                            delta.backoff_us += policy.backoff.delay_us(a);
+                        }
+                        if failures >= policy.max_attempts {
+                            delta.gave_up += 1;
+                            if failure.is_none() {
+                                failure = Some(Error::Io {
+                                    file: f.name.clone(),
+                                    page: p,
+                                    attempts: policy.max_attempts,
+                                });
+                            }
+                        }
+                    }
+                    FaultKind::BitFlip { bit_offset } => {
+                        delta.injected_bit_flips += 1;
+                        flip_stored_bit(f, p, bit_offset, page_size);
+                    }
+                    FaultKind::LatencySpike => {
+                        delta.injected_latency += 1;
+                        force_random = true;
+                    }
+                    // Write-path kind; the path filter keeps it out of
+                    // read lookups, but the match must be exhaustive.
+                    FaultKind::TornWrite => {}
+                }
+            }
+            fm.stats.accumulate(&delta);
+        }
+
+        if failure.is_none() {
+            for p in start..start + len {
+                if let Err(e) = verify_page(f, p) {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        let out: Vec<Arc<[u8]>> = if failure.is_none() {
+            f.pages[start as usize..(start + len) as usize]
+                .iter()
+                .map(Arc::clone)
+                .collect()
+        } else {
+            Vec::new()
+        };
         drop(files);
 
         let mut st = self.state.lock();
-        if st.interference {
-            st.charge_rand(len);
-        } else {
-            let continues = st.heads.get(&file) == Some(&start);
-            if continues {
-                st.charge_seq(len);
-            } else {
-                st.charge_rand(1);
-                st.charge_seq(len - 1);
+        match pricing {
+            RunPricing::Run => {
+                let sequential =
+                    !force_random && !st.interference && st.heads.get(&file) == Some(&start);
+                if sequential {
+                    st.charge_seq(len);
+                } else {
+                    st.charge_rand(len);
+                }
+            }
+            RunPricing::Scan => {
+                if st.interference || force_random {
+                    st.charge_rand(len);
+                } else {
+                    let continues = st.heads.get(&file) == Some(&start);
+                    if continues {
+                        st.charge_seq(len);
+                    } else {
+                        st.charge_rand(1);
+                        st.charge_seq(len - 1);
+                    }
+                }
             }
         }
-        st.heads.insert(file, start + len);
-        Ok(out)
+        if extra_rand > 0 {
+            st.charge_rand(extra_rand);
+        }
+        if let Some(m) = &st.metrics {
+            m.mirror_faults(&delta);
+        }
+        match failure {
+            None => {
+                st.heads.insert(file, start + len);
+                Ok(out)
+            }
+            Some(e) => {
+                // A failed read leaves the head position undefined: the
+                // next access pays a seek.
+                st.heads.remove(&file);
+                Err(e)
+            }
+        }
     }
 
     /// Charges a synthetic run without materialising data — used by the
     /// simulation harness when running the cost accounting at paper scale
-    /// where the files are never populated.
+    /// where the files are never populated. Bypasses fault injection and
+    /// verification (there are no bytes to fault or verify).
     pub fn charge_run(&self, file: FileId, start: u64, len: u64) {
         if len == 0 {
             return;
@@ -425,9 +1052,9 @@ impl DiskSim {
     }
 
     /// Attaches (or with `None`, detaches) an observability sink: every
-    /// page read/write is mirrored into the registered counters. Updates
-    /// happen under the existing accounting lock, so the read path gains
-    /// no extra synchronisation.
+    /// page read/write and every injected fault is mirrored into the
+    /// registered counters. Updates happen under the existing accounting
+    /// lock, so the read path gains no extra synchronisation.
     pub fn set_metrics(&self, metrics: Option<DiskMetrics>) {
         self.state.lock().metrics = metrics;
     }
@@ -437,11 +1064,17 @@ impl DiskSim {
 mod tests {
     use super::*;
 
+    fn full_page(size: usize, tag: u8) -> Vec<u8> {
+        let mut p = vec![tag; size];
+        p[0] = tag;
+        p
+    }
+
     fn disk_with_file(pages: u64) -> (DiskSim, FileId) {
         let disk = DiskSim::new(64);
         let f = disk.create_file("test").unwrap();
         for i in 0..pages {
-            disk.append_page(f, &[i as u8]).unwrap();
+            disk.append_page(f, &full_page(64, i as u8)).unwrap();
         }
         disk.reset_stats();
         disk.reset_head();
@@ -485,8 +1118,8 @@ mod tests {
         let a = disk.create_file("a").unwrap();
         let b = disk.create_file("b").unwrap();
         for _ in 0..4 {
-            disk.append_page(a, &[]).unwrap();
-            disk.append_page(b, &[]).unwrap();
+            disk.append_page(a, &[0; 64]).unwrap();
+            disk.append_page(b, &[0; 64]).unwrap();
         }
         disk.reset_stats();
         disk.read_run(a, 0, 2).unwrap();
@@ -539,9 +1172,9 @@ mod tests {
     #[test]
     fn write_page_overwrites_in_place() {
         let (disk, f) = disk_with_file(3);
-        disk.write_page(f, 1, &[42]).unwrap();
+        disk.write_page(f, 1, &full_page(64, 42)).unwrap();
         assert_eq!(disk.read_page(f, 1).unwrap()[0], 42);
-        assert!(disk.write_page(f, 3, &[1]).is_err());
+        assert!(disk.write_page(f, 3, &full_page(64, 1)).is_err());
         assert_eq!(disk.num_pages(f), 3);
     }
 
@@ -584,15 +1217,23 @@ mod tests {
     }
 
     #[test]
-    fn append_returns_page_numbers_and_pads() {
+    fn append_and_write_validate_payload_length() {
         let disk = DiskSim::new(8);
         let f = disk.create_file("f").unwrap();
-        assert_eq!(disk.append_page(f, &[1, 2, 3]).unwrap(), 0);
-        assert_eq!(disk.append_page(f, &[9; 8]).unwrap(), 1);
-        assert!(disk.append_page(f, &[0; 9]).is_err());
-        let p = disk.read_page(f, 0).unwrap();
-        assert_eq!(&p[..4], &[1, 2, 3, 0]);
-        assert_eq!(disk.stats().writes, 2);
+        assert_eq!(disk.append_page(f, &[7; 8]).unwrap(), 0);
+        for bad in [&[1u8, 2, 3] as &[u8], &[0; 9], &[]] {
+            let err = disk.append_page(f, bad).unwrap_err();
+            match err {
+                Error::InvalidArgument(msg) => {
+                    assert!(msg.contains(&bad.len().to_string()), "{msg}");
+                    assert!(msg.contains('8'), "{msg}");
+                }
+                other => panic!("expected InvalidArgument, got {other:?}"),
+            }
+            assert!(disk.write_page(f, 0, bad).is_err());
+        }
+        assert_eq!(disk.num_pages(f), 1);
+        assert_eq!(disk.stats().writes, 1);
     }
 
     #[test]
@@ -620,7 +1261,7 @@ mod tests {
         disk.set_metrics(Some(DiskMetrics::register(&registry, "t1")));
         disk.read_scan(f, 0, 10).unwrap(); // 1 rand + 9 seq
         disk.read_run(f, 0, 2).unwrap(); // head at 10 → 2 rand
-        disk.append_page(f, &[1]).unwrap();
+        disk.append_page(f, &full_page(64, 1)).unwrap();
         assert_eq!(registry.counter("disk.seq_reads", "t1").get(), 9);
         assert_eq!(registry.counter("disk.rand_reads", "t1").get(), 3);
         assert_eq!(registry.counter("disk.writes", "t1").get(), 1);
@@ -639,5 +1280,179 @@ mod tests {
         let s = disk.stats();
         assert_eq!(s.rand_reads, 100);
         assert_eq!(s.seq_reads, 50);
+    }
+
+    // ---- page-header and fault-injection coverage ----
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The IEEE check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn kinded_files_round_trip_and_verify() {
+        let disk = DiskSim::new(16);
+        let f = disk
+            .create_file_with_kind("docs", PageKind::Documents)
+            .unwrap();
+        assert_eq!(disk.file_kind(f), PageKind::Documents);
+        disk.append_page(f, &full_page(16, 5)).unwrap();
+        assert_eq!(disk.read_page(f, 0).unwrap()[0], 5);
+    }
+
+    #[test]
+    fn payload_bit_flip_surfaces_corrupt_with_context() {
+        let (disk, f) = disk_with_file(4);
+        // Offset past the 64-bit header lands in the payload.
+        disk.flip_bit(f, 2, (PAGE_HEADER_BYTES as u64) * 8 + 13)
+            .unwrap();
+        disk.read_page(f, 1).unwrap(); // untouched pages still read
+        let err = disk.read_run(f, 0, 4).unwrap_err();
+        match err {
+            Error::Corrupt(msg) => {
+                assert!(msg.contains("test"), "{msg}");
+                assert!(msg.contains("page 2"), "{msg}");
+                assert!(msg.contains("checksum"), "{msg}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn header_bit_flips_are_detected_too() {
+        // Byte 0-1: magic; byte 2: version; byte 3: kind; bytes 4-7: CRC.
+        for (byte, what) in [
+            (0u64, "magic"),
+            (2, "version"),
+            (3, "kind"),
+            (5, "checksum"),
+        ] {
+            let (disk, f) = disk_with_file(2);
+            disk.flip_bit(f, 0, byte * 8).unwrap();
+            let err = disk.read_page(f, 0).unwrap_err();
+            match err {
+                Error::Corrupt(msg) => assert!(msg.contains(what), "{what}: {msg}"),
+                other => panic!("expected Corrupt for {what}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_absorbed() {
+        let (disk, f) = disk_with_file(6);
+        disk.set_fault_plan(FaultPlan::new().with_fault(
+            f,
+            2,
+            0,
+            FaultKind::TransientRead { failures: 1 },
+        ));
+        let pages = disk.read_run(f, 0, 6).unwrap();
+        assert_eq!(pages.len(), 6);
+        let fs = disk.fault_stats();
+        assert_eq!(fs.injected_transient, 1);
+        assert_eq!(fs.retries, 1);
+        assert_eq!(fs.gave_up, 0);
+        assert!(fs.backoff_us > 0, "exponential default backoff accrues");
+        // Cold run of 6 pages + 1 re-read of the faulted page.
+        assert_eq!(disk.stats().rand_reads, 7);
+        assert_eq!(disk.pending_faults(), 0);
+    }
+
+    #[test]
+    fn exhausted_retries_give_up_with_typed_error() {
+        let (disk, f) = disk_with_file(3);
+        disk.set_retry_policy(RetryPolicy {
+            max_attempts: 3,
+            backoff: Backoff::Fixed(10),
+        });
+        disk.set_fault_plan(FaultPlan::new().with_fault(
+            f,
+            1,
+            0,
+            FaultKind::TransientRead { failures: 5 },
+        ));
+        let err = disk.read_run(f, 0, 3).unwrap_err();
+        assert_eq!(
+            err,
+            Error::Io {
+                file: "test".into(),
+                page: 1,
+                attempts: 3
+            }
+        );
+        let fs = disk.fault_stats();
+        assert_eq!(fs.gave_up, 1);
+        assert_eq!(fs.retries, 2);
+        assert_eq!(fs.backoff_us, 20);
+        // The page recovers once the fault is spent: re-read succeeds.
+        assert!(disk.read_page(f, 1).is_ok());
+    }
+
+    #[test]
+    fn latency_spike_prices_the_run_at_the_random_rate() {
+        let (disk, f) = disk_with_file(8);
+        disk.set_fault_plan(FaultPlan::new().with_fault(f, 5, 0, FaultKind::LatencySpike));
+        disk.read_run(f, 0, 4).unwrap(); // cold → 4 rand
+        disk.read_run(f, 4, 4).unwrap(); // continuation, but spiked → 4 rand
+        let s = disk.stats();
+        assert_eq!(s.rand_reads, 8);
+        assert_eq!(s.seq_reads, 0);
+        assert_eq!(disk.fault_stats().injected_latency, 1);
+    }
+
+    #[test]
+    fn torn_write_is_detected_on_next_read() {
+        let disk = DiskSim::new(16);
+        let f = disk.create_file("torn").unwrap();
+        disk.set_fault_plan(FaultPlan::new().with_fault(f, 0, 0, FaultKind::TornWrite));
+        disk.append_page(f, &[0xAB; 16]).unwrap();
+        assert_eq!(disk.fault_stats().injected_torn, 1);
+        let err = disk.read_page(f, 0).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "{err:?}");
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_seed_sensitive() {
+        let f = FileId(0);
+        let targets: Vec<(FileId, u64)> = (0..16).map(|p| (f, p)).collect();
+        let a = FaultPlan::seeded(7, &targets);
+        let b = FaultPlan::seeded(7, &targets);
+        let c = FaultPlan::seeded(8, &targets);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 16);
+        assert!(a
+            .faults()
+            .iter()
+            .all(|fl| !matches!(fl.kind, FaultKind::TornWrite)));
+    }
+
+    #[test]
+    fn fault_events_mirror_into_registry() {
+        let registry = Registry::new();
+        let (disk, f) = disk_with_file(4);
+        disk.set_metrics(Some(DiskMetrics::register(&registry, "chaos")));
+        disk.set_fault_plan(
+            FaultPlan::new()
+                .with_fault(f, 0, 0, FaultKind::TransientRead { failures: 1 })
+                .with_fault(f, 3, 0, FaultKind::LatencySpike),
+        );
+        disk.read_run(f, 0, 4).unwrap();
+        assert_eq!(registry.counter("faults.transient", "chaos").get(), 1);
+        assert_eq!(registry.counter("faults.latency", "chaos").get(), 1);
+        assert_eq!(registry.counter("disk.retries", "chaos").get(), 1);
+        assert_eq!(registry.counter("disk.gave_up", "chaos").get(), 0);
+    }
+
+    #[test]
+    fn backoff_disciplines_scale_as_documented() {
+        assert_eq!(Backoff::None.delay_us(2), 0);
+        assert_eq!(Backoff::Fixed(50).delay_us(4), 50);
+        let e = Backoff::Exponential { base_us: 100 };
+        assert_eq!(e.delay_us(2), 100);
+        assert_eq!(e.delay_us(3), 200);
+        assert_eq!(e.delay_us(4), 400);
     }
 }

@@ -17,6 +17,11 @@
 //!
 //! [`BufferPool`] is a budgeted LRU page cache; [`MemTracker`] enforces the
 //! byte-level memory budget `B·P` that every join executor must respect.
+//!
+//! The layer is also chaos-ready: every page carries a checksummed header
+//! verified on read, a seeded [`FaultPlan`] injects deterministic device
+//! misbehaviour, and a [`RetryPolicy`] absorbs transient read failures —
+//! see the [`disk`] module docs.
 
 pub mod buffer;
 pub mod disk;
@@ -24,6 +29,9 @@ pub mod memory;
 pub mod span;
 
 pub use buffer::{BufferPool, BufferStats, PoolMetrics};
-pub use disk::{DiskMetrics, DiskSim, FileId, IoStats};
+pub use disk::{
+    Backoff, DiskMetrics, DiskSim, Fault, FaultKind, FaultPlan, FaultStats, FileId, IoStats,
+    PageKind, RetryPolicy, PAGE_FORMAT_VERSION, PAGE_HEADER_BYTES,
+};
 pub use memory::MemTracker;
 pub use span::ByteSpan;

@@ -39,7 +39,10 @@ proptest! {
         let disk = DiskSim::new(16);
         let file = disk.create_file("f").unwrap();
         for i in 0..pages {
-            disk.append_page(file, &[i as u8, (i * 7) as u8]).unwrap();
+            let mut page = vec![0u8; 16];
+            page[0] = i as u8;
+            page[1] = (i * 7) as u8;
+            disk.append_page(file, &page).unwrap();
         }
         disk.reset_stats();
         disk.reset_head();
