@@ -1,2 +1,522 @@
-//! Shared helpers live in each bench file; this library is intentionally
-//! empty — the crate exists for its `benches/` targets.
+//! Deterministic benchmark suites over the paper's experiment grid.
+//!
+//! The criterion targets under `benches/` measure micro-level throughput;
+//! this library is the *macro* harness behind `textjoin-sim bench`: it
+//! sweeps a grid of (collection pair, λ, buffer size) cases, runs all
+//! three executors on each, and emits a [`BenchReport`] whose JSON form
+//! (`BENCH_textjoin.json`) a CI job can archive and diff against a
+//! checked-in baseline with [`compare`].
+//!
+//! Two kinds of numbers live in each [`BenchCase`]:
+//!
+//! * `pages_io` — the paper's `seq + α·rand` page cost, **deterministic**
+//!   for a given grid (the simulated disk counts pages, not time); this is
+//!   what the regression gate compares;
+//! * `wall_*_ns` — wall-clock percentiles over the case's iterations,
+//!   taken from a log-spaced latency histogram; informative on a given
+//!   machine, never gated on.
+
+use std::sync::Arc;
+use textjoin_collection::SynthSpec;
+use textjoin_common::{CollectionStats, Error, QueryParams, Result, SystemParams};
+use textjoin_core::{hhnl, hvnl, vvm, JoinSpec, QueryReport};
+use textjoin_costmodel as costmodel;
+use textjoin_costmodel::Algorithm;
+use textjoin_invfile::InvertedFile;
+use textjoin_obs::{Registry, LATENCY_BOUNDS_NS};
+use textjoin_storage::DiskSim;
+
+/// One collection pair of the benchmark grid.
+#[derive(Clone, Debug)]
+pub struct BenchPair {
+    /// Pair label, e.g. `"balanced"`.
+    pub label: String,
+    /// Spec for the inner collection (C1).
+    pub inner: SynthSpec,
+    /// Spec for the outer collection (C2).
+    pub outer: SynthSpec,
+}
+
+/// The benchmark grid: every combination of pair × λ × B runs all three
+/// algorithms `iterations` times.
+#[derive(Clone, Debug)]
+pub struct BenchGrid {
+    /// Suite name recorded in the report.
+    pub suite: String,
+    /// Collection pairs to sweep.
+    pub pairs: Vec<BenchPair>,
+    /// λ values to sweep (the paper's group sweeps vary λ).
+    pub lambdas: Vec<usize>,
+    /// Buffer sizes `B` (pages) to sweep — the paper's memory axis.
+    pub buffer_pages: Vec<u64>,
+    /// System parameters; `buffer_pages` above overrides `sys.buffer_pages`.
+    pub sys: SystemParams,
+    /// δ (non-zero similarity fraction) used for every case.
+    pub delta: f64,
+    /// Wall-clock repetitions per case (percentiles come from these).
+    pub iterations: u32,
+}
+
+/// The small default grid used by `textjoin-sim bench` and CI: two
+/// synthetic collection pairs, two λ values and two buffer sizes — 8 grid
+/// points × 3 algorithms, small enough for a test budget.
+pub fn small_grid() -> BenchGrid {
+    BenchGrid {
+        suite: "paper-grid-small".into(),
+        pairs: vec![
+            BenchPair {
+                label: "balanced".into(),
+                inner: SynthSpec::from_stats(CollectionStats::new(150, 20.0, 800), 901),
+                outer: SynthSpec::from_stats(CollectionStats::new(100, 20.0, 800), 902),
+            },
+            BenchPair {
+                label: "asymmetric".into(),
+                inner: SynthSpec::from_stats(CollectionStats::new(220, 15.0, 1000), 903),
+                outer: SynthSpec::from_stats(CollectionStats::new(40, 45.0, 700), 904),
+            },
+        ],
+        lambdas: vec![5, 20],
+        buffer_pages: vec![60, 160],
+        sys: SystemParams {
+            buffer_pages: 60,
+            page_size: 512,
+            alpha: 5.0,
+        },
+        delta: 1.0,
+        iterations: 3,
+    }
+}
+
+/// One grid point × algorithm of a finished suite.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchCase {
+    /// Case label: `"<pair> λ=<λ> B=<B>"`.
+    pub case: String,
+    /// Algorithm name (`"HHNL"`, `"HVNL"`, `"VVM"`).
+    pub algorithm: String,
+    /// Measured `seq + α·rand` page cost — deterministic, gate-able.
+    pub pages_io: f64,
+    /// Wall-clock p50 over the iterations, nanoseconds.
+    pub wall_p50_ns: u64,
+    /// Wall-clock p90 over the iterations, nanoseconds.
+    pub wall_p90_ns: u64,
+    /// Wall-clock p99 over the iterations, nanoseconds.
+    pub wall_p99_ns: u64,
+    /// Slowest iteration, nanoseconds.
+    pub wall_max_ns: u64,
+    /// Model-vs-measured drift percent (`(measured − predicted)/measured`),
+    /// when the cost model could price the case.
+    pub drift_pct: Option<f64>,
+}
+
+/// A finished benchmark suite, serialisable to `BENCH_textjoin.json`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    /// Suite name (from the grid).
+    pub suite: String,
+    /// One entry per grid point × feasible algorithm.
+    pub cases: Vec<BenchCase>,
+}
+
+impl BenchReport {
+    /// Renders the report as one JSON object (hand-rolled — the vendored
+    /// serde is a no-op stand-in).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "{{\"suite\":\"{}\",\"cases\":[", escape(&self.suite));
+        for (i, c) in self.cases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"suite\":\"{}\",\"case\":\"{}\",\"algorithm\":\"{}\",\"pages_io\":{:.3},\
+                 \"wall_p50_ns\":{},\"wall_p90_ns\":{},\"wall_p99_ns\":{},\"wall_max_ns\":{}",
+                escape(&self.suite),
+                escape(&c.case),
+                escape(&c.algorithm),
+                c.pages_io,
+                c.wall_p50_ns,
+                c.wall_p90_ns,
+                c.wall_p99_ns,
+                c.wall_max_ns,
+            );
+            if let Some(d) = c.drift_pct {
+                let _ = write!(out, ",\"drift_pct\":{d:.2}");
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a report produced by [`to_json`](Self::to_json). The parser
+    /// accepts exactly that shape (flat case objects inside a `cases`
+    /// array) — enough for the `--baseline` gate without a JSON library.
+    pub fn from_json(text: &str) -> Result<BenchReport> {
+        let bad = |what: &str| Error::InvalidArgument(format!("malformed bench report: {what}"));
+        let suite = json_str_field(text, "suite").ok_or_else(|| bad("missing suite"))?;
+        let cases_at = text
+            .find("\"cases\":[")
+            .ok_or_else(|| bad("missing cases array"))?;
+        let mut cases = Vec::new();
+        let mut rest = &text[cases_at + "\"cases\":[".len()..];
+        while let Some(open) = rest.find('{') {
+            let close = rest[open..]
+                .find('}')
+                .ok_or_else(|| bad("unterminated case object"))?;
+            let obj = &rest[open..open + close + 1];
+            cases.push(BenchCase {
+                case: json_str_field(obj, "case").ok_or_else(|| bad("case missing label"))?,
+                algorithm: json_str_field(obj, "algorithm")
+                    .ok_or_else(|| bad("case missing algorithm"))?,
+                pages_io: json_num_field(obj, "pages_io")
+                    .ok_or_else(|| bad("case missing pages_io"))?,
+                wall_p50_ns: json_num_field(obj, "wall_p50_ns").unwrap_or(0.0) as u64,
+                wall_p90_ns: json_num_field(obj, "wall_p90_ns").unwrap_or(0.0) as u64,
+                wall_p99_ns: json_num_field(obj, "wall_p99_ns").unwrap_or(0.0) as u64,
+                wall_max_ns: json_num_field(obj, "wall_max_ns").unwrap_or(0.0) as u64,
+                drift_pct: json_num_field(obj, "drift_pct"),
+            });
+            rest = &rest[open + close + 1..];
+        }
+        Ok(BenchReport { suite, cases })
+    }
+
+    /// The case for one `(case label, algorithm)` key, if present.
+    pub fn case(&self, case: &str, algorithm: &str) -> Option<&BenchCase> {
+        self.cases
+            .iter()
+            .find(|c| c.case == case && c.algorithm == algorithm)
+    }
+}
+
+/// Runs every grid point and returns the finished report. Grid points an
+/// algorithm cannot run (insufficient memory) are silently absent from the
+/// report — the same case key will then show up as *missing* in a
+/// [`compare`] against a baseline that had it.
+pub fn run_suite(grid: &BenchGrid) -> Result<BenchReport> {
+    let mut cases = Vec::new();
+    for pair in &grid.pairs {
+        let disk = Arc::new(DiskSim::new(grid.sys.page_size));
+        let c1 = pair.inner.generate(Arc::clone(&disk), "c1")?;
+        let c2 = pair.outer.generate(Arc::clone(&disk), "c2")?;
+        let inv1 = InvertedFile::build(Arc::clone(&disk), "c1", &c1)?;
+        let inv2 = InvertedFile::build(Arc::clone(&disk), "c2", &c2)?;
+
+        for &lambda in &grid.lambdas {
+            for &b in &grid.buffer_pages {
+                let spec = JoinSpec::new(&c1, &c2)
+                    .with_sys(grid.sys.with_buffer_pages(b))
+                    .with_query(QueryParams {
+                        lambda,
+                        delta: grid.delta,
+                    });
+                let inputs = spec.cost_inputs();
+                let case_label = format!("{} λ={lambda} B={b}", pair.label);
+
+                for algorithm in Algorithm::ALL {
+                    let predicted = match algorithm {
+                        Algorithm::Hhnl => costmodel::hhnl::sequential(&inputs).ok(),
+                        Algorithm::Hvnl => Some(costmodel::hvnl::sequential(&inputs)),
+                        Algorithm::Vvm => costmodel::vvm::sequential(&inputs).ok(),
+                    };
+                    // A throwaway registry per case keeps percentile math in
+                    // one place: the same histogram the live metrics use.
+                    let registry = Registry::new();
+                    let hist = registry.histogram("bench.wall_ns", "", &LATENCY_BOUNDS_NS);
+                    let mut last_report: Option<QueryReport> = None;
+                    for _ in 0..grid.iterations.max(1) {
+                        disk.reset_stats();
+                        disk.reset_head();
+                        let run = match algorithm {
+                            Algorithm::Hhnl => hhnl::execute(&spec),
+                            Algorithm::Hvnl => hvnl::execute(&spec, &inv1),
+                            Algorithm::Vvm => vvm::execute(&spec, &inv1, &inv2),
+                        };
+                        match run {
+                            Ok(outcome) => {
+                                hist.observe(outcome.stats.wall_ns);
+                                last_report = Some(QueryReport::from_outcome(
+                                    case_label.clone(),
+                                    &outcome,
+                                    None,
+                                    predicted,
+                                ));
+                            }
+                            Err(Error::InsufficientMemory { .. }) => {
+                                last_report = None;
+                                break;
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    let Some(report) = last_report else {
+                        continue;
+                    };
+                    cases.push(BenchCase {
+                        case: case_label.clone(),
+                        algorithm: algorithm.to_string(),
+                        pages_io: report.measured_cost,
+                        wall_p50_ns: hist.quantile(0.50),
+                        wall_p90_ns: hist.quantile(0.90),
+                        wall_p99_ns: hist.quantile(0.99),
+                        wall_max_ns: hist.max(),
+                        drift_pct: report.drift_pct(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(BenchReport {
+        suite: grid.suite.clone(),
+        cases,
+    })
+}
+
+/// One regression found by [`compare`].
+#[derive(Clone, Debug)]
+pub struct Regression {
+    /// Case label.
+    pub case: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Baseline page cost.
+    pub baseline_pages: f64,
+    /// Current page cost (`INFINITY` when the case vanished).
+    pub current_pages: f64,
+    /// Percent increase over the baseline.
+    pub pct: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.current_pages.is_finite() {
+            write!(
+                f,
+                "[{} / {}] pages_io {:.1} -> {:.1} (+{:.1}% > threshold)",
+                self.case, self.algorithm, self.baseline_pages, self.current_pages, self.pct
+            )
+        } else {
+            write!(
+                f,
+                "[{} / {}] present in baseline (pages_io {:.1}) but missing from this run",
+                self.case, self.algorithm, self.baseline_pages
+            )
+        }
+    }
+}
+
+/// Compares a run against a baseline, returning every case whose
+/// deterministic page cost regressed by more than `threshold_pct` percent
+/// (and every baseline case the run no longer covers). Wall-clock
+/// percentiles are informational and never gated — they depend on the
+/// machine, while `pages_io` is a pure function of the grid.
+pub fn compare(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    threshold_pct: f64,
+) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    for b in &baseline.cases {
+        match current.case(&b.case, &b.algorithm) {
+            Some(c) => {
+                if b.pages_io <= 0.0 {
+                    continue;
+                }
+                let pct = 100.0 * (c.pages_io - b.pages_io) / b.pages_io;
+                if pct > threshold_pct {
+                    regressions.push(Regression {
+                        case: b.case.clone(),
+                        algorithm: b.algorithm.clone(),
+                        baseline_pages: b.pages_io,
+                        current_pages: c.pages_io,
+                        pct,
+                    });
+                }
+            }
+            None => regressions.push(Regression {
+                case: b.case.clone(),
+                algorithm: b.algorithm.clone(),
+                baseline_pages: b.pages_io,
+                current_pages: f64::INFINITY,
+                pct: f64::INFINITY,
+            }),
+        }
+    }
+    regressions
+}
+
+fn escape(s: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Extracts `"key":"value"` from a flat JSON object, unescaping `\"`,
+/// `\\` and `\n` (the only escapes [`escape`] emits).
+fn json_str_field(obj: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":\"");
+    let start = obj.find(&needle)? + needle.len();
+    let mut out = String::new();
+    let mut chars = obj[start..].chars();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                c => out.push(c),
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+/// Extracts `"key":<number>` from a flat JSON object.
+fn json_num_field(obj: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = obj.find(&needle)? + needle.len();
+    let rest = &obj[start..];
+    let end = rest
+        .find(|c: char| {
+            c != '-' && c != '+' && c != '.' && c != 'e' && c != 'E' && !c.is_ascii_digit()
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case(label: &str, algorithm: &str, pages: f64) -> BenchCase {
+        BenchCase {
+            case: label.into(),
+            algorithm: algorithm.into(),
+            pages_io: pages,
+            wall_p50_ns: 1_000,
+            wall_p90_ns: 2_000,
+            wall_p99_ns: 4_000,
+            wall_max_ns: 5_000,
+            drift_pct: Some(-3.5),
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let report = BenchReport {
+            suite: "s\"1".into(),
+            cases: vec![case("pair λ=5 B=60", "HHNL", 123.5), case("p2", "VVM", 9.0)],
+        };
+        let parsed = BenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(BenchReport::from_json("not json").is_err());
+        assert!(BenchReport::from_json("{\"suite\":\"s\"}").is_err());
+    }
+
+    #[test]
+    fn compare_flags_regressions_and_missing_cases() {
+        let baseline = BenchReport {
+            suite: "s".into(),
+            cases: vec![
+                case("a", "HHNL", 100.0),
+                case("a", "HVNL", 100.0),
+                case("b", "VVM", 50.0),
+            ],
+        };
+        let current = BenchReport {
+            suite: "s".into(),
+            cases: vec![
+                case("a", "HHNL", 105.0), // +5%: under threshold
+                case("a", "HVNL", 150.0), // +50%: regression
+                                          // b/VVM missing: regression
+            ],
+        };
+        let regs = compare(&baseline, &current, 10.0);
+        assert_eq!(regs.len(), 2);
+        assert_eq!(regs[0].algorithm, "HVNL");
+        assert!((regs[0].pct - 50.0).abs() < 1e-9);
+        assert!(regs[1].current_pages.is_infinite());
+        assert!(regs[1].to_string().contains("missing"), "{}", regs[1]);
+    }
+
+    #[test]
+    fn compare_passes_identical_reports() {
+        let r = BenchReport {
+            suite: "s".into(),
+            cases: vec![case("a", "HHNL", 100.0)],
+        };
+        assert!(compare(&r, &r, 0.0).is_empty());
+    }
+
+    #[test]
+    fn doubled_cost_fails_a_ten_percent_gate() {
+        // The acceptance scenario: an injected 2x slowdown must trip the
+        // baseline gate.
+        let baseline = BenchReport {
+            suite: "s".into(),
+            cases: vec![case("a", "HHNL", 100.0)],
+        };
+        let mut slowed = baseline.clone();
+        slowed.cases[0].pages_io *= 2.0;
+        let regs = compare(&baseline, &slowed, 10.0);
+        assert_eq!(regs.len(), 1);
+        assert!((regs[0].pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_grid_covers_three_algorithms_on_two_pairs() {
+        let mut grid = small_grid();
+        // One grid point per pair keeps the test quick; the full grid runs
+        // in `textjoin-sim bench`.
+        grid.lambdas.truncate(1);
+        grid.buffer_pages = vec![160];
+        grid.iterations = 2;
+        let report = run_suite(&grid).unwrap();
+        for pair in ["balanced", "asymmetric"] {
+            for algorithm in ["HHNL", "HVNL", "VVM"] {
+                let label = format!("{pair} λ=5 B=160");
+                let c = report
+                    .case(&label, algorithm)
+                    .unwrap_or_else(|| panic!("missing {label} / {algorithm}"));
+                assert!(c.pages_io > 0.0, "{label} {algorithm}");
+                assert!(c.wall_p50_ns > 0, "{label} {algorithm}");
+                assert!(c.wall_p99_ns > 0, "{label} {algorithm}");
+                assert!(c.wall_max_ns >= c.wall_p50_ns, "{label} {algorithm}");
+            }
+        }
+        // Printing truncates floats, so round-trip stability is checked on
+        // the serialised form: parse(print(x)) prints identically.
+        let parsed = BenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed.to_json(), report.to_json());
+    }
+
+    #[test]
+    fn suite_page_costs_are_deterministic() {
+        let mut grid = small_grid();
+        grid.pairs.truncate(1);
+        grid.lambdas.truncate(1);
+        grid.buffer_pages.truncate(1);
+        grid.iterations = 1;
+        let a = run_suite(&grid).unwrap();
+        let b = run_suite(&grid).unwrap();
+        let pages = |r: &BenchReport| r.cases.iter().map(|c| c.pages_io).collect::<Vec<_>>();
+        assert_eq!(pages(&a), pages(&b));
+    }
+}

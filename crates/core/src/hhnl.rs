@@ -13,9 +13,11 @@
 //! document sizes are used instead of averages, so the budget is *never*
 //! exceeded rather than exceeded on average.
 
+use crate::report::observe_phase_sim_io;
 use crate::result::{ExecStats, JoinOutcome, JoinResult, Match};
 use crate::spec::JoinSpec;
 use crate::topk::TopK;
+use std::time::Instant;
 use textjoin_collection::Document;
 use textjoin_common::{DocId, Error, Result};
 use textjoin_costmodel::Algorithm;
@@ -24,6 +26,7 @@ use textjoin_storage::MemTracker;
 
 /// Executes the join with HHNL.
 pub fn execute(spec: &JoinSpec<'_>) -> Result<JoinOutcome> {
+    let started = Instant::now();
     let mut root = Tracer::maybe(spec.trace, "hhnl");
     let disk = spec.inner.store().disk();
     let start_io = disk.stats();
@@ -92,6 +95,7 @@ pub fn execute(spec: &JoinSpec<'_>) -> Result<JoinOutcome> {
                 pass_span.record("seq_reads", d.seq_reads);
                 pass_span.record("rand_reads", d.rand_reads);
                 pass_span.record("sim_ops", cpu.sim_ops - ops_before);
+                observe_phase_sim_io(spec.trace, "hhnl.inner_scan", &d, spec.sys.alpha);
             }
         }
         passes += 1;
@@ -107,6 +111,7 @@ pub fn execute(spec: &JoinSpec<'_>) -> Result<JoinOutcome> {
         root.record("seq_reads", io.seq_reads);
         root.record("rand_reads", io.rand_reads);
         root.record("sim_ops", cpu.sim_ops);
+        observe_phase_sim_io(spec.trace, "hhnl", &io, spec.sys.alpha);
     }
     let stats = ExecStats {
         algorithm: Algorithm::Hhnl,
@@ -120,6 +125,7 @@ pub fn execute(spec: &JoinSpec<'_>) -> Result<JoinOutcome> {
         cells_touched: cpu.cells_touched,
         skipped_docs: cpu.skipped_docs,
         skipped_entries: 0,
+        wall_ns: started.elapsed().as_nanos() as u64,
     };
     Ok(JoinOutcome {
         result: JoinResult::from_rows(rows),
@@ -145,6 +151,7 @@ struct CpuCounters {
 /// order. It can still win when `C1` is much smaller than `C2` (fewer
 /// scans of the big collection).
 pub fn execute_backward(spec: &JoinSpec<'_>) -> Result<JoinOutcome> {
+    let started = Instant::now();
     let mut root = Tracer::maybe(spec.trace, "hhnl.backward");
     let disk = spec.inner.store().disk();
     let start_io = disk.stats();
@@ -271,6 +278,7 @@ pub fn execute_backward(spec: &JoinSpec<'_>) -> Result<JoinOutcome> {
         root.record("seq_reads", io.seq_reads);
         root.record("rand_reads", io.rand_reads);
         root.record("sim_ops", cpu.sim_ops);
+        observe_phase_sim_io(spec.trace, "hhnl.backward", &io, spec.sys.alpha);
     }
     let stats = ExecStats {
         algorithm: Algorithm::Hhnl,
@@ -284,6 +292,7 @@ pub fn execute_backward(spec: &JoinSpec<'_>) -> Result<JoinOutcome> {
         cells_touched: cpu.cells_touched,
         skipped_docs: cpu.skipped_docs,
         skipped_entries: 0,
+        wall_ns: started.elapsed().as_nanos() as u64,
     };
     Ok(JoinOutcome {
         result: JoinResult::from_rows(rows),

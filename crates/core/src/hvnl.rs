@@ -15,15 +15,17 @@
 //! largest-intersection order is available as the ablation the paper
 //! discusses (and warns about: it turns the outer scan into random I/O).
 
+use crate::report::observe_phase_sim_io;
 use crate::result::{ExecStats, JoinOutcome, JoinResult, Match};
 use crate::spec::JoinSpec;
 use crate::topk::TopK;
 use std::collections::{BTreeSet, HashMap};
+use std::time::Instant;
 use textjoin_collection::Document;
 use textjoin_common::{DCell, DocId, Result, TermId};
 use textjoin_costmodel::Algorithm;
 use textjoin_invfile::InvertedFile;
-use textjoin_obs::Tracer;
+use textjoin_obs::{Histogram, Tracer, LATENCY_BOUNDS_NS};
 use textjoin_storage::MemTracker;
 
 /// Cache replacement policies for inverted-file entries.
@@ -70,6 +72,7 @@ pub fn execute_with(
     inner_inv: &InvertedFile,
     options: HvnlOptions,
 ) -> Result<JoinOutcome> {
+    let started = Instant::now();
     let mut root = Tracer::maybe(spec.trace, "hvnl");
     let disk = spec.inner.store().disk();
     let start_io = disk.stats();
@@ -98,6 +101,15 @@ pub fn execute_with(
         .unwrap_or(0);
     tracker.allocate(max_entry.max(1), "HVNL current entry buffer")?;
 
+    // With a registry-backed tracer attached, each inverted-entry lookup
+    // is timed separately by outcome, making the cache-hit vs disk-fetch
+    // latency gap directly observable.
+    let lookup_hists = spec.trace.and_then(|t| t.registry()).map(|r| {
+        (
+            r.histogram("hvnl.entry_hit_ns", "", &LATENCY_BOUNDS_NS),
+            r.histogram("hvnl.entry_fetch_ns", "", &LATENCY_BOUNDS_NS),
+        )
+    });
     let mut state = HvnlState {
         spec,
         inner_inv,
@@ -113,6 +125,7 @@ pub fn execute_with(
         skipped_docs: 0,
         skipped_entries: 0,
         current_outer: DocId::new(0),
+        lookup_hists,
     };
 
     // Section 5.2, case X ≥ T1: when the entire inner inverted file fits in
@@ -125,9 +138,11 @@ pub fn execute_with(
         setup_span.record("seq_reads", d.seq_reads);
         setup_span.record("rand_reads", d.rand_reads);
         setup_span.record("preloaded_entries", state.cache.len() as u64);
+        observe_phase_sim_io(spec.trace, "hvnl.setup", &d, spec.sys.alpha);
     }
     drop(setup_span);
 
+    let scan_io_start = disk.stats();
     let mut scan_span = root.child("hvnl.outer_scan");
     match options.order {
         OuterOrder::Storage => {
@@ -189,6 +204,12 @@ pub fn execute_with(
         scan_span.record("entry_fetches", entry_fetches);
         scan_span.record("cache_hits", cache_hits);
         scan_span.record("sim_ops", sim_ops);
+        observe_phase_sim_io(
+            spec.trace,
+            "hvnl.outer_scan",
+            &disk.stats().since(&scan_io_start),
+            spec.sys.alpha,
+        );
     }
     drop(scan_span);
     let io = disk.stats().since(&start_io);
@@ -197,6 +218,7 @@ pub fn execute_with(
         root.record("rand_reads", io.rand_reads);
         root.record("entry_fetches", entry_fetches);
         root.record("cache_hits", cache_hits);
+        observe_phase_sim_io(spec.trace, "hvnl", &io, spec.sys.alpha);
     }
     let stats = ExecStats {
         algorithm: Algorithm::Hvnl,
@@ -211,6 +233,7 @@ pub fn execute_with(
         cells_touched: sim_ops,
         skipped_docs,
         skipped_entries,
+        wall_ns: started.elapsed().as_nanos() as u64,
     };
     Ok(JoinOutcome {
         result: JoinResult::from_rows(rows),
@@ -246,6 +269,9 @@ struct HvnlState<'a, 'b> {
     skipped_entries: u64,
     /// Outer document currently being processed (for self-pair exclusion).
     current_outer: DocId,
+    /// Per-lookup latency histograms (cache hit, disk fetch), present only
+    /// when a registry-backed tracer is attached to the spec.
+    lookup_hists: Option<(Histogram, Histogram)>,
 }
 
 impl HvnlState<'_, '_> {
@@ -355,10 +381,17 @@ impl HvnlState<'_, '_> {
             return Ok(());
         }
 
+        // The Instant is only taken when a registry is attached, so the
+        // untraced hot path pays nothing beyond an Option check.
+        let lookup_start = self.lookup_hists.as_ref().map(|_| Instant::now());
+
         if let Some(cells) = self.cache.get(cell.term) {
             self.cache_hits += 1;
             let cells = cells.to_vec(); // escape the cache borrow
             self.apply_postings(cell.weight, factor, &cells)?;
+            if let (Some((hit, _)), Some(t0)) = (&self.lookup_hists, lookup_start) {
+                hit.observe(t0.elapsed().as_nanos() as u64);
+            }
             return Ok(());
         }
 
@@ -375,6 +408,9 @@ impl HvnlState<'_, '_> {
             }
             Err(e) => return Err(e),
         };
+        if let (Some((_, fetch)), Some(t0)) = (&self.lookup_hists, lookup_start) {
+            fetch.observe(t0.elapsed().as_nanos() as u64);
+        }
         let bytes = cached_entry_bytes(&cells);
 
         // Make room by evicting lowest-priority entries; an entry larger

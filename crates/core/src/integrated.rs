@@ -12,9 +12,11 @@
 //! inverted-file dictionary re-plans onto HHNL, which never touches the
 //! inverted file at all.
 
+use crate::report::observe_phase_sim_io;
 use crate::result::JoinOutcome;
 use crate::spec::JoinSpec;
 use crate::{hhnl, hvnl, vvm};
+use std::time::Instant;
 use textjoin_common::{Error, Result};
 use textjoin_costmodel::{Algorithm, CostEstimates, IoScenario};
 use textjoin_invfile::InvertedFile;
@@ -39,6 +41,7 @@ pub fn execute(
     outer_inv: &InvertedFile,
     scenario: IoScenario,
 ) -> Result<IntegratedOutcome> {
+    let started = Instant::now();
     let mut root = Tracer::maybe(spec.trace, "integrated");
     let estimates = CostEstimates::compute(&spec.cost_inputs());
 
@@ -60,7 +63,7 @@ pub fn execute(
             Algorithm::Vvm => vvm::execute(spec, inner_inv, outer_inv),
         };
         match attempt {
-            Ok(outcome) => {
+            Ok(mut outcome) => {
                 if root.is_enabled() {
                     // Why this algorithm: the full cost ranking it won.
                     root.detail(|| {
@@ -72,7 +75,16 @@ pub fn execute(
                         format!("chose {algorithm}: {ranking}")
                     });
                     root.record("fallbacks", fallbacks);
+                    observe_phase_sim_io(
+                        spec.trace,
+                        "integrated",
+                        &outcome.stats.io,
+                        spec.sys.alpha,
+                    );
                 }
+                // The integrated wall time covers planning and any failed
+                // re-plan attempts, not just the winning executor.
+                outcome.stats.wall_ns = started.elapsed().as_nanos() as u64;
                 return Ok(IntegratedOutcome {
                     chosen: algorithm,
                     estimates,

@@ -32,12 +32,14 @@ pub mod hvnl;
 pub mod integrated;
 pub mod parallel;
 pub mod reference;
+pub mod report;
 pub mod result;
 pub mod spec;
 pub mod topk;
 pub mod vvm;
 pub mod weighting;
 
+pub use report::{PhaseDuration, QueryReport, SlowQueryLog, SIM_PAGE_NS};
 pub use result::{ExecStats, JoinOutcome, JoinResult, Match, ResultQuality};
 pub use spec::{JoinSpec, OuterDocs};
 pub use topk::TopK;

@@ -18,6 +18,7 @@
 use crate::result::{ExecStats, JoinOutcome, JoinResult};
 use crate::spec::{JoinSpec, OuterDocs};
 use crate::{hhnl, Algorithm};
+use std::time::Instant;
 use textjoin_common::{DocId, Error, Result};
 
 /// Runs HHNL with the outer collection partitioned across `workers`
@@ -38,6 +39,7 @@ pub fn execute_hhnl(spec: &JoinSpec<'_>, workers: usize) -> Result<JoinOutcome> 
     if outer_ids.is_empty() {
         return hhnl::execute(spec);
     }
+    let started = Instant::now();
     let workers = workers.min(outer_ids.len());
     let chunk = outer_ids.len().div_ceil(workers);
     let per_worker_sys = textjoin_common::SystemParams {
@@ -81,6 +83,9 @@ pub fn execute_hhnl(spec: &JoinSpec<'_>, workers: usize) -> Result<JoinOutcome> 
     // the one the cost metric should price.
     stats.io = disk.stats().since(&start_io);
     stats.cost = stats.io.cost(spec.sys.alpha);
+    // Workers overlap, so the run's wall time is the whole scope's elapsed
+    // time, not the per-worker maximum the merge computed.
+    stats.wall_ns = started.elapsed().as_nanos() as u64;
     Ok(JoinOutcome {
         result: JoinResult::from_rows(rows),
         // Merged stats carry every worker's skip counters, so the combined

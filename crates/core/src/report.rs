@@ -1,0 +1,438 @@
+//! Per-query resource accounting: [`QueryReport`] and the bounded
+//! [`SlowQueryLog`].
+//!
+//! The paper's analysis is entirely about *per-query* cost — every
+//! formula prices one join. The metrics registry aggregates across runs;
+//! this module keeps the per-run view: one [`QueryReport`] per executed
+//! [`JoinSpec`](crate::spec::JoinSpec), carrying measured I/O, cache and
+//! fault behaviour, per-phase durations (from the span tracer when one is
+//! attached), and the model-predicted vs measured cost drift the
+//! integrated algorithm's planning depends on.
+
+use crate::result::{JoinOutcome, ResultQuality};
+use std::fmt::Write as _;
+use textjoin_costmodel::Algorithm;
+use textjoin_obs::{Registry, Tracer, LATENCY_BOUNDS_NS};
+use textjoin_storage::IoStats;
+
+/// Simulated service time of one sequential page I/O, in nanoseconds.
+///
+/// The paper prices I/O in abstract page units (`seq + α·rand`); to plot
+/// those units on the same latency axis as wall-clock time, one
+/// sequential page is modelled as 0.1 ms — a spinning disk streaming
+/// ~40 MB/s of 4 KiB pages. Random pages cost `α` times more, exactly as
+/// in the cost model.
+pub const SIM_PAGE_NS: u64 = 100_000;
+
+/// The simulated I/O time of a run: `(seq + α·rand) × SIM_PAGE_NS`.
+pub fn sim_io_ns(io: &IoStats, alpha: f64) -> u64 {
+    (io.cost(alpha) * SIM_PAGE_NS as f64) as u64
+}
+
+/// Observes one phase's simulated I/O time into the tracer's registry
+/// (histogram `phase.sim_io_ns{label=phase}`). A disabled tracer makes
+/// this free.
+pub fn observe_phase_sim_io(trace: Option<&Tracer>, phase: &'static str, io: &IoStats, alpha: f64) {
+    if let Some(registry) = trace.and_then(|t| t.registry()) {
+        registry
+            .histogram("phase.sim_io_ns", phase, &LATENCY_BOUNDS_NS)
+            .observe(sim_io_ns(io, alpha));
+    }
+}
+
+/// One phase's aggregated span durations within a single query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseDuration {
+    /// Span name, e.g. `"hhnl.inner_scan"`.
+    pub name: &'static str,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Total wall-clock time across them, in microseconds.
+    pub total_us: u64,
+}
+
+/// Everything one join execution cost, in one machine-readable record.
+#[derive(Clone, Debug)]
+pub struct QueryReport {
+    /// Free-form query label (collection pair, SQL text, scenario name).
+    pub query: String,
+    /// The algorithm that produced the result.
+    pub algorithm: Algorithm,
+    /// Pages read, split by rate class.
+    pub pages_read: IoStats,
+    /// The paper's cost metric: `seq + α·rand`.
+    pub measured_cost: f64,
+    /// The cost model's prediction for the chosen algorithm, when the
+    /// caller planned before executing.
+    pub predicted_cost: Option<f64>,
+    /// Wall-clock execution time in nanoseconds.
+    pub wall_ns: u64,
+    /// Inverted-entry cache hits (HVNL).
+    pub cache_hits: u64,
+    /// Inverted-entry fetches from disk (HVNL).
+    pub entry_fetches: u64,
+    /// Documents skipped in degraded mode.
+    pub skipped_docs: u64,
+    /// Inverted entries skipped in degraded mode.
+    pub skipped_entries: u64,
+    /// Whether the result is full or degraded-partial.
+    pub quality: ResultQuality,
+    /// Per-phase durations, aggregated from the span tracer (empty when
+    /// the run was untraced).
+    pub phases: Vec<PhaseDuration>,
+}
+
+impl QueryReport {
+    /// Builds a report from a finished join. `trace` contributes the
+    /// per-phase duration breakdown; `predicted_cost` is the planner's
+    /// estimate for the algorithm that ran, when available.
+    pub fn from_outcome(
+        query: impl Into<String>,
+        outcome: &JoinOutcome,
+        trace: Option<&Tracer>,
+        predicted_cost: Option<f64>,
+    ) -> Self {
+        let s = &outcome.stats;
+        Self {
+            query: query.into(),
+            algorithm: s.algorithm,
+            pages_read: s.io,
+            measured_cost: s.cost,
+            predicted_cost,
+            wall_ns: s.wall_ns,
+            cache_hits: s.cache_hits,
+            entry_fetches: s.entry_fetches,
+            skipped_docs: s.skipped_docs,
+            skipped_entries: s.skipped_entries,
+            quality: outcome.quality,
+            phases: trace.map(phase_durations).unwrap_or_default(),
+        }
+    }
+
+    /// Model-vs-measured drift in percent, when a prediction exists and
+    /// the measured cost is nonzero: `(measured − predicted)/measured`.
+    pub fn drift_pct(&self) -> Option<f64> {
+        let predicted = self.predicted_cost?;
+        if self.measured_cost == 0.0 {
+            return None;
+        }
+        Some(100.0 * (self.measured_cost - predicted) / self.measured_cost)
+    }
+
+    /// Renders the report as one JSON object (hand-rolled — the vendored
+    /// serde is a no-op stand-in).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"query\":\"{}\",\"algorithm\":\"{}\",\"seq_reads\":{},\"rand_reads\":{},\"measured_cost\":{:.3}",
+            escape(&self.query),
+            self.algorithm,
+            self.pages_read.seq_reads,
+            self.pages_read.rand_reads,
+            self.measured_cost,
+        );
+        if let Some(p) = self.predicted_cost {
+            let _ = write!(out, ",\"predicted_cost\":{p:.3}");
+        }
+        if let Some(d) = self.drift_pct() {
+            let _ = write!(out, ",\"drift_pct\":{d:.2}");
+        }
+        let _ = write!(
+            out,
+            ",\"wall_ns\":{},\"cache_hits\":{},\"entry_fetches\":{},\"skipped_docs\":{},\"skipped_entries\":{},\"quality\":\"{}\",\"phases\":[",
+            self.wall_ns,
+            self.cache_hits,
+            self.entry_fetches,
+            self.skipped_docs,
+            self.skipped_entries,
+            self.quality,
+        );
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"count\":{},\"total_us\":{}}}",
+                escape(p.name),
+                p.count,
+                p.total_us
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Registers this query's headline numbers into a metrics registry:
+    /// wall and simulated-I/O latency histograms plus skip counters,
+    /// labelled by algorithm. This is how individual reports roll up into
+    /// the continuous (Prometheus/JSON-lines) view.
+    pub fn observe_into(&self, registry: &Registry, alpha: f64) {
+        let label = self.algorithm.to_string();
+        registry
+            .histogram("query.wall_ns", label.clone(), &LATENCY_BOUNDS_NS)
+            .observe(self.wall_ns);
+        registry
+            .histogram("query.sim_io_ns", label.clone(), &LATENCY_BOUNDS_NS)
+            .observe(sim_io_ns(&self.pages_read, alpha));
+        if self.skipped_docs > 0 {
+            registry
+                .counter("query.skipped_docs", label.clone())
+                .inc_by(self.skipped_docs);
+        }
+        if self.skipped_entries > 0 {
+            registry
+                .counter("query.skipped_entries", label)
+                .inc_by(self.skipped_entries);
+        }
+    }
+}
+
+/// Aggregates a tracer's finished spans by name.
+fn phase_durations(trace: &Tracer) -> Vec<PhaseDuration> {
+    let mut phases: Vec<PhaseDuration> = Vec::new();
+    for span in trace.finished() {
+        match phases.iter_mut().find(|p| p.name == span.name) {
+            Some(p) => {
+                p.count += 1;
+                p.total_us = p.total_us.saturating_add(span.dur_us);
+            }
+            None => phases.push(PhaseDuration {
+                name: span.name,
+                count: 1,
+                total_us: span.dur_us,
+            }),
+        }
+    }
+    phases
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A bounded log of the most expensive queries seen so far, ordered by
+/// measured cost (highest first). Insertion keeps the top `capacity`
+/// reports; the cheapest entry is evicted when a costlier one arrives.
+/// Among equal costs older reports rank higher and are retained in
+/// preference to newer ones, so eviction order is fully deterministic.
+#[derive(Debug)]
+pub struct SlowQueryLog {
+    capacity: usize,
+    /// Sorted by `(measured_cost desc, sequence asc)`.
+    entries: Vec<(f64, u64, QueryReport)>,
+    next_seq: u64,
+    admitted: u64,
+    rejected: u64,
+}
+
+impl SlowQueryLog {
+    /// A log keeping the `capacity` most expensive reports (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+            next_seq: 0,
+            admitted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Offers a report. Returns `true` if it entered the log.
+    pub fn offer(&mut self, report: QueryReport) -> bool {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.entries.len() >= self.capacity {
+            // Full: strictly cheaper offers bounce off; everything else
+            // displaces the tail (the cheapest cost, newest within it).
+            let (min_cost, _, _) = self.entries.last().expect("non-empty at capacity");
+            if report.measured_cost < *min_cost {
+                self.rejected += 1;
+                return false;
+            }
+            self.entries.pop();
+        }
+        // Insert keeping (cost desc, seq asc): the new report has the
+        // largest seq, so it lands after every equal-cost entry.
+        let cost = report.measured_cost;
+        let at = self.entries.partition_point(|(c, _, _)| *c >= cost);
+        self.entries.insert(at, (cost, seq, report));
+        self.admitted += 1;
+        true
+    }
+
+    /// Reports in rank order: most expensive first; equal costs oldest
+    /// first.
+    pub fn entries(&self) -> impl Iterator<Item = &QueryReport> + '_ {
+        self.entries.iter().map(|(_, _, r)| r)
+    }
+
+    /// Number of reports currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log holds no reports.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// How many offers entered the log so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// How many offers were cheaper than everything retained.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// One JSON object per retained report, most expensive first.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for r in self.entries() {
+            out.push_str(&r.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::{ExecStats, JoinResult};
+
+    fn outcome(algorithm: Algorithm, cost: f64, wall_ns: u64) -> JoinOutcome {
+        let mut stats = ExecStats::zero(algorithm);
+        stats.cost = cost;
+        stats.wall_ns = wall_ns;
+        stats.io.seq_reads = cost as u64;
+        JoinOutcome {
+            result: JoinResult::default(),
+            quality: stats.quality(),
+            stats,
+        }
+    }
+
+    fn report(query: &str, cost: f64) -> QueryReport {
+        QueryReport::from_outcome(query, &outcome(Algorithm::Hhnl, cost, 1000), None, None)
+    }
+
+    #[test]
+    fn report_carries_stats_and_drift() {
+        let o = outcome(Algorithm::Hvnl, 200.0, 5000);
+        let r = QueryReport::from_outcome("q1", &o, None, Some(180.0));
+        assert_eq!(r.algorithm, Algorithm::Hvnl);
+        assert_eq!(r.wall_ns, 5000);
+        assert_eq!(r.measured_cost, 200.0);
+        let drift = r.drift_pct().unwrap();
+        assert!((drift - 10.0).abs() < 1e-9, "drift {drift}");
+        let json = r.to_json();
+        assert!(json.contains("\"algorithm\":\"HVNL\""), "{json}");
+        assert!(json.contains("\"predicted_cost\":180.000"), "{json}");
+        assert!(json.contains("\"drift_pct\":10.00"), "{json}");
+        assert!(json.contains("\"quality\":\"full\""), "{json}");
+    }
+
+    #[test]
+    fn report_aggregates_trace_phases() {
+        let tracer = Tracer::enabled(64);
+        {
+            let root = tracer.span("hhnl");
+            let _a = root.child("hhnl.inner_scan");
+            let _b = root.child("hhnl.inner_scan");
+        }
+        let o = outcome(Algorithm::Hhnl, 10.0, 100);
+        let r = QueryReport::from_outcome("q", &o, Some(&tracer), None);
+        let scan = r
+            .phases
+            .iter()
+            .find(|p| p.name == "hhnl.inner_scan")
+            .expect("phase present");
+        assert_eq!(scan.count, 2);
+        assert_eq!(r.phases.iter().find(|p| p.name == "hhnl").unwrap().count, 1);
+    }
+
+    #[test]
+    fn observe_into_rolls_up() {
+        let registry = Registry::new();
+        let r = report("q", 50.0);
+        r.observe_into(&registry, 5.0);
+        let h = registry.histogram("query.wall_ns", "HHNL", &LATENCY_BOUNDS_NS);
+        assert_eq!(h.count(), 1);
+        let sim = registry.histogram("query.sim_io_ns", "HHNL", &LATENCY_BOUNDS_NS);
+        assert_eq!(sim.sum(), 50 * SIM_PAGE_NS);
+    }
+
+    #[test]
+    fn slowlog_keeps_top_k_by_cost() {
+        let mut log = SlowQueryLog::new(3);
+        for (name, cost) in [
+            ("a", 10.0),
+            ("b", 50.0),
+            ("c", 30.0),
+            ("d", 40.0),
+            ("e", 5.0),
+        ] {
+            log.offer(report(name, cost));
+        }
+        let order: Vec<&str> = log.entries().map(|r| r.query.as_str()).collect();
+        assert_eq!(order, vec!["b", "d", "c"]);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.admitted(), 4, "a admitted then evicted; e rejected");
+        assert_eq!(log.rejected(), 1);
+    }
+
+    #[test]
+    fn slowlog_eviction_order_is_deterministic_on_ties() {
+        let mut log = SlowQueryLog::new(2);
+        assert!(log.offer(report("first", 20.0)));
+        assert!(log.offer(report("second", 20.0)));
+        // A third tie evicts the newest of the cheapest — "second" — so
+        // the ordering stays (cost desc, age asc).
+        assert!(log.offer(report("third", 20.0)));
+        let order: Vec<&str> = log.entries().map(|r| r.query.as_str()).collect();
+        assert_eq!(order, vec!["first", "third"]);
+        // A strictly cheaper report never displaces anything.
+        assert!(!log.offer(report("cheap", 19.0)));
+        assert!(log.offer(report("dear", 21.0)));
+        let order: Vec<&str> = log.entries().map(|r| r.query.as_str()).collect();
+        assert_eq!(order, vec!["dear", "first"]);
+    }
+
+    #[test]
+    fn slowlog_json_lines_rank_order() {
+        let mut log = SlowQueryLog::new(4);
+        log.offer(report("small", 1.0));
+        log.offer(report("big", 100.0));
+        let dumped = log.to_json_lines();
+        let lines: Vec<&str> = dumped.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"query\":\"big\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"query\":\"small\""), "{}", lines[1]);
+    }
+
+    #[test]
+    fn sim_io_time_prices_random_pages_at_alpha() {
+        let io = IoStats {
+            seq_reads: 10,
+            rand_reads: 2,
+            writes: 0,
+        };
+        assert_eq!(sim_io_ns(&io, 5.0), 20 * SIM_PAGE_NS);
+    }
+}

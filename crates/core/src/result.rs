@@ -101,6 +101,8 @@ pub struct ExecStats {
     /// Inverted-file entries skipped because they could not be read
     /// (degraded mode only; zero otherwise).
     pub skipped_entries: u64,
+    /// Wall-clock execution time in nanoseconds.
+    pub wall_ns: u64,
 }
 
 impl ExecStats {
@@ -120,6 +122,7 @@ impl ExecStats {
             cells_touched: 0,
             skipped_docs: 0,
             skipped_entries: 0,
+            wall_ns: 0,
         }
     }
 
@@ -151,6 +154,9 @@ impl ExecStats {
         self.cells_touched = self.cells_touched.saturating_add(other.cells_touched);
         self.skipped_docs = self.skipped_docs.saturating_add(other.skipped_docs);
         self.skipped_entries = self.skipped_entries.saturating_add(other.skipped_entries);
+        // Concurrent workers overlap in time, so the merged wall time is
+        // the longest individual run, not the sum.
+        self.wall_ns = self.wall_ns.max(other.wall_ns);
     }
 }
 

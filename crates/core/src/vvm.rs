@@ -15,10 +15,12 @@
 //! optimistic at run time, the executor doubles the partition count and
 //! retries rather than exceeding the budget.
 
+use crate::report::observe_phase_sim_io;
 use crate::result::{ExecStats, JoinOutcome, JoinResult, Match};
 use crate::spec::{JoinSpec, OuterDocs};
 use crate::topk::TopK;
 use std::collections::HashMap;
+use std::time::Instant;
 use textjoin_common::{DocId, Error, ICell, Result, TermId, SIM_VALUE_BYTES};
 use textjoin_costmodel::Algorithm;
 use textjoin_invfile::InvertedFile;
@@ -131,6 +133,7 @@ fn run(
     outer_ids: &[DocId],
     partitions: u64,
 ) -> Result<JoinOutcome> {
+    let started = Instant::now();
     let mut root = Tracer::maybe(spec.trace, "vvm");
     if root.is_enabled() {
         root.record("partitions", partitions);
@@ -245,6 +248,7 @@ fn run(
             pass_span.record("seq_reads", d.seq_reads);
             pass_span.record("rand_reads", d.rand_reads);
             pass_span.record("sim_ops", sim_ops - ops_before);
+            observe_phase_sim_io(spec.trace, "vvm.merge_pass", &d, spec.sys.alpha);
         }
     }
 
@@ -254,6 +258,7 @@ fn run(
         root.record("seq_reads", io.seq_reads);
         root.record("rand_reads", io.rand_reads);
         root.record("sim_ops", sim_ops);
+        observe_phase_sim_io(spec.trace, "vvm", &io, spec.sys.alpha);
     }
     let stats = ExecStats {
         algorithm: Algorithm::Vvm,
@@ -269,6 +274,7 @@ fn run(
         // VVM never reads documents, only inverted files.
         skipped_docs: 0,
         skipped_entries,
+        wall_ns: started.elapsed().as_nanos() as u64,
     };
     Ok(JoinOutcome {
         result: JoinResult::from_rows(rows),

@@ -22,5 +22,8 @@
 pub mod metrics;
 pub mod trace;
 
-pub use metrics::{Counter, Gauge, Histogram, MetricSnapshot, MetricValue, Registry};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricSnapshot, MetricValue, Registry,
+    LATENCY_BOUNDS_NS,
+};
 pub use trace::{Span, SpanRecord, Tracer};

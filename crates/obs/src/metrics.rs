@@ -13,6 +13,35 @@ use std::sync::{Arc, Mutex};
 
 const SHARDS: usize = 8;
 
+/// Log-spaced (power-of-two) latency bucket bounds in nanoseconds,
+/// covering 1 µs up to ~4.3 s. Shared by every wall-clock and
+/// simulated-I/O-time histogram in the stack so snapshots merge.
+pub const LATENCY_BOUNDS_NS: [u64; 23] = [
+    1_000,
+    2_000,
+    4_000,
+    8_000,
+    16_000,
+    32_000,
+    64_000,
+    128_000,
+    256_000,
+    512_000,
+    1_024_000,
+    2_048_000,
+    4_096_000,
+    8_192_000,
+    16_384_000,
+    32_768_000,
+    65_536_000,
+    131_072_000,
+    262_144_000,
+    524_288_000,
+    1_048_576_000,
+    2_097_152_000,
+    4_194_304_000,
+];
+
 /// A monotonically increasing counter.
 #[derive(Clone, Debug, Default)]
 pub struct Counter(Arc<AtomicU64>);
@@ -66,6 +95,7 @@ struct HistogramCore {
     buckets: Vec<AtomicU64>,
     count: AtomicU64,
     sum: AtomicU64,
+    max: AtomicU64,
 }
 
 /// A fixed-bucket histogram of `u64` observations.
@@ -79,6 +109,7 @@ impl Histogram {
         core.buckets[idx].fetch_add(1, Ordering::Relaxed);
         core.count.fetch_add(1, Ordering::Relaxed);
         core.sum.fetch_add(v, Ordering::Relaxed);
+        core.max.fetch_max(v, Ordering::Relaxed);
     }
 
     pub fn count(&self) -> u64 {
@@ -87,6 +118,98 @@ impl Histogram {
 
     pub fn sum(&self) -> u64 {
         self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest value observed so far (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    /// Bucket-resolution quantile; see [`HistogramSnapshot::quantile`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+
+    /// A point-in-time copy of the bucket state, suitable for merging
+    /// and quantile queries.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let core = &self.0;
+        HistogramSnapshot {
+            bounds: core.bounds.clone(),
+            buckets: core
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+        }
+    }
+}
+
+/// An owned, mergeable reading of a [`Histogram`].
+///
+/// `buckets` has one entry per bound plus a trailing `+Inf` bucket.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub bounds: Vec<u64>,
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot over the given bounds.
+    pub fn empty(bounds: &[u64]) -> Self {
+        Self {
+            bounds: bounds.to_vec(),
+            buckets: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Folds `other` into `self`. Both snapshots must share bucket
+    /// bounds — histograms over different bounds are not comparable.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bucket bounds"
+        );
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b = b.saturating_add(*o);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The q-th quantile (`0.0 ..= 1.0`) at bucket resolution: the
+    /// upper bound of the bucket containing the ⌈q·count⌉-th smallest
+    /// observation. Observations in the `+Inf` bucket resolve to the
+    /// tracked maximum. Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, c) in self.buckets.iter().enumerate() {
+            cumulative = cumulative.saturating_add(*c);
+            if cumulative >= rank {
+                return match self.bounds.get(i) {
+                    // Report min(bound, max): a bucket bound never
+                    // exceeds the largest value actually seen.
+                    Some(&b) => b.min(self.max),
+                    None => self.max,
+                };
+            }
+        }
+        self.max
     }
 }
 
@@ -110,13 +233,7 @@ pub struct MetricSnapshot {
 pub enum MetricValue {
     Counter(u64),
     Gauge(i64),
-    /// `(bounds, bucket counts (one extra for +Inf), total count, sum)`.
-    Histogram {
-        bounds: Vec<u64>,
-        buckets: Vec<u64>,
-        count: u64,
-        sum: u64,
-    },
+    Histogram(HistogramSnapshot),
 }
 
 #[derive(Default)]
@@ -195,6 +312,7 @@ impl Registry {
                 buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
                 count: AtomicU64::new(0),
                 sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
             })))
         }) {
             Metric::Histogram(h) => h.clone(),
@@ -213,17 +331,7 @@ impl Registry {
                 let value = match metric {
                     Metric::Counter(c) => MetricValue::Counter(c.get()),
                     Metric::Gauge(g) => MetricValue::Gauge(g.get()),
-                    Metric::Histogram(h) => MetricValue::Histogram {
-                        bounds: h.0.bounds.clone(),
-                        buckets: h
-                            .0
-                            .buckets
-                            .iter()
-                            .map(|b| b.load(Ordering::Relaxed))
-                            .collect(),
-                        count: h.count(),
-                        sum: h.sum(),
-                    },
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
                 };
                 out.push(MetricSnapshot {
                     name,
@@ -253,21 +361,22 @@ impl Registry {
                 MetricValue::Gauge(v) => {
                     let _ = write!(out, ",\"kind\":\"gauge\",\"value\":{v}");
                 }
-                MetricValue::Histogram {
-                    bounds,
-                    buckets,
-                    count,
-                    sum,
-                } => {
+                MetricValue::Histogram(h) => {
                     let _ = write!(
                         out,
-                        ",\"kind\":\"histogram\",\"count\":{count},\"sum\":{sum},\"buckets\":["
+                        ",\"kind\":\"histogram\",\"count\":{},\"sum\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{},\"buckets\":[",
+                        h.count,
+                        h.sum,
+                        h.quantile(0.50),
+                        h.quantile(0.90),
+                        h.quantile(0.99),
+                        h.max,
                     );
-                    for (i, c) in buckets.iter().enumerate() {
+                    for (i, c) in h.buckets.iter().enumerate() {
                         if i > 0 {
                             out.push(',');
                         }
-                        match bounds.get(i) {
+                        match h.bounds.get(i) {
                             Some(le) => {
                                 let _ = write!(out, "{{\"le\":{le},\"count\":{c}}}");
                             }
@@ -312,29 +421,32 @@ impl Registry {
                 MetricValue::Gauge(v) => {
                     let _ = writeln!(out, "{prom_name}{label} {v}");
                 }
-                MetricValue::Histogram {
-                    bounds,
-                    buckets,
-                    count,
-                    sum,
-                } => {
+                MetricValue::Histogram(h) => {
                     let inner = if m.label.is_empty() {
                         String::new()
                     } else {
                         format!("label=\"{}\",", escape_json(&m.label))
                     };
                     let mut cumulative = 0u64;
-                    for (i, c) in buckets.iter().enumerate() {
+                    for (i, c) in h.buckets.iter().enumerate() {
                         cumulative += c;
-                        let le = match bounds.get(i) {
+                        let le = match h.bounds.get(i) {
                             Some(b) => b.to_string(),
                             None => "+Inf".to_string(),
                         };
                         let _ =
                             writeln!(out, "{prom_name}_bucket{{{inner}le=\"{le}\"}} {cumulative}");
                     }
-                    let _ = writeln!(out, "{prom_name}_sum{label} {sum}");
-                    let _ = writeln!(out, "{prom_name}_count{label} {count}");
+                    for (q, qname) in [(0.50, "0.5"), (0.90, "0.9"), (0.99, "0.99")] {
+                        let _ = writeln!(
+                            out,
+                            "{prom_name}{{{inner}quantile=\"{qname}\"}} {}",
+                            h.quantile(q)
+                        );
+                    }
+                    let _ = writeln!(out, "{prom_name}_max{label} {}", h.max);
+                    let _ = writeln!(out, "{prom_name}_sum{label} {}", h.sum);
+                    let _ = writeln!(out, "{prom_name}_count{label} {}", h.count);
                 }
             }
         }
@@ -399,11 +511,97 @@ mod tests {
         assert_eq!(h.sum(), 3 + 9 + 10 + 11 + 500 + 5000);
         let snap = r.snapshot();
         match &snap[0].value {
-            MetricValue::Histogram { buckets, .. } => {
-                assert_eq!(buckets, &vec![3, 1, 1, 1]);
+            MetricValue::Histogram(h) => {
+                assert_eq!(h.buckets, vec![3, 1, 1, 1]);
+                assert_eq!(h.max, 5000);
             }
             other => panic!("expected histogram, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn histogram_quantiles_and_max() {
+        let r = Registry::new();
+        let h = r.histogram("lat", "", &[10, 100, 1000]);
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        for v in [3, 9, 10, 11, 500, 5000] {
+            h.observe(v);
+        }
+        // Ranks 1..=6 fall in buckets [≤10]x3, [≤100]x1, [≤1000]x1, +Inf x1.
+        assert_eq!(h.quantile(0.0), 10); // rank clamps to 1
+        assert_eq!(h.quantile(0.5), 10);
+        assert_eq!(h.quantile(0.66), 100);
+        assert_eq!(h.quantile(0.83), 1000);
+        assert_eq!(h.quantile(0.99), 5000); // +Inf bucket resolves to max
+        assert_eq!(h.quantile(1.0), 5000);
+        assert_eq!(h.max(), 5000);
+    }
+
+    #[test]
+    fn quantile_never_exceeds_observed_max() {
+        let r = Registry::new();
+        let h = r.histogram("lat", "", &[1000]);
+        h.observe(3);
+        assert_eq!(h.quantile(0.5), 3, "bound 1000 capped to max 3");
+    }
+
+    #[test]
+    fn snapshot_merge_accumulates() {
+        let r = Registry::new();
+        let a = r.histogram("lat", "a", &[10, 100]);
+        let b = r.histogram("lat", "b", &[10, 100]);
+        a.observe(5);
+        a.observe(50);
+        b.observe(500);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count, 3);
+        assert_eq!(merged.sum, 555);
+        assert_eq!(merged.max, 500);
+        assert_eq!(merged.buckets, vec![1, 1, 1]);
+        assert_eq!(merged.quantile(1.0), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket bounds")]
+    fn snapshot_merge_rejects_mismatched_bounds() {
+        let mut a = HistogramSnapshot::empty(&[10]);
+        let b = HistogramSnapshot::empty(&[20]);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn latency_bounds_are_strictly_increasing() {
+        assert!(LATENCY_BOUNDS_NS.windows(2).all(|w| w[0] < w[1]));
+        let r = Registry::new();
+        // Registration must accept the shared bounds.
+        let h = r.histogram("x.wall_ns", "", &LATENCY_BOUNDS_NS);
+        h.observe(1);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn exports_include_percentiles() {
+        let r = Registry::new();
+        let h = r.histogram("op.wall_ns", "c1", &[10, 100]);
+        for v in [4, 8, 40, 400] {
+            h.observe(v);
+        }
+        let json = r.to_json_lines();
+        assert!(json.contains("\"p50\":10"), "{json}");
+        assert!(json.contains("\"p90\":400"), "{json}");
+        assert!(json.contains("\"p99\":400"), "{json}");
+        assert!(json.contains("\"max\":400"), "{json}");
+        let prom = r.to_prometheus_text();
+        assert!(
+            prom.contains("op_wall_ns{label=\"c1\",quantile=\"0.5\"} 10"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("op_wall_ns{label=\"c1\",quantile=\"0.99\"} 400"),
+            "{prom}"
+        );
+        assert!(prom.contains("op_wall_ns_max{label=\"c1\"} 400"), "{prom}");
     }
 
     #[test]
@@ -454,6 +652,96 @@ mod tests {
         }
         let snap = r.snapshot();
         assert_eq!(snap.len(), 64);
+    }
+
+    use proptest::prelude::*;
+
+    // Random strictly-increasing bounds plus a batch of observations.
+    fn arb_bounds() -> impl Strategy<Value = Vec<u64>> {
+        proptest::collection::vec(1u64..10_000, 1..12).prop_map(|mut raw| {
+            raw.sort_unstable();
+            raw.dedup();
+            raw
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Each observation lands in exactly one bucket — the first whose
+        /// inclusive bound is >= the value — and the bucket counts always
+        /// sum to the observation count.
+        #[test]
+        fn prop_bucket_boundaries(
+            bounds in arb_bounds(),
+            values in proptest::collection::vec(0u64..20_000, 0..64),
+        ) {
+            let r = Registry::new();
+            let h = r.histogram("p", "", &bounds);
+            for &v in &values {
+                h.observe(v);
+            }
+            let snap = h.snapshot();
+            prop_assert_eq!(snap.buckets.iter().sum::<u64>(), values.len() as u64);
+            for (i, &b) in bounds.iter().enumerate() {
+                let expected = values
+                    .iter()
+                    .filter(|&&v| v <= b && (i == 0 || v > bounds[i - 1]))
+                    .count() as u64;
+                prop_assert_eq!(snap.buckets[i], expected, "bucket {} (le {})", i, b);
+            }
+            let overflow = values.iter().filter(|&&v| v > *bounds.last().unwrap()).count() as u64;
+            prop_assert_eq!(*snap.buckets.last().unwrap(), overflow);
+        }
+
+        /// Merging snapshots of two histograms equals the snapshot of one
+        /// histogram fed both observation streams.
+        #[test]
+        fn prop_merge_equals_combined(
+            bounds in arb_bounds(),
+            xs in proptest::collection::vec(0u64..20_000, 0..48),
+            ys in proptest::collection::vec(0u64..20_000, 0..48),
+        ) {
+            let r = Registry::new();
+            let a = r.histogram("m", "a", &bounds);
+            let b = r.histogram("m", "b", &bounds);
+            let both = r.histogram("m", "ab", &bounds);
+            for &v in &xs {
+                a.observe(v);
+                both.observe(v);
+            }
+            for &v in &ys {
+                b.observe(v);
+                both.observe(v);
+            }
+            let mut merged = a.snapshot();
+            merged.merge(&b.snapshot());
+            prop_assert_eq!(merged, both.snapshot());
+        }
+
+        /// Quantiles are monotone in q, bounded by the observed max, and
+        /// quantile(1.0) is exactly the max.
+        #[test]
+        fn prop_percentiles_monotone(
+            bounds in arb_bounds(),
+            values in proptest::collection::vec(0u64..20_000, 1..64),
+        ) {
+            let r = Registry::new();
+            let h = r.histogram("q", "", &bounds);
+            for &v in &values {
+                h.observe(v);
+            }
+            let snap = h.snapshot();
+            let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+            let mut prev = 0u64;
+            for &q in &qs {
+                let v = snap.quantile(q);
+                prop_assert!(v >= prev, "quantile({}) = {} < {}", q, v, prev);
+                prop_assert!(v <= snap.max);
+                prev = v;
+            }
+            prop_assert_eq!(snap.quantile(1.0), *values.iter().max().unwrap());
+        }
     }
 
     #[test]

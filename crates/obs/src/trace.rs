@@ -8,7 +8,7 @@
 //! `u64` fields so executors can attach per-span metric deltas: pages
 //! read, cache hits, similarity operations.
 
-use crate::metrics::{escape_json, Registry};
+use crate::metrics::{escape_json, Registry, LATENCY_BOUNDS_NS};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -272,7 +272,15 @@ impl Drop for Span<'_> {
             .start
             .saturating_duration_since(shared.epoch)
             .as_micros() as u64;
-        let dur_us = end.saturating_duration_since(self.start).as_micros() as u64;
+        let dur = end.saturating_duration_since(self.start);
+        let dur_us = dur.as_micros() as u64;
+        // Every finished span also feeds a per-name latency histogram in
+        // the attached registry, so phase latency distributions (p50/p99)
+        // fall out of the existing span instrumentation for free.
+        shared
+            .registry
+            .histogram("span.wall_ns", self.name, &LATENCY_BOUNDS_NS)
+            .observe(dur.as_nanos() as u64);
         let record = SpanRecord {
             id: self.id,
             parent: self.parent,
@@ -361,6 +369,23 @@ mod tests {
         }
         assert_eq!(t.finished().len(), 1);
         assert_eq!(t.finished()[0].name, "present");
+    }
+
+    #[test]
+    fn finished_spans_feed_latency_histograms() {
+        let t = Tracer::enabled(8);
+        {
+            let root = t.span("join");
+            let _child = root.child("scan");
+        }
+        {
+            let _again = t.span("join");
+        }
+        let reg = t.registry().unwrap();
+        let join = reg.histogram("span.wall_ns", "join", &LATENCY_BOUNDS_NS);
+        let scan = reg.histogram("span.wall_ns", "scan", &LATENCY_BOUNDS_NS);
+        assert_eq!(join.count(), 2);
+        assert_eq!(scan.count(), 1);
     }
 
     #[test]

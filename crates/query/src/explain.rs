@@ -14,10 +14,11 @@ use crate::parser::parse;
 use crate::planner::{plan, Plan};
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::sync::Arc;
 use textjoin_common::{Error, QueryParams, Result, SystemParams};
-use textjoin_core::{hhnl, hvnl, vvm, ExecStats, JoinSpec, OuterDocs};
+use textjoin_core::{hhnl, hvnl, vvm, ExecStats, JoinSpec, OuterDocs, QueryReport};
 use textjoin_costmodel::{Algorithm, IoScenario};
-use textjoin_obs::{SpanRecord, Tracer};
+use textjoin_obs::{MetricValue, Registry, SpanRecord, Tracer};
 
 /// Plans the query and renders a human-readable explanation.
 pub fn explain_query(
@@ -125,6 +126,9 @@ pub struct AnalyzeOutput {
     pub stats: Option<ExecStats>,
     /// Model-vs-measured drift, one row per cost formula.
     pub drift: Vec<DriftRow>,
+    /// One resource-accounting report per algorithm that ran (the drift
+    /// table and the latency column are derived from these).
+    pub reports: Vec<QueryReport>,
 }
 
 impl AnalyzeOutput {
@@ -171,9 +175,13 @@ pub fn explain_analyze_query(
     }
 
     // Run each feasible algorithm once. The plan's choice runs with the
-    // tracer attached so its phase spans appear in the report.
-    let tracer = Tracer::enabled(1024);
+    // tracer attached so its phase spans appear in the report — and, since
+    // the tracer carries a registry, every span feeds the `span.wall_ns`
+    // latency histograms the report's latency section reads back.
+    let registry = Arc::new(Registry::new());
+    let tracer = Tracer::with_registry(1024, Arc::clone(&registry));
     let mut measured: [Option<ExecStats>; 3] = [None, None, None];
+    let mut reports: Vec<QueryReport> = Vec::new();
     for (i, alg) in Algorithm::ALL.into_iter().enumerate() {
         if p.estimates.cost(alg, IoScenario::Dedicated).is_infinite() {
             continue;
@@ -189,7 +197,15 @@ pub fn explain_analyze_query(
             Algorithm::Vvm => vvm::execute(&spec, &inner_tc.inverted, &outer_tc.inverted),
         };
         match run {
-            Ok(out) => measured[i] = Some(out.stats),
+            Ok(out) => {
+                measured[i] = Some(out.stats);
+                reports.push(QueryReport::from_outcome(
+                    format!("explain-analyze {alg}"),
+                    &out,
+                    (alg == p.chosen).then_some(&tracer),
+                    Some(p.estimates.cost(alg, IoScenario::Dedicated)),
+                ));
+            }
             // The estimate was optimistic, or the algorithm hit unreadable
             // storage its rivals may not need (e.g. a corrupt inverted
             // file does not stop HHNL); report the formula as unmeasurable
@@ -199,28 +215,29 @@ pub fn explain_analyze_query(
         }
     }
 
-    // Drift: the sequential formulas price the run's actual seq/rand page
-    // classification (seq + α·rand); the worst-case-random formulas price
-    // the same page traffic with every read reclassified as random (the
-    // paper's interference scenario), i.e. α · total pages.
+    // Drift, derived from the per-run QueryReports: the sequential
+    // formulas price the run's actual seq/rand page classification
+    // (`measured_cost = seq + α·rand`); the worst-case-random formulas
+    // price the same page traffic with every read reclassified as random
+    // (the paper's interference scenario), i.e. α · total pages.
     let mut drift = Vec::with_capacity(6);
-    for (i, alg) in Algorithm::ALL.into_iter().enumerate() {
+    for alg in Algorithm::ALL {
         let (seq_name, rand_name) = match alg {
             Algorithm::Hhnl => ("hhs", "hhr"),
             Algorithm::Hvnl => ("hvs", "hvr"),
             Algorithm::Vvm => ("vvs", "vvr"),
         };
-        let stats = measured[i].as_ref();
+        let report = reports.iter().find(|r| r.algorithm == alg);
         let rows = [
             (
                 seq_name,
                 IoScenario::Dedicated,
-                stats.map(|s| s.io.cost(sys.alpha)),
+                report.map(|r| r.measured_cost),
             ),
             (
                 rand_name,
                 IoScenario::SharedWorstCase,
-                stats.map(|s| sys.alpha * s.io.total_reads() as f64),
+                report.map(|r| sys.alpha * r.pages_read.total_reads() as f64),
             ),
         ];
         for (formula, sc, meas) in rows {
@@ -279,6 +296,46 @@ pub fn explain_analyze_query(
         };
         let _ = writeln!(text, "      {} {predicted} vs {meas} {err}", row.formula);
     }
+    // Latency: per-algorithm wall time from the reports, then percentile
+    // summaries of the chosen run's per-phase `span.wall_ns` histograms
+    // (the registry-backed tracer filled them as each span finished).
+    let _ = writeln!(text, "    latency (wall time per algorithm):");
+    for alg in Algorithm::ALL {
+        match reports.iter().find(|r| r.algorithm == alg) {
+            Some(r) => {
+                let _ = writeln!(text, "      {alg:<5} {}", fmt_ns(r.wall_ns));
+            }
+            None => {
+                let _ = writeln!(text, "      {alg:<5} n/a");
+            }
+        }
+    }
+    let mut span_hists: Vec<_> = registry
+        .snapshot()
+        .into_iter()
+        .filter(|m| m.name == "span.wall_ns")
+        .collect();
+    span_hists.sort_by(|a, b| a.label.cmp(&b.label));
+    if !span_hists.is_empty() {
+        let _ = writeln!(
+            text,
+            "    phase latency ({} only; p50 / p99 / max):",
+            p.chosen
+        );
+        for m in &span_hists {
+            if let MetricValue::Histogram(h) = &m.value {
+                let _ = writeln!(
+                    text,
+                    "      {:<20} {} / {} / {} ({} samples)",
+                    m.label,
+                    fmt_ns(h.quantile(0.5)),
+                    fmt_ns(h.quantile(0.99)),
+                    fmt_ns(h.max),
+                    h.count,
+                );
+            }
+        }
+    }
     let _ = writeln!(text, "    spans ({} recorded):", tracer.finished().len());
     render_span_tree(&mut text, &tracer.finished());
 
@@ -287,7 +344,19 @@ pub fn explain_analyze_query(
         executed: p.chosen,
         stats,
         drift,
+        reports,
     })
+}
+
+/// Human-scale nanosecond formatting for the latency report.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
 }
 
 /// Renders finished spans as an indented tree (roots first, children by
@@ -490,6 +559,32 @@ mod tests {
         assert!(out.text.contains("spans ("), "{}", out.text);
         let root = out.executed.to_string().to_lowercase();
         assert!(out.text.contains(&root), "no {root} span in:\n{}", out.text);
+        // The latency column lists every algorithm that ran, and the
+        // chosen run's spans surface as per-phase histograms.
+        assert!(out.text.contains("latency (wall time"), "{}", out.text);
+        assert!(out.text.contains("phase latency ("), "{}", out.text);
+        assert!(!out.reports.is_empty(), "no QueryReports collected");
+        let chosen = out
+            .reports
+            .iter()
+            .find(|r| r.algorithm == out.executed)
+            .expect("chosen algorithm has a report");
+        assert!(chosen.wall_ns > 0, "report has no wall time");
+        assert!(!chosen.phases.is_empty(), "traced run has no phases");
+        assert!(
+            chosen.predicted_cost.is_some(),
+            "drift table needs a prediction"
+        );
+        // The drift table was derived from the reports: the measured hhs
+        // value equals the HHNL report's measured cost.
+        if let Some(r) = out
+            .reports
+            .iter()
+            .find(|r| r.algorithm == textjoin_costmodel::Algorithm::Hhnl)
+        {
+            let row = out.row("hhs").unwrap();
+            assert_eq!(row.measured, Some(r.measured_cost));
+        }
     }
 
     #[test]

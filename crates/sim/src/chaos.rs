@@ -22,10 +22,25 @@
 use std::sync::Arc;
 use textjoin_collection::{Collection, SynthSpec};
 use textjoin_common::{CollectionStats, DocId, Error, QueryParams, Result, SystemParams};
-use textjoin_core::{hhnl, hvnl, integrated, vvm, JoinOutcome, JoinSpec, OuterDocs, ResultQuality};
+use textjoin_core::{
+    hhnl, hvnl, integrated, vvm, JoinOutcome, JoinSpec, OuterDocs, QueryReport, ResultQuality,
+};
 use textjoin_costmodel::{Algorithm, IoScenario};
 use textjoin_invfile::InvertedFile;
 use textjoin_storage::{DiskSim, FaultKind, FaultPlan, FileId};
+
+/// Everything one chaos seed produced: pass/fail verdicts plus a
+/// [`QueryReport`] for every join that completed under faults. The reports
+/// used to be discarded — degraded runs carry the most interesting
+/// accounting (skip counters, partial quality, fault-inflated costs), so
+/// they are routed out for the caller to print or feed a slow-query log.
+#[derive(Debug, Default)]
+pub struct ChaosRun {
+    /// Scenario verdicts, in execution order.
+    pub checks: Vec<ChaosCheck>,
+    /// One report per completed executor run under an active fault plan.
+    pub reports: Vec<QueryReport>,
+}
 
 /// One pass/fail verdict from a chaos scenario.
 #[derive(Clone, Debug)]
@@ -146,7 +161,7 @@ fn accounting_consistent(outcome: &JoinOutcome) -> bool {
 
 /// Scenario 1: transient faults below the retry budget are invisible to
 /// the caller — same result, `Full` quality — and visible in the counters.
-fn scenario_transient_absorbed(seed: u64, checks: &mut Vec<ChaosCheck>) -> Result<()> {
+fn scenario_transient_absorbed(seed: u64, run: &mut ChaosRun) -> Result<()> {
     const NAME: &str = "transient-absorbed";
     let f = Fixture::small()?;
     let spec = f.spec();
@@ -164,22 +179,28 @@ fn scenario_transient_absorbed(seed: u64, checks: &mut Vec<ChaosCheck>) -> Resul
 
     let got = hhnl::execute(&spec)?;
     let stats = f.disk.fault_stats();
+    run.reports.push(QueryReport::from_outcome(
+        format!("seed={seed} {NAME} HHNL"),
+        &got,
+        None,
+        None,
+    ));
     push(
-        checks,
+        &mut run.checks,
         seed,
         NAME,
         "result identical to the clean run",
         got.result == baseline,
     );
     push(
-        checks,
+        &mut run.checks,
         seed,
         NAME,
         "quality stays full",
         got.quality == ResultQuality::Full,
     );
     push(
-        checks,
+        &mut run.checks,
         seed,
         NAME,
         format!(
@@ -189,7 +210,7 @@ fn scenario_transient_absorbed(seed: u64, checks: &mut Vec<ChaosCheck>) -> Resul
         stats.retries >= injected as u64 && stats.gave_up == 0,
     );
     push(
-        checks,
+        &mut run.checks,
         seed,
         NAME,
         "every scheduled fault fired",
@@ -201,7 +222,7 @@ fn scenario_transient_absorbed(seed: u64, checks: &mut Vec<ChaosCheck>) -> Resul
 
 /// Scenario 2: a fault that outlives the retry policy is a typed
 /// [`Error::Io`] in strict mode and a counted skip in degraded mode.
-fn scenario_retry_exhausted(seed: u64, checks: &mut Vec<ChaosCheck>) -> Result<()> {
+fn scenario_retry_exhausted(seed: u64, run: &mut ChaosRun) -> Result<()> {
     const NAME: &str = "retry-exhausted";
     let f = Fixture::small()?;
     let spec = f.spec();
@@ -213,14 +234,14 @@ fn scenario_retry_exhausted(seed: u64, checks: &mut Vec<ChaosCheck>) -> Result<(
     f.disk.reset_fault_stats();
     let strict = hhnl::execute(&spec);
     push(
-        checks,
+        &mut run.checks,
         seed,
         NAME,
         "strict mode returns a typed i/o error",
         matches!(strict, Err(Error::Io { .. })),
     );
     push(
-        checks,
+        &mut run.checks,
         seed,
         NAME,
         "the exhausted retry is counted as given up",
@@ -230,8 +251,14 @@ fn scenario_retry_exhausted(seed: u64, checks: &mut Vec<ChaosCheck>) -> Result<(
     // The strict attempt spent the fault; re-arm it for the degraded run.
     f.disk.set_fault_plan(plan);
     let degraded = hhnl::execute(&spec.with_degraded())?;
+    run.reports.push(QueryReport::from_outcome(
+        format!("seed={seed} {NAME} degraded HHNL"),
+        &degraded,
+        None,
+        None,
+    ));
     push(
-        checks,
+        &mut run.checks,
         seed,
         NAME,
         format!(
@@ -241,7 +268,7 @@ fn scenario_retry_exhausted(seed: u64, checks: &mut Vec<ChaosCheck>) -> Result<(
         degraded.quality == ResultQuality::Partial && degraded.stats.skipped_docs >= 1,
     );
     push(
-        checks,
+        &mut run.checks,
         seed,
         NAME,
         "partial-result accounting is consistent",
@@ -254,7 +281,7 @@ fn scenario_retry_exhausted(seed: u64, checks: &mut Vec<ChaosCheck>) -> Result<(
 /// Scenario 3: a seeded mixed schedule over every file never panics any
 /// executor; each degraded run ends in `Ok` with consistent accounting or
 /// in a typed error.
-fn scenario_seeded_schedule(seed: u64, checks: &mut Vec<ChaosCheck>) -> Result<()> {
+fn scenario_seeded_schedule(seed: u64, run: &mut ChaosRun) -> Result<()> {
     const NAME: &str = "seeded-schedule";
     let algorithms = [Algorithm::Hhnl, Algorithm::Hvnl, Algorithm::Vvm];
     for algorithm in algorithms {
@@ -278,19 +305,26 @@ fn scenario_seeded_schedule(seed: u64, checks: &mut Vec<ChaosCheck>) -> Result<(
         f.disk.reset_fault_stats();
 
         let spec = f.spec().with_degraded();
-        let run = match algorithm {
+        let attempt = match algorithm {
             Algorithm::Hhnl => hhnl::execute(&spec),
             Algorithm::Hvnl => hvnl::execute(&spec, &f.inv1),
             Algorithm::Vvm => vvm::execute(&spec, &f.inv1, &f.inv2),
         };
-        let (verdict, passed) = match run {
-            Ok(outcome) => (
-                format!(
+        let (verdict, passed) = match attempt {
+            Ok(outcome) => {
+                let verdict = format!(
                     "{algorithm} finished {} ({} docs + {} entries skipped)",
                     outcome.quality, outcome.stats.skipped_docs, outcome.stats.skipped_entries
-                ),
-                accounting_consistent(&outcome),
-            ),
+                );
+                let passed = accounting_consistent(&outcome);
+                run.reports.push(QueryReport::from_outcome(
+                    format!("seed={seed} {NAME} degraded {algorithm}"),
+                    &outcome,
+                    None,
+                    None,
+                ));
+                (verdict, passed)
+            }
             Err(e @ (Error::Corrupt(_) | Error::Io { .. } | Error::InsufficientMemory { .. })) => {
                 (format!("{algorithm} failed with a typed error: {e}"), true)
             }
@@ -299,7 +333,7 @@ fn scenario_seeded_schedule(seed: u64, checks: &mut Vec<ChaosCheck>) -> Result<(
                 false,
             ),
         };
-        push(checks, seed, NAME, verdict, passed);
+        push(&mut run.checks, seed, NAME, verdict, passed);
     }
     Ok(())
 }
@@ -307,7 +341,7 @@ fn scenario_seeded_schedule(seed: u64, checks: &mut Vec<ChaosCheck>) -> Result<(
 /// Scenario 4: HVNL is the plan's choice, its inverted file and dictionary
 /// are corrupt, and the integrated algorithm re-plans onto HHNL — which
 /// never touches the inverted file — and completes with the right answer.
-fn scenario_replan_to_hhnl(seed: u64, checks: &mut Vec<ChaosCheck>) -> Result<()> {
+fn scenario_replan_to_hhnl(seed: u64, run: &mut ChaosRun) -> Result<()> {
     const NAME: &str = "replan-to-hhnl";
     let f = Fixture::hvnl_favoured()?;
     let selected = [DocId::new((seed % f.c2.store().num_docs()) as u32)];
@@ -320,22 +354,28 @@ fn scenario_replan_to_hhnl(seed: u64, checks: &mut Vec<ChaosCheck>) -> Result<()
     f.disk.flip_bit(f.inv1.file(), 0, seed.wrapping_add(13))?;
 
     let got = integrated::execute(&spec, &f.inv1, &f.inv2, IoScenario::Dedicated)?;
+    run.reports.push(QueryReport::from_outcome(
+        format!("seed={seed} {NAME} integrated"),
+        &got.outcome,
+        None,
+        Some(got.estimates.cost(got.chosen, IoScenario::Dedicated)),
+    ));
     push(
-        checks,
+        &mut run.checks,
         seed,
         NAME,
         "the plan's first choice was HVNL",
         got.estimates.best(IoScenario::Dedicated).0 == Algorithm::Hvnl,
     );
     push(
-        checks,
+        &mut run.checks,
         seed,
         NAME,
         format!("re-planned onto {}", got.chosen),
         got.chosen == Algorithm::Hhnl,
     );
     push(
-        checks,
+        &mut run.checks,
         seed,
         NAME,
         "the fallback run matches a direct HHNL run",
@@ -347,14 +387,15 @@ fn scenario_replan_to_hhnl(seed: u64, checks: &mut Vec<ChaosCheck>) -> Result<()
 /// Runs every chaos scenario under one seed. A returned error means a
 /// scenario could not even set itself up (fixture generation failed) —
 /// executor failures under fault schedules are reported as failed checks,
-/// not errors.
-pub fn run_seed(seed: u64) -> Result<Vec<ChaosCheck>> {
-    let mut checks = Vec::new();
-    scenario_transient_absorbed(seed, &mut checks)?;
-    scenario_retry_exhausted(seed, &mut checks)?;
-    scenario_seeded_schedule(seed, &mut checks)?;
-    scenario_replan_to_hhnl(seed, &mut checks)?;
-    Ok(checks)
+/// not errors. Completed runs additionally surface their [`QueryReport`]s
+/// in [`ChaosRun::reports`].
+pub fn run_seed(seed: u64) -> Result<ChaosRun> {
+    let mut run = ChaosRun::default();
+    scenario_transient_absorbed(seed, &mut run)?;
+    scenario_retry_exhausted(seed, &mut run)?;
+    scenario_seeded_schedule(seed, &mut run)?;
+    scenario_replan_to_hhnl(seed, &mut run)?;
+    Ok(run)
 }
 
 #[cfg(test)]
@@ -382,8 +423,8 @@ mod tests {
 
     #[test]
     fn every_check_passes_for_a_fixed_seed() {
-        let checks = run_seed(1).expect("scenarios set up");
-        for c in &checks {
+        let run = run_seed(1).expect("scenarios set up");
+        for c in &run.checks {
             assert!(c.passed, "[{}] {}", c.scenario, c.check);
         }
         // All four scenarios reported something.
@@ -393,7 +434,28 @@ mod tests {
             "seeded-schedule",
             "replan-to-hhnl",
         ] {
-            assert!(checks.iter().any(|c| c.scenario == scenario), "{scenario}");
+            assert!(
+                run.checks.iter().any(|c| c.scenario == scenario),
+                "{scenario}"
+            );
         }
+    }
+
+    #[test]
+    fn completed_runs_surface_query_reports() {
+        let run = run_seed(1).expect("scenarios set up");
+        assert!(!run.reports.is_empty());
+        // The degraded HHNL run of scenario 2 must carry its skip counters
+        // into the report instead of discarding the stats.
+        let degraded = run
+            .reports
+            .iter()
+            .find(|r| r.query.contains("retry-exhausted"))
+            .expect("degraded report routed out");
+        assert_eq!(degraded.quality, textjoin_core::ResultQuality::Partial);
+        assert!(degraded.skipped_docs >= 1);
+        assert!(degraded.measured_cost > 0.0);
+        // Reports serialise, so `textjoin-sim chaos` can dump them.
+        assert!(degraded.to_json().contains("\"quality\":\"partial\""));
     }
 }

@@ -31,6 +31,7 @@ pub mod chaos;
 pub mod findings;
 pub mod groups;
 pub mod presets;
+pub mod slowlog;
 pub mod table;
 pub mod validate;
 

@@ -13,6 +13,10 @@
 //! textjoin-sim codec [scale]      # fixed vs varint-gap posting codecs
 //! textjoin-sim validate [scale]   # measured vs predicted (default 100)
 //! textjoin-sim chaos [--seed N|A..B]   # fault-injection scenarios (default 1..4)
+//! textjoin-sim bench [--out FILE] [--baseline FILE] [--threshold PCT]
+//!                                 # sweep the paper grid, emit BENCH JSON,
+//!                                 # optionally gate against a baseline
+//! textjoin-sim slowlog [K]        # canned workload; dump top-K query reports
 //! textjoin-sim all [scale]        # everything above
 //!
 //! Append `--csv` to any table command to emit CSV instead of the grid.
@@ -25,7 +29,7 @@
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use textjoin_sim::{chaos, findings, groups, validate, Table};
+use textjoin_sim::{chaos, findings, groups, slowlog, validate, Table};
 
 /// Writes one scenario-marker line plus the span/metric JSON-lines of each
 /// traced scenario run.
@@ -60,6 +64,44 @@ fn main() -> ExitCode {
             Some(p)
         }
         None => None,
+    };
+    // `--out FILE`, `--baseline FILE` and `--threshold PCT` drive `bench`.
+    let mut take_value = |flag: &str| -> Result<Option<String>, ExitCode> {
+        match args.iter().position(|a| a == flag) {
+            Some(i) => {
+                if i + 1 >= args.len() {
+                    eprintln!("{flag} needs a value argument");
+                    return Err(ExitCode::FAILURE);
+                }
+                let v = args[i + 1].clone();
+                args.drain(i..=i + 1);
+                Ok(Some(v))
+            }
+            None => Ok(None),
+        }
+    };
+    let (out_path, baseline_path, threshold) = match (
+        take_value("--out"),
+        take_value("--baseline"),
+        take_value("--threshold"),
+    ) {
+        (Ok(o), Ok(b), Ok(t)) => {
+            let threshold: f64 = match t.map(|t| t.parse()) {
+                None => 10.0,
+                Some(Ok(t)) => t,
+                Some(Err(_)) => {
+                    eprintln!("--threshold needs a number (percent)");
+                    return ExitCode::FAILURE;
+                }
+            };
+            (
+                o.map(PathBuf::from)
+                    .unwrap_or_else(|| PathBuf::from("BENCH_textjoin.json")),
+                b.map(PathBuf::from),
+                threshold,
+            )
+        }
+        (Err(c), _, _) | (_, Err(c), _) | (_, _, Err(c)) => return c,
     };
     // `--seed N` or `--seed A..B` (inclusive) selects chaos seeds.
     let seeds: Vec<u64> = match args.iter().position(|a| a == "--seed") {
@@ -158,11 +200,16 @@ fn main() -> ExitCode {
             for &seed in &seeds {
                 eprintln!("chaos seed {seed}: running fault-injection scenarios …");
                 match chaos::run_seed(seed) {
-                    Ok(checks) => {
-                        for c in &checks {
+                    Ok(run) => {
+                        for c in &run.checks {
                             let mark = if c.passed { "ok  " } else { "FAIL" };
                             println!("{mark} seed={} [{}] {}", c.seed, c.scenario, c.check);
                             failed |= !c.passed;
+                        }
+                        // Per-run accounting for every join that completed
+                        // under faults, degraded runs included.
+                        for r in &run.reports {
+                            println!("report {}", r.to_json());
                         }
                     }
                     Err(e) => {
@@ -173,6 +220,92 @@ fn main() -> ExitCode {
             }
             if failed {
                 return ExitCode::FAILURE;
+            }
+        }
+        "bench" => {
+            let grid = textjoin_bench::small_grid();
+            eprintln!("running bench suite '{}' …", grid.suite);
+            let report = match textjoin_bench::run_suite(&grid) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("bench suite failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut t = Table::new(
+                format!(
+                    "Bench suite {} (pages deterministic, wall machine-local)",
+                    report.suite
+                ),
+                &[
+                    "case",
+                    "algorithm",
+                    "pages_io",
+                    "wall p50",
+                    "wall p99",
+                    "drift %",
+                ],
+            );
+            for c in &report.cases {
+                t.push_row(vec![
+                    c.case.clone(),
+                    c.algorithm.clone(),
+                    format!("{:.0}", c.pages_io),
+                    format!("{}µs", c.wall_p50_ns / 1_000),
+                    format!("{}µs", c.wall_p99_ns / 1_000),
+                    c.drift_pct.map_or("-".into(), |d| format!("{d:+.1}")),
+                ]);
+            }
+            emit(&t);
+            if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+                eprintln!("writing {} failed: {e}", out_path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "wrote {} ({} cases)",
+                out_path.display(),
+                report.cases.len()
+            );
+            if let Some(path) = &baseline_path {
+                let baseline = match std::fs::read_to_string(path)
+                    .map_err(|e| e.to_string())
+                    .and_then(|s| {
+                        textjoin_bench::BenchReport::from_json(&s).map_err(|e| e.to_string())
+                    }) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eprintln!("loading baseline {} failed: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let regressions = textjoin_bench::compare(&baseline, &report, threshold);
+                if regressions.is_empty() {
+                    eprintln!("baseline gate passed: no case regressed by more than {threshold}%");
+                } else {
+                    for r in &regressions {
+                        eprintln!("REGRESSION {r}");
+                    }
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        "slowlog" => {
+            let k: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+            eprintln!("running canned workload, keeping the {k} most expensive queries …");
+            match slowlog::canned_workload(k) {
+                Ok((log, _registry)) => {
+                    print!("{}", log.to_json_lines());
+                    eprintln!(
+                        "kept {} of {} runs ({} bounced off the log)",
+                        log.len(),
+                        log.admitted() + log.rejected(),
+                        log.rejected()
+                    );
+                }
+                Err(e) => {
+                    eprintln!("slowlog workload failed: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
         "all" => {
@@ -199,7 +332,9 @@ fn main() -> ExitCode {
         other => {
             eprintln!(
                 "unknown command '{other}'; expected t1 | group1..group5 | findings | \
-                 validate [scale] | chaos [--seed N|A..B] | all [scale]"
+                 validate [scale] | chaos [--seed N|A..B] | \
+                 bench [--out FILE] [--baseline FILE] [--threshold PCT] | \
+                 slowlog [K] | all [scale]"
             );
             return ExitCode::FAILURE;
         }

@@ -17,8 +17,9 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 use textjoin_common::Result;
-use textjoin_obs::{Counter, Registry};
+use textjoin_obs::{Counter, Histogram, Registry, LATENCY_BOUNDS_NS};
 
 /// Cache hit/miss counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -48,16 +49,25 @@ pub struct PoolMetrics {
     hits: Counter,
     misses: Counter,
     evictions: Counter,
+    get_wall_ns: Histogram,
 }
 
 impl PoolMetrics {
-    /// Registers the three pool counters under `label`.
+    /// Registers the pool counters and the get-path latency histogram
+    /// under `label`.
     pub fn register(registry: &Registry, label: &str) -> Self {
         Self {
             hits: registry.counter("buffer.hits", label),
             misses: registry.counter("buffer.misses", label),
             evictions: registry.counter("buffer.evictions", label),
+            get_wall_ns: registry.histogram("buffer.get_wall_ns", label, &LATENCY_BOUNDS_NS),
         }
+    }
+
+    /// Wall-clock latency distribution of [`BufferPool::get_run`] calls
+    /// (hits and misses alike, so the hit/miss latency gap is visible).
+    pub fn get_wall_ns(&self) -> &Histogram {
+        &self.get_wall_ns
     }
 }
 
@@ -242,10 +252,12 @@ impl<'d> BufferPool<'d> {
     /// nothing; each maximal missing sub-run is fetched from disk as one
     /// run so contiguity (and with it the sequential discount) is preserved.
     pub fn get_run(&self, file: FileId, start: u64, len: u64) -> Result<Vec<Arc<[u8]>>> {
+        let started = Instant::now();
         let mut out: Vec<Option<Arc<[u8]>>> = vec![None; len as usize];
 
         // Pass 1: serve hits and find missing sub-runs.
         let mut missing_runs: Vec<(u64, u64)> = Vec::new(); // (start, len)
+        let metrics;
         {
             let mut st = self.state.lock();
             let mut run_start: Option<u64> = None;
@@ -272,6 +284,7 @@ impl<'d> BufferPool<'d> {
                     m.hits.inc_by(hits);
                 }
             }
+            metrics = st.metrics.clone();
         }
 
         // Pass 2: fetch missing runs (disk classifies them) and install.
@@ -291,6 +304,9 @@ impl<'d> BufferPool<'d> {
             }
         }
 
+        if let Some(m) = &metrics {
+            m.get_wall_ns.observe(started.elapsed().as_nanos() as u64);
+        }
         Ok(out
             .into_iter()
             .map(|p| p.expect("all pages filled"))
@@ -409,6 +425,20 @@ mod tests {
         assert_eq!(registry.counter("buffer.misses", "pool").get(), 3);
         assert_eq!(registry.counter("buffer.evictions", "pool").get(), 1);
         assert_eq!(pool.stats().to_string(), "1 hits, 3 misses, 1 evictions");
+    }
+
+    #[test]
+    fn attached_metrics_time_get_path() {
+        let registry = textjoin_obs::Registry::new();
+        let (disk, f, _) = setup(4, 2);
+        let pool = BufferPool::new(&disk, 2);
+        let metrics = PoolMetrics::register(&registry, "pool");
+        pool.set_metrics(Some(metrics.clone()));
+        pool.get(f, 0).unwrap(); // miss
+        pool.get(f, 0).unwrap(); // hit
+        pool.get_run(f, 0, 4).unwrap(); // mixed
+        assert_eq!(metrics.get_wall_ns().count(), 3);
+        assert!(metrics.get_wall_ns().max() > 0);
     }
 
     #[test]

@@ -42,8 +42,9 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 use textjoin_common::{Error, Result};
-use textjoin_obs::{Counter, Registry};
+use textjoin_obs::{Counter, Histogram, Registry, LATENCY_BOUNDS_NS};
 
 /// On-page format version. Version 1 was the raw payload-only layout;
 /// version 2 added the out-of-band page header (magic + kind + CRC32).
@@ -425,6 +426,8 @@ pub struct DiskMetrics {
     faults_torn: Counter,
     faults_bit_flip: Counter,
     faults_latency: Counter,
+    read_wall_ns: Histogram,
+    write_wall_ns: Histogram,
 }
 
 impl DiskMetrics {
@@ -441,7 +444,19 @@ impl DiskMetrics {
             faults_torn: registry.counter("faults.torn_write", label),
             faults_bit_flip: registry.counter("faults.bit_flip", label),
             faults_latency: registry.counter("faults.latency", label),
+            read_wall_ns: registry.histogram("disk.read_wall_ns", label, &LATENCY_BOUNDS_NS),
+            write_wall_ns: registry.histogram("disk.write_wall_ns", label, &LATENCY_BOUNDS_NS),
         }
+    }
+
+    /// Wall-clock latency distribution of read operations.
+    pub fn read_wall_ns(&self) -> &Histogram {
+        &self.read_wall_ns
+    }
+
+    /// Wall-clock latency distribution of write operations.
+    pub fn write_wall_ns(&self) -> &Histogram {
+        &self.write_wall_ns
     }
 
     fn mirror_faults(&self, d: &FaultStats) {
@@ -718,6 +733,7 @@ impl DiskSim {
     /// analysis covers query processing, not index construction — but are
     /// counted in [`IoStats::writes`].
     pub fn append_page(&self, file: FileId, data: &[u8]) -> Result<u64> {
+        let started = Instant::now();
         self.validate_payload(data)?;
         let mut files = self.files.lock();
         let f = &mut files[file.0 as usize];
@@ -732,6 +748,7 @@ impl DiskSim {
         st.charge_write();
         if let Some(m) = &st.metrics {
             m.mirror_faults(&delta);
+            m.write_wall_ns.observe(started.elapsed().as_nanos() as u64);
         }
         Ok(page_no)
     }
@@ -740,6 +757,7 @@ impl DiskSim {
     /// such as the B+tree during inserts). Same exact-length contract as
     /// [`Self::append_page`]; counted in [`IoStats::writes`].
     pub fn write_page(&self, file: FileId, page: u64, data: &[u8]) -> Result<()> {
+        let started = Instant::now();
         self.validate_payload(data)?;
         let mut files = self.files.lock();
         let f = &mut files[file.0 as usize];
@@ -761,6 +779,7 @@ impl DiskSim {
         st.charge_write();
         if let Some(m) = &st.metrics {
             m.mirror_faults(&delta);
+            m.write_wall_ns.observe(started.elapsed().as_nanos() as u64);
         }
         Ok(())
     }
@@ -907,6 +926,7 @@ impl DiskSim {
         if len == 0 {
             return Ok(Vec::new());
         }
+        let started = Instant::now();
         let mut files = self.files.lock();
         let page_size = self.page_size;
         let f = &mut files[file.0 as usize];
@@ -1018,6 +1038,9 @@ impl DiskSim {
         }
         if let Some(m) = &st.metrics {
             m.mirror_faults(&delta);
+            // Failed reads are timed too: a retried-then-abandoned page
+            // costs real latency that should show in the distribution.
+            m.read_wall_ns.observe(started.elapsed().as_nanos() as u64);
         }
         match failure {
             None => {
@@ -1269,6 +1292,22 @@ mod tests {
         disk.set_metrics(None);
         disk.read_run(f, 0, 2).unwrap();
         assert_eq!(registry.counter("disk.rand_reads", "t1").get(), 3);
+    }
+
+    #[test]
+    fn attached_metrics_time_reads_and_writes() {
+        let registry = Registry::new();
+        let (disk, f) = disk_with_file(10);
+        let metrics = DiskMetrics::register(&registry, "t1");
+        disk.set_metrics(Some(metrics.clone()));
+        disk.read_scan(f, 0, 10).unwrap();
+        disk.read_run(f, 0, 2).unwrap();
+        disk.append_page(f, &full_page(64, 1)).unwrap();
+        disk.write_page(f, 0, &full_page(64, 2)).unwrap();
+        assert_eq!(metrics.read_wall_ns().count(), 2);
+        assert_eq!(metrics.write_wall_ns().count(), 2);
+        assert!(metrics.read_wall_ns().max() > 0);
+        assert!(metrics.read_wall_ns().quantile(0.5) > 0);
     }
 
     #[test]
