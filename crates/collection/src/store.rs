@@ -15,7 +15,9 @@ use crate::document::Document;
 use crate::profile::CollectionProfile;
 use std::sync::Arc;
 use textjoin_common::{DocId, Result};
-use textjoin_storage::{BufferPool, ByteSpan, DiskSim, FileId, PageKind};
+use textjoin_storage::{
+    BufferPool, ByteSpan, DiskSim, FileId, PageKind, PrefetchMetrics, PrefetchStats, Prefetcher,
+};
 
 /// A read-only paged document store.
 pub struct DocumentStore {
@@ -73,12 +75,21 @@ impl DocumentStore {
     /// Sequentially scans the whole collection in storage order, yielding
     /// `(DocId, Document)`. Pages are read once each, in order, so the I/O
     /// bill is `D` pages (the first at the random rate if the head is
-    /// elsewhere).
+    /// elsewhere). Under the hood the scan runs through a [`Prefetcher`]:
+    /// contiguous demands are batched into windowed readahead without
+    /// changing the page count or the seek count.
     pub fn scan(&self) -> Scanner<'_> {
+        self.scan_with_prefetch(None)
+    }
+
+    /// Like [`scan`](Self::scan), with readahead counters mirrored into
+    /// the given metrics handles (`prefetch.issued` / `.hits` / `.wasted`).
+    pub fn scan_with_prefetch(&self, metrics: Option<PrefetchMetrics>) -> Scanner<'_> {
         Scanner {
             store: self,
             next_doc: 0,
-            current: None,
+            prefetcher: Prefetcher::new(&self.disk, self.file, self.num_pages())
+                .with_metrics(metrics),
         }
     }
 
@@ -122,24 +133,22 @@ fn slice_span(pages: &[Arc<[u8]>], span: ByteSpan, first: u64, page_size: usize)
     bytes
 }
 
-/// Sequential scanner over a [`DocumentStore`].
+/// Sequential scanner over a [`DocumentStore`], reading through a
+/// sequential-run [`Prefetcher`].
 pub struct Scanner<'s> {
     store: &'s DocumentStore,
     next_doc: u64,
-    /// The page under the cursor: `(page_no, data)`.
-    current: Option<(u64, Arc<[u8]>)>,
+    prefetcher: Prefetcher<'s>,
 }
 
 impl Scanner<'_> {
     fn page(&mut self, page_no: u64) -> Result<Arc<[u8]>> {
-        if let Some((no, data)) = &self.current {
-            if *no == page_no {
-                return Ok(Arc::clone(data));
-            }
-        }
-        let data = self.store.disk.read_page(self.store.file, page_no)?;
-        self.current = Some((page_no, Arc::clone(&data)));
-        Ok(data)
+        self.prefetcher.get(page_no)
+    }
+
+    /// Readahead counters accumulated by this scan so far.
+    pub fn prefetch_stats(&self) -> PrefetchStats {
+        self.prefetcher.stats()
     }
 }
 
@@ -351,6 +360,42 @@ mod tests {
         let s = disk.stats();
         assert_eq!(s.total_reads(), 4, "each page read exactly once");
         assert_eq!(s.rand_reads, 1, "only the initial seek is random");
+    }
+
+    #[test]
+    fn prefetching_scan_reads_each_page_exactly_once() {
+        let disk = tiny_disk();
+        // Enough docs to span well past one readahead window.
+        let docs: Vec<Document> = (0..40)
+            .map(|i| doc(&[(2 * i, 1), (2 * i + 1, 1)]))
+            .collect();
+        let store = build_store(&disk, &docs);
+        assert!(store.num_pages() > 8, "spans multiple readahead windows");
+        disk.reset_stats();
+        disk.reset_head();
+        let mut scanner = store.scan();
+        let n = scanner.by_ref().count();
+        assert_eq!(n, 40);
+        let s = disk.stats();
+        assert_eq!(s.total_reads(), store.num_pages(), "no page read twice");
+        assert_eq!(s.rand_reads, 1, "only the initial seek is random");
+        let ps = scanner.prefetch_stats();
+        assert!(ps.hits > 0, "sequential scan must hit the readahead");
+        assert_eq!(ps.wasted, 0, "a full scan consumes every issued page");
+    }
+
+    #[test]
+    fn scan_prefetch_metrics_are_mirrored() {
+        let registry = textjoin_obs::Registry::new();
+        let disk = tiny_disk();
+        let docs: Vec<Document> = (0..40)
+            .map(|i| doc(&[(2 * i, 1), (2 * i + 1, 1)]))
+            .collect();
+        let store = build_store(&disk, &docs);
+        let metrics = textjoin_storage::PrefetchMetrics::register(&registry, "outer_scan");
+        store.scan_with_prefetch(Some(metrics)).count();
+        assert!(registry.counter("prefetch.issued", "outer_scan").get() > 0);
+        assert!(registry.counter("prefetch.hits", "outer_scan").get() > 0);
     }
 
     #[test]

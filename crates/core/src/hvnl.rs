@@ -304,7 +304,7 @@ impl HvnlState<'_, '_> {
         if scan_cost >= needed * entry_pages * alpha {
             return Ok(());
         }
-        for item in inv.scan() {
+        for item in inv.scan_with_prefetch(self.spec.prefetch_metrics("inv_preload")) {
             let (term, cells) = match item {
                 Ok(pair) => pair,
                 Err(e) if self.spec.skippable(&e) => {

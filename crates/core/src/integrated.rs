@@ -15,10 +15,10 @@
 use crate::report::observe_phase_sim_io;
 use crate::result::JoinOutcome;
 use crate::spec::JoinSpec;
-use crate::{hhnl, hvnl, vvm};
+use crate::{hhnl, hvnl, parallel, vvm};
 use std::time::Instant;
 use textjoin_common::{Error, Result};
-use textjoin_costmodel::{Algorithm, CostEstimates, IoScenario};
+use textjoin_costmodel::{parallel as par_cost, Algorithm, CostEstimates, IoScenario};
 use textjoin_invfile::InvertedFile;
 use textjoin_obs::Tracer;
 
@@ -29,6 +29,8 @@ pub struct IntegratedOutcome {
     pub chosen: Algorithm,
     /// The six cost estimates the choice was based on.
     pub estimates: CostEstimates,
+    /// How many workers the winning executor ran with.
+    pub workers: usize,
     /// The execution result and measured statistics.
     pub outcome: JoinOutcome,
 }
@@ -41,13 +43,36 @@ pub fn execute(
     outer_inv: &InvertedFile,
     scenario: IoScenario,
 ) -> Result<IntegratedOutcome> {
+    execute_with_workers(spec, inner_inv, outer_inv, scenario, 1)
+}
+
+/// [`execute`] with a worker knob: with `workers > 1` the candidates are
+/// ranked by their *parallel* estimates (`hhs_par`/`hvs_par`/`vvs_par` —
+/// scan terms divided by workers, seek terms unchanged) and the winner runs
+/// on the multi-threaded executors of [`parallel`]. `workers == 1` is the
+/// classic section 6.1 procedure.
+pub fn execute_with_workers(
+    spec: &JoinSpec<'_>,
+    inner_inv: &InvertedFile,
+    outer_inv: &InvertedFile,
+    scenario: IoScenario,
+    workers: usize,
+) -> Result<IntegratedOutcome> {
     let started = Instant::now();
     let mut root = Tracer::maybe(spec.trace, "integrated");
-    let estimates = CostEstimates::compute(&spec.cost_inputs());
+    let inputs = spec.cost_inputs();
+    let estimates = CostEstimates::compute(&inputs);
 
     let mut ranked: Vec<(Algorithm, f64)> = Algorithm::ALL
         .into_iter()
-        .map(|a| (a, estimates.cost(a, scenario)))
+        .map(|a| {
+            let cost = if workers > 1 {
+                par_cost::estimate(&inputs, a, workers as u64)
+            } else {
+                estimates.cost(a, scenario)
+            };
+            (a, cost)
+        })
         .collect();
     ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
 
@@ -57,10 +82,18 @@ pub fn execute(
         if cost.is_infinite() {
             break;
         }
-        let attempt = match algorithm {
-            Algorithm::Hhnl => hhnl::execute(spec),
-            Algorithm::Hvnl => hvnl::execute(spec, inner_inv),
-            Algorithm::Vvm => vvm::execute(spec, inner_inv, outer_inv),
+        let attempt = if workers > 1 {
+            match algorithm {
+                Algorithm::Hhnl => parallel::execute_hhnl(spec, workers),
+                Algorithm::Hvnl => parallel::execute_hvnl(spec, inner_inv, workers),
+                Algorithm::Vvm => parallel::execute_vvm(spec, inner_inv, outer_inv, workers),
+            }
+        } else {
+            match algorithm {
+                Algorithm::Hhnl => hhnl::execute(spec),
+                Algorithm::Hvnl => hvnl::execute(spec, inner_inv),
+                Algorithm::Vvm => vvm::execute(spec, inner_inv, outer_inv),
+            }
         };
         match attempt {
             Ok(mut outcome) => {
@@ -75,6 +108,7 @@ pub fn execute(
                         format!("chose {algorithm}: {ranking}")
                     });
                     root.record("fallbacks", fallbacks);
+                    root.record("workers", workers as u64);
                     observe_phase_sim_io(
                         spec.trace,
                         "integrated",
@@ -88,6 +122,7 @@ pub fn execute(
                 return Ok(IntegratedOutcome {
                     chosen: algorithm,
                     estimates,
+                    workers,
                     outcome,
                 });
             }
@@ -200,6 +235,23 @@ mod tests {
         let got = execute(&spec, &inv1, &inv2, IoScenario::Dedicated).unwrap();
         let want = naive_join(&d1, &d2, OuterDocs::Full, 4, crate::Weighting::RawCount);
         assert_eq!(got.outcome.result, want);
+    }
+
+    #[test]
+    fn parallel_integrated_matches_the_sequential_result() {
+        let (_, c1, c2, inv1, inv2, _, _) = fixture();
+        let spec = JoinSpec::new(&c1, &c2)
+            .with_sys(SystemParams {
+                buffer_pages: 200,
+                page_size: 256,
+                alpha: 5.0,
+            })
+            .with_query(QueryParams::paper_base().with_lambda(5));
+        let seq = execute(&spec, &inv1, &inv2, IoScenario::Dedicated).unwrap();
+        assert_eq!(seq.workers, 1);
+        let par = execute_with_workers(&spec, &inv1, &inv2, IoScenario::Dedicated, 4).unwrap();
+        assert_eq!(par.workers, 4);
+        assert_eq!(par.outcome.result, seq.outcome.result);
     }
 
     #[test]

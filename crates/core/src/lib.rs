@@ -20,8 +20,9 @@
 //!   oracle by the test suite;
 //! * [`cluster`] — the self-join special case of section 1 (document
 //!   clustering), with single-link grouping of the neighbour graph;
-//! * [`parallel`] — a range-partitioned parallel HHNL (the paper's
-//!   future-work item 3).
+//! * [`parallel`] — multi-threaded variants of all three executors (the
+//!   paper's future-work item 3): outer-partitioned HHNL and HVNL,
+//!   term-range-partitioned VVM, with per-worker I/O attribution.
 //!
 //! All three executors must produce identical results for the same
 //! [`JoinSpec`] — the central invariant of the test suite.

@@ -1,29 +1,74 @@
-//! Parallel HHNL — the paper's future-work item (3): "develop algorithms
-//! that process textual joins in parallel".
+//! Parallel execution — the paper's future-work item (3): "develop
+//! algorithms that process textual joins in parallel", covering all three
+//! executors.
 //!
-//! The outer collection is range-partitioned across `workers` threads; each
-//! worker runs the forward HHNL over its slice with an equal share of the
-//! memory budget (`B / workers` pages), modeling a shared-nothing setup
-//! where every worker owns a drive (the simulated disk keeps per-file head
-//! positions, so concurrent scans stay sequential). Results are
-//! concatenated — partitioning the *outer* side never changes any
-//! document's λ best matches, which is what makes HHNL embarrassingly
-//! parallel in this direction.
+//! Two partitioning strategies preserve exactness:
 //!
-//! The I/O bill grows to `D2 + workers · ⌈N2/(workers·X')⌉ · D1` total
-//! pages (every worker scans the inner collection), traded against
-//! wall-clock: with `w` dedicated drives the elapsed scan time divides
-//! by ~`w`.
+//! * **Outer partitioning** (HHNL, HVNL): the outer collection is
+//!   range-partitioned across `workers` threads; each worker runs the
+//!   sequential executor over its slice with an equal share of the memory
+//!   budget (`B / workers` pages — for HVNL that share bounds the worker's
+//!   entry cache). A document's λ best matches depend only on that
+//!   document and the full inner side, so partitioning the *outer* side
+//!   never changes any row; results concatenate.
+//! * **Term-range partitioning** (VVM): both inverted files are split at
+//!   the same term boundaries, one contiguous ordinal range per worker.
+//!   Entries are term-sorted, so every shared term falls to exactly one
+//!   worker; per-worker partial similarity tables are summed in worker
+//!   (= ascending term) order and emitted through the same λ-heap as the
+//!   sequential merge. With integer-valued weights (raw counts) the
+//!   partial sums are exact, so results are bit-identical; fractional
+//!   weightings agree to floating-point reassociation.
+//!
+//! The workers share one simulated disk. Per-worker I/O is attributed
+//! exactly via [`DiskSim::thread_io_stats`] — thread-local mirrors bumped
+//! under the same lock as the global counters — and each merge asserts
+//! that the worker deltas sum to the global delta, sequential/random split
+//! included.
+//!
+//! The I/O bill grows with outer partitioning (`D2 + workers ·
+//! ⌈N2/(workers·X')⌉ · D1` for HHNL: every worker scans the inner
+//! collection) and stays flat for VVM (each file is still read about
+//! once per pass, plus one shared boundary page per split), traded
+//! against wall-clock: with `w` dedicated drives the elapsed scan time
+//! divides by ~`w`.
 
-use crate::result::{ExecStats, JoinOutcome, JoinResult};
+use crate::result::{ExecStats, JoinOutcome, JoinResult, Match};
 use crate::spec::{JoinSpec, OuterDocs};
-use crate::{hhnl, Algorithm};
+use crate::topk::TopK;
+use crate::{hhnl, hvnl, vvm, Algorithm};
+use std::collections::HashMap;
 use std::time::Instant;
-use textjoin_common::{DocId, Error, Result};
+use textjoin_common::{DocId, Error, Result, SystemParams, TermId};
+use textjoin_invfile::InvertedFile;
+use textjoin_obs::Tracer;
+use textjoin_storage::{DiskSim, IoStats, MemTracker};
 
 /// Runs HHNL with the outer collection partitioned across `workers`
 /// threads, each budgeted `B / workers` pages.
 pub fn execute_hhnl(spec: &JoinSpec<'_>, workers: usize) -> Result<JoinOutcome> {
+    execute_outer_partitioned(spec, workers, hhnl::execute)
+}
+
+/// Runs HVNL with the outer collection partitioned across `workers`
+/// threads. Each worker owns a `B / workers`-page share of the budget, so
+/// its entry cache holds a proportional slice of the hot entries; the
+/// shared inverted file and dictionary are read concurrently.
+pub fn execute_hvnl(
+    spec: &JoinSpec<'_>,
+    inner_inv: &InvertedFile,
+    workers: usize,
+) -> Result<JoinOutcome> {
+    execute_outer_partitioned(spec, workers, |s| hvnl::execute(s, inner_inv))
+}
+
+/// Shared scaffold for the two outer-partitioned algorithms: slice the
+/// participating outer ids, run `run` per slice on its own thread with a
+/// `B / workers` budget, and merge rows and counters.
+fn execute_outer_partitioned<F>(spec: &JoinSpec<'_>, workers: usize, run: F) -> Result<JoinOutcome>
+where
+    F: for<'b> Fn(&JoinSpec<'b>) -> Result<JoinOutcome> + Sync,
+{
     if workers == 0 {
         return Err(Error::InvalidArgument(
             "at least one worker is required".into(),
@@ -37,18 +82,19 @@ pub fn execute_hhnl(spec: &JoinSpec<'_>, workers: usize) -> Result<JoinOutcome> 
         OuterDocs::Selected(ids) => ids.to_vec(),
     };
     if outer_ids.is_empty() {
-        return hhnl::execute(spec);
+        return run(spec);
     }
     let started = Instant::now();
     let workers = workers.min(outer_ids.len());
     let chunk = outer_ids.len().div_ceil(workers);
-    let per_worker_sys = textjoin_common::SystemParams {
+    let per_worker_sys = SystemParams {
         buffer_pages: (spec.sys.buffer_pages / workers as u64).max(1),
         ..spec.sys
     };
 
     let disk = spec.inner.store().disk();
     let start_io = disk.stats();
+    let run = &run;
     let outcomes = crossbeam::thread::scope(|s| {
         let handles: Vec<_> = outer_ids
             .chunks(chunk)
@@ -58,30 +104,44 @@ pub fn execute_hhnl(spec: &JoinSpec<'_>, workers: usize) -> Result<JoinOutcome> 
                     sys: per_worker_sys,
                     ..*spec
                 };
-                s.spawn(move |_| hhnl::execute(&worker_spec))
+                s.spawn(move |_| {
+                    // Bracket the run with thread-local I/O snapshots: the
+                    // TLS mirror is bumped under the same lock as the
+                    // global counters, so this delta is exactly the
+                    // traffic this worker caused on the shared disk.
+                    let before = DiskSim::thread_io_stats();
+                    let mut outcome = run(&worker_spec)?;
+                    outcome.stats.io = DiskSim::thread_io_stats().since(&before);
+                    outcome.stats.cost = outcome.stats.io.cost(worker_spec.sys.alpha);
+                    Ok(outcome)
+                })
             })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
-            .collect::<Result<Vec<_>>>()
+            .collect::<Result<Vec<JoinOutcome>>>()
     })
     .expect("crossbeam scope panicked")?;
 
-    // Merge: rows are disjoint by construction; worker counters add up
-    // (mem high-waters included — the workers run concurrently).
+    // Merge: rows are disjoint by construction; worker counters AddAssign
+    // into one outcome (mem high-waters included — the workers run
+    // concurrently, so their sum is the real peak footprint).
     let mut rows = Vec::with_capacity(outer_ids.len());
-    let mut stats = ExecStats::zero(Algorithm::Hhnl);
+    let mut stats = ExecStats::zero(outcomes[0].stats.algorithm);
     for outcome in outcomes {
         for (id, matches) in outcome.result.iter() {
             rows.push((id, matches.to_vec()));
         }
         stats += &outcome.stats;
     }
-    // The global I/O tally supersedes the per-worker sums: concurrent scans
-    // interleave at the shared disk, so the interleaved classification is
-    // the one the cost metric should price.
-    stats.io = disk.stats().since(&start_io);
+    // The thread-local deltas partition the global tally exactly,
+    // sequential/random split included.
+    assert_eq!(
+        stats.io,
+        disk.stats().since(&start_io),
+        "per-worker I/O deltas must sum to the global delta"
+    );
     stats.cost = stats.io.cost(spec.sys.alpha);
     // Workers overlap, so the run's wall time is the whole scope's elapsed
     // time, not the per-worker maximum the merge computed.
@@ -90,6 +150,274 @@ pub fn execute_hhnl(spec: &JoinSpec<'_>, workers: usize) -> Result<JoinOutcome> 
         result: JoinResult::from_rows(rows),
         // Merged stats carry every worker's skip counters, so the combined
         // quality tag is partial as soon as any worker skipped anything.
+        quality: stats.quality(),
+        stats,
+    })
+}
+
+/// What one VVM term-range worker hands back per merge pass.
+struct VvmPartial {
+    /// outer id → (inner id → partial weighted sum over the worker's terms).
+    acc: HashMap<u32, HashMap<u32, f64>>,
+    skipped_entries: u64,
+    sim_ops: u64,
+    io: IoStats,
+    mem_high_water: u64,
+}
+
+/// Inner/outer ordinal ranges assigned to one worker: both cover the same
+/// half-open term interval.
+#[derive(Clone, Copy)]
+struct TermRange {
+    inner: (u32, u32),
+    outer: (u32, u32),
+}
+
+/// Runs VVM with both inverted files term-range-partitioned across
+/// `workers` threads. Each worker merges its ordinal ranges with a
+/// `B / workers`-page budget; partial similarity tables are summed in
+/// ascending term order and emitted exactly like the sequential merge.
+/// Memory pressure repartitions the outer side adaptively, as in the
+/// sequential executor.
+pub fn execute_vvm(
+    spec: &JoinSpec<'_>,
+    inner_inv: &InvertedFile,
+    outer_inv: &InvertedFile,
+    workers: usize,
+) -> Result<JoinOutcome> {
+    if workers == 0 {
+        return Err(Error::InvalidArgument(
+            "at least one worker is required".into(),
+        ));
+    }
+    let outer_ids: Vec<DocId> = match spec.outer_docs {
+        OuterDocs::Full => (0..spec.outer.store().num_docs() as u32)
+            .map(DocId::new)
+            .collect(),
+        OuterDocs::Selected(ids) => ids.to_vec(),
+    };
+    let workers = (workers as u64).min(inner_inv.num_entries()).max(1) as usize;
+    if outer_ids.is_empty() || workers == 1 {
+        // One worker is the sequential merge; run it directly so the
+        // single-worker plan is identical to the sequential executor by
+        // construction.
+        return vvm::execute(spec, inner_inv, outer_inv);
+    }
+
+    let ranges = term_ranges(inner_inv, outer_inv, workers);
+    let mut partitions = vvm::estimate_partitions(
+        spec,
+        inner_inv,
+        outer_inv,
+        outer_ids.len() as u64,
+        workers as u64,
+    )?;
+    loop {
+        match run_vvm(spec, inner_inv, outer_inv, &outer_ids, &ranges, partitions) {
+            Ok(outcome) => return Ok(outcome),
+            Err(Error::InsufficientMemory { .. }) if partitions < outer_ids.len() as u64 => {
+                // The δ estimate undershot the real non-zero density;
+                // re-partition more finely and rerun, exactly like the
+                // sequential executor's recovery.
+                partitions = (partitions * 2).min(outer_ids.len() as u64);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Splits the inner file's ordinals evenly and maps each split term onto
+/// the outer file, so both ranges of a worker cover the same term
+/// interval and the outer ranges tile `[0, T2)` contiguously.
+fn term_ranges(
+    inner_inv: &InvertedFile,
+    outer_inv: &InvertedFile,
+    workers: usize,
+) -> Vec<TermRange> {
+    let t1 = inner_inv.num_entries();
+    let t2 = outer_inv.num_entries() as u32;
+    let mut ranges = Vec::with_capacity(workers);
+    let mut outer_start = 0u32;
+    for i in 0..workers as u64 {
+        let inner_start = (t1 * i / workers as u64) as u32;
+        let inner_end = (t1 * (i + 1) / workers as u64) as u32;
+        let outer_end = if i + 1 == workers as u64 {
+            t2
+        } else {
+            lower_bound(outer_inv, inner_inv.meta(inner_end).term)
+        };
+        ranges.push(TermRange {
+            inner: (inner_start, inner_end),
+            outer: (outer_start, outer_end),
+        });
+        outer_start = outer_end;
+    }
+    ranges
+}
+
+/// First ordinal of `inv` whose term is ≥ `term` (the directory is sorted
+/// by term).
+fn lower_bound(inv: &InvertedFile, term: TermId) -> u32 {
+    let (mut lo, mut hi) = (0u32, inv.num_entries() as u32);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if inv.meta(mid).term < term {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+fn run_vvm(
+    spec: &JoinSpec<'_>,
+    inner_inv: &InvertedFile,
+    outer_inv: &InvertedFile,
+    outer_ids: &[DocId],
+    ranges: &[TermRange],
+    partitions: u64,
+) -> Result<JoinOutcome> {
+    let started = Instant::now();
+    let workers = ranges.len();
+    let mut root = Tracer::maybe(spec.trace, "vvm.parallel");
+    if root.is_enabled() {
+        root.record("workers", workers as u64);
+        root.record("partitions", partitions);
+    }
+    let disk = spec.inner.store().disk();
+    let start_io = disk.stats();
+    let per_worker_sys = SystemParams {
+        buffer_pages: (spec.sys.buffer_pages / workers as u64).max(1),
+        ..spec.sys
+    };
+    // Every worker holds one current entry per file (budgeted at the
+    // global maximum, so the bound is strict) plus its partial table.
+    let entry_buf_bytes = vvm::max_entry_bytes(inner_inv) + vvm::max_entry_bytes(outer_inv);
+
+    let mut rows: Vec<(DocId, Vec<Match>)> = Vec::with_capacity(outer_ids.len());
+    let chunk_size = (outer_ids.len() as u64).div_ceil(partitions).max(1) as usize;
+    let mut passes = 0u64;
+    let mut sim_ops = 0u64;
+    let mut skipped_entries = 0u64;
+    let mut io_sum = IoStats::default();
+    let mut mem_high_water = 0u64;
+
+    for chunk in outer_ids.chunks(chunk_size) {
+        passes += 1;
+        let partials = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|&range| {
+                    // Workers trace nothing themselves; the parallel root
+                    // span carries the run-level records.
+                    let worker_spec = JoinSpec {
+                        sys: per_worker_sys,
+                        trace: None,
+                        ..*spec
+                    };
+                    s.spawn(move |_| -> Result<VvmPartial> {
+                        let before = DiskSim::thread_io_stats();
+                        let tracker = MemTracker::new(&worker_spec.sys);
+                        tracker.allocate(entry_buf_bytes.max(1), "parallel VVM entry buffers")?;
+                        tracker.allocate(
+                            TopK::budget_bytes(worker_spec.query.lambda),
+                            "VVM result heap",
+                        )?;
+                        let mut skipped = 0u64;
+                        let mut ops = 0u64;
+                        let mut acc: HashMap<u32, HashMap<u32, f64>> = HashMap::new();
+                        let (i_start, i_end) = range.inner;
+                        let (o_start, o_end) = range.outer;
+                        let inner_cur = vvm::EntryCursor::new(
+                            inner_inv.scan_range(i_start, i_end),
+                            &worker_spec,
+                            &mut skipped,
+                        )?;
+                        let outer_cur = vvm::EntryCursor::new(
+                            outer_inv.scan_range(o_start, o_end),
+                            &worker_spec,
+                            &mut skipped,
+                        )?;
+                        vvm::merge_accumulate(
+                            &worker_spec,
+                            inner_cur,
+                            outer_cur,
+                            chunk,
+                            &tracker,
+                            &mut acc,
+                            &mut ops,
+                            &mut skipped,
+                        )?;
+                        Ok(VvmPartial {
+                            acc,
+                            skipped_entries: skipped,
+                            sim_ops: ops,
+                            io: DiskSim::thread_io_stats().since(&before),
+                            mem_high_water: tracker.high_water(),
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect::<Result<Vec<VvmPartial>>>()
+        })
+        .expect("crossbeam scope panicked")?;
+
+        // Sum the partial tables in worker index order — ascending term
+        // order, the same order the sequential merge accumulates in. Each
+        // worker's map is dropped as soon as it is folded in.
+        let mut acc: HashMap<u32, HashMap<u32, f64>> = HashMap::new();
+        let mut pass_mem = 0u64;
+        for partial in partials {
+            skipped_entries += partial.skipped_entries;
+            sim_ops += partial.sim_ops;
+            io_sum.merge(&partial.io);
+            pass_mem += partial.mem_high_water;
+            for (outer_raw, per_outer) in partial.acc {
+                let dst = acc.entry(outer_raw).or_default();
+                for (inner_raw, sum) in per_outer {
+                    *dst.entry(inner_raw).or_insert(0.0) += sum;
+                }
+            }
+        }
+        // Concurrent workers peak together: their summed high-waters are
+        // the pass's true footprint.
+        mem_high_water = mem_high_water.max(pass_mem);
+        vvm::emit_chunk(spec, chunk, &acc, &mut rows);
+    }
+
+    let io = disk.stats().since(&start_io);
+    // The thread-local deltas partition the global tally exactly,
+    // sequential/random split included.
+    assert_eq!(
+        io_sum, io,
+        "per-worker I/O deltas must sum to the global delta"
+    );
+    if root.is_enabled() {
+        root.record("passes", passes);
+        root.record("seq_reads", io.seq_reads);
+        root.record("rand_reads", io.rand_reads);
+        root.record("sim_ops", sim_ops);
+    }
+    let stats = ExecStats {
+        algorithm: Algorithm::Vvm,
+        io,
+        cost: io.cost(spec.sys.alpha),
+        mem_high_water_bytes: mem_high_water,
+        passes,
+        entry_fetches: 0,
+        cache_hits: 0,
+        sim_ops,
+        cells_touched: sim_ops,
+        skipped_docs: 0,
+        skipped_entries,
+        wall_ns: started.elapsed().as_nanos() as u64,
+    };
+    Ok(JoinOutcome {
+        result: JoinResult::from_rows(rows),
         quality: stats.quality(),
         stats,
     })
@@ -119,6 +447,21 @@ mod tests {
         (disk, c1, c2, d1, d2)
     }
 
+    fn inv_fixture() -> (
+        Arc<DiskSim>,
+        Collection,
+        Collection,
+        InvertedFile,
+        InvertedFile,
+        Vec<textjoin_collection::Document>,
+        Vec<textjoin_collection::Document>,
+    ) {
+        let (disk, c1, c2, d1, d2) = fixture();
+        let inv1 = InvertedFile::build(Arc::clone(&disk), "c1", &c1).unwrap();
+        let inv2 = InvertedFile::build(Arc::clone(&disk), "c2", &c2).unwrap();
+        (disk, c1, c2, inv1, inv2, d1, d2)
+    }
+
     #[test]
     fn parallel_matches_serial_for_any_worker_count() {
         let (_, c1, c2, d1, d2) = fixture();
@@ -141,6 +484,10 @@ mod tests {
         let (_, c1, c2, _, _) = fixture();
         let spec = JoinSpec::new(&c1, &c2);
         assert!(execute_hhnl(&spec, 0).is_err());
+        let (_, c1, c2, inv1, inv2, _, _) = inv_fixture();
+        let spec = JoinSpec::new(&c1, &c2);
+        assert!(execute_hvnl(&spec, &inv1, 0).is_err());
+        assert!(execute_vvm(&spec, &inv1, &inv2, 0).is_err());
     }
 
     #[test]
@@ -179,5 +526,181 @@ mod tests {
             crate::Weighting::RawCount,
         );
         assert_eq!(got.result, want);
+    }
+
+    #[test]
+    fn parallel_hvnl_is_identical_to_sequential() {
+        let (_, c1, c2, inv1, _, _, _) = inv_fixture();
+        let spec = JoinSpec::new(&c1, &c2)
+            .with_sys(SystemParams {
+                buffer_pages: 400,
+                page_size: 512,
+                alpha: 5.0,
+            })
+            .with_query(QueryParams::paper_base().with_lambda(5));
+        let want = hvnl::execute(&spec, &inv1).unwrap();
+        for workers in [1, 2, 4, 9] {
+            let got = execute_hvnl(&spec, &inv1, workers).unwrap();
+            assert_eq!(got.result, want.result, "workers = {workers}");
+            assert_eq!(got.quality, want.quality);
+        }
+    }
+
+    #[test]
+    fn parallel_vvm_is_identical_to_sequential() {
+        let (_, c1, c2, inv1, inv2, _, _) = inv_fixture();
+        let spec = JoinSpec::new(&c1, &c2)
+            .with_sys(SystemParams {
+                buffer_pages: 400,
+                page_size: 512,
+                alpha: 5.0,
+            })
+            .with_query(QueryParams::paper_base().with_lambda(5));
+        let want = vvm::execute(&spec, &inv1, &inv2).unwrap();
+        for workers in [1, 2, 3, 4, 16] {
+            let got = execute_vvm(&spec, &inv1, &inv2, workers).unwrap();
+            assert_eq!(got.result, want.result, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_vvm_respects_selection_and_tight_memory() {
+        let (_, c1, c2, inv1, inv2, d1, d2) = inv_fixture();
+        let chosen = [DocId::new(1), DocId::new(7), DocId::new(20), DocId::new(41)];
+        // A small buffer forces multiple merge passes per worker.
+        let spec = JoinSpec::new(&c1, &c2)
+            .with_outer_docs(OuterDocs::Selected(&chosen))
+            .with_sys(SystemParams {
+                buffer_pages: 40,
+                page_size: 512,
+                alpha: 5.0,
+            })
+            .with_query(QueryParams::paper_base().with_lambda(3));
+        let got = execute_vvm(&spec, &inv1, &inv2, 4).unwrap();
+        let want = naive_join(
+            &d1,
+            &d2,
+            OuterDocs::Selected(&chosen),
+            3,
+            crate::Weighting::RawCount,
+        );
+        assert_eq!(got.result, want);
+        assert!(got.stats.mem_high_water_bytes <= spec.sys.buffer_bytes());
+    }
+
+    #[test]
+    fn parallel_vvm_cosine_matches_within_tolerance() {
+        let (_, c1, c2, inv1, inv2, d1, d2) = inv_fixture();
+        let spec = JoinSpec::new(&c1, &c2)
+            .with_weighting(crate::Weighting::Cosine)
+            .with_query(QueryParams::paper_base().with_lambda(5));
+        let got = execute_vvm(&spec, &inv1, &inv2, 3).unwrap();
+        let want = naive_join(&d1, &d2, OuterDocs::Full, 5, crate::Weighting::Cosine);
+        assert!(got.result.approx_eq(&want, 1e-9));
+    }
+
+    #[test]
+    fn term_ranges_tile_both_files() {
+        let (_, _, _, inv1, inv2, _, _) = inv_fixture();
+        for workers in [2usize, 3, 5, 8] {
+            let ranges = term_ranges(&inv1, &inv2, workers);
+            assert_eq!(ranges.len(), workers);
+            assert_eq!(ranges[0].inner.0, 0);
+            assert_eq!(ranges[0].outer.0, 0);
+            assert_eq!(ranges[workers - 1].inner.1 as u64, inv1.num_entries());
+            assert_eq!(ranges[workers - 1].outer.1 as u64, inv2.num_entries());
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].inner.1, w[1].inner.0, "inner ranges contiguous");
+                assert_eq!(w[0].outer.1, w[1].outer.0, "outer ranges contiguous");
+                // The outer boundary lands exactly on the inner boundary
+                // term, so a term is merged by exactly one worker.
+                let boundary = inv1.meta(w[1].inner.0).term;
+                if w[1].outer.0 < inv2.num_entries() as u32 {
+                    assert!(inv2.meta(w[1].outer.0).term >= boundary);
+                }
+                if w[0].outer.1 > 0 {
+                    assert!(inv2.meta(w[0].outer.1 - 1).term < boundary);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_io_attribution_sums_match() {
+        // The assert inside the merge fires on any mismatch; this exercises
+        // it with concurrent scans on every algorithm.
+        let (_, c1, c2, inv1, inv2, _, _) = inv_fixture();
+        let spec = JoinSpec::new(&c1, &c2).with_query(QueryParams::paper_base().with_lambda(2));
+        let h = execute_hhnl(&spec, 4).unwrap();
+        assert!(h.stats.io.total_reads() > 0);
+        let v = execute_hvnl(&spec, &inv1, 4).unwrap();
+        assert!(v.stats.io.total_reads() > 0);
+        let m = execute_vvm(&spec, &inv1, &inv2, 4).unwrap();
+        assert!(m.stats.io.total_reads() > 0);
+    }
+
+    use proptest::prelude::*;
+    use proptest::test_runner::TestCaseError;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Parallel HVNL and VVM are identical to their sequential
+        /// executors — result sets and per-document top-λ scores — on
+        /// random collections, for λ ∈ {1, 5, 20} and workers ∈ {1, 2, 4}.
+        /// Raw-count weighting keeps every score integer-valued, so
+        /// "identical" is exact equality, not a tolerance.
+        #[test]
+        fn parallel_hvnl_and_vvm_match_sequential_on_random_collections(
+            n1 in 8u64..48,
+            n2 in 8u64..36,
+            vocab in 30u64..150,
+            buffer_pages in 64u64..256,
+            seed in 0u64..1_000,
+        ) {
+            let disk = Arc::new(DiskSim::new(512));
+            let d1 = SynthSpec::from_stats(CollectionStats::new(n1, 10.0, vocab), seed)
+                .generate_docs();
+            let d2 = SynthSpec::from_stats(CollectionStats::new(n2, 10.0, vocab), seed + 1)
+                .generate_docs();
+            let c1 = Collection::build(Arc::clone(&disk), "c1", d1).unwrap();
+            let c2 = Collection::build(Arc::clone(&disk), "c2", d2).unwrap();
+            let inv1 = InvertedFile::build(Arc::clone(&disk), "c1", &c1).unwrap();
+            let inv2 = InvertedFile::build(Arc::clone(&disk), "c2", &c2).unwrap();
+            for lambda in [1usize, 5, 20] {
+                let spec = JoinSpec::new(&c1, &c2)
+                    .with_sys(SystemParams { buffer_pages, page_size: 512, alpha: 5.0 })
+                    .with_query(QueryParams::paper_base().with_lambda(lambda));
+                let seq_hvnl = hvnl::execute(&spec, &inv1);
+                let seq_vvm = vvm::execute(&spec, &inv1, &inv2);
+                for workers in [1usize, 2, 4] {
+                    let runs = [
+                        ("hvnl", &seq_hvnl, execute_hvnl(&spec, &inv1, workers)),
+                        ("vvm", &seq_vvm, execute_vvm(&spec, &inv1, &inv2, workers)),
+                    ];
+                    for (name, seq, par) in runs {
+                        match (seq, par) {
+                            (Ok(want), Ok(got)) => prop_assert_eq!(
+                                &got.result,
+                                &want.result,
+                                "{} λ={} workers={}",
+                                name, lambda, workers
+                            ),
+                            // A budget too small for the mandatory
+                            // structures (sequentially, or split w ways)
+                            // is a legitimate outcome, not a divergence.
+                            (Err(Error::InsufficientMemory { .. }), _)
+                            | (_, Err(Error::InsufficientMemory { .. })) => {}
+                            (Err(e), _) => return Err(TestCaseError::fail(
+                                format!("{name} sequential: {e}")
+                            )),
+                            (_, Err(e)) => return Err(TestCaseError::fail(
+                                format!("{name} parallel: {e}")
+                            )),
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -4,6 +4,7 @@ use textjoin_collection::{Collection, Document};
 use textjoin_common::{CollectionStats, DocId, QueryParams, Result, SystemParams};
 use textjoin_costmodel::JoinInputs;
 use textjoin_obs::Tracer;
+use textjoin_storage::PrefetchMetrics;
 
 use crate::weighting::Weighting;
 
@@ -215,12 +216,24 @@ impl<'a> JoinSpec<'a> {
         Ok(())
     }
 
+    /// A prefetch-metrics sink on the trace's registry (if both exist), so
+    /// scanner readahead counters surface in EXPLAIN ANALYZE and exports.
+    pub fn prefetch_metrics(&self, label: &str) -> Option<PrefetchMetrics> {
+        self.trace
+            .and_then(|t| t.registry())
+            .map(|r| PrefetchMetrics::register(r, label))
+    }
+
     /// A lazy iterator over the participating outer documents; I/O happens
     /// on pull, so executors can interleave reading outer documents with
     /// other work (HHNL fills memory batches this way).
     pub fn outer_iter(&self) -> Box<dyn Iterator<Item = Result<(DocId, Document)>> + 'a> {
         match self.outer_docs {
-            OuterDocs::Full => Box::new(self.outer.store().scan()),
+            OuterDocs::Full => Box::new(
+                self.outer
+                    .store()
+                    .scan_with_prefetch(self.prefetch_metrics("outer_scan")),
+            ),
             OuterDocs::Selected(ids) => {
                 let store = self.outer.store();
                 Box::new(

@@ -48,7 +48,8 @@ pub fn execute(
         OuterDocs::Selected(ids) => ids.to_vec(),
     };
 
-    let mut partitions = estimate_partitions(spec, inner_inv, outer_inv, outer_ids.len() as u64)?;
+    let mut partitions =
+        estimate_partitions(spec, inner_inv, outer_inv, outer_ids.len() as u64, 1)?;
     loop {
         match run(spec, inner_inv, outer_inv, &outer_ids, partitions) {
             Ok(outcome) => return Ok(outcome),
@@ -64,16 +65,21 @@ pub fn execute(
 }
 
 /// `⌈SM / M⌉` from measured statistics — the paper's partition estimate.
-fn estimate_partitions(
+/// With `workers > 1` both the similarity space and the buffer budget are
+/// divided evenly: each term-partitioned worker holds roughly `SM/w`
+/// accumulator bytes against its `B/w`-page share.
+pub(crate) fn estimate_partitions(
     spec: &JoinSpec<'_>,
     inner_inv: &InvertedFile,
     outer_inv: &InvertedFile,
     num_outer: u64,
+    workers: u64,
 ) -> Result<u64> {
     let p = spec.sys.page_size as f64;
     let n1 = spec.inner.store().num_docs() as f64;
-    let sm = SIM_VALUE_BYTES as f64 * spec.query.delta * n1 * num_outer as f64 / p;
-    let m = spec.sys.buffer_pages as f64
+    let sm =
+        SIM_VALUE_BYTES as f64 * spec.query.delta * n1 * num_outer as f64 / (p * workers as f64);
+    let m = (spec.sys.buffer_pages / workers).max(1) as f64
         - inner_inv.avg_entry_pages().ceil()
         - outer_inv.avg_entry_pages().ceil();
     if m <= 0.0 {
@@ -81,7 +87,8 @@ fn estimate_partitions(
             context: "VVM similarity space (M ≤ 0)".into(),
             required_pages: (inner_inv.avg_entry_pages().ceil()
                 + outer_inv.avg_entry_pages().ceil()
-                + 1.0) as u64,
+                + 1.0) as u64
+                * workers,
             available_pages: spec.sys.buffer_pages,
         });
     }
@@ -92,13 +99,13 @@ fn estimate_partitions(
 /// mode, entries that cannot be read are skipped (and counted) so the merge
 /// continues over the readable remainder; otherwise the first read error
 /// aborts the merge.
-struct EntryCursor<I> {
+pub(crate) struct EntryCursor<I> {
     iter: I,
     current: Option<(TermId, Vec<ICell>)>,
 }
 
 impl<I: Iterator<Item = Result<(TermId, Vec<ICell>)>>> EntryCursor<I> {
-    fn new(iter: I, spec: &JoinSpec<'_>, skipped: &mut u64) -> Result<Self> {
+    pub(crate) fn new(iter: I, spec: &JoinSpec<'_>, skipped: &mut u64) -> Result<Self> {
         let mut cursor = Self {
             iter,
             current: None,
@@ -148,8 +155,6 @@ fn run(
     tracker.allocate(entry_buf_bytes.max(1), "VVM entry buffers")?;
     tracker.allocate(TopK::budget_bytes(spec.query.lambda), "VVM result heap")?;
 
-    let inner_profile = spec.inner.profile();
-    let outer_profile = spec.outer.profile();
     let mut rows: Vec<(DocId, Vec<Match>)> = Vec::new();
     let chunk_size = (outer_ids.len() as u64).div_ceil(partitions).max(1) as usize;
     let mut passes = 0u64;
@@ -166,81 +171,30 @@ fn run(
         // s → (r → accumulated weighted sum); membership tested against the
         // chunk's contiguous id range via binary search on the sorted chunk.
         let mut acc: HashMap<u32, HashMap<u32, f64>> = HashMap::new();
-        let mut acc_bytes = 0u64;
 
-        let mut inner_cur = EntryCursor::new(inner_inv.scan(), spec, &mut skipped_entries)?;
-        let mut outer_cur = EntryCursor::new(outer_inv.scan(), spec, &mut skipped_entries)?;
-
-        // Merge by term: advance the scan with the smaller term.
-        while let (Some(inner_term), Some(outer_term)) = (inner_cur.term(), outer_cur.term()) {
-            match inner_term.cmp(&outer_term) {
-                std::cmp::Ordering::Less => {
-                    inner_cur.advance(spec, &mut skipped_entries)?;
-                }
-                std::cmp::Ordering::Greater => {
-                    outer_cur.advance(spec, &mut skipped_entries)?;
-                }
-                std::cmp::Ordering::Equal => {
-                    let Some((term, inner_cells)) = inner_cur.current.take() else {
-                        break;
-                    };
-                    let Some((_, outer_cells)) = outer_cur.current.take() else {
-                        break;
-                    };
-                    inner_cur.advance(spec, &mut skipped_entries)?;
-                    outer_cur.advance(spec, &mut skipped_entries)?;
-                    let factor = spec.weighting.term_factor(term, inner_profile);
-                    if factor == 0.0 {
-                        continue;
-                    }
-                    for oc in &outer_cells {
-                        if chunk.binary_search(&oc.doc).is_err() {
-                            continue;
-                        }
-                        let per_outer = acc.entry(oc.doc.raw()).or_default();
-                        for ic in &inner_cells {
-                            if !spec.inner_doc_allowed(ic.doc) || !spec.pair_allowed(ic.doc, oc.doc)
-                            {
-                                continue;
-                            }
-                            sim_ops += 1;
-                            let contribution = oc.weight as f64 * ic.weight as f64 * factor;
-                            match per_outer.entry(ic.doc.raw()) {
-                                std::collections::hash_map::Entry::Occupied(mut e) => {
-                                    *e.get_mut() += contribution;
-                                }
-                                std::collections::hash_map::Entry::Vacant(e) => {
-                                    tracker.allocate(ACC_BYTES, "VVM similarity accumulators")?;
-                                    acc_bytes += ACC_BYTES;
-                                    e.insert(contribution);
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
+        let inner_cur = EntryCursor::new(
+            inner_inv.scan_with_prefetch(spec.prefetch_metrics("inv1")),
+            spec,
+            &mut skipped_entries,
+        )?;
+        let outer_cur = EntryCursor::new(
+            outer_inv.scan_with_prefetch(spec.prefetch_metrics("inv2")),
+            spec,
+            &mut skipped_entries,
+        )?;
+        let acc_bytes = merge_accumulate(
+            spec,
+            inner_cur,
+            outer_cur,
+            chunk,
+            &tracker,
+            &mut acc,
+            &mut sim_ops,
+            &mut skipped_entries,
+        )?;
 
         // Emit this subcollection's results.
-        for &outer_id in chunk {
-            let mut topk = TopK::new(spec.query.lambda);
-            if let Some(per_outer) = acc.get(&outer_id.raw()) {
-                for (&inner_raw, &sum) in per_outer {
-                    let inner_id = DocId::new(inner_raw);
-                    let score = spec.weighting.finalize(
-                        sum,
-                        inner_profile,
-                        inner_id,
-                        outer_profile,
-                        outer_id,
-                    );
-                    if !score.is_zero() {
-                        topk.offer(inner_id, score);
-                    }
-                }
-            }
-            rows.push((outer_id, topk.into_matches()));
-        }
+        emit_chunk(spec, chunk, &acc, &mut rows);
         tracker.release(acc_bytes);
         if pass_span.is_enabled() {
             let d = disk.stats().since(&pass_io);
@@ -283,7 +237,109 @@ fn run(
     })
 }
 
-fn max_entry_bytes(inv: &InvertedFile) -> u64 {
+/// One term-ordered merge over a pair of entry streams, accumulating
+/// weighted contributions for the outer documents in `chunk` (sorted by
+/// id). Shared by the sequential executor and the term-partitioned
+/// parallel workers, so both apply bit-identical arithmetic per pair.
+/// Returns the accumulator bytes allocated against `tracker` (the caller
+/// releases them after emitting).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn merge_accumulate<I1, I2>(
+    spec: &JoinSpec<'_>,
+    mut inner_cur: EntryCursor<I1>,
+    mut outer_cur: EntryCursor<I2>,
+    chunk: &[DocId],
+    tracker: &MemTracker,
+    acc: &mut HashMap<u32, HashMap<u32, f64>>,
+    sim_ops: &mut u64,
+    skipped_entries: &mut u64,
+) -> Result<u64>
+where
+    I1: Iterator<Item = Result<(TermId, Vec<ICell>)>>,
+    I2: Iterator<Item = Result<(TermId, Vec<ICell>)>>,
+{
+    let inner_profile = spec.inner.profile();
+    let mut acc_bytes = 0u64;
+    // Merge by term: advance the scan with the smaller term.
+    while let (Some(inner_term), Some(outer_term)) = (inner_cur.term(), outer_cur.term()) {
+        match inner_term.cmp(&outer_term) {
+            std::cmp::Ordering::Less => {
+                inner_cur.advance(spec, skipped_entries)?;
+            }
+            std::cmp::Ordering::Greater => {
+                outer_cur.advance(spec, skipped_entries)?;
+            }
+            std::cmp::Ordering::Equal => {
+                let Some((term, inner_cells)) = inner_cur.current.take() else {
+                    break;
+                };
+                let Some((_, outer_cells)) = outer_cur.current.take() else {
+                    break;
+                };
+                inner_cur.advance(spec, skipped_entries)?;
+                outer_cur.advance(spec, skipped_entries)?;
+                let factor = spec.weighting.term_factor(term, inner_profile);
+                if factor == 0.0 {
+                    continue;
+                }
+                for oc in &outer_cells {
+                    if chunk.binary_search(&oc.doc).is_err() {
+                        continue;
+                    }
+                    let per_outer = acc.entry(oc.doc.raw()).or_default();
+                    for ic in &inner_cells {
+                        if !spec.inner_doc_allowed(ic.doc) || !spec.pair_allowed(ic.doc, oc.doc) {
+                            continue;
+                        }
+                        *sim_ops += 1;
+                        let contribution = oc.weight as f64 * ic.weight as f64 * factor;
+                        match per_outer.entry(ic.doc.raw()) {
+                            std::collections::hash_map::Entry::Occupied(mut e) => {
+                                *e.get_mut() += contribution;
+                            }
+                            std::collections::hash_map::Entry::Vacant(e) => {
+                                tracker.allocate(ACC_BYTES, "VVM similarity accumulators")?;
+                                acc_bytes += ACC_BYTES;
+                                e.insert(contribution);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(acc_bytes)
+}
+
+/// Turns one chunk's accumulated similarities into result rows: a λ-heap
+/// per outer document, ties broken by document id (order-independent), so
+/// any executor emitting from equal sums produces identical rows.
+pub(crate) fn emit_chunk(
+    spec: &JoinSpec<'_>,
+    chunk: &[DocId],
+    acc: &HashMap<u32, HashMap<u32, f64>>,
+    rows: &mut Vec<(DocId, Vec<Match>)>,
+) {
+    let inner_profile = spec.inner.profile();
+    let outer_profile = spec.outer.profile();
+    for &outer_id in chunk {
+        let mut topk = TopK::new(spec.query.lambda);
+        if let Some(per_outer) = acc.get(&outer_id.raw()) {
+            for (&inner_raw, &sum) in per_outer {
+                let inner_id = DocId::new(inner_raw);
+                let score =
+                    spec.weighting
+                        .finalize(sum, inner_profile, inner_id, outer_profile, outer_id);
+                if !score.is_zero() {
+                    topk.offer(inner_id, score);
+                }
+            }
+        }
+        rows.push((outer_id, topk.into_matches()));
+    }
+}
+
+pub(crate) fn max_entry_bytes(inv: &InvertedFile) -> u64 {
     (0..inv.num_entries() as u32)
         .map(|o| inv.entry_bytes(o))
         .max()

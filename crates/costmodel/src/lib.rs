@@ -27,6 +27,7 @@ pub mod hhnl;
 pub mod hvnl;
 pub mod inputs;
 pub mod integrated;
+pub mod parallel;
 pub mod vvm;
 
 #[cfg(test)]
@@ -35,3 +36,4 @@ mod proptests;
 pub use comm::{choose_distributed, CommParams, Site, TermEncoding};
 pub use inputs::{term_containment_probability, JoinInputs};
 pub use integrated::{choose, Algorithm, CostEstimates, IoScenario};
+pub use parallel::{hhs_par, hvs_par, vvs_par};

@@ -16,7 +16,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use textjoin_collection::Collection;
 use textjoin_common::{ICell, Result, TermId};
-use textjoin_storage::{ByteSpan, DiskSim, FileId, PageKind};
+use textjoin_storage::{
+    ByteSpan, DiskSim, FileId, PageKind, PrefetchMetrics, PrefetchStats, Prefetcher,
+};
 
 /// Directory record of one inverted-file entry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -218,10 +220,43 @@ impl InvertedFile {
     /// Scans the whole inverted file sequentially in term order — the
     /// access pattern of VVM (cost `I`, one seek).
     pub fn scan(&self) -> EntryScanner<'_> {
+        self.scan_with_prefetch(None)
+    }
+
+    /// [`scan`](Self::scan) with prefetch counters mirrored into an
+    /// observability registry.
+    pub fn scan_with_prefetch(&self, metrics: Option<PrefetchMetrics>) -> EntryScanner<'_> {
+        self.scan_range_with_prefetch(0, self.num_entries() as u32, metrics)
+    }
+
+    /// Scans the half-open ordinal range `[start, end)` sequentially — one
+    /// term-partition of the file, as read by a parallel VVM worker. The
+    /// readahead window is clamped to the partition's last page so workers
+    /// never prefetch into a neighbour's territory.
+    pub fn scan_range(&self, start: u32, end: u32) -> EntryScanner<'_> {
+        self.scan_range_with_prefetch(start, end, None)
+    }
+
+    /// [`scan_range`](Self::scan_range) with mirrored prefetch counters.
+    pub fn scan_range_with_prefetch(
+        &self,
+        start: u32,
+        end: u32,
+        metrics: Option<PrefetchMetrics>,
+    ) -> EntryScanner<'_> {
+        debug_assert!(start <= end && end as u64 <= self.num_entries());
+        let end_page = if end > start {
+            let meta = self.meta(end - 1);
+            let (first, n) = meta.span.page_range(self.disk.page_size());
+            first + n
+        } else {
+            0
+        };
         EntryScanner {
             inv: self,
-            next_ordinal: 0,
-            current: None,
+            next_ordinal: start,
+            end_ordinal: end,
+            prefetcher: Prefetcher::new(&self.disk, self.file, end_page).with_metrics(metrics),
         }
     }
 }
@@ -248,24 +283,25 @@ fn decode_entry(
     codec.decode(&bytes)
 }
 
-/// Sequential scanner over an inverted file, yielding `(TermId, Vec<ICell>)`
-/// in increasing term order.
+/// Sequential scanner over an inverted file (or an ordinal sub-range of
+/// it), yielding `(TermId, Vec<ICell>)` in increasing term order. Pages are
+/// pulled through a [`Prefetcher`], so adjacent entry reads coalesce into
+/// windowed scan-priced batches.
 pub struct EntryScanner<'a> {
     inv: &'a InvertedFile,
     next_ordinal: u32,
-    current: Option<(u64, Arc<[u8]>)>,
+    end_ordinal: u32,
+    prefetcher: Prefetcher<'a>,
 }
 
 impl EntryScanner<'_> {
     fn page(&mut self, page_no: u64) -> Result<Arc<[u8]>> {
-        if let Some((no, data)) = &self.current {
-            if *no == page_no {
-                return Ok(Arc::clone(data));
-            }
-        }
-        let data = self.inv.disk.read_page(self.inv.file, page_no)?;
-        self.current = Some((page_no, Arc::clone(&data)));
-        Ok(data)
+        self.prefetcher.get(page_no)
+    }
+
+    /// Readahead counters accumulated so far.
+    pub fn prefetch_stats(&self) -> PrefetchStats {
+        self.prefetcher.stats()
     }
 }
 
@@ -273,7 +309,7 @@ impl Iterator for EntryScanner<'_> {
     type Item = Result<(TermId, Vec<ICell>)>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        if self.next_ordinal as u64 >= self.inv.num_entries() {
+        if self.next_ordinal >= self.end_ordinal {
             return None;
         }
         let meta = *self.inv.meta(self.next_ordinal);
@@ -428,6 +464,91 @@ mod tests {
                 varint.read_entry(ordinal).unwrap()
             );
         }
+    }
+
+    fn big_fixture(page_size: usize) -> (Arc<DiskSim>, InvertedFile) {
+        let disk = Arc::new(DiskSim::new(page_size));
+        let docs: Vec<Document> = (0..60u32)
+            .map(|i| {
+                Document::from_term_counts(
+                    (0..8u32).map(move |t| (TermId::new((i + t) % 30), 2u32)),
+                )
+            })
+            .collect();
+        let coll = Collection::build(Arc::clone(&disk), "big", docs).unwrap();
+        let inv = InvertedFile::build(Arc::clone(&disk), "big", &coll).unwrap();
+        (disk, inv)
+    }
+
+    #[test]
+    fn prefetching_scan_reads_each_page_exactly_once() {
+        let (disk, inv) = big_fixture(64);
+        assert!(inv.num_pages() > 8, "fixture must exceed one window");
+        disk.reset_stats();
+        disk.reset_head();
+        let mut scanner = inv.scan();
+        assert_eq!(scanner.by_ref().count() as u64, inv.num_entries());
+        let prefetch = scanner.prefetch_stats();
+        let s = disk.stats();
+        assert_eq!(s.total_reads(), inv.num_pages());
+        assert_eq!(s.rand_reads, 1);
+        assert!(prefetch.hits > 0, "readahead should serve most of the scan");
+        assert_eq!(prefetch.wasted, 0);
+    }
+
+    #[test]
+    fn scan_range_partitions_cover_the_full_scan() {
+        let (disk, inv) = big_fixture(64);
+        let full: Vec<(TermId, Vec<ICell>)> = inv.scan().map(|r| r.unwrap()).collect();
+        let t = inv.num_entries() as u32;
+        for parts in [1u32, 2, 3, 4] {
+            let mut stitched = Vec::new();
+            for p in 0..parts {
+                let start = t * p / parts;
+                let end = t * (p + 1) / parts;
+                stitched.extend(inv.scan_range(start, end).map(|r| r.unwrap()));
+            }
+            assert_eq!(stitched, full, "{parts} partitions");
+        }
+        // Each partition is a scan: pages read ≤ I + one shared boundary
+        // page per split, seeks ≤ one per partition.
+        disk.reset_stats();
+        disk.reset_head();
+        let parts = 3u32;
+        for p in 0..parts {
+            let start = t * p / parts;
+            let end = t * (p + 1) / parts;
+            assert_eq!(
+                inv.scan_range(start, end).count() as u64,
+                (end - start) as u64
+            );
+        }
+        let s = disk.stats();
+        assert!(s.total_reads() <= inv.num_pages() + (parts as u64 - 1));
+        assert!(s.rand_reads <= parts as u64);
+    }
+
+    #[test]
+    fn empty_scan_range_yields_nothing_and_reads_nothing() {
+        let (disk, inv) = big_fixture(64);
+        disk.reset_stats();
+        assert_eq!(inv.scan_range(2, 2).count(), 0);
+        assert_eq!(disk.stats().total_reads(), 0);
+    }
+
+    #[test]
+    fn scan_prefetch_metrics_are_mirrored() {
+        use textjoin_obs::Registry;
+        let (_, inv) = big_fixture(64);
+        let registry = Registry::new();
+        let metrics = PrefetchMetrics::register(&registry, "inv1");
+        let n = inv.scan_with_prefetch(Some(metrics)).count() as u64;
+        assert_eq!(n, inv.num_entries());
+        let text = registry.to_prometheus_text();
+        assert!(text.contains("prefetch_issued"), "{text}");
+        let issued = registry.counter("prefetch.issued", "inv1").get();
+        let hits = registry.counter("prefetch.hits", "inv1").get();
+        assert!(issued > 0 && hits > 0, "issued={issued} hits={hits}");
     }
 
     #[test]

@@ -2,10 +2,10 @@
 
 use crate::catalog::{Catalog, Value};
 use crate::parser::parse;
-use crate::planner::{plan, OutputCol, Plan};
+use crate::planner::{plan, plan_with_workers, OutputCol, Plan};
 use textjoin_common::{Error, QueryParams, Result, Score, SystemParams};
 use textjoin_core::{
-    hhnl, hvnl, vvm, Algorithm, ExecStats, IoScenario, JoinSpec, OuterDocs, ResultQuality,
+    hhnl, hvnl, parallel, vvm, Algorithm, ExecStats, IoScenario, JoinSpec, OuterDocs, ResultQuality,
 };
 use textjoin_costmodel::Algorithm as Alg;
 
@@ -35,6 +35,21 @@ pub fn run_query(
 ) -> Result<QueryOutput> {
     let query = parse(sql)?;
     let p = plan(catalog, &query, sys, base_query_params, scenario)?;
+    execute_plan(catalog, &p, sys, base_query_params)
+}
+
+/// [`run_query`] with a worker knob: plans on the parallel cost estimates
+/// and executes the winning algorithm on `workers` threads.
+pub fn run_query_with_workers(
+    catalog: &Catalog,
+    sql: &str,
+    sys: SystemParams,
+    base_query_params: QueryParams,
+    scenario: IoScenario,
+    workers: usize,
+) -> Result<QueryOutput> {
+    let query = parse(sql)?;
+    let p = plan_with_workers(catalog, &query, sys, base_query_params, scenario, workers)?;
     execute_plan(catalog, &p, sys, base_query_params)
 }
 
@@ -83,10 +98,22 @@ pub fn execute_plan_traced(
         spec = spec.with_trace(t);
     }
 
-    let run_alg = |alg: Alg, spec: &JoinSpec<'_>| match alg {
-        Alg::Hhnl => hhnl::execute(spec),
-        Alg::Hvnl => hvnl::execute(spec, &inner_tc.inverted),
-        Alg::Vvm => vvm::execute(spec, &inner_tc.inverted, &outer_tc.inverted),
+    let run_alg = |alg: Alg, spec: &JoinSpec<'_>| {
+        if p.workers > 1 {
+            match alg {
+                Alg::Hhnl => parallel::execute_hhnl(spec, p.workers),
+                Alg::Hvnl => parallel::execute_hvnl(spec, &inner_tc.inverted, p.workers),
+                Alg::Vvm => {
+                    parallel::execute_vvm(spec, &inner_tc.inverted, &outer_tc.inverted, p.workers)
+                }
+            }
+        } else {
+            match alg {
+                Alg::Hhnl => hhnl::execute(spec),
+                Alg::Hvnl => hvnl::execute(spec, &inner_tc.inverted),
+                Alg::Vvm => vvm::execute(spec, &inner_tc.inverted, &outer_tc.inverted),
+            }
+        }
     };
 
     // Run the plan's choice; if it dies mid-run on unreadable storage (a
@@ -318,6 +345,26 @@ mod tests {
                 Value::Float(s) => assert!(*s > 0.0),
                 other => panic!("similarity should be numeric, got {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn worker_knob_gives_the_same_tuples() {
+        let c = catalog();
+        let sql = "Select P.P#, A.SSN From Positions P, Applicants A \
+                   Where A.Resume SIMILAR_TO(2) P.Job_descr";
+        let seq = run(&c, sql);
+        for workers in [2, 4] {
+            let par = run_query_with_workers(
+                &c,
+                sql,
+                SystemParams::paper_base(),
+                QueryParams::paper_base(),
+                IoScenario::Dedicated,
+                workers,
+            )
+            .unwrap();
+            assert_eq!(par.rows, seq.rows, "workers={workers}");
         }
     }
 

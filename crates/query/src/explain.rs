@@ -16,8 +16,8 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 use textjoin_common::{Error, QueryParams, Result, SystemParams};
-use textjoin_core::{hhnl, hvnl, vvm, ExecStats, JoinSpec, OuterDocs, QueryReport};
-use textjoin_costmodel::{Algorithm, IoScenario};
+use textjoin_core::{hhnl, hvnl, parallel, vvm, ExecStats, JoinSpec, OuterDocs, QueryReport};
+use textjoin_costmodel::{parallel as par_cost, Algorithm, IoScenario};
 use textjoin_obs::{MetricValue, Registry, SpanRecord, Tracer};
 
 /// Plans the query and renders a human-readable explanation.
@@ -115,6 +115,22 @@ pub struct DriftRow {
     pub percent_error: Option<f64>,
 }
 
+/// One row of the parallel-scaling table: the chosen algorithm run at one
+/// worker count, with the parallel cost model's prediction next to it.
+#[derive(Clone, Debug)]
+pub struct WorkerScaling {
+    /// Worker count of this run.
+    pub workers: usize,
+    /// The parallel estimate (`hhs_par`/`hvs_par`/`vvs_par`) at this count.
+    pub predicted: f64,
+    /// Measured page cost (`seq + α·rand`) of the run.
+    pub measured_cost: f64,
+    /// Total pages read.
+    pub pages: u64,
+    /// Measured wall time.
+    pub wall_ns: u64,
+}
+
 /// The result of `EXPLAIN ANALYZE`: the rendered report plus the raw
 /// numbers it was built from, for programmatic checks.
 pub struct AnalyzeOutput {
@@ -129,6 +145,9 @@ pub struct AnalyzeOutput {
     /// One resource-accounting report per algorithm that ran (the drift
     /// table and the latency column are derived from these).
     pub reports: Vec<QueryReport>,
+    /// Predicted-vs-measured cost of the chosen algorithm per worker
+    /// count. Empty unless ANALYZE ran with `workers > 1`.
+    pub scaling: Vec<WorkerScaling>,
 }
 
 impl AnalyzeOutput {
@@ -147,6 +166,22 @@ pub fn explain_analyze_query(
     sys: SystemParams,
     base_query_params: QueryParams,
     scenario: IoScenario,
+) -> Result<AnalyzeOutput> {
+    explain_analyze_query_with_workers(catalog, sql, sys, base_query_params, scenario, 1)
+}
+
+/// [`explain_analyze_query`] with a worker knob: with `workers > 1` the
+/// chosen algorithm is additionally run on the parallel executors at each
+/// worker count of `{1, workers}`, and the report gains a scaling table of
+/// predicted (`hhs_par`/`hvs_par`/`vvs_par`) vs measured cost and the
+/// measured wall-clock speedup.
+pub fn explain_analyze_query_with_workers(
+    catalog: &Catalog,
+    sql: &str,
+    sys: SystemParams,
+    base_query_params: QueryParams,
+    scenario: IoScenario,
+    workers: usize,
 ) -> Result<AnalyzeOutput> {
     let query = parse(sql)?;
     let p = plan(catalog, &query, sys, base_query_params, scenario)?;
@@ -212,6 +247,34 @@ pub fn explain_analyze_query(
             // rather than failing the whole ANALYZE.
             Err(Error::InsufficientMemory { .. } | Error::Corrupt(_) | Error::Io { .. }) => {}
             Err(e) => return Err(e),
+        }
+    }
+
+    // Parallel scaling: run the plan's choice at each worker count and put
+    // the parallel cost model's prediction (`hhs_par`/`hvs_par`/`vvs_par`)
+    // next to the measurement. Runs untraced so the chosen run's span tree
+    // and prefetch counters above stay those of the sequential execution.
+    let mut scaling: Vec<WorkerScaling> = Vec::new();
+    if workers > 1 {
+        for w in [1, workers] {
+            let run = match p.chosen {
+                Algorithm::Hhnl => parallel::execute_hhnl(&base, w),
+                Algorithm::Hvnl => parallel::execute_hvnl(&base, &inner_tc.inverted, w),
+                Algorithm::Vvm => {
+                    parallel::execute_vvm(&base, &inner_tc.inverted, &outer_tc.inverted, w)
+                }
+            };
+            match run {
+                Ok(out) => scaling.push(WorkerScaling {
+                    workers: w,
+                    predicted: par_cost::estimate(&p.inputs, p.chosen, w as u64),
+                    measured_cost: out.stats.cost,
+                    pages: out.stats.io.total_reads(),
+                    wall_ns: out.stats.wall_ns,
+                }),
+                Err(Error::InsufficientMemory { .. } | Error::Corrupt(_) | Error::Io { .. }) => {}
+                Err(e) => return Err(e),
+            }
         }
     }
 
@@ -336,6 +399,56 @@ pub fn explain_analyze_query(
             }
         }
     }
+    // Prefetch counters the chosen (traced) run registered per scan phase.
+    let mut prefetch: HashMap<String, [u64; 3]> = HashMap::new();
+    for m in registry.snapshot() {
+        let slot = match m.name {
+            "prefetch.issued" => 0,
+            "prefetch.hits" => 1,
+            "prefetch.wasted" => 2,
+            _ => continue,
+        };
+        if let MetricValue::Counter(v) = m.value {
+            prefetch.entry(m.label.clone()).or_default()[slot] = v;
+        }
+    }
+    if !prefetch.is_empty() {
+        let mut labels: Vec<&String> = prefetch.keys().collect();
+        labels.sort();
+        let _ = writeln!(
+            text,
+            "    prefetch ({} only; issued / hits / wasted pages):",
+            p.chosen
+        );
+        for label in labels {
+            let c = prefetch[label];
+            let _ = writeln!(text, "      {:<20} {} / {} / {}", label, c[0], c[1], c[2]);
+        }
+    }
+    if !scaling.is_empty() {
+        let _ = writeln!(
+            text,
+            "    parallel scaling ({}; page-cost units):",
+            p.chosen
+        );
+        let base_wall = scaling[0].wall_ns;
+        for row in &scaling {
+            let speedup = if row.wall_ns > 0 {
+                base_wall as f64 / row.wall_ns as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                text,
+                "      w={:<3} predicted {:>10.1}  measured {:>10.1} ({} pages)  wall {}  speedup ×{speedup:.2}",
+                row.workers,
+                row.predicted,
+                row.measured_cost,
+                row.pages,
+                fmt_ns(row.wall_ns),
+            );
+        }
+    }
     let _ = writeln!(text, "    spans ({} recorded):", tracer.finished().len());
     render_span_tree(&mut text, &tracer.finished());
 
@@ -345,6 +458,7 @@ pub fn explain_analyze_query(
         stats,
         drift,
         reports,
+        scaling,
     })
 }
 
@@ -585,6 +699,65 @@ mod tests {
             let row = out.row("hhs").unwrap();
             assert_eq!(row.measured, Some(r.measured_cost));
         }
+    }
+
+    #[test]
+    fn analyze_with_workers_adds_scaling_and_prefetch_sections() {
+        let c = big_catalog(512, 120, 60, 40, 200);
+        let sys = SystemParams {
+            buffer_pages: 800,
+            page_size: 512,
+            alpha: 5.0,
+        };
+        let out = explain_analyze_query_with_workers(
+            &c,
+            "Select D.Id, Q.Id From Docs D, Queries Q \
+             Where D.Body SIMILAR_TO(3) Q.Body",
+            sys,
+            QueryParams::paper_base(),
+            IoScenario::Dedicated,
+            4,
+        )
+        .unwrap();
+        assert_eq!(out.scaling.len(), 2, "{}", out.text);
+        assert_eq!(out.scaling[0].workers, 1);
+        assert_eq!(out.scaling[1].workers, 4);
+        // The parallel model never predicts a slowdown from partitioning
+        // the scans, and both runs were measured.
+        assert!(out.scaling[1].predicted <= out.scaling[0].predicted);
+        assert!(out.scaling.iter().all(|r| r.pages > 0 && r.wall_ns > 0));
+        assert!(out.text.contains("parallel scaling ("), "{}", out.text);
+        // The traced sequential run registered prefetch counters, and its
+        // sequential scan phases actually hit the readahead window.
+        assert!(out.text.contains("prefetch ("), "{}", out.text);
+        let hits: u64 = out
+            .text
+            .lines()
+            .skip_while(|l| !l.contains("prefetch ("))
+            .skip(1)
+            .take_while(|l| l.starts_with("      "))
+            .filter_map(|l| {
+                let mut cells = l.split('/');
+                cells.nth(1)?.trim().parse::<u64>().ok()
+            })
+            .sum();
+        assert!(hits > 0, "no prefetch hits in:\n{}", out.text);
+    }
+
+    #[test]
+    fn sequential_analyze_has_no_scaling_table() {
+        let c = catalog();
+        let out = explain_analyze_query(
+            &c,
+            "Select P.Title, A.Name From Positions P, Applicants A \
+             Where A.Resume SIMILAR_TO(2) P.Job_descr",
+            SystemParams::paper_base(),
+            QueryParams::paper_base(),
+            IoScenario::Dedicated,
+        )
+        .unwrap();
+        assert!(out.scaling.is_empty());
+        assert!(!out.text.contains("parallel scaling ("), "{}", out.text);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use crate::ast::{ColumnRef, CompareOp, Literal, Predicate, Query};
 use crate::catalog::{like_match, Catalog, ColumnType, Relation, Value};
 use textjoin_common::{DocId, Error, QueryParams, Result, SystemParams};
-use textjoin_costmodel::{Algorithm, CostEstimates, IoScenario, JoinInputs};
+use textjoin_costmodel::{parallel, Algorithm, CostEstimates, IoScenario, JoinInputs};
 
 /// One projected output column.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -46,15 +46,31 @@ pub struct Plan {
     pub estimates: CostEstimates,
     /// The inputs the estimates were computed from.
     pub inputs: JoinInputs,
+    /// How many workers the join executors will run with (1 = sequential).
+    pub workers: usize,
 }
 
-/// Plans a parsed query against a catalog.
+/// Plans a parsed query against a catalog (sequential execution).
 pub fn plan(
     catalog: &Catalog,
     query: &Query,
     sys: SystemParams,
     base_query_params: QueryParams,
     scenario: IoScenario,
+) -> Result<Plan> {
+    plan_with_workers(catalog, query, sys, base_query_params, scenario, 1)
+}
+
+/// [`plan`] with a worker knob: with `workers > 1` the algorithm choice is
+/// made on the parallel estimates (`hhs_par`/`hvs_par`/`vvs_par`) and the
+/// executor will run the winner on that many threads.
+pub fn plan_with_workers(
+    catalog: &Catalog,
+    query: &Query,
+    sys: SystemParams,
+    base_query_params: QueryParams,
+    scenario: IoScenario,
+    workers: usize,
 ) -> Result<Plan> {
     if query.from.len() != 2 {
         return Err(Error::Plan(format!(
@@ -154,7 +170,16 @@ pub fn plan(
         outer_original,
     };
     let estimates = CostEstimates::compute(&inputs);
-    let chosen = estimates.best(scenario).0;
+    let chosen = if workers > 1 {
+        Algorithm::ALL
+            .into_iter()
+            .map(|a| (a, parallel::estimate(&inputs, a, workers as u64)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("three candidates")
+            .0
+    } else {
+        estimates.best(scenario).0
+    };
 
     Ok(Plan {
         inner_rel: inner_rel.name().to_string(),
@@ -168,6 +193,7 @@ pub fn plan(
         chosen,
         estimates,
         inputs,
+        workers,
     })
 }
 

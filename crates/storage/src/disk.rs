@@ -14,12 +14,25 @@
 //!   serve other obligations between any two of our requests, which is the
 //!   worst-case scenario behind the `hhr`, `hvr` and `vvr` formulas.
 //!
-//! Head positions are tracked **per file** — the paper's sequential
-//! estimates assume "each document collection is read by a dedicated drive
-//! with no or little interference from other I/O requests" (section 5.1),
-//! so interleaved scans of two files (e.g. VVM's merge) each stay
-//! sequential. The shared-device worst case is modeled by interference
-//! mode, which is what the `hhr`/`hvr`/`vvr` formulas describe.
+//! Head positions are tracked **per (thread, file)** — the paper's
+//! sequential estimates assume "each document collection is read by a
+//! dedicated drive with no or little interference from other I/O requests"
+//! (section 5.1), so interleaved scans of two files (e.g. VVM's merge)
+//! each stay sequential, and parallel workers scanning partitions of the
+//! same file are each assumed to stream from their own drive — they do not
+//! perturb each other's sequentiality, matching the parallel cost model's
+//! dedicated-drive assumption (and keeping multi-worker page accounting
+//! deterministic under scheduling). The shared-device worst case is
+//! modeled by interference mode, which is what the `hhr`/`hvr`/`vvr`
+//! formulas describe.
+//!
+//! Reads can optionally cost *time* as well as pages: a
+//! [`PageLatency`] (default zero — pure accounting) makes every charged
+//! page accrue a simulated service delay, paid by the reading thread as a
+//! real sleep outside the locks. Concurrent workers therefore overlap
+//! their simulated I/O exactly as parallel drives would, which is what
+//! lets the bench harness measure parallel speedup in wall clock even
+//! though page data is just memcpys.
 //!
 //! # Robustness
 //!
@@ -557,22 +570,88 @@ impl FaultMachinery {
     }
 }
 
+/// Simulated per-page service time, charged alongside the page counters.
+/// Zero (the default) keeps the disk a pure accountant; non-zero values
+/// make each read sleep `seq_ns`/`rand_ns` per page at its charged rate,
+/// so concurrent readers overlap their waits like parallel drives.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PageLatency {
+    /// Simulated nanoseconds per sequentially-charged page.
+    pub seq_ns: u64,
+    /// Simulated nanoseconds per randomly-charged page.
+    pub rand_ns: u64,
+}
+
+impl PageLatency {
+    #[inline]
+    fn is_zero(&self) -> bool {
+        self.seq_ns == 0 && self.rand_ns == 0
+    }
+}
+
 struct HeadState {
-    /// Per-file head positions (dedicated drive per file): the next page a
-    /// sequential continuation would start at.
-    heads: HashMap<FileId, u64>,
+    /// Per-(thread, file) head positions — a dedicated drive per scanning
+    /// thread per file: the next page a sequential continuation would
+    /// start at.
+    heads: HashMap<(std::thread::ThreadId, FileId), u64>,
     stats: IoStats,
     interference: bool,
+    latency: PageLatency,
     /// Optional observability sink; updated under the same lock that
     /// already guards `stats`, so attaching metrics adds no extra
     /// synchronisation to the read path.
     metrics: Option<DiskMetrics>,
 }
 
+thread_local! {
+    /// Per-thread mirror of the global counters. Every charge bumps both
+    /// under the same lock acquisition, so for any set of threads the sum
+    /// of their thread-local deltas equals the global delta exactly —
+    /// including the sequential/random split. Parallel executors use this
+    /// to attribute shared-disk traffic to individual workers.
+    static THREAD_IO: std::cell::Cell<IoStats> = const {
+        std::cell::Cell::new(IoStats {
+            seq_reads: 0,
+            rand_reads: 0,
+            writes: 0,
+        })
+    };
+}
+
+thread_local! {
+    /// Simulated latency owed by this thread but not yet slept off. Debts
+    /// are paid in chunks of at least [`LATENCY_CHUNK_NS`], so µs-scale
+    /// per-page latencies are not drowned out by OS timer slack.
+    static LATENCY_DEBT: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Sleep granularity for simulated page latency.
+const LATENCY_CHUNK_NS: u64 = 100_000;
+
+/// Accrues `ns` of simulated service time on the calling thread, sleeping
+/// once the accumulated debt is worth a timer round-trip. Called outside
+/// every lock, so concurrent readers overlap their waits.
+fn pay_latency(ns: u64) {
+    LATENCY_DEBT.with(|d| {
+        let debt = d.get() + ns;
+        if debt >= LATENCY_CHUNK_NS {
+            d.set(0);
+            std::thread::sleep(std::time::Duration::from_nanos(debt));
+        } else {
+            d.set(debt);
+        }
+    });
+}
+
 impl HeadState {
     #[inline]
     fn charge_seq(&mut self, pages: u64) {
         self.stats.seq_reads += pages;
+        THREAD_IO.with(|t| {
+            let mut s = t.get();
+            s.seq_reads += pages;
+            t.set(s);
+        });
         if let Some(m) = &self.metrics {
             m.seq_reads.inc_by(pages);
         }
@@ -581,6 +660,11 @@ impl HeadState {
     #[inline]
     fn charge_rand(&mut self, pages: u64) {
         self.stats.rand_reads += pages;
+        THREAD_IO.with(|t| {
+            let mut s = t.get();
+            s.rand_reads += pages;
+            t.set(s);
+        });
         if let Some(m) = &self.metrics {
             m.rand_reads.inc_by(pages);
         }
@@ -589,6 +673,11 @@ impl HeadState {
     #[inline]
     fn charge_write(&mut self) {
         self.stats.writes += 1;
+        THREAD_IO.with(|t| {
+            let mut s = t.get();
+            s.writes += 1;
+            t.set(s);
+        });
         if let Some(m) = &self.metrics {
             m.writes.inc();
         }
@@ -629,6 +718,7 @@ impl DiskSim {
                 heads: HashMap::new(),
                 stats: IoStats::default(),
                 interference: false,
+                latency: PageLatency::default(),
                 metrics: None,
             }),
             faults: Mutex::new(FaultMachinery {
@@ -784,6 +874,19 @@ impl DiskSim {
         Ok(())
     }
 
+    /// Sets the simulated per-page service time. Zero (the default) keeps
+    /// reads instantaneous; non-zero values make every charged page cost
+    /// real wall time on the reading thread, which is what lets parallel
+    /// workers show wall-clock I/O overlap in benchmarks.
+    pub fn set_page_latency(&self, latency: PageLatency) {
+        self.state.lock().latency = latency;
+    }
+
+    /// The current simulated per-page service time.
+    pub fn page_latency(&self) -> PageLatency {
+        self.state.lock().latency
+    }
+
     /// Enables or disables interference mode (every run random).
     pub fn set_interference(&self, on: bool) {
         self.state.lock().interference = on;
@@ -797,6 +900,16 @@ impl DiskSim {
     /// Snapshot of the cumulative I/O counters.
     pub fn stats(&self) -> IoStats {
         self.state.lock().stats
+    }
+
+    /// Cumulative I/O charged *by the calling thread*, across every
+    /// `DiskSim` it has touched. Monotonically increasing, so a worker can
+    /// snapshot it before and after a unit of work and take
+    /// [`IoStats::since`] to attribute shared-disk traffic to itself; the
+    /// per-worker deltas of a parallel scope sum exactly to the global
+    /// delta of [`Self::stats`] when the workers are the only readers.
+    pub fn thread_io_stats() -> IoStats {
+        THREAD_IO.with(|t| t.get())
     }
 
     /// Resets the I/O counters (head position and interference mode are
@@ -1008,33 +1121,39 @@ impl DiskSim {
         };
         drop(files);
 
+        let head_key = (std::thread::current().id(), file);
         let mut st = self.state.lock();
+        let (mut seq_pages, mut rand_pages) = (0u64, 0u64);
         match pricing {
             RunPricing::Run => {
                 let sequential =
-                    !force_random && !st.interference && st.heads.get(&file) == Some(&start);
+                    !force_random && !st.interference && st.heads.get(&head_key) == Some(&start);
                 if sequential {
-                    st.charge_seq(len);
+                    seq_pages = len;
                 } else {
-                    st.charge_rand(len);
+                    rand_pages = len;
                 }
             }
             RunPricing::Scan => {
                 if st.interference || force_random {
-                    st.charge_rand(len);
+                    rand_pages = len;
                 } else {
-                    let continues = st.heads.get(&file) == Some(&start);
+                    let continues = st.heads.get(&head_key) == Some(&start);
                     if continues {
-                        st.charge_seq(len);
+                        seq_pages = len;
                     } else {
-                        st.charge_rand(1);
-                        st.charge_seq(len - 1);
+                        rand_pages = 1;
+                        seq_pages = len - 1;
                     }
                 }
             }
         }
-        if extra_rand > 0 {
-            st.charge_rand(extra_rand);
+        rand_pages += extra_rand;
+        if seq_pages > 0 {
+            st.charge_seq(seq_pages);
+        }
+        if rand_pages > 0 {
+            st.charge_rand(rand_pages);
         }
         if let Some(m) = &st.metrics {
             m.mirror_faults(&delta);
@@ -1042,18 +1161,24 @@ impl DiskSim {
             // costs real latency that should show in the distribution.
             m.read_wall_ns.observe(started.elapsed().as_nanos() as u64);
         }
-        match failure {
+        let latency = st.latency;
+        let result = match failure {
             None => {
-                st.heads.insert(file, start + len);
+                st.heads.insert(head_key, start + len);
                 Ok(out)
             }
             Some(e) => {
                 // A failed read leaves the head position undefined: the
                 // next access pays a seek.
-                st.heads.remove(&file);
+                st.heads.remove(&head_key);
                 Err(e)
             }
+        };
+        drop(st);
+        if !latency.is_zero() {
+            pay_latency(seq_pages * latency.seq_ns + rand_pages * latency.rand_ns);
         }
+        result
     }
 
     /// Charges a synthetic run without materialising data — used by the
@@ -1064,14 +1189,15 @@ impl DiskSim {
         if len == 0 {
             return;
         }
+        let head_key = (std::thread::current().id(), file);
         let mut st = self.state.lock();
-        let sequential = !st.interference && st.heads.get(&file) == Some(&start);
+        let sequential = !st.interference && st.heads.get(&head_key) == Some(&start);
         if sequential {
             st.charge_seq(len);
         } else {
             st.charge_rand(len);
         }
-        st.heads.insert(file, start + len);
+        st.heads.insert(head_key, start + len);
     }
 
     /// Attaches (or with `None`, detaches) an observability sink: every
@@ -1131,6 +1257,70 @@ mod tests {
         disk.read_page(f, 1).unwrap();
         disk.read_page(f, 1).unwrap(); // head is now at page 2; going back seeks
         assert_eq!(disk.stats().rand_reads, 2);
+    }
+
+    #[test]
+    fn thread_local_deltas_sum_to_the_global_delta() {
+        let (disk, f) = disk_with_file(12);
+        let global_start = disk.stats();
+        let deltas: Vec<IoStats> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..3u64)
+                .map(|w| {
+                    let disk = &disk;
+                    s.spawn(move || {
+                        let before = DiskSim::thread_io_stats();
+                        disk.read_run(f, w * 4, 4).unwrap();
+                        DiskSim::thread_io_stats().since(&before)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut sum = IoStats::default();
+        for d in &deltas {
+            sum.merge(d);
+            assert_eq!(d.total_reads(), 4, "each worker read its 4 pages");
+        }
+        let global = disk.stats().since(&global_start);
+        assert_eq!(sum, global, "worker deltas account for all traffic");
+    }
+
+    #[test]
+    fn per_thread_heads_make_concurrent_scans_deterministic() {
+        // Two threads stream the same file concurrently. Each is a
+        // dedicated drive: whatever the interleaving, each thread's scan
+        // is one cold seek plus sequential pages — never perturbed by the
+        // other thread's head movement.
+        let (disk, f) = disk_with_file(8);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let disk = &disk;
+                s.spawn(move || disk.read_scan(f, 0, 8).unwrap());
+            }
+        });
+        let st = disk.stats();
+        assert_eq!(st.rand_reads, 2);
+        assert_eq!(st.seq_reads, 14);
+    }
+
+    #[test]
+    fn page_latency_costs_wall_time_per_charged_page() {
+        let (disk, f) = disk_with_file(10);
+        assert_eq!(disk.page_latency(), PageLatency::default());
+        disk.set_page_latency(PageLatency {
+            seq_ns: 200_000,
+            rand_ns: 200_000,
+        });
+        let started = Instant::now();
+        disk.read_scan(f, 0, 10).unwrap();
+        // 10 pages × 200µs = 2ms of simulated service time; the debt
+        // chunking may defer the tail below one chunk, never more.
+        let floor = std::time::Duration::from_nanos(10 * 200_000 - LATENCY_CHUNK_NS);
+        assert!(
+            started.elapsed() >= floor,
+            "elapsed {:?} < {floor:?}",
+            started.elapsed()
+        );
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //!
 //! [`BufferPool`] is a budgeted LRU page cache; [`MemTracker`] enforces the
 //! byte-level memory budget `B·P` that every join executor must respect.
+//! [`Prefetcher`] adds sequential-run readahead on top of the pool: it
+//! detects adjacent page demands and issues windowed scan-priced batches,
+//! with issued/hit/wasted counters exported through `textjoin-obs`.
 //!
 //! The layer is also chaos-ready: every page carries a checksummed header
 //! verified on read, a seeded [`FaultPlan`] injects deterministic device
@@ -28,10 +31,13 @@ pub mod disk;
 pub mod memory;
 pub mod span;
 
-pub use buffer::{BufferPool, BufferStats, PoolMetrics};
+pub use buffer::{
+    BufferPool, BufferStats, PoolMetrics, PrefetchMetrics, PrefetchStats, Prefetcher,
+    DEFAULT_PREFETCH_WINDOW,
+};
 pub use disk::{
     Backoff, DiskMetrics, DiskSim, Fault, FaultKind, FaultPlan, FaultStats, FileId, IoStats,
-    PageKind, RetryPolicy, PAGE_FORMAT_VERSION, PAGE_HEADER_BYTES,
+    PageKind, PageLatency, RetryPolicy, PAGE_FORMAT_VERSION, PAGE_HEADER_BYTES,
 };
 pub use memory::MemTracker;
 pub use span::ByteSpan;
