@@ -20,7 +20,7 @@
 use std::sync::Arc;
 use textjoin_collection::SynthSpec;
 use textjoin_common::{CollectionStats, Error, QueryParams, Result, SystemParams};
-use textjoin_core::{hhnl, hvnl, parallel, vvm, JoinSpec, QueryReport};
+use textjoin_core::{batch, hhnl, hvnl, parallel, vvm, BatchOptions, JoinSpec, QueryReport};
 use textjoin_costmodel as costmodel;
 use textjoin_costmodel::Algorithm;
 use textjoin_invfile::InvertedFile;
@@ -55,6 +55,13 @@ pub struct BenchGrid {
     /// sequential labels never gates the (wall-clock-motivated,
     /// machine-local) parallel rows.
     pub workers: Vec<usize>,
+    /// Batch sizes `N` to sweep. `1` is the classic single-query row (its
+    /// label stays `"<pair> λ=<λ> B=<B>"`, so the regression baseline keeps
+    /// gating it); higher counts run `N` copies of the query through the
+    /// batch engine's shared scans and label their rows `… N=<n>`. Batch
+    /// rows record the *total* batch cost — the amortization shows as
+    /// `pages_io(N=4) < 4 × pages_io(N=1)`.
+    pub batch_sizes: Vec<usize>,
     /// Simulated per-page service time, enabled once the collections and
     /// indexes are built. Zero makes reads instantaneous, which on a
     /// single-core machine means parallel rows can never beat sequential
@@ -96,6 +103,7 @@ pub fn small_grid() -> BenchGrid {
         // wall clock actually drops below sequential.
         buffer_pages: vec![160, 400],
         workers: vec![1, 4],
+        batch_sizes: vec![1, 4, 16],
         page_latency: PageLatency {
             seq_ns: 150_000,
             rand_ns: 300_000,
@@ -233,15 +241,15 @@ pub fn run_suite(grid: &BenchGrid) -> Result<BenchReport> {
 
         for &lambda in &grid.lambdas {
             for &b in &grid.buffer_pages {
+                let spec = JoinSpec::new(&c1, &c2)
+                    .with_sys(grid.sys.with_buffer_pages(b))
+                    .with_query(QueryParams {
+                        lambda,
+                        delta: grid.delta,
+                    });
+                let inputs = spec.cost_inputs();
                 for &w in &grid.workers {
                     let w = w.max(1);
-                    let spec = JoinSpec::new(&c1, &c2)
-                        .with_sys(grid.sys.with_buffer_pages(b))
-                        .with_query(QueryParams {
-                            lambda,
-                            delta: grid.delta,
-                        });
-                    let inputs = spec.cost_inputs();
                     let case_label = if w > 1 {
                         format!("{} λ={lambda} B={b} w={w}", pair.label)
                     } else {
@@ -316,6 +324,67 @@ pub fn run_suite(grid: &BenchGrid) -> Result<BenchReport> {
                         });
                     }
                 }
+
+                // The batch-size axis: N copies of the query through the
+                // batch engine's shared scans. N=1 is the classic row
+                // above; batch rows record the total batch cost next to
+                // the batch formula's prediction.
+                for &n in &grid.batch_sizes {
+                    if n <= 1 {
+                        continue;
+                    }
+                    let specs = vec![spec; n];
+                    let batch_inputs = vec![inputs; n];
+                    let case_label = format!("{} λ={lambda} B={b} N={n}", pair.label);
+                    for algorithm in Algorithm::ALL {
+                        let predicted = match algorithm {
+                            Algorithm::Hhnl => costmodel::hhs_batch(&batch_inputs).ok(),
+                            Algorithm::Hvnl => Some(costmodel::hvs_batch(&batch_inputs)),
+                            Algorithm::Vvm => costmodel::vvs_batch(&batch_inputs).ok(),
+                        };
+                        let mut walls: Vec<u64> = Vec::new();
+                        let mut last_stats = None;
+                        for _ in 0..grid.iterations.max(1) {
+                            disk.reset_stats();
+                            disk.reset_head();
+                            let run = match algorithm {
+                                Algorithm::Hhnl => batch::execute_hhnl(&specs),
+                                Algorithm::Hvnl => {
+                                    batch::execute_hvnl(&specs, &inv1, BatchOptions::default())
+                                }
+                                Algorithm::Vvm => batch::execute_vvm(&specs, &inv1, &inv2),
+                            };
+                            match run {
+                                Ok(outcome) => {
+                                    walls.push(outcome.stats.wall_ns);
+                                    last_stats = Some(outcome.stats);
+                                }
+                                Err(Error::InsufficientMemory { .. }) => {
+                                    last_stats = None;
+                                    break;
+                                }
+                                Err(e) => return Err(e),
+                            }
+                        }
+                        let Some(stats) = last_stats else {
+                            continue;
+                        };
+                        let drift_pct = predicted.and_then(|p| {
+                            (stats.cost > 0.0).then(|| (stats.cost - p) / stats.cost * 100.0)
+                        });
+                        walls.sort_unstable();
+                        cases.push(BenchCase {
+                            case: case_label.clone(),
+                            algorithm: algorithm.to_string(),
+                            pages_io: stats.cost,
+                            wall_p50_ns: nearest_rank(&walls, 0.50),
+                            wall_p90_ns: nearest_rank(&walls, 0.90),
+                            wall_p99_ns: nearest_rank(&walls, 0.99),
+                            wall_max_ns: *walls.last().unwrap_or(&0),
+                            drift_pct,
+                        });
+                    }
+                }
             }
         }
     }
@@ -325,14 +394,32 @@ pub fn run_suite(grid: &BenchGrid) -> Result<BenchReport> {
     })
 }
 
-/// One regression found by [`compare`].
+/// Why [`compare`] flagged a case.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegressionKind {
+    /// The deterministic page cost grew past the threshold.
+    Slower,
+    /// In the baseline, but absent from this run (the grid shrank or the
+    /// algorithm became infeasible).
+    MissingFromRun,
+    /// In this run, but absent from the baseline — the baseline is stale
+    /// and silently never gates this case; regenerate it.
+    MissingFromBaseline,
+    /// The baseline entry itself is unusable (`pages_io ≤ 0`): no
+    /// threshold can be computed from it, so it gates nothing.
+    InvalidBaseline,
+}
+
+/// One finding of [`compare`].
 #[derive(Clone, Debug)]
 pub struct Regression {
+    /// What kind of finding this is.
+    pub kind: RegressionKind,
     /// Case label.
     pub case: String,
     /// Algorithm name.
     pub algorithm: String,
-    /// Baseline page cost.
+    /// Baseline page cost (`NAN` when absent from the baseline).
     pub baseline_pages: f64,
     /// Current page cost (`INFINITY` when the case vanished).
     pub current_pages: f64,
@@ -342,27 +429,41 @@ pub struct Regression {
 
 impl std::fmt::Display for Regression {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        if self.current_pages.is_finite() {
-            write!(
+        match self.kind {
+            RegressionKind::Slower => write!(
                 f,
                 "[{} / {}] pages_io {:.1} -> {:.1} (+{:.1}% > threshold)",
                 self.case, self.algorithm, self.baseline_pages, self.current_pages, self.pct
-            )
-        } else {
-            write!(
+            ),
+            RegressionKind::MissingFromRun => write!(
                 f,
                 "[{} / {}] present in baseline (pages_io {:.1}) but missing from this run",
                 self.case, self.algorithm, self.baseline_pages
-            )
+            ),
+            RegressionKind::MissingFromBaseline => write!(
+                f,
+                "[{} / {}] measured here (pages_io {:.1}) but not in the baseline — \
+                 the gate never sees it; regenerate the baseline",
+                self.case, self.algorithm, self.current_pages
+            ),
+            RegressionKind::InvalidBaseline => write!(
+                f,
+                "[{} / {}] baseline pages_io {:.1} is not positive — the entry gates \
+                 nothing; regenerate the baseline",
+                self.case, self.algorithm, self.baseline_pages
+            ),
         }
     }
 }
 
 /// Compares a run against a baseline, returning every case whose
-/// deterministic page cost regressed by more than `threshold_pct` percent
-/// (and every baseline case the run no longer covers). Wall-clock
-/// percentiles are informational and never gated — they depend on the
-/// machine, while `pages_io` is a pure function of the grid.
+/// deterministic page cost regressed by more than `threshold_pct` percent —
+/// and, loudly, every coverage hole: baseline cases the run no longer
+/// covers, run cases the baseline never gates, and baseline entries whose
+/// page cost is unusable. A stale or corrupt baseline thus fails the gate
+/// instead of silently shrinking it. Wall-clock percentiles are
+/// informational and never gated — they depend on the machine, while
+/// `pages_io` is a pure function of the grid.
 pub fn compare(
     baseline: &BenchReport,
     current: &BenchReport,
@@ -373,11 +474,20 @@ pub fn compare(
         match current.case(&b.case, &b.algorithm) {
             Some(c) => {
                 if b.pages_io <= 0.0 {
+                    regressions.push(Regression {
+                        kind: RegressionKind::InvalidBaseline,
+                        case: b.case.clone(),
+                        algorithm: b.algorithm.clone(),
+                        baseline_pages: b.pages_io,
+                        current_pages: c.pages_io,
+                        pct: f64::NAN,
+                    });
                     continue;
                 }
                 let pct = 100.0 * (c.pages_io - b.pages_io) / b.pages_io;
                 if pct > threshold_pct {
                     regressions.push(Regression {
+                        kind: RegressionKind::Slower,
                         case: b.case.clone(),
                         algorithm: b.algorithm.clone(),
                         baseline_pages: b.pages_io,
@@ -387,12 +497,25 @@ pub fn compare(
                 }
             }
             None => regressions.push(Regression {
+                kind: RegressionKind::MissingFromRun,
                 case: b.case.clone(),
                 algorithm: b.algorithm.clone(),
                 baseline_pages: b.pages_io,
                 current_pages: f64::INFINITY,
                 pct: f64::INFINITY,
             }),
+        }
+    }
+    for c in &current.cases {
+        if baseline.case(&c.case, &c.algorithm).is_none() {
+            regressions.push(Regression {
+                kind: RegressionKind::MissingFromBaseline,
+                case: c.case.clone(),
+                algorithm: c.algorithm.clone(),
+                baseline_pages: f64::NAN,
+                current_pages: c.pages_io,
+                pct: f64::NAN,
+            });
         }
     }
     regressions
@@ -512,9 +635,51 @@ mod tests {
         let regs = compare(&baseline, &current, 10.0);
         assert_eq!(regs.len(), 2);
         assert_eq!(regs[0].algorithm, "HVNL");
+        assert_eq!(regs[0].kind, RegressionKind::Slower);
         assert!((regs[0].pct - 50.0).abs() < 1e-9);
+        assert_eq!(regs[1].kind, RegressionKind::MissingFromRun);
         assert!(regs[1].current_pages.is_infinite());
         assert!(regs[1].to_string().contains("missing"), "{}", regs[1]);
+    }
+
+    #[test]
+    fn compare_flags_cases_the_baseline_never_gates() {
+        // A case measured by the run but absent from the baseline used to
+        // be skipped silently — the gate shrank without anyone noticing.
+        let baseline = BenchReport {
+            suite: "s".into(),
+            cases: vec![case("a", "HHNL", 100.0)],
+        };
+        let current = BenchReport {
+            suite: "s".into(),
+            cases: vec![
+                case("a", "HHNL", 100.0),
+                case("a λ=5 B=60 N=4", "HHNL", 300.0),
+            ],
+        };
+        let regs = compare(&baseline, &current, 10.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].kind, RegressionKind::MissingFromBaseline);
+        assert_eq!(regs[0].case, "a λ=5 B=60 N=4");
+        assert!(regs[0].to_string().contains("regenerate"), "{}", regs[0]);
+    }
+
+    #[test]
+    fn compare_flags_unusable_baseline_entries() {
+        // A zero/negative baseline page count can never compute a
+        // threshold; it used to be skipped silently.
+        let baseline = BenchReport {
+            suite: "s".into(),
+            cases: vec![case("a", "HHNL", 0.0)],
+        };
+        let current = BenchReport {
+            suite: "s".into(),
+            cases: vec![case("a", "HHNL", 100.0)],
+        };
+        let regs = compare(&baseline, &current, 10.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].kind, RegressionKind::InvalidBaseline);
+        assert!(regs[0].to_string().contains("not positive"), "{}", regs[0]);
     }
 
     #[test]
@@ -549,6 +714,7 @@ mod tests {
         grid.lambdas.truncate(1);
         grid.buffer_pages = vec![160];
         grid.workers = vec![1];
+        grid.batch_sizes = vec![1];
         grid.page_latency = PageLatency::default();
         grid.iterations = 2;
         let report = run_suite(&grid).unwrap();
@@ -577,6 +743,7 @@ mod tests {
         grid.lambdas = vec![20];
         grid.buffer_pages = vec![400];
         grid.workers = vec![1, 4];
+        grid.batch_sizes = vec![1];
         grid.iterations = 3;
         let report = run_suite(&grid).unwrap();
 
@@ -621,12 +788,57 @@ mod tests {
     }
 
     #[test]
+    fn batch_axis_amortizes_shared_scans() {
+        let mut grid = small_grid();
+        grid.lambdas = vec![5];
+        grid.buffer_pages = vec![160];
+        grid.workers = vec![1];
+        grid.batch_sizes = vec![1, 4];
+        grid.page_latency = PageLatency::default();
+        grid.iterations = 1;
+        let report = run_suite(&grid).unwrap();
+        for pair in ["balanced", "asymmetric"] {
+            let single = format!("{pair} λ=5 B=160");
+            let batched = format!("{pair} λ=5 B=160 N=4");
+            for algorithm in ["HHNL", "HVNL", "VVM"] {
+                let n1 = report
+                    .case(&single, algorithm)
+                    .unwrap_or_else(|| panic!("missing {single} / {algorithm}"));
+                let n4 = report
+                    .case(&batched, algorithm)
+                    .unwrap_or_else(|| panic!("missing {batched} / {algorithm}"));
+                // Four queries through shared scans never cost more than
+                // four independent runs…
+                assert!(
+                    n4.pages_io <= 4.0 * n1.pages_io + 1e-9,
+                    "{pair} {algorithm}: N=4 {} vs 4×N=1 {}",
+                    n4.pages_io,
+                    4.0 * n1.pages_io
+                );
+            }
+            // …and for HHNL the pooled inner scans make it *strictly*
+            // cheaper: the batch re-reads the outer side per query but
+            // scans the inner collection ⌈Σ N2ᵢ/Xᵢ⌉ times instead of
+            // Σ ⌈N2ᵢ/Xᵢ⌉ times.
+            let n1 = report.case(&single, "HHNL").unwrap();
+            let n4 = report.case(&batched, "HHNL").unwrap();
+            assert!(
+                n4.pages_io < 4.0 * n1.pages_io,
+                "{pair} HHNL batch did not amortize: N=4 {} vs 4×N=1 {}",
+                n4.pages_io,
+                4.0 * n1.pages_io
+            );
+        }
+    }
+
+    #[test]
     fn suite_page_costs_are_deterministic() {
         let mut grid = small_grid();
         grid.pairs.truncate(1);
         grid.lambdas.truncate(1);
         grid.buffer_pages.truncate(1);
         grid.workers = vec![1];
+        grid.batch_sizes = vec![1, 4];
         grid.page_latency = PageLatency::default();
         grid.iterations = 1;
         let a = run_suite(&grid).unwrap();

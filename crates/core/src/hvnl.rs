@@ -37,6 +37,13 @@ pub enum EvictionPolicy {
     LowestOuterDf,
     /// Plain least-recently-used, as the ablation baseline.
     Lru,
+    /// Batch-engine variant of the paper's policy: the eviction key is the
+    /// term's document frequency *aggregated over every query in the
+    /// batch* (a query whose weighting zeroes the term contributes
+    /// nothing), so the entry least demanded by the batch as a whole goes
+    /// first. For a single query this coincides with
+    /// [`EvictionPolicy::LowestOuterDf`].
+    BatchAggregateDf,
 }
 
 /// Order in which outer documents are processed.
@@ -110,29 +117,19 @@ pub fn execute_with(
             r.histogram("hvnl.entry_fetch_ns", "", &LATENCY_BOUNDS_NS),
         )
     });
-    let mut state = HvnlState {
-        spec,
-        inner_inv,
-        dict,
-        tracker: &tracker,
-        cache: EntryCache::new(options.eviction),
-        accumulators: HashMap::new(),
-        acc_bytes: 0,
-        rows: Vec::new(),
-        entry_fetches: 0,
-        cache_hits: 0,
-        sim_ops: 0,
-        skipped_docs: 0,
-        skipped_entries: 0,
-        current_outer: DocId::new(0),
-        lookup_hists,
-    };
+    let mut state = EntryJoinState::new(inner_inv, dict, &tracker, options.eviction, lookup_hists);
+    // A single query keys evictions by its own outer document frequencies
+    // (the batch engine substitutes aggregate demand here).
+    let insert_df = |t: TermId| u64::from(spec.outer.profile().doc_frequency(t));
+    let mut counters = HvnlCounters::default();
+    let mut rows: Vec<(DocId, Vec<Match>)> = Vec::new();
+    let mut skipped_docs = 0u64;
 
     // Section 5.2, case X ≥ T1: when the entire inner inverted file fits in
     // the remaining memory and one sequential scan of it (I1 pages) is
     // cheaper than fetching the needed entries at the random rate, read it
     // in up front.
-    state.maybe_preload_inverted_file()?;
+    state.maybe_preload_inverted_file(spec, &insert_df)?;
     if setup_span.is_enabled() {
         let d = disk.stats().since(&start_io);
         setup_span.record("seq_reads", d.seq_reads);
@@ -150,12 +147,12 @@ pub fn execute_with(
                 let (id, doc) = match item {
                     Ok(pair) => pair,
                     Err(e) if spec.skippable(&e) => {
-                        state.skipped_docs += 1;
+                        skipped_docs += 1;
                         continue;
                     }
                     Err(e) => return Err(e),
                 };
-                state.process_outer_doc(id, &doc)?;
+                state.process_outer_doc(spec, id, &doc, &insert_df, &mut counters, &mut rows)?;
             }
         }
         OuterOrder::GreedyIntersection => {
@@ -167,7 +164,7 @@ pub fn execute_with(
                 let (id, doc) = match item {
                     Ok(pair) => pair,
                     Err(e) if spec.skippable(&e) => {
-                        state.skipped_docs += 1;
+                        skipped_docs += 1;
                         continue;
                     }
                     Err(e) => return Err(e),
@@ -189,16 +186,15 @@ pub fn execute_with(
                     .map(|(i, _)| i)
                     .expect("non-empty");
                 let (id, doc) = remaining.swap_remove(best);
-                state.process_outer_doc(id, &doc)?;
+                state.process_outer_doc(spec, id, &doc, &insert_df, &mut counters, &mut rows)?;
             }
             tracker.release(held_bytes);
         }
     }
 
-    let rows = std::mem::take(&mut state.rows);
     let (entry_fetches, cache_hits, sim_ops) =
-        (state.entry_fetches, state.cache_hits, state.sim_ops);
-    let (skipped_docs, skipped_entries) = (state.skipped_docs, state.skipped_entries);
+        (counters.entry_fetches, counters.cache_hits, counters.sim_ops);
+    let skipped_entries = counters.skipped_entries;
     drop(state);
     if scan_span.is_enabled() {
         scan_span.record("entry_fetches", entry_fetches);
@@ -249,37 +245,64 @@ fn cached_entry_bytes(cells: &[textjoin_common::ICell]) -> u64 {
     (cells.len() * textjoin_common::CELL_BYTES + textjoin_common::NUMBER_BYTES) as u64
 }
 
-struct HvnlState<'a, 'b> {
-    spec: &'b JoinSpec<'a>,
+/// Lookup accounting for one query's share of an HVNL (or batch-HVNL) run.
+#[derive(Default)]
+pub(crate) struct HvnlCounters {
+    pub(crate) entry_fetches: u64,
+    pub(crate) cache_hits: u64,
+    pub(crate) sim_ops: u64,
+    /// Degraded mode: inverted entries skipped because they were unreadable.
+    pub(crate) skipped_entries: u64,
+}
+
+/// The spec-independent heart of HVNL: the loaded dictionary, the shared
+/// entry cache and the per-document accumulator scratch space. The
+/// sequential executor drives it with one spec; the batch engine
+/// (`crate::batch`) drives it with one spec per query against the *same*
+/// cache, which is exactly where the batched I/O saving comes from.
+pub(crate) struct EntryJoinState<'b> {
     inner_inv: &'b InvertedFile,
     dict: textjoin_invfile::Dictionary,
     tracker: &'b MemTracker,
     cache: EntryCache,
-    /// Non-zero similarity accumulators for the current outer document:
-    /// inner doc → weighted sum.
+    /// Non-zero similarity accumulators for the current (outer document,
+    /// query) pair: inner doc → weighted sum. Cleared after each call to
+    /// [`Self::process_outer_doc`].
     accumulators: HashMap<u32, f64>,
     acc_bytes: u64,
-    rows: Vec<(DocId, Vec<Match>)>,
-    entry_fetches: u64,
-    cache_hits: u64,
-    sim_ops: u64,
-    /// Degraded mode: outer documents skipped because they were unreadable.
-    skipped_docs: u64,
-    /// Degraded mode: inverted entries skipped because they were unreadable.
-    skipped_entries: u64,
-    /// Outer document currently being processed (for self-pair exclusion).
-    current_outer: DocId,
     /// Per-lookup latency histograms (cache hit, disk fetch), present only
     /// when a registry-backed tracer is attached to the spec.
     lookup_hists: Option<(Histogram, Histogram)>,
 }
 
-impl HvnlState<'_, '_> {
+impl<'b> EntryJoinState<'b> {
+    pub(crate) fn new(
+        inner_inv: &'b InvertedFile,
+        dict: textjoin_invfile::Dictionary,
+        tracker: &'b MemTracker,
+        eviction: EvictionPolicy,
+        lookup_hists: Option<(Histogram, Histogram)>,
+    ) -> Self {
+        Self {
+            inner_inv,
+            dict,
+            tracker,
+            cache: EntryCache::new(eviction),
+            accumulators: HashMap::new(),
+            acc_bytes: 0,
+            lookup_hists,
+        }
+    }
+
     /// Loads the whole inner inverted file into the cache with one
     /// sequential scan when (a) it fits in the available memory and (b) the
     /// scan is cheaper than the expected on-demand random fetches — the
     /// first case of the paper's `hvs` formula.
-    fn maybe_preload_inverted_file(&mut self) -> Result<()> {
+    pub(crate) fn maybe_preload_inverted_file(
+        &mut self,
+        spec: &JoinSpec<'_>,
+        insert_df: &dyn Fn(TermId) -> u64,
+    ) -> Result<()> {
         let inv = self.inner_inv;
         if inv.num_entries() == 0 {
             return Ok(());
@@ -292,22 +315,21 @@ impl HvnlState<'_, '_> {
         }
         // Expected on-demand cost: every inner entry whose term also
         // appears in the outer collection is fetched once at ⌈J1⌉·α.
-        let alpha = self.spec.sys.alpha;
+        let alpha = spec.sys.alpha;
         let entry_pages = inv.avg_entry_pages().ceil().max(1.0);
-        let needed = self
-            .spec
+        let needed = spec
             .inner
             .profile()
-            .term_overlap_probability(self.spec.outer.profile())
+            .term_overlap_probability(spec.outer.profile())
             * inv.num_entries() as f64;
         let scan_cost = inv.num_pages() as f64;
         if scan_cost >= needed * entry_pages * alpha {
             return Ok(());
         }
-        for item in inv.scan_with_prefetch(self.spec.prefetch_metrics("inv_preload")) {
+        for item in inv.scan_with_prefetch(spec.prefetch_metrics("inv_preload")) {
             let (term, cells) = match item {
                 Ok(pair) => pair,
-                Err(e) if self.spec.skippable(&e) => {
+                Err(e) if spec.skippable(&e) => {
                     // The entry stays out of the cache; a later lookup of
                     // this term will retry it on demand (and skip it there
                     // too if the page is genuinely unreadable).
@@ -318,14 +340,20 @@ impl HvnlState<'_, '_> {
             let bytes = cached_entry_bytes(&cells);
             self.tracker
                 .allocate(bytes, "HVNL preloaded inverted file")?;
-            let outer_df = self.spec.outer.profile().doc_frequency(term);
-            self.cache.insert(term, cells, bytes, outer_df);
+            self.cache.insert(term, cells, bytes, insert_df(term));
         }
         Ok(())
     }
 
-    fn process_outer_doc(&mut self, outer_id: DocId, doc: &Document) -> Result<()> {
-        self.current_outer = outer_id;
+    pub(crate) fn process_outer_doc(
+        &mut self,
+        spec: &JoinSpec<'_>,
+        outer_id: DocId,
+        doc: &Document,
+        insert_df: &dyn Fn(TermId) -> u64,
+        counters: &mut HvnlCounters,
+        rows: &mut Vec<(DocId, Vec<Match>)>,
+    ) -> Result<()> {
         // Terms whose entries are already in memory are considered first
         // (section 4.2's reuse optimization); order within each group stays
         // by term number for determinism.
@@ -347,24 +375,23 @@ impl HvnlState<'_, '_> {
             let Some(entry) = self.dict.lookup(cell.term) else {
                 continue;
             };
-            self.accumulate_term(cell, entry.ordinal)?;
+            self.accumulate_term(spec, outer_id, cell, entry.ordinal, insert_df, counters)?;
         }
 
         // Extract the λ best inner documents for this outer document.
-        let inner_profile = self.spec.inner.profile();
-        let outer_profile = self.spec.outer.profile();
-        let mut topk = TopK::new(self.spec.query.lambda);
+        let inner_profile = spec.inner.profile();
+        let outer_profile = spec.outer.profile();
+        let mut topk = TopK::new(spec.query.lambda);
         for (&inner_raw, &acc) in &self.accumulators {
             let inner_id = DocId::new(inner_raw);
-            let score =
-                self.spec
-                    .weighting
-                    .finalize(acc, inner_profile, inner_id, outer_profile, outer_id);
+            let score = spec
+                .weighting
+                .finalize(acc, inner_profile, inner_id, outer_profile, outer_id);
             if !score.is_zero() {
                 topk.offer(inner_id, score);
             }
         }
-        self.rows.push((outer_id, topk.into_matches()));
+        rows.push((outer_id, topk.into_matches()));
 
         self.accumulators.clear();
         self.tracker.release(self.acc_bytes);
@@ -372,11 +399,16 @@ impl HvnlState<'_, '_> {
         Ok(())
     }
 
-    fn accumulate_term(&mut self, cell: &DCell, ordinal: u32) -> Result<()> {
-        let factor = self
-            .spec
-            .weighting
-            .term_factor(cell.term, self.spec.inner.profile());
+    fn accumulate_term(
+        &mut self,
+        spec: &JoinSpec<'_>,
+        outer_id: DocId,
+        cell: &DCell,
+        ordinal: u32,
+        insert_df: &dyn Fn(TermId) -> u64,
+        counters: &mut HvnlCounters,
+    ) -> Result<()> {
+        let factor = spec.weighting.term_factor(cell.term, spec.inner.profile());
         if factor == 0.0 {
             return Ok(());
         }
@@ -386,9 +418,9 @@ impl HvnlState<'_, '_> {
         let lookup_start = self.lookup_hists.as_ref().map(|_| Instant::now());
 
         if let Some(cells) = self.cache.get(cell.term) {
-            self.cache_hits += 1;
+            counters.cache_hits += 1;
             let cells = cells.to_vec(); // escape the cache borrow
-            self.apply_postings(cell.weight, factor, &cells)?;
+            self.apply_postings(spec, outer_id, cell.weight, factor, &cells, counters)?;
             if let (Some((hit, _)), Some(t0)) = (&self.lookup_hists, lookup_start) {
                 hit.observe(t0.elapsed().as_nanos() as u64);
             }
@@ -399,11 +431,11 @@ impl HvnlState<'_, '_> {
         // fetch still counts as a fetch attempt; in degraded mode the
         // unreadable entry is skipped (its postings contribute nothing)
         // and counted, rather than failing the whole join.
-        self.entry_fetches += 1;
+        counters.entry_fetches += 1;
         let cells = match self.inner_inv.read_entry(ordinal) {
             Ok(cells) => cells,
-            Err(e) if self.spec.skippable(&e) => {
-                self.skipped_entries += 1;
+            Err(e) if spec.skippable(&e) => {
+                counters.skipped_entries += 1;
                 return Ok(());
             }
             Err(e) => return Err(e),
@@ -420,30 +452,31 @@ impl HvnlState<'_, '_> {
                 Some(freed) => self.tracker.release(freed),
                 None => {
                     // Nothing left to evict: accumulate without caching.
-                    self.apply_postings(cell.weight, factor, &cells)?;
+                    self.apply_postings(spec, outer_id, cell.weight, factor, &cells, counters)?;
                     return Ok(());
                 }
             }
         }
-        self.apply_postings(cell.weight, factor, &cells)?;
-        let outer_df = self.spec.outer.profile().doc_frequency(cell.term);
-        self.cache.insert(cell.term, cells, bytes, outer_df);
+        self.apply_postings(spec, outer_id, cell.weight, factor, &cells, counters)?;
+        self.cache
+            .insert(cell.term, cells, bytes, insert_df(cell.term));
         Ok(())
     }
 
     fn apply_postings(
         &mut self,
+        spec: &JoinSpec<'_>,
+        outer_id: DocId,
         outer_weight: u16,
         factor: f64,
         cells: &[textjoin_common::ICell],
+        counters: &mut HvnlCounters,
     ) -> Result<()> {
         for icell in cells {
-            if !self.spec.inner_doc_allowed(icell.doc)
-                || !self.spec.pair_allowed(icell.doc, self.current_outer)
-            {
+            if !spec.inner_doc_allowed(icell.doc) || !spec.pair_allowed(icell.doc, outer_id) {
                 continue;
             }
-            self.sim_ops += 1;
+            counters.sim_ops += 1;
             let contribution = outer_weight as f64 * icell.weight as f64 * factor;
             match self.accumulators.entry(icell.doc.raw()) {
                 std::collections::hash_map::Entry::Occupied(mut e) => {
@@ -530,17 +563,18 @@ impl EntryCache {
         Some(&slot.cells)
     }
 
-    fn insert(
-        &mut self,
-        term: TermId,
-        cells: Vec<textjoin_common::ICell>,
-        bytes: u64,
-        outer_df: u32,
-    ) {
+    /// Caches an entry. `df` is the demand estimate the policy keys
+    /// evictions by: the term's outer document frequency for
+    /// [`EvictionPolicy::LowestOuterDf`], the batch-aggregated frequency
+    /// for [`EvictionPolicy::BatchAggregateDf`] (ignored under LRU). Ties
+    /// on `df` break by term id, so eviction order is reproducible.
+    fn insert(&mut self, term: TermId, cells: Vec<textjoin_common::ICell>, bytes: u64, df: u64) {
         debug_assert!(!self.entries.contains_key(&term));
         self.tick += 1;
         let key = match self.policy {
-            EvictionPolicy::LowestOuterDf => (outer_df as u64, term.raw()),
+            EvictionPolicy::LowestOuterDf | EvictionPolicy::BatchAggregateDf => {
+                (df, term.raw())
+            }
             EvictionPolicy::Lru => (self.tick, term.raw()),
         };
         self.order.insert(key);
@@ -802,6 +836,57 @@ mod tests {
         assert!(!cache.contains(TermId::new(2)));
     }
 
+    /// Regression: entries whose terms tie on document frequency must
+    /// evict in ascending term order, whatever order they were inserted
+    /// in — `evict_one` is reproducible across runs and executors.
+    #[test]
+    fn equal_df_ties_evict_in_ascending_term_order() {
+        for policy in [
+            EvictionPolicy::LowestOuterDf,
+            EvictionPolicy::BatchAggregateDf,
+        ] {
+            let cells = vec![ICell::new(DocId::new(0), 1)];
+            let mut forward = EntryCache::new(policy);
+            let mut reverse = EntryCache::new(policy);
+            let terms = [9u32, 3, 27, 14, 5];
+            for &t in &terms {
+                forward.insert(TermId::new(t), cells.clone(), 8, 7);
+            }
+            for &t in terms.iter().rev() {
+                reverse.insert(TermId::new(t), cells.clone(), 8, 7);
+            }
+            let drain = |mut c: EntryCache| {
+                let mut order = Vec::new();
+                while c.evict_one().is_some() {
+                    let survivors: Vec<u32> =
+                        terms.iter().copied().filter(|&t| c.contains(TermId::new(t))).collect();
+                    order.push(survivors);
+                }
+                order
+            };
+            let f = drain(forward);
+            assert_eq!(f, drain(reverse), "{policy:?}: order depends on insertion");
+            // Ascending term order: 3 goes first, 27 survives longest.
+            assert!(!f[0].contains(&3), "{policy:?}: lowest term id evicts first");
+            assert_eq!(f[3], vec![27], "{policy:?}: highest term id evicts last");
+        }
+    }
+
+    /// BatchAggregateDf keys evictions by the caller-supplied aggregate
+    /// demand, not the single-query df — higher aggregate survives longer.
+    #[test]
+    fn batch_aggregate_df_orders_by_aggregate_demand() {
+        let mut cache = EntryCache::new(EvictionPolicy::BatchAggregateDf);
+        let cells = vec![ICell::new(DocId::new(0), 1)];
+        // Term 1 is rare per query but demanded by many queries; term 2 is
+        // frequent in one query and zero-weighted in the rest.
+        cache.insert(TermId::new(1), cells.clone(), 8, 4 * 3);
+        cache.insert(TermId::new(2), cells.clone(), 8, 9);
+        cache.evict_one();
+        assert!(cache.contains(TermId::new(1)), "aggregate demand wins");
+        assert!(!cache.contains(TermId::new(2)));
+    }
+
     use proptest::prelude::*;
 
     proptest! {
@@ -857,7 +942,7 @@ mod tests {
             let mut cache = EntryCache::new(EvictionPolicy::LowestOuterDf);
             let cells = vec![ICell::new(DocId::new(0), 1)];
             for (i, &df) in dfs.iter().enumerate() {
-                cache.insert(TermId::new(i as u32), cells.clone(), 8, df);
+                cache.insert(TermId::new(i as u32), cells.clone(), 8, u64::from(df));
             }
             let pinned: Vec<u32> = (0..dfs.len() as u32)
                 .filter(|&i| pin_bits[i as usize])

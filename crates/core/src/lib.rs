@@ -27,6 +27,7 @@
 //! All three executors must produce identical results for the same
 //! [`JoinSpec`] — the central invariant of the test suite.
 
+pub mod batch;
 pub mod cluster;
 pub mod hhnl;
 pub mod hvnl;
@@ -40,6 +41,7 @@ pub mod topk;
 pub mod vvm;
 pub mod weighting;
 
+pub use batch::{BatchOptions, BatchOutcome};
 pub use report::{PhaseDuration, QueryReport, SlowQueryLog, SIM_PAGE_NS};
 pub use result::{ExecStats, JoinOutcome, JoinResult, Match, ResultQuality};
 pub use spec::{JoinSpec, OuterDocs};

@@ -44,6 +44,29 @@ use textjoin_invfile::InvertedFile;
 use textjoin_obs::Tracer;
 use textjoin_storage::{DiskSim, IoStats, MemTracker};
 
+/// Splits a `total`-page buffer budget across `workers`. Integer division
+/// alone loses `total % workers` pages (a 5-way split of 64 pages would
+/// grant 5·12 = 60); instead the first `total % workers` workers get one
+/// extra page, so the shares sum to exactly `total`. A budget smaller than
+/// the worker count degrades to the executors' one-page floor — the only
+/// case where the sum may exceed `total`.
+pub(crate) fn buffer_shares(total: u64, workers: usize) -> Vec<u64> {
+    assert!(workers > 0, "at least one worker is required");
+    let w = workers as u64;
+    let (base, rem) = (total / w, (total % w) as usize);
+    let shares: Vec<u64> = (0..workers)
+        .map(|i| (base + u64::from(i < rem)).max(1))
+        .collect();
+    if total >= w {
+        assert_eq!(
+            shares.iter().sum::<u64>(),
+            total,
+            "worker buffer shares must sum to the budget"
+        );
+    }
+    shares
+}
+
 /// Runs HHNL with the outer collection partitioned across `workers`
 /// threads, each budgeted `B / workers` pages.
 pub fn execute_hhnl(spec: &JoinSpec<'_>, workers: usize) -> Result<JoinOutcome> {
@@ -87,21 +110,26 @@ where
     let started = Instant::now();
     let workers = workers.min(outer_ids.len());
     let chunk = outer_ids.len().div_ceil(workers);
-    let per_worker_sys = SystemParams {
-        buffer_pages: (spec.sys.buffer_pages / workers as u64).max(1),
-        ..spec.sys
-    };
+    // Ceiling division can leave fewer slices than requested workers;
+    // split the budget across the slices that actually run, remainder
+    // pages included, so no page of B goes unused.
+    let slices: Vec<&[DocId]> = outer_ids.chunks(chunk).collect();
+    let shares = buffer_shares(spec.sys.buffer_pages, slices.len());
 
     let disk = spec.inner.store().disk();
     let start_io = disk.stats();
     let run = &run;
     let outcomes = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = outer_ids
-            .chunks(chunk)
-            .map(|slice| {
+        let handles: Vec<_> = slices
+            .iter()
+            .zip(&shares)
+            .map(|(&slice, &share)| {
                 let worker_spec = JoinSpec {
                     outer_docs: OuterDocs::Selected(slice),
-                    sys: per_worker_sys,
+                    sys: SystemParams {
+                        buffer_pages: share,
+                        ..spec.sys
+                    },
                     ..*spec
                 };
                 s.spawn(move |_| {
@@ -287,10 +315,7 @@ fn run_vvm(
     }
     let disk = spec.inner.store().disk();
     let start_io = disk.stats();
-    let per_worker_sys = SystemParams {
-        buffer_pages: (spec.sys.buffer_pages / workers as u64).max(1),
-        ..spec.sys
-    };
+    let shares = buffer_shares(spec.sys.buffer_pages, workers);
     // Every worker holds one current entry per file (budgeted at the
     // global maximum, so the bound is strict) plus its partial table.
     let entry_buf_bytes = vvm::max_entry_bytes(inner_inv) + vvm::max_entry_bytes(outer_inv);
@@ -308,11 +333,15 @@ fn run_vvm(
         let partials = crossbeam::thread::scope(|s| {
             let handles: Vec<_> = ranges
                 .iter()
-                .map(|&range| {
+                .zip(&shares)
+                .map(|(&range, &share)| {
                     // Workers trace nothing themselves; the parallel root
                     // span carries the run-level records.
                     let worker_spec = JoinSpec {
-                        sys: per_worker_sys,
+                        sys: SystemParams {
+                            buffer_pages: share,
+                            ..spec.sys
+                        },
                         trace: None,
                         ..*spec
                     };
@@ -477,6 +506,51 @@ mod tests {
             let got = execute_hhnl(&spec, workers).unwrap();
             assert_eq!(got.result, want, "workers = {workers}");
         }
+    }
+
+    #[test]
+    fn buffer_shares_sum_to_the_budget() {
+        for (total, workers) in [(64u64, 5usize), (63, 4), (100, 7), (17, 3), (8, 8), (160, 3)] {
+            let shares = buffer_shares(total, workers);
+            assert_eq!(shares.len(), workers);
+            assert_eq!(
+                shares.iter().sum::<u64>(),
+                total,
+                "B={total} w={workers}: no page may be lost to integer division"
+            );
+            // The remainder lands on the first B % w workers, one page each.
+            let (base, rem) = (total / workers as u64, (total % workers as u64) as usize);
+            for (i, &s) in shares.iter().enumerate() {
+                assert_eq!(s, base + u64::from(i < rem), "worker {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_shares_floor_at_one_page() {
+        // A budget smaller than the worker count cannot sum to B with the
+        // executors' one-page-per-worker floor; each worker still gets 1.
+        let shares = buffer_shares(3, 5);
+        assert_eq!(shares, vec![1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn uneven_budget_split_matches_serial() {
+        // B = 67 across 4 workers: 17+17+17+16 after the fix (the old
+        // B/w split would have granted 4·16 = 64 and silently dropped 3
+        // pages of budget).
+        let (_, c1, c2, d1, d2) = fixture();
+        let spec = JoinSpec::new(&c1, &c2)
+            .with_sys(SystemParams {
+                buffer_pages: 67,
+                page_size: 512,
+                alpha: 5.0,
+            })
+            .with_query(QueryParams::paper_base().with_lambda(3));
+        let want = naive_join(&d1, &d2, OuterDocs::Full, 3, crate::Weighting::RawCount);
+        let got = execute_hhnl(&spec, 4).unwrap();
+        assert_eq!(got.result, want);
+        assert!(got.stats.mem_high_water_bytes <= spec.sys.buffer_bytes());
     }
 
     #[test]

@@ -33,7 +33,7 @@ use textjoin_storage::MemTracker;
 /// predicts. (A keyed in-memory representation also stores the two
 /// document numbers; the paper's accounting treats that as bookkeeping
 /// outside the buffer budget, and we follow it.)
-const ACC_BYTES: u64 = SIM_VALUE_BYTES as u64;
+pub(crate) const ACC_BYTES: u64 = SIM_VALUE_BYTES as u64;
 
 /// Executes the join with VVM.
 pub fn execute(
@@ -79,7 +79,14 @@ pub(crate) fn estimate_partitions(
     let n1 = spec.inner.store().num_docs() as f64;
     let sm =
         SIM_VALUE_BYTES as f64 * spec.query.delta * n1 * num_outer as f64 / (p * workers as f64);
-    let m = (spec.sys.buffer_pages / workers).max(1) as f64
+    // Size against the smallest worker share of the exact budget split
+    // (remainder pages go to the lower-indexed workers), so the partition
+    // count is safe for every worker.
+    let min_share = crate::parallel::buffer_shares(spec.sys.buffer_pages, workers as usize)
+        .into_iter()
+        .min()
+        .expect("at least one worker");
+    let m = min_share as f64
         - inner_inv.avg_entry_pages().ceil()
         - outer_inv.avg_entry_pages().ceil();
     if m <= 0.0 {
@@ -116,7 +123,7 @@ impl<I: Iterator<Item = Result<(TermId, Vec<ICell>)>>> EntryCursor<I> {
 
     /// Replaces `current` with the next readable entry (`None` at end of
     /// scan), skipping unreadable ones when the spec allows it.
-    fn advance(&mut self, spec: &JoinSpec<'_>, skipped: &mut u64) -> Result<()> {
+    pub(crate) fn advance(&mut self, spec: &JoinSpec<'_>, skipped: &mut u64) -> Result<()> {
         self.current = loop {
             match self.iter.next() {
                 None => break None,
@@ -128,8 +135,13 @@ impl<I: Iterator<Item = Result<(TermId, Vec<ICell>)>>> EntryCursor<I> {
         Ok(())
     }
 
-    fn term(&self) -> Option<TermId> {
+    pub(crate) fn term(&self) -> Option<TermId> {
         self.current.as_ref().map(|(t, _)| *t)
+    }
+
+    /// Takes the current entry out of the cursor (the caller advances next).
+    pub(crate) fn take_current(&mut self) -> Option<(TermId, Vec<ICell>)> {
+        self.current.take()
     }
 }
 

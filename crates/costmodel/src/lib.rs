@@ -22,6 +22,7 @@
 //! cheapest. [`comm`] extends the models with the multidatabase
 //! communication term the paper lists as future work.
 
+pub mod batch;
 pub mod comm;
 pub mod hhnl;
 pub mod hvnl;
@@ -33,6 +34,7 @@ pub mod vvm;
 #[cfg(test)]
 mod proptests;
 
+pub use batch::{hhr_batch, hhs_batch, hvr_batch, hvs_batch, vvr_batch, vvs_batch, BatchCostEstimates};
 pub use comm::{choose_distributed, CommParams, Site, TermEncoding};
 pub use inputs::{term_containment_probability, JoinInputs};
 pub use integrated::{choose, Algorithm, CostEstimates, IoScenario};

@@ -1,11 +1,12 @@
 //! Plan execution: run the chosen join algorithm and project result tuples.
 
-use crate::catalog::{Catalog, Value};
+use crate::catalog::{Catalog, Relation, Value};
 use crate::parser::parse;
-use crate::planner::{plan, plan_with_workers, OutputCol, Plan};
+use crate::planner::{plan, plan_batch, plan_with_workers, BatchPlan, OutputCol, Plan};
 use textjoin_common::{Error, QueryParams, Result, Score, SystemParams};
 use textjoin_core::{
-    hhnl, hvnl, parallel, vvm, Algorithm, ExecStats, IoScenario, JoinSpec, OuterDocs, ResultQuality,
+    batch, hhnl, hvnl, parallel, vvm, Algorithm, BatchOptions, ExecStats, IoScenario, JoinSpec,
+    JoinResult, OuterDocs, ResultQuality,
 };
 use textjoin_costmodel::Algorithm as Alg;
 
@@ -158,11 +159,28 @@ pub fn execute_plan_traced(
         Err(e) => return Err(e),
     };
 
-    // Project: one tuple per (outer row, match), plus the similarity.
+    let (headers, rows) = project(p, inner_rel, outer_rel, &outcome.result);
+    Ok(QueryOutput {
+        headers,
+        rows,
+        algorithm: executed,
+        stats: outcome.stats,
+        quality: outcome.quality,
+    })
+}
+
+/// Projects a join result: one tuple per `(outer row, match)` pair, plus
+/// the implicit `SIMILARITY` column.
+fn project(
+    p: &Plan,
+    inner_rel: &Relation,
+    outer_rel: &Relation,
+    result: &JoinResult,
+) -> (Vec<String>, Vec<Vec<Value>>) {
     let mut headers: Vec<String> = p.output.iter().map(|(h, _)| h.clone()).collect();
     headers.push("SIMILARITY".to_string());
-    let mut rows = Vec::with_capacity(outcome.result.num_pairs());
-    for (outer_doc, matches) in outcome.result.iter() {
+    let mut rows = Vec::with_capacity(result.num_pairs());
+    for (outer_doc, matches) in result.iter() {
         for m in matches {
             let mut tuple = Vec::with_capacity(p.output.len() + 1);
             for (_, col) in &p.output {
@@ -176,13 +194,149 @@ pub fn execute_plan_traced(
             rows.push(tuple);
         }
     }
+    (headers, rows)
+}
 
-    Ok(QueryOutput {
-        headers,
-        rows,
-        algorithm: executed,
+/// The result of running a *batch* of textual-join queries with shared
+/// scans.
+pub struct BatchQueryOutput {
+    /// Per-query outputs, in input order. Each query's `stats` carry its
+    /// own CPU counters; the shared I/O lives in the batch-level `stats`.
+    pub queries: Vec<QueryOutput>,
+    /// Batch-level statistics: the real (shared) I/O, cost, memory
+    /// high-water and pass counts, with CPU counters summed over queries.
+    pub stats: ExecStats,
+    /// Which algorithm the whole batch executed (after any fallback).
+    pub algorithm: Algorithm,
+}
+
+/// Parses, plans and executes a batch of queries over one shared textual
+/// column pair. The batch engine reads shared structures (inner scans, the
+/// inverted-file dictionary, merge cursors) once for all queries.
+pub fn run_query_batch(
+    catalog: &Catalog,
+    sqls: &[&str],
+    sys: SystemParams,
+    base_query_params: QueryParams,
+    scenario: IoScenario,
+) -> Result<BatchQueryOutput> {
+    let queries = sqls
+        .iter()
+        .map(|s| parse(s))
+        .collect::<Result<Vec<_>>>()?;
+    let bp = plan_batch(catalog, &queries, sys, base_query_params, scenario)?;
+    execute_batch_plan(catalog, &bp, sys, base_query_params)
+}
+
+/// Executes an already-planned batch on its chosen algorithm, falling back
+/// to the remaining feasible algorithms (cheapest batch estimate first)
+/// when the choice dies on unreadable storage — the same recovery policy
+/// as [`execute_plan_traced`], applied batch-wide.
+pub fn execute_batch_plan(
+    catalog: &Catalog,
+    bp: &BatchPlan,
+    sys: SystemParams,
+    base_query_params: QueryParams,
+) -> Result<BatchQueryOutput> {
+    let p0 = &bp.plans[0];
+    let inner_rel = catalog
+        .relation(&p0.inner_rel)
+        .expect("planned relation exists");
+    let outer_rel = catalog
+        .relation(&p0.outer_rel)
+        .expect("planned relation exists");
+    let inner_tc = inner_rel
+        .text_column(&p0.inner_column)
+        .expect("planned text column");
+    let outer_tc = outer_rel
+        .text_column(&p0.outer_column)
+        .expect("planned text column");
+
+    // All plans share the collection pair (checked by `plan_batch`), so
+    // every spec borrows the *same* `Collection` values — the identity the
+    // batch executors insist on.
+    let specs: Vec<JoinSpec<'_>> = bp
+        .plans
+        .iter()
+        .map(|p| {
+            let mut spec = JoinSpec::new(&inner_tc.collection, &outer_tc.collection)
+                .with_sys(sys)
+                .with_query(base_query_params.with_lambda(p.lambda));
+            if let Some(ids) = &p.outer_rows {
+                spec = spec.with_outer_docs(OuterDocs::Selected(ids));
+            }
+            if let Some(ids) = &p.inner_rows {
+                spec = spec.with_inner_docs(ids);
+            }
+            spec
+        })
+        .collect();
+
+    let run_alg = |alg: Alg| match alg {
+        Alg::Hhnl => batch::execute_hhnl(&specs),
+        Alg::Hvnl => batch::execute_hvnl(&specs, &inner_tc.inverted, BatchOptions::default()),
+        Alg::Vvm => batch::execute_vvm(&specs, &inner_tc.inverted, &outer_tc.inverted),
+    };
+
+    let mut executed = bp.chosen;
+    let outcome = match run_alg(bp.chosen) {
+        Ok(outcome) => outcome,
+        Err(e @ (Error::Corrupt(_) | Error::Io { .. })) => {
+            let mut fallbacks: Vec<Alg> =
+                Alg::ALL.into_iter().filter(|a| *a != bp.chosen).collect();
+            fallbacks.sort_by(|a, b| {
+                bp.estimates
+                    .cost(*a, IoScenario::Dedicated)
+                    .total_cmp(&bp.estimates.cost(*b, IoScenario::Dedicated))
+            });
+            let mut last_err = e;
+            let mut recovered = None;
+            for alg in fallbacks {
+                if bp.estimates.cost(alg, IoScenario::Dedicated).is_infinite() {
+                    continue;
+                }
+                match run_alg(alg) {
+                    Ok(outcome) => {
+                        executed = alg;
+                        recovered = Some(outcome);
+                        break;
+                    }
+                    Err(
+                        e @ (Error::InsufficientMemory { .. }
+                        | Error::Corrupt(_)
+                        | Error::Io { .. }),
+                    ) => last_err = e,
+                    Err(e) => return Err(e),
+                }
+            }
+            match recovered {
+                Some(outcome) => outcome,
+                None => return Err(last_err),
+            }
+        }
+        Err(e) => return Err(e),
+    };
+
+    let queries = bp
+        .plans
+        .iter()
+        .zip(outcome.queries)
+        .map(|(p, q)| {
+            let (headers, rows) = project(p, inner_rel, outer_rel, &q.result);
+            QueryOutput {
+                headers,
+                rows,
+                algorithm: executed,
+                stats: q.stats,
+                quality: q.quality,
+            }
+        })
+        .collect();
+
+    Ok(BatchQueryOutput {
+        queries,
         stats: outcome.stats,
-        quality: outcome.quality,
+        algorithm: executed,
     })
 }
 
@@ -366,6 +520,62 @@ mod tests {
             .unwrap();
             assert_eq!(par.rows, seq.rows, "workers={workers}");
         }
+    }
+
+    #[test]
+    fn batch_execution_matches_individual_queries() {
+        let c = catalog();
+        let sqls = [
+            "Select P.Title, A.Name From Positions P, Applicants A \
+             Where A.Resume SIMILAR_TO(1) P.Job_descr",
+            "Select P.P#, A.SSN From Positions P, Applicants A \
+             Where A.Resume SIMILAR_TO(2) P.Job_descr",
+            "Select A.Name From Positions P, Applicants A \
+             Where A.Years >= 5 and A.Resume SIMILAR_TO(1) P.Job_descr",
+        ];
+        let sys = SystemParams::paper_base();
+        let qp = QueryParams::paper_base();
+        let batch_out =
+            run_query_batch(&c, &sqls, sys, qp, IoScenario::Dedicated).unwrap();
+        assert_eq!(batch_out.queries.len(), 3);
+        for (sql, q) in sqls.iter().zip(&batch_out.queries) {
+            let solo = run(&c, sql);
+            assert_eq!(q.headers, solo.headers, "{sql}");
+            assert_eq!(q.rows, solo.rows, "{sql}");
+        }
+        // The batch-level stats carry the real shared I/O.
+        assert!(batch_out.stats.io.total_reads() > 0);
+        assert_eq!(batch_out.stats.algorithm, batch_out.algorithm);
+    }
+
+    #[test]
+    fn batch_runs_every_algorithm_to_the_same_tuples() {
+        let c = catalog();
+        let sqls = [
+            "Select P.Title, A.Name From Positions P, Applicants A \
+             Where A.Resume SIMILAR_TO(2) P.Job_descr",
+            "Select P.Title, A.Name From Positions P, Applicants A \
+             Where A.Resume SIMILAR_TO(1) P.Job_descr",
+        ];
+        let sys = SystemParams::paper_base();
+        let qp = QueryParams::paper_base();
+        let queries: Vec<_> = sqls.iter().map(|s| parse(s).unwrap()).collect();
+        let mut outputs = Vec::new();
+        for force in [Alg::Hhnl, Alg::Hvnl, Alg::Vvm] {
+            let mut bp =
+                crate::planner::plan_batch(&c, &queries, sys, qp, IoScenario::Dedicated).unwrap();
+            bp.chosen = force;
+            let out = execute_batch_plan(&c, &bp, sys, qp).unwrap();
+            assert_eq!(out.algorithm, force);
+            outputs.push(
+                out.queries
+                    .into_iter()
+                    .map(|q| q.rows)
+                    .collect::<Vec<_>>(),
+            );
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[1], outputs[2]);
     }
 
     #[test]

@@ -10,8 +10,9 @@
 //! section 6, on demand.
 
 use crate::catalog::Catalog;
+use crate::executor::execute_batch_plan;
 use crate::parser::parse;
-use crate::planner::{plan, Plan};
+use crate::planner::{plan, plan_batch, Plan};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -111,7 +112,11 @@ pub struct DriftRow {
     /// algorithm could not run (insufficient memory at run time).
     pub measured: Option<f64>,
     /// Signed percent error `(measured − predicted) / predicted · 100`,
-    /// when both sides are available and the prediction is finite.
+    /// when both sides are available and the prediction is finite and at
+    /// least one page. Degenerate specs (empty collection, λ = 0) predict
+    /// zero or sub-page costs; dividing by those yields `inf`/`NaN` or
+    /// meaningless five-digit percentages, so the ratio is withheld and
+    /// rendered as `n/a`.
     pub percent_error: Option<f64>,
 }
 
@@ -305,8 +310,12 @@ pub fn explain_analyze_query_with_workers(
         ];
         for (formula, sc, meas) in rows {
             let predicted = p.estimates.cost(alg, sc);
+            // A prediction under one page is degenerate (empty collection,
+            // λ = 0): the ratio is undefined at 0 and meaningless below a
+            // page, so it is withheld (rendered `n/a`) instead of becoming
+            // inf/NaN.
             let percent_error = match meas {
-                Some(m) if predicted.is_finite() && predicted > 0.0 => {
+                Some(m) if predicted.is_finite() && predicted >= 1.0 => {
                     Some((m - predicted) / predicted * 100.0)
                 }
                 _ => None,
@@ -349,13 +358,18 @@ pub fn explain_analyze_query_with_workers(
     for row in &drift {
         let predicted = if row.predicted.is_finite() {
             format!("{:>12.1}", row.predicted)
-        } else {
+        } else if row.predicted.is_infinite() {
             format!("{:>12}", "inf")
+        } else {
+            format!("{:>12}", "n/a")
         };
         let (meas, err) = match (row.measured, row.percent_error) {
             (Some(m), Some(e)) => (format!("{m:>12.1}"), format!("{e:>+7.1}%")),
-            (Some(m), None) => (format!("{m:>12.1}"), "      —".to_string()),
-            _ => (format!("{:>12}", "n/a"), "      —".to_string()),
+            // A measured cost with no ratio: the prediction was zero or
+            // non-finite (empty collection, λ = 0), so the division is
+            // undefined — report `n/a` rather than inf/NaN.
+            (Some(m), None) => (format!("{m:>12.1}"), format!("{:>8}", "n/a")),
+            _ => (format!("{:>12}", "n/a"), format!("{:>8}", "n/a")),
         };
         let _ = writeln!(text, "      {} {predicted} vs {meas} {err}", row.formula);
     }
@@ -459,6 +473,172 @@ pub fn explain_analyze_query_with_workers(
         drift,
         reports,
         scaling,
+    })
+}
+
+/// The result of batch `EXPLAIN ANALYZE`: the rendered report plus the
+/// raw numbers, for programmatic checks.
+pub struct BatchAnalyzeOutput {
+    /// The full human-readable report.
+    pub text: String,
+    /// The algorithm the whole batch executed.
+    pub executed: Algorithm,
+    /// Batch-level measured statistics: the real shared I/O and cost.
+    pub stats: ExecStats,
+    /// Per-query statistics (own CPU counters; the shared I/O lives in
+    /// [`Self::stats`]), in input order.
+    pub per_query: Vec<ExecStats>,
+    /// Model-vs-measured drift, one row per *batch* cost formula
+    /// (`hhs_batch`/`hhr_batch`/…). Only the executed algorithm has a
+    /// measurement.
+    pub drift: Vec<DriftRow>,
+    /// Total pages read by the batch divided by the number of queries —
+    /// the amortization the shared scans buy.
+    pub amortized_pages_per_query: f64,
+    /// Σ of the per-query best estimates under the same scenario: what
+    /// running the queries one at a time was predicted to cost.
+    pub sequential_cost: f64,
+}
+
+impl BatchAnalyzeOutput {
+    /// The drift row for one batch formula name.
+    pub fn row(&self, formula: &str) -> Option<&DriftRow> {
+        self.drift.iter().find(|r| r.formula == formula)
+    }
+}
+
+/// Plans a batch of queries onto one shared-scan algorithm, executes it,
+/// and renders per-query and amortized statistics next to the batch cost
+/// formulas (`hhs_batch`/`hvs_batch`/`vvs_batch`) — the batched analogue
+/// of [`explain_analyze_query`].
+pub fn explain_analyze_batch(
+    catalog: &Catalog,
+    sqls: &[&str],
+    sys: SystemParams,
+    base_query_params: QueryParams,
+    scenario: IoScenario,
+) -> Result<BatchAnalyzeOutput> {
+    let queries = sqls
+        .iter()
+        .map(|s| parse(s))
+        .collect::<Result<Vec<_>>>()?;
+    let bp = plan_batch(catalog, &queries, sys, base_query_params, scenario)?;
+    let out = execute_batch_plan(catalog, &bp, sys, base_query_params)?;
+    let n = bp.plans.len();
+
+    // Drift of the batch formulas. Only the executed algorithm was
+    // measured; the others keep their predictions with `n/a` measurements,
+    // mirroring the sequential drift table.
+    let mut drift = Vec::with_capacity(6);
+    for alg in Algorithm::ALL {
+        let (seq_name, rand_name) = match alg {
+            Algorithm::Hhnl => ("hhs_batch", "hhr_batch"),
+            Algorithm::Hvnl => ("hvs_batch", "hvr_batch"),
+            Algorithm::Vvm => ("vvs_batch", "vvr_batch"),
+        };
+        let ran = alg == out.algorithm;
+        let rows = [
+            (seq_name, IoScenario::Dedicated, ran.then_some(out.stats.cost)),
+            (
+                rand_name,
+                IoScenario::SharedWorstCase,
+                ran.then(|| sys.alpha * out.stats.io.total_reads() as f64),
+            ),
+        ];
+        for (formula, sc, meas) in rows {
+            let predicted = bp.estimates.cost(alg, sc);
+            let percent_error = match meas {
+                Some(m) if predicted.is_finite() && predicted >= 1.0 => {
+                    Some((m - predicted) / predicted * 100.0)
+                }
+                _ => None,
+            };
+            drift.push(DriftRow {
+                formula,
+                algorithm: alg,
+                predicted,
+                measured: meas,
+                percent_error,
+            });
+        }
+    }
+
+    let total_pages = out.stats.io.total_reads();
+    let amortized_pages_per_query = total_pages as f64 / n as f64;
+
+    let p0 = &bp.plans[0];
+    let mut text = format!("EXPLAIN ANALYZE BATCH (N={n})\n");
+    let _ = writeln!(
+        text,
+        "  shared pair: {}.{} SIMILAR_TO {}.{}",
+        p0.inner_rel, p0.inner_column, p0.outer_rel, p0.outer_column
+    );
+    let _ = writeln!(
+        text,
+        "  batch estimates (sequential | worst-case random, page units):"
+    );
+    for alg in Algorithm::ALL {
+        let seq = bp.estimates.cost(alg, IoScenario::Dedicated);
+        let rand = bp.estimates.cost(alg, IoScenario::SharedWorstCase);
+        let marker = if alg == bp.chosen { " ← chosen" } else { "" };
+        let _ = writeln!(text, "    {alg:<5} {seq:>14.0} | {rand:>14.0}{marker}");
+    }
+    let batch_predicted = bp.estimates.cost(bp.chosen, bp.scenario);
+    if bp.sequential_cost >= 1.0 && batch_predicted.is_finite() {
+        let _ = writeln!(
+            text,
+            "  one-at-a-time estimate: {:.0} (batch predicted {:.0}, saves {:.1}%)",
+            bp.sequential_cost,
+            batch_predicted,
+            (1.0 - batch_predicted / bp.sequential_cost) * 100.0
+        );
+    }
+    let _ = writeln!(text, "  analyze:");
+    let _ = writeln!(text, "    executed {}", out.stats);
+    let _ = writeln!(
+        text,
+        "    amortized: {amortized_pages_per_query:.1} pages I/O per query \
+         ({total_pages} total over {n} queries)"
+    );
+    let _ = writeln!(text, "    per query (CPU counters; I/O is shared):");
+    for (i, (p, q)) in bp.plans.iter().zip(&out.queries).enumerate() {
+        let _ = writeln!(
+            text,
+            "      q{i} λ={} rows={} sim_ops={} cells={} quality={:?}",
+            p.lambda,
+            q.rows.len(),
+            q.stats.sim_ops,
+            q.stats.cells_touched,
+            q.quality,
+        );
+    }
+    let _ = writeln!(
+        text,
+        "    drift (batch formulas; % = (measured − predicted)/predicted):"
+    );
+    for row in &drift {
+        let predicted = if row.predicted.is_finite() {
+            format!("{:>12.1}", row.predicted)
+        } else {
+            format!("{:>12}", "inf")
+        };
+        let (meas, err) = match (row.measured, row.percent_error) {
+            (Some(m), Some(e)) => (format!("{m:>12.1}"), format!("{e:>+7.1}%")),
+            (Some(m), None) => (format!("{m:>12.1}"), format!("{:>8}", "n/a")),
+            _ => (format!("{:>12}", "n/a"), format!("{:>8}", "n/a")),
+        };
+        let _ = writeln!(text, "      {:<9} {predicted} vs {meas} {err}", row.formula);
+    }
+
+    let per_query = out.queries.iter().map(|q| q.stats).collect();
+    Ok(BatchAnalyzeOutput {
+        text,
+        executed: out.algorithm,
+        stats: out.stats,
+        per_query,
+        drift,
+        amortized_pages_per_query,
+        sequential_cost: bp.sequential_cost,
     })
 }
 
@@ -647,6 +827,40 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_spec_reports_drift_as_na_never_inf_or_nan() {
+        // A selection keeping zero outer rows makes several predicted
+        // costs zero; the drift ratio is then undefined and must render
+        // as `n/a`, never as inf or NaN.
+        let c = catalog();
+        let out = explain_analyze_query(
+            &c,
+            "Select P.Title, A.Name From Positions P, Applicants A \
+             Where P.Title like '%Nomatch%' and A.Resume SIMILAR_TO(2) P.Job_descr",
+            SystemParams::paper_base(),
+            QueryParams::paper_base(),
+            IoScenario::Dedicated,
+        )
+        .unwrap();
+        for row in &out.drift {
+            if let Some(e) = row.percent_error {
+                assert!(e.is_finite(), "{}: drift {e} not finite", row.formula);
+            } else if row.measured.is_some() {
+                // Measured but no ratio: only legitimate when the
+                // prediction itself is degenerate.
+                assert!(
+                    !(row.predicted.is_finite() && row.predicted >= 1.0),
+                    "{}: ratio withheld despite usable prediction {}",
+                    row.formula,
+                    row.predicted
+                );
+            }
+        }
+        assert!(!out.text.contains("inf%"), "{}", out.text);
+        assert!(!out.text.contains("NaN"), "{}", out.text);
+        assert!(out.text.contains("n/a"), "{}", out.text);
+    }
+
+    #[test]
     fn analyze_report_shows_stats_drift_and_spans() {
         let c = catalog();
         let out = explain_analyze_query(
@@ -758,6 +972,91 @@ mod tests {
         .unwrap();
         assert!(out.scaling.is_empty());
         assert!(!out.text.contains("parallel scaling ("), "{}", out.text);
+    }
+
+    #[test]
+    fn batch_analyze_reports_amortization_and_drift() {
+        let c = big_catalog(512, 120, 60, 40, 200);
+        let sys = SystemParams {
+            buffer_pages: 800,
+            page_size: 512,
+            alpha: 5.0,
+        };
+        let sqls: Vec<String> = [1usize, 2, 3]
+            .iter()
+            .map(|l| {
+                format!(
+                    "Select D.Id, Q.Id From Docs D, Queries Q \
+                     Where D.Body SIMILAR_TO({l}) Q.Body"
+                )
+            })
+            .collect();
+        let sql_refs: Vec<&str> = sqls.iter().map(String::as_str).collect();
+        let out = explain_analyze_batch(
+            &c,
+            &sql_refs,
+            sys,
+            QueryParams::paper_base(),
+            IoScenario::Dedicated,
+        )
+        .unwrap();
+        assert!(out.text.starts_with("EXPLAIN ANALYZE BATCH (N=3)\n"), "{}", out.text);
+        assert!(out.text.contains("amortized:"), "{}", out.text);
+        assert!(out.text.contains("← chosen"), "{}", out.text);
+        assert_eq!(out.per_query.len(), 3);
+        assert_eq!(out.drift.len(), 6);
+        assert!(out.amortized_pages_per_query > 0.0);
+        // The executed algorithm's batch formula has a measurement and a
+        // finite ratio; the others render n/a.
+        let (seq_name, _) = match out.executed {
+            Algorithm::Hhnl => ("hhs_batch", "hhr_batch"),
+            Algorithm::Hvnl => ("hvs_batch", "hvr_batch"),
+            Algorithm::Vvm => ("vvs_batch", "vvr_batch"),
+        };
+        let row = out.row(seq_name).expect("executed row exists");
+        assert!(row.measured.is_some());
+        assert!(row.percent_error.expect("finite prediction").is_finite());
+        assert!(out.text.contains(seq_name), "{}", out.text);
+        // Per-query lines carry the λs in input order.
+        for l in [1, 2, 3] {
+            assert!(out.text.contains(&format!("λ={l}")), "{}", out.text);
+        }
+    }
+
+    #[test]
+    fn batch_hhnl_reads_strictly_fewer_pages_than_solo_runs() {
+        use crate::executor::{execute_batch_plan, execute_plan};
+        let c = big_catalog(512, 120, 60, 40, 200);
+        let sys = SystemParams {
+            buffer_pages: 800,
+            page_size: 512,
+            alpha: 5.0,
+        };
+        let qp = QueryParams::paper_base();
+        let queries: Vec<_> = [1usize, 2, 3, 2]
+            .iter()
+            .map(|l| {
+                parse(&format!(
+                    "Select D.Id, Q.Id From Docs D, Queries Q \
+                     Where D.Body SIMILAR_TO({l}) Q.Body"
+                ))
+                .unwrap()
+            })
+            .collect();
+        let mut bp = plan_batch(&c, &queries, sys, qp, IoScenario::Dedicated).unwrap();
+        bp.chosen = Algorithm::Hhnl;
+        let batch = execute_batch_plan(&c, &bp, sys, qp).unwrap();
+        let mut solo_pages = 0u64;
+        for q in &queries {
+            let mut p = plan(&c, q, sys, qp, IoScenario::Dedicated).unwrap();
+            p.chosen = Algorithm::Hhnl;
+            solo_pages += execute_plan(&c, &p, sys, qp).unwrap().stats.io.total_reads();
+        }
+        let batch_pages = batch.stats.io.total_reads();
+        assert!(
+            batch_pages < solo_pages,
+            "batch {batch_pages} pages vs {solo_pages} one at a time"
+        );
     }
 
     #[test]

@@ -11,7 +11,9 @@
 use crate::ast::{ColumnRef, CompareOp, Literal, Predicate, Query};
 use crate::catalog::{like_match, Catalog, ColumnType, Relation, Value};
 use textjoin_common::{DocId, Error, QueryParams, Result, SystemParams};
-use textjoin_costmodel::{parallel, Algorithm, CostEstimates, IoScenario, JoinInputs};
+use textjoin_costmodel::{
+    parallel, Algorithm, BatchCostEstimates, CostEstimates, IoScenario, JoinInputs,
+};
 
 /// One projected output column.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -48,6 +50,88 @@ pub struct Plan {
     pub inputs: JoinInputs,
     /// How many workers the join executors will run with (1 = sequential).
     pub workers: usize,
+}
+
+/// A planned batch of textual-join queries over one shared collection
+/// pair, to be executed with shared I/O by `textjoin_core::batch`.
+pub struct BatchPlan {
+    /// One plan per query, in input order.
+    pub plans: Vec<Plan>,
+    /// The algorithm the *whole batch* runs on — chosen from the batch
+    /// cost formulas, not per query.
+    pub chosen: Algorithm,
+    /// The batch cost estimates behind the choice.
+    pub estimates: BatchCostEstimates,
+    /// What running the queries one at a time would cost under the same
+    /// scenario, each on its own cheapest algorithm (Σ of per-query bests).
+    pub sequential_cost: f64,
+    /// The I/O scenario the choice was made under.
+    pub scenario: IoScenario,
+}
+
+impl BatchPlan {
+    /// The per-query [`JoinInputs`] the batch estimates were computed from.
+    pub fn inputs(&self) -> Vec<JoinInputs> {
+        self.plans.iter().map(|p| p.inputs).collect()
+    }
+}
+
+/// Plans a batch of parsed queries that all join the same textual column
+/// pair, picking one algorithm for the whole batch from the batched cost
+/// formulas (`hhs_batch`/`hvs_batch`/`vvs_batch`).
+///
+/// Every query is first planned individually (selection pushdown and
+/// projection are per query); the batch then re-chooses the algorithm on
+/// the shared-scan estimates. Queries joining different relations or
+/// different textual columns are rejected — they cannot share scans.
+pub fn plan_batch(
+    catalog: &Catalog,
+    queries: &[Query],
+    sys: SystemParams,
+    base_query_params: QueryParams,
+    scenario: IoScenario,
+) -> Result<BatchPlan> {
+    if queries.is_empty() {
+        return Err(Error::Plan("batch needs at least one query".into()));
+    }
+    let plans: Vec<Plan> = queries
+        .iter()
+        .map(|q| plan(catalog, q, sys, base_query_params, scenario))
+        .collect::<Result<_>>()?;
+    let first = &plans[0];
+    for p in &plans[1..] {
+        if p.inner_rel != first.inner_rel
+            || p.inner_column != first.inner_column
+            || p.outer_rel != first.outer_rel
+            || p.outer_column != first.outer_column
+        {
+            return Err(Error::Plan(format!(
+                "batch queries must join the same textual column pair: \
+                 {}.{} SIMILAR_TO {}.{} vs {}.{} SIMILAR_TO {}.{}",
+                first.inner_rel,
+                first.inner_column,
+                first.outer_rel,
+                first.outer_column,
+                p.inner_rel,
+                p.inner_column,
+                p.outer_rel,
+                p.outer_column,
+            )));
+        }
+    }
+
+    let inputs: Vec<JoinInputs> = plans.iter().map(|p| p.inputs).collect();
+    let estimates = BatchCostEstimates::compute(&inputs);
+    let chosen = estimates.best(scenario).0;
+    let sequential_cost = plans.iter().map(|p| p.estimates.best(scenario).1).sum();
+
+    Ok(BatchPlan {
+        plans,
+        chosen,
+        estimates,
+        sequential_cost,
+        scenario,
+    })
 }
 
 /// Plans a parsed query against a catalog (sequential execution).
@@ -484,6 +568,68 @@ mod tests {
             "Select Name From Applicants A Where A.Resume SIMILAR_TO(1) A.Resume"
         )
         .is_err());
+    }
+
+    #[test]
+    fn batch_plans_share_one_algorithm() {
+        let c = catalog();
+        let queries: Vec<Query> = [1, 2]
+            .iter()
+            .map(|l| {
+                parse(&format!(
+                    "Select P.Title, A.Name From Positions P, Applicants A \
+                     Where A.Resume SIMILAR_TO({l}) P.Job_descr"
+                ))
+                .unwrap()
+            })
+            .collect();
+        let bp = plan_batch(
+            &c,
+            &queries,
+            SystemParams::paper_base(),
+            QueryParams::paper_base(),
+            IoScenario::Dedicated,
+        )
+        .unwrap();
+        assert_eq!(bp.plans.len(), 2);
+        assert_eq!(bp.plans[0].lambda, 1);
+        assert_eq!(bp.plans[1].lambda, 2);
+        let batch_cost = bp.estimates.cost(bp.chosen, bp.scenario);
+        assert!(batch_cost.is_finite());
+        // Shared scans never cost more than running the queries back to
+        // back on their individually cheapest algorithms... unless the
+        // individual bests differ from the batch algorithm; the batch cost
+        // must still beat the sum of the *same* algorithm run N times.
+        let same_alg_sum: f64 = bp
+            .plans
+            .iter()
+            .map(|p| p.estimates.cost(bp.chosen, bp.scenario))
+            .sum();
+        assert!(batch_cost <= same_alg_sum + 1e-9);
+    }
+
+    #[test]
+    fn batch_rejects_mismatched_pairs_and_empty_batches() {
+        let c = catalog();
+        let sys = SystemParams::paper_base();
+        let qp = QueryParams::paper_base();
+        assert!(plan_batch(&c, &[], sys, qp, IoScenario::Dedicated).is_err());
+        let forward = parse(
+            "Select P.Title From Positions P, Applicants A \
+             Where A.Resume SIMILAR_TO(1) P.Job_descr",
+        )
+        .unwrap();
+        // Swapped direction — a different (inner, outer) pair.
+        let backward = parse(
+            "Select P.Title From Positions P, Applicants A \
+             Where P.Job_descr SIMILAR_TO(1) A.Resume",
+        )
+        .unwrap();
+        let err = match plan_batch(&c, &[forward, backward], sys, qp, IoScenario::Dedicated) {
+            Err(e) => e,
+            Ok(_) => panic!("mismatched pairs must not plan"),
+        };
+        assert!(err.to_string().contains("same textual column pair"), "{err}");
     }
 
     #[test]

@@ -500,7 +500,12 @@ impl<'d> Prefetcher<'d> {
             // (a fault or corrupt page anywhere in the window) fails this
             // demand — speculation must not absorb errors the page-at-a-time
             // path would have surfaced.
-            let len = self.window.min(self.end_page - page);
+            // Clamp the readahead window to the pages the run actually
+            // has left: issuing past `end_page` would charge I/O for
+            // pages no demand can ever claim (phantom "hits" past the
+            // last run). Saturating keeps the clamp safe even if a
+            // caller's `end_page` went stale.
+            let len = self.window.min(self.end_page.saturating_sub(page)).max(1);
             let started = Instant::now();
             let mut pages = match self.pool.get_scan(self.file, page, len) {
                 Ok(pages) => pages,
@@ -770,6 +775,57 @@ mod tests {
         // Can't read post-drop stats; re-derive: issued pages are either
         // hit or wasted (some wasted only at drop).
         assert!(stats.issued >= stats.hits);
+    }
+
+    #[test]
+    fn early_stop_overshoot_lands_in_wasted_not_hits() {
+        // A scan that stops mid-batch: the unconsumed readahead must be
+        // accounted as wasted, never as hits.
+        let (disk, f, _) = setup(10, 0);
+        let stats = {
+            let mut pf = Prefetcher::new(&disk, f, 10); // window 8
+            for p in 0..4 {
+                pf.get(p).unwrap();
+            }
+            // Page 0 cold; page 1 issued the 8-page batch [1, 9); pages
+            // 2 and 3 hit. Dropping here strands [4, 9).
+            drop_stats(pf)
+        };
+        assert_eq!(stats.issued, 7);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.wasted, 5);
+        assert_eq!(
+            stats.issued,
+            stats.hits + stats.wasted,
+            "every issued page is either demanded or wasted"
+        );
+    }
+
+    #[test]
+    fn clamped_tail_batch_never_issues_past_last_run() {
+        // The last batch of a file shorter than the window must clamp:
+        // issuing past the final run would charge phantom I/O and, once
+        // demanded-never, misattribute the overshoot.
+        let (disk, f, _) = setup(6, 0);
+        let stats = {
+            let mut pf = Prefetcher::new(&disk, f, 6); // window 8 > file
+            pf.get(0).unwrap();
+            pf.get(1).unwrap(); // batch clamps to [1, 6), issuing 4 ahead
+            pf.get(2).unwrap(); // one hit, then stop early
+            drop_stats(pf)
+        };
+        assert_eq!(disk.stats().total_reads(), 6, "no page past the run read");
+        assert_eq!(stats.issued, 4, "window clamped to the 5 remaining pages");
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.wasted, 3, "stranded tail pages are wasted");
+        assert_eq!(stats.issued, stats.hits + stats.wasted);
+    }
+
+    /// Drops the prefetcher (flushing outstanding readahead to `wasted`)
+    /// and returns the final counters.
+    fn drop_stats(mut pf: Prefetcher<'_>) -> PrefetchStats {
+        pf.flush_outstanding();
+        pf.stats()
     }
 
     #[test]
