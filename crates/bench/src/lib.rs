@@ -22,7 +22,7 @@ use textjoin_collection::SynthSpec;
 use textjoin_common::{CollectionStats, Error, QueryParams, Result, SystemParams};
 use textjoin_core::{batch, hhnl, hvnl, parallel, vvm, BatchOptions, JoinSpec, QueryReport};
 use textjoin_costmodel as costmodel;
-use textjoin_costmodel::Algorithm;
+use textjoin_costmodel::{Algorithm, CalibrationProfile};
 use textjoin_invfile::InvertedFile;
 use textjoin_storage::{DiskSim, PageLatency};
 
@@ -68,6 +68,11 @@ pub struct BenchGrid {
     /// ones — with real per-page latency, workers overlap their simulated
     /// I/O waits exactly as the paper's dedicated-drive model assumes.
     pub page_latency: PageLatency,
+    /// Calibration profile applied to the sequential (w=1) predictions,
+    /// keyed by the pair label. `None` keeps the seed cost formulas. The
+    /// case labels never change, so a calibrated run gates against the
+    /// same baseline — only `drift_pct` moves.
+    pub calibration: Option<CalibrationProfile>,
     /// System parameters; `buffer_pages` above overrides `sys.buffer_pages`.
     pub sys: SystemParams,
     /// δ (non-zero similarity fraction) used for every case.
@@ -108,6 +113,7 @@ pub fn small_grid() -> BenchGrid {
             seq_ns: 150_000,
             rand_ns: 300_000,
         },
+        calibration: None,
         sys: SystemParams {
             buffer_pages: 60,
             page_size: 512,
@@ -228,7 +234,16 @@ impl BenchReport {
 /// report — the same case key will then show up as *missing* in a
 /// [`compare`] against a baseline that had it.
 pub fn run_suite(grid: &BenchGrid) -> Result<BenchReport> {
+    Ok(run_suite_with_reports(grid)?.0)
+}
+
+/// [`run_suite`] additionally returning one keyed [`QueryReport`] per
+/// single-query case — the raw material `textjoin-sim calibrate` appends
+/// to the report store. Each report carries the pair label, λ and B, so
+/// the calibration fit can group observations by workload.
+pub fn run_suite_with_reports(grid: &BenchGrid) -> Result<(BenchReport, Vec<QueryReport>)> {
     let mut cases = Vec::new();
+    let mut reports = Vec::new();
     for pair in &grid.pairs {
         let disk = Arc::new(DiskSim::new(grid.sys.page_size));
         let c1 = pair.inner.generate(Arc::clone(&disk), "c1")?;
@@ -266,10 +281,16 @@ pub fn run_suite(grid: &BenchGrid) -> Result<BenchReport> {
                         let predicted = if w > 1 {
                             None
                         } else {
-                            match algorithm {
+                            let raw = match algorithm {
                                 Algorithm::Hhnl => costmodel::hhnl::sequential(&inputs).ok(),
                                 Algorithm::Hvnl => Some(costmodel::hvnl::sequential(&inputs)),
                                 Algorithm::Vvm => costmodel::vvm::sequential(&inputs).ok(),
+                            };
+                            match (&grid.calibration, raw) {
+                                (Some(p), Some(r)) => {
+                                    Some(p.calibrated_cost(&pair.label, algorithm, r))
+                                }
+                                (_, raw) => raw,
                             }
                         };
                         // Exact order statistics over the iterations: the
@@ -294,12 +315,19 @@ pub fn run_suite(grid: &BenchGrid) -> Result<BenchReport> {
                             match run {
                                 Ok(outcome) => {
                                     walls.push(outcome.stats.wall_ns);
-                                    last_report = Some(QueryReport::from_outcome(
-                                        case_label.clone(),
-                                        &outcome,
-                                        None,
-                                        predicted,
-                                    ));
+                                    last_report = Some(
+                                        QueryReport::from_outcome(
+                                            case_label.clone(),
+                                            &outcome,
+                                            None,
+                                            predicted,
+                                        )
+                                        .with_key(
+                                            pair.label.clone(),
+                                            lambda as u64,
+                                            b,
+                                        ),
+                                    );
                                 }
                                 Err(Error::InsufficientMemory { .. }) => {
                                     last_report = None;
@@ -322,6 +350,7 @@ pub fn run_suite(grid: &BenchGrid) -> Result<BenchReport> {
                             wall_max_ns: *walls.last().unwrap_or(&0),
                             drift_pct: report.drift_pct(),
                         });
+                        reports.push(report);
                     }
                 }
 
@@ -388,10 +417,13 @@ pub fn run_suite(grid: &BenchGrid) -> Result<BenchReport> {
             }
         }
     }
-    Ok(BenchReport {
-        suite: grid.suite.clone(),
-        cases,
-    })
+    Ok((
+        BenchReport {
+            suite: grid.suite.clone(),
+            cases,
+        },
+        reports,
+    ))
 }
 
 /// Why [`compare`] flagged a case.
@@ -829,6 +861,60 @@ mod tests {
                 4.0 * n1.pages_io
             );
         }
+    }
+
+    /// Median of the absolute drift percentages of a report's priced cases.
+    fn median_abs_drift(r: &BenchReport) -> f64 {
+        let mut drifts: Vec<f64> = r
+            .cases
+            .iter()
+            .filter_map(|c| c.drift_pct)
+            .map(f64::abs)
+            .collect();
+        assert!(!drifts.is_empty(), "no priced cases in {r:?}");
+        drifts.sort_by(f64::total_cmp);
+        let n = drifts.len();
+        if n % 2 == 1 {
+            drifts[n / 2]
+        } else {
+            (drifts[n / 2 - 1] + drifts[n / 2]) / 2.0
+        }
+    }
+
+    #[test]
+    fn calibration_lowers_median_drift_without_changing_labels() {
+        let mut grid = small_grid();
+        grid.lambdas = vec![5, 20];
+        grid.buffer_pages = vec![160];
+        grid.workers = vec![1];
+        grid.batch_sizes = vec![1];
+        grid.page_latency = PageLatency::default();
+        grid.iterations = 1;
+        let (seed_report, reports) = run_suite_with_reports(&grid).unwrap();
+        assert!(
+            reports
+                .iter()
+                .all(|r| !r.pair.is_empty() && r.buffer_pages == 160),
+            "bench reports must carry their calibration key"
+        );
+        let obs: Vec<_> = reports.iter().map(|r| r.to_observation()).collect();
+        grid.calibration = Some(CalibrationProfile::fit(&obs));
+        let (cal_report, _) = run_suite_with_reports(&grid).unwrap();
+        // The calibrated axis reprices predictions only: same case keys,
+        // same deterministic page costs, so the same baseline still gates.
+        let keys = |r: &BenchReport| {
+            r.cases
+                .iter()
+                .map(|c| (c.case.clone(), c.algorithm.clone(), c.pages_io))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(keys(&seed_report), keys(&cal_report));
+        assert!(
+            median_abs_drift(&cal_report) < median_abs_drift(&seed_report),
+            "calibration did not improve drift: {} vs {}",
+            median_abs_drift(&cal_report),
+            median_abs_drift(&seed_report)
+        );
     }
 
     #[test]

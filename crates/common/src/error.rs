@@ -48,6 +48,17 @@ pub enum Error {
         /// Read attempts made before giving up.
         attempts: u32,
     },
+    /// A running join's observed page cost exceeded the watchdog budget
+    /// derived from its cost-model prediction — the signal for the
+    /// executor to abandon the mispredicted plan and re-plan onto the
+    /// next-cheapest algorithm. Costs are rounded up to whole page units
+    /// so the variant stays `Eq`-comparable.
+    CostOverrun {
+        /// Observed page cost (seq + α·rand, rounded up) at the check.
+        observed_pages: u64,
+        /// The budget the run was allowed before aborting.
+        budget_pages: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -80,6 +91,14 @@ impl fmt::Display for Error {
             } => write!(
                 f,
                 "i/o error on file '{file}' page {page} after {attempts} attempts"
+            ),
+            Error::CostOverrun {
+                observed_pages,
+                budget_pages,
+            } => write!(
+                f,
+                "cost overrun: observed {observed_pages} cost pages exceeds the \
+                 watchdog budget of {budget_pages}"
             ),
         }
     }
@@ -115,6 +134,13 @@ mod tests {
         };
         let msg = e.to_string();
         assert!(msg.contains("wsj.docs") && msg.contains('7') && msg.contains('3'));
+
+        let e = Error::CostOverrun {
+            observed_pages: 640,
+            budget_pages: 320,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("640") && msg.contains("320"), "{msg}");
     }
 
     #[test]

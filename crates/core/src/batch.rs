@@ -718,8 +718,7 @@ where
                         }
                         let per_outer = sim[si].entry(oc.doc.raw()).or_default();
                         for ic in &inner_cells {
-                            if !spec.inner_doc_allowed(ic.doc)
-                                || !spec.pair_allowed(ic.doc, oc.doc)
+                            if !spec.inner_doc_allowed(ic.doc) || !spec.pair_allowed(ic.doc, oc.doc)
                             {
                                 continue;
                             }
@@ -791,7 +790,10 @@ mod tests {
 
     /// Runs the same specs sequentially with each algorithm's own executor.
     fn sequential_hhnl(specs: &[JoinSpec<'_>]) -> Vec<JoinOutcome> {
-        specs.iter().map(|s| crate::hhnl::execute(s).unwrap()).collect()
+        specs
+            .iter()
+            .map(|s| crate::hhnl::execute(s).unwrap())
+            .collect()
     }
     fn sequential_hvnl(specs: &[JoinSpec<'_>], inv: &InvertedFile) -> Vec<JoinOutcome> {
         specs
@@ -812,10 +814,7 @@ mod tests {
 
     #[test]
     fn empty_batch_is_rejected() {
-        assert!(matches!(
-            execute_hhnl(&[]),
-            Err(Error::InvalidArgument(_))
-        ));
+        assert!(matches!(execute_hhnl(&[]), Err(Error::InvalidArgument(_))));
     }
 
     #[test]
@@ -1034,12 +1033,7 @@ mod tests {
         assert_eq!(hh.stats.passes, hh_seq.stats.passes);
         assert_eq!(hh.stats.sim_ops, hh_seq.stats.sim_ops);
 
-        let hv_seq = crate::hvnl::execute_with(
-            &spec,
-            &f.inv1,
-            HvnlOptions::default(),
-        )
-        .unwrap();
+        let hv_seq = crate::hvnl::execute_with(&spec, &f.inv1, HvnlOptions::default()).unwrap();
         // BatchAggregateDf with one query IS LowestOuterDf.
         let hv = execute_hvnl(&specs, &f.inv1, BatchOptions::default()).unwrap();
         assert_eq!(hv.queries[0].result, hv_seq.result);

@@ -99,6 +99,9 @@ pub fn execute(spec: &JoinSpec<'_>) -> Result<JoinOutcome> {
             }
         }
         passes += 1;
+        // Watchdog checkpoint: a pass boundary is the natural granularity —
+        // each pass costs roughly D1 pages, so drift is visible early.
+        spec.check_cost_budget(disk.stats().since(&start_io).cost(spec.sys.alpha))?;
         for (id, _, topk) in batch {
             rows.push((id, topk.into_matches()));
         }
@@ -256,6 +259,9 @@ pub fn execute_backward(spec: &JoinSpec<'_>) -> Result<JoinOutcome> {
             }
         }
         drop(pass_span);
+        // Watchdog checkpoint at the same pass granularity as the forward
+        // order.
+        spec.check_cost_budget(disk.stats().since(&start_io).cost(spec.sys.alpha))?;
         tracker.release(batch_bytes);
     }
 
@@ -476,6 +482,20 @@ mod tests {
             execute(&spec),
             Err(Error::InsufficientMemory { .. })
         ));
+    }
+
+    #[test]
+    fn cost_budget_overrun_aborts_both_orders() {
+        let (_, c1, c2, _, _) = fixture(30, 20, 10.0, 80, 256);
+        // A sub-page budget cannot survive the first pass checkpoint.
+        let spec = JoinSpec::new(&c1, &c2).with_cost_budget(0.5);
+        assert!(matches!(execute(&spec), Err(Error::CostOverrun { .. })));
+        assert!(matches!(
+            execute_backward(&spec),
+            Err(Error::CostOverrun { .. })
+        ));
+        // Disarmed, the same spec completes.
+        assert!(execute(&spec.without_cost_budget()).is_ok());
     }
 
     #[test]

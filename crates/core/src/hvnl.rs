@@ -153,6 +153,9 @@ pub fn execute_with(
                     Err(e) => return Err(e),
                 };
                 state.process_outer_doc(spec, id, &doc, &insert_df, &mut counters, &mut rows)?;
+                // Watchdog checkpoint: HVNL's cost accrues per outer
+                // document (entry fetches), so that is its granularity.
+                spec.check_cost_budget(disk.stats().since(&start_io).cost(spec.sys.alpha))?;
             }
         }
         OuterOrder::GreedyIntersection => {
@@ -187,13 +190,17 @@ pub fn execute_with(
                     .expect("non-empty");
                 let (id, doc) = remaining.swap_remove(best);
                 state.process_outer_doc(spec, id, &doc, &insert_df, &mut counters, &mut rows)?;
+                spec.check_cost_budget(disk.stats().since(&start_io).cost(spec.sys.alpha))?;
             }
             tracker.release(held_bytes);
         }
     }
 
-    let (entry_fetches, cache_hits, sim_ops) =
-        (counters.entry_fetches, counters.cache_hits, counters.sim_ops);
+    let (entry_fetches, cache_hits, sim_ops) = (
+        counters.entry_fetches,
+        counters.cache_hits,
+        counters.sim_ops,
+    );
     let skipped_entries = counters.skipped_entries;
     drop(state);
     if scan_span.is_enabled() {
@@ -384,9 +391,9 @@ impl<'b> EntryJoinState<'b> {
         let mut topk = TopK::new(spec.query.lambda);
         for (&inner_raw, &acc) in &self.accumulators {
             let inner_id = DocId::new(inner_raw);
-            let score = spec
-                .weighting
-                .finalize(acc, inner_profile, inner_id, outer_profile, outer_id);
+            let score =
+                spec.weighting
+                    .finalize(acc, inner_profile, inner_id, outer_profile, outer_id);
             if !score.is_zero() {
                 topk.offer(inner_id, score);
             }
@@ -572,9 +579,7 @@ impl EntryCache {
         debug_assert!(!self.entries.contains_key(&term));
         self.tick += 1;
         let key = match self.policy {
-            EvictionPolicy::LowestOuterDf | EvictionPolicy::BatchAggregateDf => {
-                (df, term.raw())
-            }
+            EvictionPolicy::LowestOuterDf | EvictionPolicy::BatchAggregateDf => (df, term.raw()),
             EvictionPolicy::Lru => (self.tick, term.raw()),
         };
         self.order.insert(key);
@@ -858,8 +863,11 @@ mod tests {
             let drain = |mut c: EntryCache| {
                 let mut order = Vec::new();
                 while c.evict_one().is_some() {
-                    let survivors: Vec<u32> =
-                        terms.iter().copied().filter(|&t| c.contains(TermId::new(t))).collect();
+                    let survivors: Vec<u32> = terms
+                        .iter()
+                        .copied()
+                        .filter(|&t| c.contains(TermId::new(t)))
+                        .collect();
                     order.push(survivors);
                 }
                 order
@@ -867,7 +875,10 @@ mod tests {
             let f = drain(forward);
             assert_eq!(f, drain(reverse), "{policy:?}: order depends on insertion");
             // Ascending term order: 3 goes first, 27 survives longest.
-            assert!(!f[0].contains(&3), "{policy:?}: lowest term id evicts first");
+            assert!(
+                !f[0].contains(&3),
+                "{policy:?}: lowest term id evicts first"
+            );
             assert_eq!(f[3], vec![27], "{policy:?}: highest term id evicts last");
         }
     }

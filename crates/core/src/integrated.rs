@@ -6,11 +6,14 @@
 //! the construction: invoke the basic algorithm with the lowest estimated
 //! cost. This module wires the cost models of `textjoin-costmodel` to the
 //! executors of this crate. If the chosen algorithm turns out infeasible at
-//! run time (its memory estimate was optimistic) or fails hard mid-run on
-//! unreadable storage (a corrupt inverted file, an exhausted retry), the
-//! next-cheapest algorithm is tried — e.g. HVNL dying on a corrupt
-//! inverted-file dictionary re-plans onto HHNL, which never touches the
-//! inverted file at all.
+//! run time (its memory estimate was optimistic), fails hard mid-run on
+//! unreadable storage (a corrupt inverted file, an exhausted retry), or is
+//! aborted by the drift watchdog (`Error::CostOverrun` — its observed page
+//! cost overran the armed budget), the next-cheapest algorithm is tried —
+//! e.g. HVNL dying on a corrupt inverted-file dictionary re-plans onto
+//! HHNL, which never touches the inverted file at all. Fallback attempts
+//! run with the watchdog disarmed: the budget was set from the *winner's*
+//! prediction, and the fallback must be allowed to finish.
 
 use crate::report::observe_phase_sim_io;
 use crate::result::JoinOutcome;
@@ -78,10 +81,15 @@ pub fn execute_with_workers(
 
     let mut last_err: Option<Error> = None;
     let mut fallbacks = 0u64;
+    // Fallback attempts run with the watchdog disarmed — the budget was
+    // derived from the first choice's prediction and would misfire on an
+    // algorithm with a different (already known to be higher) cost.
+    let unwatched = spec.without_cost_budget();
     for (algorithm, cost) in ranked.iter().copied() {
         if cost.is_infinite() {
             break;
         }
+        let spec = if fallbacks == 0 { spec } else { &unwatched };
         let attempt = if workers > 1 {
             match algorithm {
                 Algorithm::Hhnl => parallel::execute_hhnl(spec, workers),
@@ -126,7 +134,12 @@ pub fn execute_with_workers(
                     outcome,
                 });
             }
-            Err(e @ (Error::InsufficientMemory { .. } | Error::Corrupt(_) | Error::Io { .. })) => {
+            Err(
+                e @ (Error::InsufficientMemory { .. }
+                | Error::Corrupt(_)
+                | Error::Io { .. }
+                | Error::CostOverrun { .. }),
+            ) => {
                 fallbacks += 1;
                 last_err = Some(e);
             }
@@ -252,6 +265,30 @@ mod tests {
         let par = execute_with_workers(&spec, &inv1, &inv2, IoScenario::Dedicated, 4).unwrap();
         assert_eq!(par.workers, 4);
         assert_eq!(par.outcome.result, seq.outcome.result);
+    }
+
+    #[test]
+    fn watchdog_overrun_replans_onto_next_cheapest_with_identical_results() {
+        let (_, c1, c2, inv1, inv2, _, _) = fixture();
+        let spec = JoinSpec::new(&c1, &c2)
+            .with_sys(SystemParams {
+                buffer_pages: 200,
+                page_size: 256,
+                alpha: 5.0,
+            })
+            .with_query(QueryParams::paper_base().with_lambda(5));
+        let baseline = execute(&spec, &inv1, &inv2, IoScenario::Dedicated).unwrap();
+        // A 1-page budget simulates a grossly optimistic prediction: the
+        // first choice overruns at its first checkpoint, the integrated
+        // algorithm re-plans onto the next-cheapest (watchdog disarmed),
+        // and the results are byte-identical to the unwatched run.
+        let watched = spec.with_cost_budget(1.0);
+        let got = execute(&watched, &inv1, &inv2, IoScenario::Dedicated).unwrap();
+        assert_eq!(got.outcome.result, baseline.outcome.result);
+        assert_ne!(
+            got.chosen, baseline.chosen,
+            "the overrun must force a different algorithm"
+        );
     }
 
     #[test]

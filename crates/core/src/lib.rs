@@ -42,7 +42,7 @@ pub mod vvm;
 pub mod weighting;
 
 pub use batch::{BatchOptions, BatchOutcome};
-pub use report::{PhaseDuration, QueryReport, SlowQueryLog, SIM_PAGE_NS};
+pub use report::{PhaseDuration, QueryReport, SlowLogRank, SlowQueryLog, SIM_PAGE_NS};
 pub use result::{ExecStats, JoinOutcome, JoinResult, Match, ResultQuality};
 pub use spec::{JoinSpec, OuterDocs};
 pub use topk::TopK;

@@ -510,7 +510,14 @@ mod tests {
 
     #[test]
     fn buffer_shares_sum_to_the_budget() {
-        for (total, workers) in [(64u64, 5usize), (63, 4), (100, 7), (17, 3), (8, 8), (160, 3)] {
+        for (total, workers) in [
+            (64u64, 5usize),
+            (63, 4),
+            (100, 7),
+            (17, 3),
+            (8, 8),
+            (160, 3),
+        ] {
             let shares = buffer_shares(total, workers);
             assert_eq!(shares.len(), workers);
             assert_eq!(

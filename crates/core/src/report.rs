@@ -11,6 +11,7 @@
 
 use crate::result::{JoinOutcome, ResultQuality};
 use std::fmt::Write as _;
+use textjoin_common::{Error, Result};
 use textjoin_costmodel::Algorithm;
 use textjoin_obs::{Registry, Tracer, LATENCY_BOUNDS_NS};
 use textjoin_storage::IoStats;
@@ -43,8 +44,9 @@ pub fn observe_phase_sim_io(trace: Option<&Tracer>, phase: &'static str, io: &Io
 /// One phase's aggregated span durations within a single query.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PhaseDuration {
-    /// Span name, e.g. `"hhnl.inner_scan"`.
-    pub name: &'static str,
+    /// Span name, e.g. `"hhnl.inner_scan"` (owned so reports can round-
+    /// trip through the persistent JSON-lines store).
+    pub name: String,
     /// Number of spans with this name.
     pub count: u64,
     /// Total wall-clock time across them, in microseconds.
@@ -58,6 +60,17 @@ pub struct QueryReport {
     pub query: String,
     /// The algorithm that produced the result.
     pub algorithm: Algorithm,
+    /// Calibration key: the collection-pair label this join ran over
+    /// (empty when the report is unkeyed — calibration skips it).
+    pub pair: String,
+    /// Calibration key: the query's λ.
+    pub lambda: u64,
+    /// Calibration key: the buffer budget `B` (pages) the run had.
+    pub buffer_pages: u64,
+    /// CPU work: similarity multiply-adds performed.
+    pub sim_ops: u64,
+    /// CPU work: document/inverted-file cells visited.
+    pub cells_touched: u64,
     /// Pages read, split by rate class.
     pub pages_read: IoStats,
     /// The paper's cost metric: `seq + α·rand`.
@@ -96,6 +109,11 @@ impl QueryReport {
         Self {
             query: query.into(),
             algorithm: s.algorithm,
+            pair: String::new(),
+            lambda: 0,
+            buffer_pages: 0,
+            sim_ops: s.sim_ops,
+            cells_touched: s.cells_touched,
             pages_read: s.io,
             measured_cost: s.cost,
             predicted_cost,
@@ -106,6 +124,33 @@ impl QueryReport {
             skipped_entries: s.skipped_entries,
             quality: outcome.quality,
             phases: trace.map(phase_durations).unwrap_or_default(),
+        }
+    }
+
+    /// Attaches the calibration key: the collection-pair label plus the
+    /// query/system knobs the run executed under. Keyed reports are what
+    /// the persistent store accumulates and the cost-model calibrator
+    /// groups by (`pair` × algorithm).
+    pub fn with_key(mut self, pair: impl Into<String>, lambda: u64, buffer_pages: u64) -> Self {
+        self.pair = pair.into();
+        self.lambda = lambda;
+        self.buffer_pages = buffer_pages;
+        self
+    }
+
+    /// The calibration-fit view of this report: the subset of fields
+    /// [`CalibrationProfile::fit`](textjoin_costmodel::CalibrationProfile::fit)
+    /// consumes, grouped under the report's calibration key.
+    pub fn to_observation(&self) -> textjoin_costmodel::ReportObs {
+        textjoin_costmodel::ReportObs {
+            pair: self.pair.clone(),
+            algorithm: self.algorithm,
+            seq_reads: self.pages_read.seq_reads,
+            rand_reads: self.pages_read.rand_reads,
+            cells: self.cells_touched,
+            wall_ns: self.wall_ns,
+            predicted_cost: self.predicted_cost,
+            measured_cost: self.measured_cost,
         }
     }
 
@@ -125,9 +170,12 @@ impl QueryReport {
         let mut out = String::new();
         let _ = write!(
             out,
-            "{{\"query\":\"{}\",\"algorithm\":\"{}\",\"seq_reads\":{},\"rand_reads\":{},\"measured_cost\":{:.3}",
+            "{{\"query\":\"{}\",\"algorithm\":\"{}\",\"pair\":\"{}\",\"lambda\":{},\"buffer_pages\":{},\"seq_reads\":{},\"rand_reads\":{},\"measured_cost\":{:.3}",
             escape(&self.query),
             self.algorithm,
+            escape(&self.pair),
+            self.lambda,
+            self.buffer_pages,
             self.pages_read.seq_reads,
             self.pages_read.rand_reads,
             self.measured_cost,
@@ -140,12 +188,14 @@ impl QueryReport {
         }
         let _ = write!(
             out,
-            ",\"wall_ns\":{},\"cache_hits\":{},\"entry_fetches\":{},\"skipped_docs\":{},\"skipped_entries\":{},\"quality\":\"{}\",\"phases\":[",
+            ",\"wall_ns\":{},\"cache_hits\":{},\"entry_fetches\":{},\"skipped_docs\":{},\"skipped_entries\":{},\"sim_ops\":{},\"cells_touched\":{},\"quality\":\"{}\",\"phases\":[",
             self.wall_ns,
             self.cache_hits,
             self.entry_fetches,
             self.skipped_docs,
             self.skipped_entries,
+            self.sim_ops,
+            self.cells_touched,
             self.quality,
         );
         for (i, p) in self.phases.iter().enumerate() {
@@ -155,13 +205,84 @@ impl QueryReport {
             let _ = write!(
                 out,
                 "{{\"name\":\"{}\",\"count\":{},\"total_us\":{}}}",
-                escape(p.name),
+                escape(&p.name),
                 p.count,
                 p.total_us
             );
         }
         out.push_str("]}");
         out
+    }
+
+    /// Parses one [`Self::to_json`] object back (hand-rolled — the
+    /// vendored serde is a no-op stand-in). Missing optional fields
+    /// (`pair`, the knobs, the CPU counters) default to zero/empty so
+    /// records written by earlier versions still load; missing required
+    /// fields are an [`Error::Parse`].
+    pub fn from_json(s: &str) -> Result<Self> {
+        let need = |key: &str| -> Result<f64> {
+            json_num_field(s, key)
+                .ok_or_else(|| Error::Parse(format!("report JSON missing numeric '{key}'")))
+        };
+        let query = json_str_field(s, "query")
+            .ok_or_else(|| Error::Parse("report JSON missing 'query'".into()))?;
+        let algorithm: Algorithm = json_str_field(s, "algorithm")
+            .ok_or_else(|| Error::Parse("report JSON missing 'algorithm'".into()))?
+            .parse()?;
+        let quality = match json_str_field(s, "quality").as_deref() {
+            Some("full") => ResultQuality::Full,
+            Some("partial") => ResultQuality::Partial,
+            other => {
+                return Err(Error::Parse(format!(
+                    "report JSON has bad 'quality': {other:?}"
+                )))
+            }
+        };
+        let mut phases = Vec::new();
+        if let Some(i) = s.find("\"phases\":[") {
+            let mut rest = &s[i + "\"phases\":[".len()..];
+            while let Some(open) = rest.find('{') {
+                let Some(close) = rest[open..].find('}') else {
+                    break;
+                };
+                let obj = &rest[open..open + close + 1];
+                let name = json_str_field(obj, "name")
+                    .ok_or_else(|| Error::Parse("phase missing 'name'".into()))?;
+                let count = json_num_field(obj, "count")
+                    .ok_or_else(|| Error::Parse("phase missing 'count'".into()))?;
+                let total_us = json_num_field(obj, "total_us")
+                    .ok_or_else(|| Error::Parse("phase missing 'total_us'".into()))?;
+                phases.push(PhaseDuration {
+                    name,
+                    count: count as u64,
+                    total_us: total_us as u64,
+                });
+                rest = &rest[open + close + 1..];
+            }
+        }
+        Ok(Self {
+            query,
+            algorithm,
+            pair: json_str_field(s, "pair").unwrap_or_default(),
+            lambda: json_num_field(s, "lambda").unwrap_or(0.0) as u64,
+            buffer_pages: json_num_field(s, "buffer_pages").unwrap_or(0.0) as u64,
+            sim_ops: json_num_field(s, "sim_ops").unwrap_or(0.0) as u64,
+            cells_touched: json_num_field(s, "cells_touched").unwrap_or(0.0) as u64,
+            pages_read: IoStats {
+                seq_reads: need("seq_reads")? as u64,
+                rand_reads: need("rand_reads")? as u64,
+                writes: 0,
+            },
+            measured_cost: need("measured_cost")?,
+            predicted_cost: json_num_field(s, "predicted_cost"),
+            wall_ns: need("wall_ns")? as u64,
+            cache_hits: need("cache_hits")? as u64,
+            entry_fetches: need("entry_fetches")? as u64,
+            skipped_docs: need("skipped_docs")? as u64,
+            skipped_entries: need("skipped_entries")? as u64,
+            quality,
+            phases,
+        })
     }
 
     /// Registers this query's headline numbers into a metrics registry:
@@ -199,13 +320,53 @@ fn phase_durations(trace: &Tracer) -> Vec<PhaseDuration> {
                 p.total_us = p.total_us.saturating_add(span.dur_us);
             }
             None => phases.push(PhaseDuration {
-                name: span.name,
+                name: span.name.to_string(),
                 count: 1,
                 total_us: span.dur_us,
             }),
         }
     }
     phases
+}
+
+/// The text following `"key":` in `s`, or `None`.
+fn json_field_start<'a>(s: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let i = s.find(&pat)?;
+    Some(s[i + pat.len()..].trim_start())
+}
+
+/// Extracts and unescapes the string value of `"key":"…"`.
+fn json_str_field(s: &str, key: &str) -> Option<String> {
+    let rest = json_field_start(s, key)?.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = (&mut chars).take(4).collect();
+                    out.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extracts the numeric value of `"key":<number>`.
+fn json_num_field(s: &str, key: &str) -> Option<f64> {
+    let rest = json_field_start(s, key)?;
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 fn escape(s: &str) -> String {
@@ -224,15 +385,27 @@ fn escape(s: &str) -> String {
     out
 }
 
+/// Which measurement ranks reports in the [`SlowQueryLog`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SlowLogRank {
+    /// Measured page cost `seq + α·rand` — the paper's unit.
+    #[default]
+    Cost,
+    /// Measured wall-clock time.
+    Wall,
+}
+
 /// A bounded log of the most expensive queries seen so far, ordered by
-/// measured cost (highest first). Insertion keeps the top `capacity`
-/// reports; the cheapest entry is evicted when a costlier one arrives.
-/// Among equal costs older reports rank higher and are retained in
-/// preference to newer ones, so eviction order is fully deterministic.
+/// the chosen rank key (measured page cost by default, wall time via
+/// [`SlowQueryLog::ranked_by`]), highest first. Insertion keeps the top
+/// `capacity` reports; the cheapest entry is evicted when a costlier one
+/// arrives. Among equal keys older reports rank higher and are retained
+/// in preference to newer ones, so eviction order is fully deterministic.
 #[derive(Debug)]
 pub struct SlowQueryLog {
     capacity: usize,
-    /// Sorted by `(measured_cost desc, sequence asc)`.
+    rank: SlowLogRank,
+    /// Sorted by `(rank key desc, sequence asc)`.
     entries: Vec<(f64, u64, QueryReport)>,
     next_seq: u64,
     admitted: u64,
@@ -240,10 +413,17 @@ pub struct SlowQueryLog {
 }
 
 impl SlowQueryLog {
-    /// A log keeping the `capacity` most expensive reports (at least 1).
+    /// A log keeping the `capacity` most expensive reports (at least 1),
+    /// ranked by measured page cost.
     pub fn new(capacity: usize) -> Self {
+        Self::ranked_by(capacity, SlowLogRank::Cost)
+    }
+
+    /// A log ranked by the given key.
+    pub fn ranked_by(capacity: usize, rank: SlowLogRank) -> Self {
         Self {
             capacity: capacity.max(1),
+            rank,
             entries: Vec::new(),
             next_seq: 0,
             admitted: 0,
@@ -251,25 +431,37 @@ impl SlowQueryLog {
         }
     }
 
+    /// The measurement this log ranks by.
+    pub fn rank(&self) -> SlowLogRank {
+        self.rank
+    }
+
+    fn key(&self, report: &QueryReport) -> f64 {
+        match self.rank {
+            SlowLogRank::Cost => report.measured_cost,
+            SlowLogRank::Wall => report.wall_ns as f64,
+        }
+    }
+
     /// Offers a report. Returns `true` if it entered the log.
     pub fn offer(&mut self, report: QueryReport) -> bool {
         let seq = self.next_seq;
         self.next_seq += 1;
+        let key = self.key(&report);
         if self.entries.len() >= self.capacity {
             // Full: strictly cheaper offers bounce off; everything else
-            // displaces the tail (the cheapest cost, newest within it).
-            let (min_cost, _, _) = self.entries.last().expect("non-empty at capacity");
-            if report.measured_cost < *min_cost {
+            // displaces the tail (the cheapest key, newest within it).
+            let (min_key, _, _) = self.entries.last().expect("non-empty at capacity");
+            if key < *min_key {
                 self.rejected += 1;
                 return false;
             }
             self.entries.pop();
         }
-        // Insert keeping (cost desc, seq asc): the new report has the
-        // largest seq, so it lands after every equal-cost entry.
-        let cost = report.measured_cost;
-        let at = self.entries.partition_point(|(c, _, _)| *c >= cost);
-        self.entries.insert(at, (cost, seq, report));
+        // Insert keeping (key desc, seq asc): the new report has the
+        // largest seq, so it lands after every equal-key entry.
+        let at = self.entries.partition_point(|(k, _, _)| *k >= key);
+        self.entries.insert(at, (key, seq, report));
         self.admitted += 1;
         true
     }
@@ -434,5 +626,76 @@ mod tests {
             writes: 0,
         };
         assert_eq!(sim_io_ns(&io, 5.0), 20 * SIM_PAGE_NS);
+    }
+
+    #[test]
+    fn json_round_trips_keyed_reports() {
+        let tracer = Tracer::enabled(16);
+        {
+            let root = tracer.span("vvm");
+            let _p = root.child("vvm.merge_pass");
+        }
+        let mut o = outcome(Algorithm::Vvm, 123.5, 9_876);
+        o.stats.io.rand_reads = 3;
+        o.stats.sim_ops = 42;
+        o.stats.cells_touched = 99;
+        let r = QueryReport::from_outcome("q \"quoted\"", &o, Some(&tracer), Some(117.25))
+            .with_key("balanced", 20, 160);
+        let parsed = QueryReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed.query, r.query);
+        assert_eq!(parsed.algorithm, r.algorithm);
+        assert_eq!(parsed.pair, "balanced");
+        assert_eq!(parsed.lambda, 20);
+        assert_eq!(parsed.buffer_pages, 160);
+        assert_eq!(parsed.sim_ops, 42);
+        assert_eq!(parsed.cells_touched, 99);
+        assert_eq!(parsed.pages_read.seq_reads, r.pages_read.seq_reads);
+        assert_eq!(parsed.pages_read.rand_reads, 3);
+        assert_eq!(parsed.measured_cost, r.measured_cost);
+        assert_eq!(parsed.predicted_cost, Some(117.25));
+        assert_eq!(parsed.wall_ns, r.wall_ns);
+        assert_eq!(parsed.quality, r.quality);
+        assert_eq!(parsed.phases, r.phases);
+        // The round trip is a fixed point: serializing again is identical.
+        assert_eq!(parsed.to_json(), r.to_json());
+    }
+
+    #[test]
+    fn from_json_defaults_missing_key_fields_and_rejects_garbage() {
+        // A record written before the calibration keys existed.
+        let legacy = "{\"query\":\"old\",\"algorithm\":\"HHNL\",\"seq_reads\":5,\
+                      \"rand_reads\":0,\"measured_cost\":5.000,\"wall_ns\":10,\
+                      \"cache_hits\":0,\"entry_fetches\":0,\"skipped_docs\":0,\
+                      \"skipped_entries\":0,\"quality\":\"full\",\"phases\":[]}";
+        let r = QueryReport::from_json(legacy).unwrap();
+        assert_eq!(r.pair, "");
+        assert_eq!(r.lambda, 0);
+        assert_eq!(r.sim_ops, 0);
+        assert_eq!(r.predicted_cost, None);
+        assert!(QueryReport::from_json("{\"query\":\"x\"}").is_err());
+        assert!(QueryReport::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn slowlog_can_rank_by_wall_time_with_deterministic_ties() {
+        let mut log = SlowQueryLog::ranked_by(2, SlowLogRank::Wall);
+        assert_eq!(log.rank(), SlowLogRank::Wall);
+        let wall = |name: &str, cost: f64, wall_ns: u64| {
+            QueryReport::from_outcome(name, &outcome(Algorithm::Hhnl, cost, wall_ns), None, None)
+        };
+        // Cheap in pages but slow on the wall: wall ranking must keep it.
+        log.offer(wall("slow-cheap", 1.0, 900));
+        log.offer(wall("fast-dear", 100.0, 100));
+        log.offer(wall("medium", 50.0, 500));
+        let order: Vec<&str> = log.entries().map(|r| r.query.as_str()).collect();
+        assert_eq!(order, vec!["slow-cheap", "medium"]);
+        // Equal wall times: the older report outranks and outlives the
+        // newer one, exactly as the cost ranking behaves.
+        let mut log = SlowQueryLog::ranked_by(2, SlowLogRank::Wall);
+        log.offer(wall("first", 1.0, 700));
+        log.offer(wall("second", 2.0, 700));
+        log.offer(wall("third", 3.0, 700));
+        let order: Vec<&str> = log.entries().map(|r| r.query.as_str()).collect();
+        assert_eq!(order, vec!["first", "third"]);
     }
 }

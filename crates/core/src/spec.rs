@@ -68,6 +68,13 @@ pub struct JoinSpec<'a> {
     /// tagged `ResultQuality::Partial`. Hard errors (insufficient memory,
     /// out-of-bounds addressing) still propagate.
     pub degraded: bool,
+    /// Drift-watchdog budget, in page-cost units (`seq + α·rand`). When
+    /// set, executors compare their running cost against it at natural
+    /// checkpoints (HHNL/VVM passes, HVNL outer documents) and abort with
+    /// [`textjoin_common::Error::CostOverrun`] once exceeded — the signal
+    /// for the query layer to re-plan onto the next-cheapest algorithm.
+    /// `None` (the default) disables the watchdog entirely.
+    pub cost_budget: Option<f64>,
 }
 
 impl<'a> JoinSpec<'a> {
@@ -84,6 +91,7 @@ impl<'a> JoinSpec<'a> {
             exclude_self: false,
             trace: None,
             degraded: false,
+            cost_budget: None,
         }
     }
 
@@ -102,6 +110,41 @@ impl<'a> JoinSpec<'a> {
     pub fn skippable(&self, err: &textjoin_common::Error) -> bool {
         use textjoin_common::Error;
         self.degraded && matches!(err, Error::Corrupt(_) | Error::Io { .. })
+    }
+
+    /// Arms the drift watchdog: the join aborts with
+    /// [`textjoin_common::Error::CostOverrun`] once its running page cost
+    /// exceeds `budget`.
+    pub fn with_cost_budget(self, budget: f64) -> Self {
+        Self {
+            cost_budget: Some(budget),
+            ..self
+        }
+    }
+
+    /// Disarms the drift watchdog (used when re-planning onto a fallback
+    /// algorithm, which must be allowed to finish).
+    pub fn without_cost_budget(self) -> Self {
+        Self {
+            cost_budget: None,
+            ..self
+        }
+    }
+
+    /// Watchdog checkpoint: errors with `CostOverrun` if `cost` (the join's
+    /// running page cost, `seq + α·rand`) exceeds the armed budget. A cheap
+    /// single branch when the watchdog is disarmed.
+    #[inline]
+    pub fn check_cost_budget(&self, cost: f64) -> Result<()> {
+        if let Some(budget) = self.cost_budget {
+            if cost > budget {
+                return Err(textjoin_common::Error::CostOverrun {
+                    observed_pages: cost.ceil() as u64,
+                    budget_pages: budget.ceil() as u64,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Attaches a tracer; executors will open spans per phase and batch.

@@ -86,9 +86,8 @@ pub(crate) fn estimate_partitions(
         .into_iter()
         .min()
         .expect("at least one worker");
-    let m = min_share as f64
-        - inner_inv.avg_entry_pages().ceil()
-        - outer_inv.avg_entry_pages().ceil();
+    let m =
+        min_share as f64 - inner_inv.avg_entry_pages().ceil() - outer_inv.avg_entry_pages().ceil();
     if m <= 0.0 {
         return Err(Error::InsufficientMemory {
             context: "VVM similarity space (M ≤ 0)".into(),
@@ -208,6 +207,9 @@ fn run(
         // Emit this subcollection's results.
         emit_chunk(spec, chunk, &acc, &mut rows);
         tracker.release(acc_bytes);
+        // Watchdog checkpoint: each merge pass costs I1 + I2 pages, so a
+        // partition-count blow-up is caught after the first extra pass.
+        spec.check_cost_budget(disk.stats().since(&start_io).cost(spec.sys.alpha))?;
         if pass_span.is_enabled() {
             let d = disk.stats().since(&pass_io);
             pass_span.record("outer_docs", chunk.len() as u64);

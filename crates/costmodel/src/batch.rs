@@ -60,7 +60,11 @@ pub fn hvs_batch(inputs: &[JoinInputs]) -> f64 {
         return 0.0;
     };
     let bt1 = first.bt1();
-    inputs.iter().map(|i| hvnl::sequential(i) - bt1).sum::<f64>() + bt1
+    inputs
+        .iter()
+        .map(|i| hvnl::sequential(i) - bt1)
+        .sum::<f64>()
+        + bt1
 }
 
 /// `hvr_batch` — worst-case batched HVNL (outer reads seek too).
@@ -206,7 +210,11 @@ mod tests {
                     hhnl::sequential(&i).unwrap(),
                     "hhs λ={lambda} B={b}"
                 );
-                assert_eq!(hvs_batch(&batch), hvnl::sequential(&i), "hvs λ={lambda} B={b}");
+                assert_eq!(
+                    hvs_batch(&batch),
+                    hvnl::sequential(&i),
+                    "hvs λ={lambda} B={b}"
+                );
                 assert_eq!(
                     vvs_batch(&batch).unwrap(),
                     vvm::sequential(&i).unwrap(),
@@ -219,10 +227,7 @@ mod tests {
     #[test]
     fn batch_never_exceeds_sum_of_sequentials() {
         let specs: Vec<JoinInputs> = [1usize, 5, 5, 20].iter().map(|&l| inputs(l, 200)).collect();
-        let hh_sum: f64 = specs
-            .iter()
-            .map(|i| hhnl::sequential(i).unwrap())
-            .sum();
+        let hh_sum: f64 = specs.iter().map(|i| hhnl::sequential(i).unwrap()).sum();
         let hv_sum: f64 = specs.iter().map(hvnl::sequential).sum();
         let vv_sum: f64 = specs.iter().map(|i| vvm::sequential(i).unwrap()).sum();
         assert!(hhs_batch(&specs).unwrap() <= hh_sum);
@@ -278,8 +283,14 @@ mod tests {
     #[test]
     fn worst_case_batch_reduces_to_sequential_and_bounds_the_sum() {
         let i = inputs(5, 200);
-        assert_eq!(hhr_batch(&[i]).unwrap(), hhnl::worst_case_random(&i).unwrap());
-        assert_eq!(vvr_batch(&[i]).unwrap(), vvm::worst_case_random(&i).unwrap());
+        assert_eq!(
+            hhr_batch(&[i]).unwrap(),
+            hhnl::worst_case_random(&i).unwrap()
+        );
+        assert_eq!(
+            vvr_batch(&[i]).unwrap(),
+            vvm::worst_case_random(&i).unwrap()
+        );
         let batch = vec![i; 4];
         let hh_sum = 4.0 * hhnl::worst_case_random(&i).unwrap();
         let vv_sum = 4.0 * vvm::worst_case_random(&i).unwrap();

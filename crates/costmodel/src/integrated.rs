@@ -39,6 +39,24 @@ impl fmt::Display for Algorithm {
     }
 }
 
+impl std::str::FromStr for Algorithm {
+    type Err = textjoin_common::Error;
+
+    /// Parses the paper's display names back (`"HHNL"`, `"HVNL"`,
+    /// `"VVM"`) — the inverse of [`fmt::Display`], used when reports are
+    /// reloaded from the persistent store.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "HHNL" => Ok(Algorithm::Hhnl),
+            "HVNL" => Ok(Algorithm::Hvnl),
+            "VVM" => Ok(Algorithm::Vvm),
+            other => Err(textjoin_common::Error::Parse(format!(
+                "unknown algorithm '{other}'"
+            ))),
+        }
+    }
+}
+
 /// Which I/O pricing applies: a dedicated drive per structure (sequential
 /// estimates) or a shared device in the worst case (random estimates).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]

@@ -20,9 +20,13 @@
 //! [`term_containment_probability`]). [`integrated`] implements the
 //! integrated algorithm of section 6.1: estimate all three costs, run the
 //! cheapest. [`comm`] extends the models with the multidatabase
-//! communication term the paper lists as future work.
+//! communication term the paper lists as future work. [`calibrate`] closes
+//! the loop: it fits `α̂`, a two-term latency model and per-workload
+//! correction factors from accumulated query reports, so the planner can
+//! rank algorithms by *calibrated* rather than raw estimates.
 
 pub mod batch;
+pub mod calibrate;
 pub mod comm;
 pub mod hhnl;
 pub mod hvnl;
@@ -34,7 +38,10 @@ pub mod vvm;
 #[cfg(test)]
 mod proptests;
 
-pub use batch::{hhr_batch, hhs_batch, hvr_batch, hvs_batch, vvr_batch, vvs_batch, BatchCostEstimates};
+pub use batch::{
+    hhr_batch, hhs_batch, hvr_batch, hvs_batch, vvr_batch, vvs_batch, BatchCostEstimates,
+};
+pub use calibrate::{CalibrationProfile, ReportObs, CALIBRATION_VERSION};
 pub use comm::{choose_distributed, CommParams, Site, TermEncoding};
 pub use inputs::{term_containment_probability, JoinInputs};
 pub use integrated::{choose, Algorithm, CostEstimates, IoScenario};

@@ -14,16 +14,21 @@
 //!   carry per-span metric deltas (pages read, cache hits, similarity
 //!   ops) into a bounded ring buffer. The [`trace::Tracer`] handle is a
 //!   no-op when disabled, so instrumented hot paths pay one branch.
+//! - [`store`] — a persistent, bounded, append-only JSON-lines store,
+//!   the durability substrate for per-query reports: what the
+//!   cost-model calibrator reads back across process runs.
 //!
 //! The crate is intentionally dependency-free (std only) and sits below
 //! every other `textjoin-*` crate so storage, executors and the query
 //! layer can all emit into one registry/trace.
 
 pub mod metrics;
+pub mod store;
 pub mod trace;
 
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricSnapshot, MetricValue, Registry,
     LATENCY_BOUNDS_NS,
 };
+pub use store::ReportStore;
 pub use trace::{Span, SpanRecord, Tracer};

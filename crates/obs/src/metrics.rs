@@ -395,58 +395,94 @@ impl Registry {
 
     /// Prometheus text exposition format (metric names sanitized to
     /// `[a-zA-Z0-9_]`, label rendered as `{label="..."}`).
+    ///
+    /// Conformant by construction: every family is contiguous under a
+    /// single `# TYPE` line, and a histogram family emits exactly the
+    /// `_bucket`/`_sum`/`_count` series the exposition format defines —
+    /// which is what makes downstream `rate(name_sum[..]) /
+    /// rate(name_count[..])` average queries work. The bucket-resolution
+    /// quantiles and the observed max, which the histogram type has no
+    /// slot for (bare `name{quantile=…}` lines belong to *summaries*),
+    /// export as auxiliary gauge families `<name>_quantile` and
+    /// `<name>_max`.
     pub fn to_prometheus_text(&self) -> String {
+        let snapshot = self.snapshot();
         let mut out = String::new();
-        let mut last_name = "";
-        for m in self.snapshot() {
-            let prom_name = sanitize_prom(m.name);
-            let type_line = match &m.value {
+        // The snapshot is sorted by (name, label), so each family is one
+        // contiguous run.
+        let mut i = 0;
+        while i < snapshot.len() {
+            let name = snapshot[i].name;
+            let mut j = i;
+            while j < snapshot.len() && snapshot[j].name == name {
+                j += 1;
+            }
+            let family = &snapshot[i..j];
+            i = j;
+            let prom_name = sanitize_prom(name);
+            let type_line = match &family[0].value {
                 MetricValue::Counter(_) => "counter",
                 MetricValue::Gauge(_) => "gauge",
                 MetricValue::Histogram { .. } => "histogram",
             };
-            if m.name != last_name {
-                let _ = writeln!(out, "# TYPE {prom_name} {type_line}");
-                last_name = m.name;
+            let _ = writeln!(out, "# TYPE {prom_name} {type_line}");
+            for m in family {
+                let label = prom_label(&m.label);
+                match &m.value {
+                    MetricValue::Counter(v) => {
+                        let _ = writeln!(out, "{prom_name}{label} {v}");
+                    }
+                    MetricValue::Gauge(v) => {
+                        let _ = writeln!(out, "{prom_name}{label} {v}");
+                    }
+                    MetricValue::Histogram(h) => {
+                        let inner = if m.label.is_empty() {
+                            String::new()
+                        } else {
+                            format!("label=\"{}\",", escape_json(&m.label))
+                        };
+                        let mut cumulative = 0u64;
+                        for (bi, c) in h.buckets.iter().enumerate() {
+                            cumulative += c;
+                            let le = match h.bounds.get(bi) {
+                                Some(b) => b.to_string(),
+                                None => "+Inf".to_string(),
+                            };
+                            let _ = writeln!(
+                                out,
+                                "{prom_name}_bucket{{{inner}le=\"{le}\"}} {cumulative}"
+                            );
+                        }
+                        let _ = writeln!(out, "{prom_name}_sum{label} {}", h.sum);
+                        let _ = writeln!(out, "{prom_name}_count{label} {}", h.count);
+                    }
+                }
             }
-            let label = if m.label.is_empty() {
-                String::new()
-            } else {
-                format!("{{label=\"{}\"}}", escape_json(&m.label))
-            };
-            match &m.value {
-                MetricValue::Counter(v) => {
-                    let _ = writeln!(out, "{prom_name}{label} {v}");
-                }
-                MetricValue::Gauge(v) => {
-                    let _ = writeln!(out, "{prom_name}{label} {v}");
-                }
-                MetricValue::Histogram(h) => {
+            if matches!(family[0].value, MetricValue::Histogram(_)) {
+                let _ = writeln!(out, "# TYPE {prom_name}_quantile gauge");
+                for m in family {
+                    let MetricValue::Histogram(h) = &m.value else {
+                        continue;
+                    };
                     let inner = if m.label.is_empty() {
                         String::new()
                     } else {
                         format!("label=\"{}\",", escape_json(&m.label))
                     };
-                    let mut cumulative = 0u64;
-                    for (i, c) in h.buckets.iter().enumerate() {
-                        cumulative += c;
-                        let le = match h.bounds.get(i) {
-                            Some(b) => b.to_string(),
-                            None => "+Inf".to_string(),
-                        };
-                        let _ =
-                            writeln!(out, "{prom_name}_bucket{{{inner}le=\"{le}\"}} {cumulative}");
-                    }
                     for (q, qname) in [(0.50, "0.5"), (0.90, "0.9"), (0.99, "0.99")] {
                         let _ = writeln!(
                             out,
-                            "{prom_name}{{{inner}quantile=\"{qname}\"}} {}",
+                            "{prom_name}_quantile{{{inner}quantile=\"{qname}\"}} {}",
                             h.quantile(q)
                         );
                     }
-                    let _ = writeln!(out, "{prom_name}_max{label} {}", h.max);
-                    let _ = writeln!(out, "{prom_name}_sum{label} {}", h.sum);
-                    let _ = writeln!(out, "{prom_name}_count{label} {}", h.count);
+                }
+                let _ = writeln!(out, "# TYPE {prom_name}_max gauge");
+                for m in family {
+                    let MetricValue::Histogram(h) = &m.value else {
+                        continue;
+                    };
+                    let _ = writeln!(out, "{prom_name}_max{} {}", prom_label(&m.label), h.max);
                 }
             }
         }
@@ -476,6 +512,15 @@ fn sanitize_prom(name: &str) -> String {
     name.chars()
         .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
         .collect()
+}
+
+/// `{label="…"}` when the label is non-empty, nothing otherwise.
+fn prom_label(label: &str) -> String {
+    if label.is_empty() {
+        String::new()
+    } else {
+        format!("{{label=\"{}\"}}", escape_json(label))
+    }
 }
 
 #[cfg(test)]
@@ -594,11 +639,11 @@ mod tests {
         assert!(json.contains("\"max\":400"), "{json}");
         let prom = r.to_prometheus_text();
         assert!(
-            prom.contains("op_wall_ns{label=\"c1\",quantile=\"0.5\"} 10"),
+            prom.contains("op_wall_ns_quantile{label=\"c1\",quantile=\"0.5\"} 10"),
             "{prom}"
         );
         assert!(
-            prom.contains("op_wall_ns{label=\"c1\",quantile=\"0.99\"} 400"),
+            prom.contains("op_wall_ns_quantile{label=\"c1\",quantile=\"0.99\"} 400"),
             "{prom}"
         );
         assert!(prom.contains("op_wall_ns_max{label=\"c1\"} 400"), "{prom}");
@@ -641,7 +686,67 @@ mod tests {
         assert!(text.contains("disk_seq_reads{label=\"c1\"} 3"), "{text}");
         assert!(text.contains("span_us_bucket{le=\"10\"} 1"), "{text}");
         assert!(text.contains("span_us_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("span_us_sum 55"), "{text}");
         assert!(text.contains("span_us_count 2"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_histogram_family_is_conformant() {
+        // Two labelsets of one histogram family plus a counter: every
+        // family must be contiguous under exactly one TYPE line, the
+        // histogram family must contain only `_bucket`/`_sum`/`_count`
+        // series (bare-name quantile lines belong to summaries, not
+        // histograms), and `_sum`/`_count` must appear per labelset so
+        // `rate()`-based averages work downstream.
+        let r = Registry::new();
+        let a = r.histogram("q.wall_ns", "a", &[10, 100]);
+        let b = r.histogram("q.wall_ns", "b", &[10, 100]);
+        for v in [5, 50] {
+            a.observe(v);
+        }
+        b.observe(7);
+        r.counter("q.zz", "").inc();
+        let text = r.to_prometheus_text();
+        assert!(text.contains("# TYPE q_wall_ns histogram"), "{text}");
+        assert_eq!(
+            text.matches("# TYPE q_wall_ns histogram").count(),
+            1,
+            "{text}"
+        );
+        for label in ["a", "b"] {
+            assert!(
+                text.contains(&format!("q_wall_ns_sum{{label=\"{label}\"}}")),
+                "{text}"
+            );
+            assert!(
+                text.contains(&format!("q_wall_ns_count{{label=\"{label}\"}}")),
+                "{text}"
+            );
+        }
+        assert!(text.contains("q_wall_ns_sum{label=\"a\"} 55"), "{text}");
+        assert!(text.contains("q_wall_ns_count{label=\"a\"} 2"), "{text}");
+        // Quantiles and max moved to their own gauge families; the
+        // histogram family itself holds no bare-name series.
+        assert!(text.contains("# TYPE q_wall_ns_quantile gauge"), "{text}");
+        assert!(text.contains("# TYPE q_wall_ns_max gauge"), "{text}");
+        for line in text.lines() {
+            let Some(series) = line.split(['{', ' ']).next() else {
+                continue;
+            };
+            if line.starts_with('#') || !series.starts_with("q_wall_ns") {
+                continue;
+            }
+            assert!(
+                ["_bucket", "_sum", "_count", "_quantile", "_max"]
+                    .iter()
+                    .any(|s| series == format!("q_wall_ns{s}")),
+                "bare-name series inside histogram family: {line}"
+            );
+        }
+        // Families are contiguous: each TYPE header appears after all
+        // series of the previous family.
+        let type_lines: Vec<&str> = text.lines().filter(|l| l.starts_with("# TYPE")).collect();
+        assert_eq!(type_lines.len(), 4, "{text}");
     }
 
     #[test]

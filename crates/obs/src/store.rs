@@ -1,0 +1,236 @@
+//! A persistent, append-only, bounded JSON-lines store.
+//!
+//! The observability layer's `QueryReport`s are only useful for
+//! calibration if they survive the process that produced them. This
+//! module stores one record per line in a plain text file:
+//!
+//! - **append-only, crash-safe**: every append writes `record\n` in a
+//!   single call on a file opened in append mode and syncs the data to
+//!   disk. A crash mid-write leaves at most one torn trailing line, which
+//!   the loader detects (no terminating newline) and drops — every record
+//!   admitted by [`ReportStore::records`] was durably written in full.
+//! - **bounded**: the store keeps at most `capacity` records. When an
+//!   append would exceed the bound, the store compacts by writing the
+//!   most recent `capacity` records to a temporary file and atomically
+//!   renaming it over the original, so the on-disk file never holds a
+//!   half-compacted state.
+//! - **mergeable across runs**: [`ReportStore::open`] loads whatever a
+//!   previous process left behind; appends from the new process extend
+//!   the same history.
+//!
+//! The store is deliberately schema-agnostic (it stores lines, not
+//! parsed reports): `textjoin-obs` sits below the crates that know what
+//! a `QueryReport` is, and keeping the persistence layer dumb means a
+//! version skew in the record format can never brick the store — stale
+//! records simply fail to parse upstream and are skipped there.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Persistent bounded JSON-lines store. See the module docs for the
+/// durability contract.
+#[derive(Debug)]
+pub struct ReportStore {
+    path: PathBuf,
+    capacity: usize,
+    records: Vec<String>,
+}
+
+impl ReportStore {
+    /// Opens (or creates) the store at `path`, loading every complete
+    /// line a previous run left behind. `capacity` bounds the record
+    /// count; opening a file holding more than `capacity` records keeps
+    /// the most recent ones.
+    pub fn open(path: impl Into<PathBuf>, capacity: usize) -> io::Result<Self> {
+        let path = path.into();
+        let capacity = capacity.max(1);
+        let mut records = Vec::new();
+        match File::open(&path) {
+            Ok(mut f) => {
+                let mut text = String::new();
+                f.read_to_string(&mut text)?;
+                let mut rest = text.as_str();
+                // Only newline-terminated lines are durable records; a
+                // trailing fragment is a torn write and is dropped.
+                while let Some(nl) = rest.find('\n') {
+                    let line = &rest[..nl];
+                    if !line.trim().is_empty() {
+                        records.push(line.to_string());
+                    }
+                    rest = &rest[nl + 1..];
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let mut store = Self {
+            path,
+            capacity,
+            records,
+        };
+        if store.records.len() > store.capacity {
+            let keep = store.records.len() - store.capacity;
+            store.records.drain(..keep);
+            store.rewrite()?;
+        }
+        Ok(store)
+    }
+
+    /// Appends one record. The record must not contain a newline (it
+    /// would masquerade as two records on reload).
+    pub fn append(&mut self, record: &str) -> io::Result<()> {
+        if record.contains('\n') {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a store record must be a single line",
+            ));
+        }
+        if self.records.len() >= self.capacity {
+            // Compact *before* the append so the new record is written
+            // exactly once, by the append path.
+            let keep = self.records.len() + 1 - self.capacity;
+            self.records.drain(..keep);
+            self.rewrite()?;
+        }
+        let mut f = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        let mut line = String::with_capacity(record.len() + 1);
+        line.push_str(record);
+        line.push('\n');
+        f.write_all(line.as_bytes())?;
+        f.sync_data()?;
+        self.records.push(record.to_string());
+        Ok(())
+    }
+
+    /// Every durable record, oldest first.
+    pub fn records(&self) -> &[String] {
+        &self.records
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The record bound this store compacts to.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The file backing this store.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Writes the in-memory records to a temporary file and atomically
+    /// renames it over the store file.
+    fn rewrite(&self) -> io::Result<()> {
+        let tmp = self.path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            let mut text = String::new();
+            for r in &self.records {
+                text.push_str(r);
+                text.push('\n');
+            }
+            f.write_all(text.as_bytes())?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn scratch_path(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "textjoin-store-{}-{tag}-{n}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn appends_survive_reopen_identically() {
+        let path = scratch_path("reopen");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut s = ReportStore::open(&path, 16).unwrap();
+            s.append(r#"{"query":"a","cost":1}"#).unwrap();
+            s.append(r#"{"query":"b","cost":2}"#).unwrap();
+        }
+        // "Process restart": a fresh handle sees the identical records.
+        let s = ReportStore::open(&path, 16).unwrap();
+        assert_eq!(
+            s.records(),
+            &[
+                r#"{"query":"a","cost":1}"#.to_string(),
+                r#"{"query":"b","cost":2}"#.to_string(),
+            ]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_trailing_line_is_dropped_and_blank_lines_skipped() {
+        let path = scratch_path("torn");
+        std::fs::write(&path, "{\"a\":1}\n\n{\"b\":2}\n{\"torn\":").unwrap();
+        let s = ReportStore::open(&path, 16).unwrap();
+        assert_eq!(
+            s.records(),
+            &["{\"a\":1}".to_string(), "{\"b\":2}".to_string()]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn capacity_bounds_the_store_keeping_the_newest() {
+        let path = scratch_path("bound");
+        let _ = std::fs::remove_file(&path);
+        let mut s = ReportStore::open(&path, 3).unwrap();
+        for i in 0..7 {
+            s.append(&format!("r{i}")).unwrap();
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.records(), &["r4", "r5", "r6"]);
+        // The bound holds on disk too, not just in memory.
+        let reopened = ReportStore::open(&path, 3).unwrap();
+        assert_eq!(reopened.records(), s.records());
+        // And an over-full file is trimmed at open time.
+        let tight = ReportStore::open(&path, 2).unwrap();
+        assert_eq!(tight.records(), &["r5", "r6"]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn multiline_records_are_rejected() {
+        let path = scratch_path("multiline");
+        let _ = std::fs::remove_file(&path);
+        let mut s = ReportStore::open(&path, 4).unwrap();
+        assert!(s.append("a\nb").is_err());
+        assert!(s.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_opens_empty() {
+        let path = scratch_path("missing");
+        let _ = std::fs::remove_file(&path);
+        let s = ReportStore::open(&path, 4).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 4);
+    }
+}

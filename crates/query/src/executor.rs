@@ -5,8 +5,8 @@ use crate::parser::parse;
 use crate::planner::{plan, plan_batch, plan_with_workers, BatchPlan, OutputCol, Plan};
 use textjoin_common::{Error, QueryParams, Result, Score, SystemParams};
 use textjoin_core::{
-    batch, hhnl, hvnl, parallel, vvm, Algorithm, BatchOptions, ExecStats, IoScenario, JoinSpec,
-    JoinResult, OuterDocs, ResultQuality,
+    batch, hhnl, hvnl, parallel, vvm, Algorithm, BatchOptions, ExecStats, IoScenario, JoinResult,
+    JoinSpec, OuterDocs, ResultQuality,
 };
 use textjoin_costmodel::Algorithm as Alg;
 
@@ -73,6 +73,38 @@ pub fn execute_plan_traced(
     base_query_params: QueryParams,
     trace: Option<&textjoin_obs::Tracer>,
 ) -> Result<QueryOutput> {
+    execute_plan_inner(catalog, p, sys, base_query_params, trace, None)
+}
+
+/// Executes a plan with the drift watchdog armed: the chosen algorithm may
+/// spend at most `drift_factor ×` its (calibrated) predicted page cost.
+/// If it overruns — the prediction was badly optimistic — the run aborts
+/// mid-flight with `Error::CostOverrun` and re-plans onto the
+/// next-cheapest algorithm, which executes unwatched (the budget belonged
+/// to the aborted prediction). Results are identical either way; only the
+/// I/O spent differs.
+pub fn execute_plan_watched(
+    catalog: &Catalog,
+    p: &Plan,
+    sys: SystemParams,
+    base_query_params: QueryParams,
+    trace: Option<&textjoin_obs::Tracer>,
+    drift_factor: f64,
+) -> Result<QueryOutput> {
+    let predicted = p.chosen_prediction().calibrated;
+    let budget = (predicted.is_finite() && predicted > 0.0 && drift_factor.is_finite())
+        .then_some(predicted * drift_factor);
+    execute_plan_inner(catalog, p, sys, base_query_params, trace, budget)
+}
+
+fn execute_plan_inner(
+    catalog: &Catalog,
+    p: &Plan,
+    sys: SystemParams,
+    base_query_params: QueryParams,
+    trace: Option<&textjoin_obs::Tracer>,
+    cost_budget: Option<f64>,
+) -> Result<QueryOutput> {
     let inner_rel = catalog
         .relation(&p.inner_rel)
         .expect("planned relation exists");
@@ -98,6 +130,9 @@ pub fn execute_plan_traced(
     if let Some(t) = trace {
         spec = spec.with_trace(t);
     }
+    if let Some(budget) = cost_budget {
+        spec = spec.with_cost_budget(budget);
+    }
 
     let run_alg = |alg: Alg, spec: &JoinSpec<'_>| {
         if p.workers > 1 {
@@ -118,13 +153,17 @@ pub fn execute_plan_traced(
     };
 
     // Run the plan's choice; if it dies mid-run on unreadable storage (a
-    // corrupt page, an exhausted retry), re-plan onto the remaining feasible
-    // algorithms cheapest-first — e.g. HVNL failing on a corrupt inverted
-    // file falls back to HHNL, which never touches the inverted file.
+    // corrupt page, an exhausted retry) or overruns its watchdog budget
+    // (the cost prediction was badly optimistic), re-plan onto the
+    // remaining feasible algorithms cheapest-first — e.g. HVNL failing on
+    // a corrupt inverted file falls back to HHNL, which never touches the
+    // inverted file. Fallbacks run with the watchdog disarmed: the budget
+    // was derived from the aborted choice's prediction.
     let mut executed = p.chosen;
     let outcome = match run_alg(p.chosen, &spec) {
         Ok(outcome) => outcome,
-        Err(e @ (Error::Corrupt(_) | Error::Io { .. })) => {
+        Err(e @ (Error::Corrupt(_) | Error::Io { .. } | Error::CostOverrun { .. })) => {
+            let spec = spec.without_cost_budget();
             let mut fallbacks: Vec<Alg> = Alg::ALL.into_iter().filter(|a| *a != p.chosen).collect();
             fallbacks.sort_by(|a, b| {
                 p.estimates
@@ -220,10 +259,7 @@ pub fn run_query_batch(
     base_query_params: QueryParams,
     scenario: IoScenario,
 ) -> Result<BatchQueryOutput> {
-    let queries = sqls
-        .iter()
-        .map(|s| parse(s))
-        .collect::<Result<Vec<_>>>()?;
+    let queries = sqls.iter().map(|s| parse(s)).collect::<Result<Vec<_>>>()?;
     let bp = plan_batch(catalog, &queries, sys, base_query_params, scenario)?;
     execute_batch_plan(catalog, &bp, sys, base_query_params)
 }
@@ -535,8 +571,7 @@ mod tests {
         ];
         let sys = SystemParams::paper_base();
         let qp = QueryParams::paper_base();
-        let batch_out =
-            run_query_batch(&c, &sqls, sys, qp, IoScenario::Dedicated).unwrap();
+        let batch_out = run_query_batch(&c, &sqls, sys, qp, IoScenario::Dedicated).unwrap();
         assert_eq!(batch_out.queries.len(), 3);
         for (sql, q) in sqls.iter().zip(&batch_out.queries) {
             let solo = run(&c, sql);
@@ -567,15 +602,46 @@ mod tests {
             bp.chosen = force;
             let out = execute_batch_plan(&c, &bp, sys, qp).unwrap();
             assert_eq!(out.algorithm, force);
-            outputs.push(
-                out.queries
-                    .into_iter()
-                    .map(|q| q.rows)
-                    .collect::<Vec<_>>(),
-            );
+            outputs.push(out.queries.into_iter().map(|q| q.rows).collect::<Vec<_>>());
         }
         assert_eq!(outputs[0], outputs[1]);
         assert_eq!(outputs[1], outputs[2]);
+    }
+
+    #[test]
+    fn watchdog_overrun_replans_mid_run_onto_next_cheapest_identically() {
+        let c = catalog();
+        let query = parse(
+            "Select P.P#, A.SSN From Positions P, Applicants A \
+             Where A.Resume SIMILAR_TO(2) P.Job_descr",
+        )
+        .unwrap();
+        let sys = SystemParams::paper_base();
+        let qp = QueryParams::paper_base();
+        let mut p = plan(&c, &query, sys, qp, IoScenario::Dedicated).unwrap();
+        let baseline = execute_plan(&c, &p, sys, qp).unwrap();
+        assert_eq!(baseline.algorithm, p.chosen);
+        // Seed a gross misprediction: the chosen algorithm claims it needs
+        // a fraction of a page. The watchdog budget (1.5 × 0.2 pages) is
+        // overrun at the first checkpoint, the executor re-plans onto the
+        // next-cheapest algorithm, and the tuples are byte-identical.
+        let idx = p
+            .predictions
+            .iter()
+            .position(|pr| pr.algorithm == p.chosen)
+            .unwrap();
+        p.predictions[idx].calibrated = 0.2;
+        let watched = execute_plan_watched(&c, &p, sys, qp, None, 1.5).unwrap();
+        assert_ne!(
+            watched.algorithm, baseline.algorithm,
+            "the overrun must force a different algorithm"
+        );
+        assert_eq!(watched.rows, baseline.rows);
+        assert_eq!(watched.headers, baseline.headers);
+        // A sane prediction with generous headroom never trips the guard.
+        let unwatched = execute_plan_watched(&c, &p, sys, qp, None, f64::INFINITY);
+        assert!(unwatched.is_ok());
+        assert_eq!(unwatched.unwrap().rows, baseline.rows);
     }
 
     #[test]

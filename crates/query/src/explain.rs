@@ -12,13 +12,13 @@
 use crate::catalog::Catalog;
 use crate::executor::execute_batch_plan;
 use crate::parser::parse;
-use crate::planner::{plan, plan_batch, Plan};
+use crate::planner::{plan, plan_batch, plan_with_profile, Plan};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 use textjoin_common::{Error, QueryParams, Result, SystemParams};
 use textjoin_core::{hhnl, hvnl, parallel, vvm, ExecStats, JoinSpec, OuterDocs, QueryReport};
-use textjoin_costmodel::{parallel as par_cost, Algorithm, IoScenario};
+use textjoin_costmodel::{parallel as par_cost, Algorithm, CalibrationProfile, IoScenario};
 use textjoin_obs::{MetricValue, Registry, SpanRecord, Tracer};
 
 /// Plans the query and renders a human-readable explanation.
@@ -98,6 +98,21 @@ fn render(p: &Plan, sys: SystemParams, scenario: IoScenario) -> String {
     out
 }
 
+/// Signed percent error `(measured − predicted) / predicted · 100`.
+///
+/// The ratio is withheld (`None`) when the prediction is degenerate —
+/// non-finite, or under one page (empty collection, λ = 0) — *or* when the
+/// measurement itself is zero: dividing by a sub-page prediction yields
+/// `inf`/`NaN` or meaningless five-digit percentages, and a zero
+/// measurement against a real prediction says the run never happened, not
+/// that the model was 100% wrong. This is the same guard
+/// [`QueryReport::drift_pct`] applies, shared by the sequential and batch
+/// drift tables.
+fn drift_ratio(predicted: f64, measured: f64) -> Option<f64> {
+    (predicted.is_finite() && predicted >= 1.0 && measured > 0.0)
+        .then(|| (measured - predicted) / predicted * 100.0)
+}
+
 /// One predicted-vs-measured line of the drift report.
 #[derive(Clone, Debug)]
 pub struct DriftRow {
@@ -112,11 +127,9 @@ pub struct DriftRow {
     /// algorithm could not run (insufficient memory at run time).
     pub measured: Option<f64>,
     /// Signed percent error `(measured − predicted) / predicted · 100`,
-    /// when both sides are available and the prediction is finite and at
-    /// least one page. Degenerate specs (empty collection, λ = 0) predict
-    /// zero or sub-page costs; dividing by those yields `inf`/`NaN` or
-    /// meaningless five-digit percentages, so the ratio is withheld and
-    /// rendered as `n/a`.
+    /// when both sides are available, the prediction is finite and at
+    /// least one page, and the measurement is non-zero (see
+    /// [`drift_ratio`]); withheld and rendered as `n/a` otherwise.
     pub percent_error: Option<f64>,
 }
 
@@ -136,6 +149,24 @@ pub struct WorkerScaling {
     pub wall_ns: u64,
 }
 
+/// One row of the calibrated-prediction table: the raw formula output,
+/// the profile-corrected prediction, and the drift of each against the
+/// measured cost — the before/after picture of one calibration round.
+#[derive(Clone, Copy, Debug)]
+pub struct CalibratedDrift {
+    /// The algorithm the predictions rank.
+    pub algorithm: Algorithm,
+    /// The seed cost formula's prediction under the planning scenario.
+    pub raw: f64,
+    /// The prediction after the profile's correction factor.
+    pub calibrated: f64,
+    /// Drift of the raw prediction vs the measured cost (guards of
+    /// [`drift_ratio`] apply), `None` when the algorithm did not run.
+    pub drift_raw: Option<f64>,
+    /// Drift of the calibrated prediction vs the same measurement.
+    pub drift_calibrated: Option<f64>,
+}
+
 /// The result of `EXPLAIN ANALYZE`: the rendered report plus the raw
 /// numbers it was built from, for programmatic checks.
 pub struct AnalyzeOutput {
@@ -153,6 +184,9 @@ pub struct AnalyzeOutput {
     /// Predicted-vs-measured cost of the chosen algorithm per worker
     /// count. Empty unless ANALYZE ran with `workers > 1`.
     pub scaling: Vec<WorkerScaling>,
+    /// Raw-vs-calibrated predictions with before/after drift, one row per
+    /// algorithm. Empty unless ANALYZE ran with a calibration profile.
+    pub calibrated: Vec<CalibratedDrift>,
 }
 
 impl AnalyzeOutput {
@@ -188,8 +222,54 @@ pub fn explain_analyze_query_with_workers(
     scenario: IoScenario,
     workers: usize,
 ) -> Result<AnalyzeOutput> {
+    explain_analyze_inner(
+        catalog,
+        sql,
+        sys,
+        base_query_params,
+        scenario,
+        workers,
+        None,
+    )
+}
+
+/// [`explain_analyze_query`] ranking algorithms by the profile's
+/// *calibrated* predictions. The report gains a raw-vs-calibrated table
+/// showing each formula's drift before and after the correction — the
+/// observable effect of one calibration round.
+pub fn explain_analyze_query_with_profile(
+    catalog: &Catalog,
+    sql: &str,
+    sys: SystemParams,
+    base_query_params: QueryParams,
+    scenario: IoScenario,
+    profile: &CalibrationProfile,
+) -> Result<AnalyzeOutput> {
+    explain_analyze_inner(
+        catalog,
+        sql,
+        sys,
+        base_query_params,
+        scenario,
+        1,
+        Some(profile),
+    )
+}
+
+fn explain_analyze_inner(
+    catalog: &Catalog,
+    sql: &str,
+    sys: SystemParams,
+    base_query_params: QueryParams,
+    scenario: IoScenario,
+    workers: usize,
+    profile: Option<&CalibrationProfile>,
+) -> Result<AnalyzeOutput> {
     let query = parse(sql)?;
-    let p = plan(catalog, &query, sys, base_query_params, scenario)?;
+    let p = match profile {
+        Some(prof) => plan_with_profile(catalog, &query, sys, base_query_params, scenario, prof)?,
+        None => plan(catalog, &query, sys, base_query_params, scenario)?,
+    };
 
     let inner_rel = catalog
         .relation(&p.inner_rel)
@@ -310,16 +390,7 @@ pub fn explain_analyze_query_with_workers(
         ];
         for (formula, sc, meas) in rows {
             let predicted = p.estimates.cost(alg, sc);
-            // A prediction under one page is degenerate (empty collection,
-            // λ = 0): the ratio is undefined at 0 and meaningless below a
-            // page, so it is withheld (rendered `n/a`) instead of becoming
-            // inf/NaN.
-            let percent_error = match meas {
-                Some(m) if predicted.is_finite() && predicted >= 1.0 => {
-                    Some((m - predicted) / predicted * 100.0)
-                }
-                _ => None,
-            };
+            let percent_error = meas.and_then(|m| drift_ratio(predicted, m));
             drift.push(DriftRow {
                 formula,
                 algorithm: alg,
@@ -329,6 +400,30 @@ pub fn explain_analyze_query_with_workers(
             });
         }
     }
+
+    // Raw vs calibrated: the plan recorded both predictions for every
+    // algorithm, so the report can show what the correction factor did to
+    // the drift — before (seed formula) and after (profile-adjusted).
+    let calibrated: Vec<CalibratedDrift> = if profile.is_some() {
+        p.predictions
+            .iter()
+            .map(|pred| {
+                let meas = reports
+                    .iter()
+                    .find(|r| r.algorithm == pred.algorithm)
+                    .map(|r| r.measured_cost);
+                CalibratedDrift {
+                    algorithm: pred.algorithm,
+                    raw: pred.raw,
+                    calibrated: pred.calibrated,
+                    drift_raw: meas.and_then(|m| drift_ratio(pred.raw, m)),
+                    drift_calibrated: meas.and_then(|m| drift_ratio(pred.calibrated, m)),
+                }
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
 
     let chosen_idx = Algorithm::ALL
         .iter()
@@ -372,6 +467,27 @@ pub fn explain_analyze_query_with_workers(
             _ => (format!("{:>12}", "n/a"), format!("{:>8}", "n/a")),
         };
         let _ = writeln!(text, "      {} {predicted} vs {meas} {err}", row.formula);
+    }
+    if !calibrated.is_empty() {
+        let _ = writeln!(
+            text,
+            "    calibrated predictions (raw → calibrated; drift before → after):"
+        );
+        let fmt_drift = |d: Option<f64>| match d {
+            Some(e) => format!("{e:>+7.1}%"),
+            None => format!("{:>8}", "n/a"),
+        };
+        for row in &calibrated {
+            let _ = writeln!(
+                text,
+                "      {:<5} {:>12.1} → {:>12.1}  drift {} → {}",
+                row.algorithm,
+                row.raw,
+                row.calibrated,
+                fmt_drift(row.drift_raw),
+                fmt_drift(row.drift_calibrated),
+            );
+        }
     }
     // Latency: per-algorithm wall time from the reports, then percentile
     // summaries of the chosen run's per-phase `span.wall_ns` histograms
@@ -473,6 +589,7 @@ pub fn explain_analyze_query_with_workers(
         drift,
         reports,
         scaling,
+        calibrated,
     })
 }
 
@@ -518,10 +635,7 @@ pub fn explain_analyze_batch(
     base_query_params: QueryParams,
     scenario: IoScenario,
 ) -> Result<BatchAnalyzeOutput> {
-    let queries = sqls
-        .iter()
-        .map(|s| parse(s))
-        .collect::<Result<Vec<_>>>()?;
+    let queries = sqls.iter().map(|s| parse(s)).collect::<Result<Vec<_>>>()?;
     let bp = plan_batch(catalog, &queries, sys, base_query_params, scenario)?;
     let out = execute_batch_plan(catalog, &bp, sys, base_query_params)?;
     let n = bp.plans.len();
@@ -538,7 +652,11 @@ pub fn explain_analyze_batch(
         };
         let ran = alg == out.algorithm;
         let rows = [
-            (seq_name, IoScenario::Dedicated, ran.then_some(out.stats.cost)),
+            (
+                seq_name,
+                IoScenario::Dedicated,
+                ran.then_some(out.stats.cost),
+            ),
             (
                 rand_name,
                 IoScenario::SharedWorstCase,
@@ -547,12 +665,7 @@ pub fn explain_analyze_batch(
         ];
         for (formula, sc, meas) in rows {
             let predicted = bp.estimates.cost(alg, sc);
-            let percent_error = match meas {
-                Some(m) if predicted.is_finite() && predicted >= 1.0 => {
-                    Some((m - predicted) / predicted * 100.0)
-                }
-                _ => None,
-            };
+            let percent_error = meas.and_then(|m| drift_ratio(predicted, m));
             drift.push(DriftRow {
                 formula,
                 algorithm: alg,
@@ -846,10 +959,63 @@ mod tests {
                 assert!(e.is_finite(), "{}: drift {e} not finite", row.formula);
             } else if row.measured.is_some() {
                 // Measured but no ratio: only legitimate when the
-                // prediction itself is degenerate.
+                // prediction itself is degenerate or the measurement was
+                // zero (the run never touched a page).
                 assert!(
-                    !(row.predicted.is_finite() && row.predicted >= 1.0),
-                    "{}: ratio withheld despite usable prediction {}",
+                    !(row.predicted.is_finite() && row.predicted >= 1.0)
+                        || row.measured == Some(0.0),
+                    "{}: ratio withheld despite usable prediction {} and measurement {:?}",
+                    row.formula,
+                    row.predicted,
+                    row.measured
+                );
+            }
+        }
+        assert!(!out.text.contains("inf%"), "{}", out.text);
+        assert!(!out.text.contains("NaN"), "{}", out.text);
+        assert!(out.text.contains("n/a"), "{}", out.text);
+    }
+
+    #[test]
+    fn drift_ratio_withholds_on_degenerate_prediction_or_zero_measurement() {
+        assert_eq!(drift_ratio(100.0, 110.0), Some(10.0));
+        assert_eq!(drift_ratio(200.0, 100.0), Some(-50.0));
+        // Degenerate predictions: non-finite or under one page.
+        assert_eq!(drift_ratio(0.0, 10.0), None);
+        assert_eq!(drift_ratio(0.5, 10.0), None);
+        assert_eq!(drift_ratio(f64::INFINITY, 10.0), None);
+        assert_eq!(drift_ratio(f64::NAN, 10.0), None);
+        // Zero measurement: the same guard QueryReport::drift_pct applies.
+        assert_eq!(drift_ratio(100.0, 0.0), None);
+    }
+
+    #[test]
+    fn batch_drift_rows_never_render_inf_or_nan() {
+        // λ = 0 batch queries predict degenerate (sub-page) costs for some
+        // formulas; the batch drift table must withhold those ratios under
+        // the same guards as the sequential table — including the
+        // zero-measurement guard — rather than printing inf/NaN.
+        let c = catalog();
+        let out = explain_analyze_batch(
+            &c,
+            &[
+                "Select P.Title, A.Name From Positions P, Applicants A \
+                 Where A.Resume SIMILAR_TO(0) P.Job_descr",
+                "Select P.Title, A.Name From Positions P, Applicants A \
+                 Where A.Resume SIMILAR_TO(0) P.Job_descr",
+            ],
+            SystemParams::paper_base(),
+            QueryParams::paper_base(),
+            IoScenario::Dedicated,
+        )
+        .unwrap();
+        for row in &out.drift {
+            if let Some(e) = row.percent_error {
+                assert!(e.is_finite(), "{}: drift {e} not finite", row.formula);
+            } else if let Some(m) = row.measured {
+                assert!(
+                    !(row.predicted.is_finite() && row.predicted >= 1.0) || m == 0.0,
+                    "{}: ratio withheld despite usable prediction {} and measurement {m}",
                     row.formula,
                     row.predicted
                 );
@@ -857,7 +1023,6 @@ mod tests {
         }
         assert!(!out.text.contains("inf%"), "{}", out.text);
         assert!(!out.text.contains("NaN"), "{}", out.text);
-        assert!(out.text.contains("n/a"), "{}", out.text);
     }
 
     #[test]
@@ -913,6 +1078,77 @@ mod tests {
             let row = out.row("hhs").unwrap();
             assert_eq!(row.measured, Some(r.measured_cost));
         }
+    }
+
+    #[test]
+    fn profile_aware_analyze_shows_raw_vs_calibrated_with_reduced_drift() {
+        use textjoin_costmodel::ReportObs;
+        let c = big_catalog(512, 200, 100, 60, 300);
+        let sys = SystemParams {
+            buffer_pages: 2000,
+            page_size: 512,
+            alpha: 5.0,
+        };
+        let sql = "Select D.Id, Q.Id From Docs D, Queries Q \
+                   Where D.Body SIMILAR_TO(3) Q.Body";
+        let before = explain_analyze_query(
+            &c,
+            sql,
+            sys,
+            QueryParams::paper_base(),
+            IoScenario::Dedicated,
+        )
+        .unwrap();
+        assert!(before.calibrated.is_empty(), "no profile, no table");
+        assert!(!before.text.contains("calibrated predictions ("));
+        // Fit a profile from the uncalibrated run's own reports; with one
+        // observation per algorithm the correction factor maps each raw
+        // prediction exactly onto the measured cost.
+        let obs: Vec<ReportObs> = before
+            .reports
+            .iter()
+            .map(|r| ReportObs {
+                pair: "Docs/Queries".into(),
+                algorithm: r.algorithm,
+                seq_reads: r.pages_read.seq_reads,
+                rand_reads: r.pages_read.rand_reads,
+                cells: r.cells_touched,
+                wall_ns: r.wall_ns,
+                predicted_cost: r.predicted_cost,
+                measured_cost: r.measured_cost,
+            })
+            .collect();
+        let profile = CalibrationProfile::fit(&obs);
+        let after = explain_analyze_query_with_profile(
+            &c,
+            sql,
+            sys,
+            QueryParams::paper_base(),
+            IoScenario::Dedicated,
+            &profile,
+        )
+        .unwrap();
+        assert_eq!(after.calibrated.len(), 3);
+        assert!(
+            after.text.contains("calibrated predictions ("),
+            "{}",
+            after.text
+        );
+        let row = after
+            .calibrated
+            .iter()
+            .find(|r| r.algorithm == after.executed)
+            .expect("executed algorithm has a calibrated row");
+        let b = row.drift_raw.expect("raw drift measurable");
+        let a = row.drift_calibrated.expect("calibrated drift measurable");
+        assert!(
+            a.abs() <= b.abs() + 1e-6,
+            "calibration did not reduce drift: {b:+.3}% -> {a:+.3}%"
+        );
+        assert!(
+            a.abs() < 1.0,
+            "exact per-pair correction should land within 1%: {a:+.3}%"
+        );
     }
 
     #[test]
@@ -1000,7 +1236,11 @@ mod tests {
             IoScenario::Dedicated,
         )
         .unwrap();
-        assert!(out.text.starts_with("EXPLAIN ANALYZE BATCH (N=3)\n"), "{}", out.text);
+        assert!(
+            out.text.starts_with("EXPLAIN ANALYZE BATCH (N=3)\n"),
+            "{}",
+            out.text
+        );
         assert!(out.text.contains("amortized:"), "{}", out.text);
         assert!(out.text.contains("← chosen"), "{}", out.text);
         assert_eq!(out.per_query.len(), 3);
@@ -1050,7 +1290,11 @@ mod tests {
         for q in &queries {
             let mut p = plan(&c, q, sys, qp, IoScenario::Dedicated).unwrap();
             p.chosen = Algorithm::Hhnl;
-            solo_pages += execute_plan(&c, &p, sys, qp).unwrap().stats.io.total_reads();
+            solo_pages += execute_plan(&c, &p, sys, qp)
+                .unwrap()
+                .stats
+                .io
+                .total_reads();
         }
         let batch_pages = batch.stats.io.total_reads();
         assert!(

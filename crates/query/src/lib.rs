@@ -37,7 +37,10 @@ pub mod planner;
 
 pub use ast::{ColumnRef, Literal, Predicate, Query};
 pub use catalog::{Catalog, ColumnType, Relation, RelationBuilder, Value};
-pub use executor::{run_query, QueryOutput};
-pub use explain::{explain_analyze_query, explain_query, AnalyzeOutput, DriftRow};
+pub use executor::{execute_plan_watched, run_query, QueryOutput};
+pub use explain::{
+    explain_analyze_query, explain_analyze_query_with_profile, explain_query, AnalyzeOutput,
+    CalibratedDrift, DriftRow,
+};
 pub use parser::parse;
-pub use planner::{plan, Plan};
+pub use planner::{plan, plan_with_profile, Plan, PlanPrediction};

@@ -12,8 +12,22 @@ use crate::ast::{ColumnRef, CompareOp, Literal, Predicate, Query};
 use crate::catalog::{like_match, Catalog, ColumnType, Relation, Value};
 use textjoin_common::{DocId, Error, QueryParams, Result, SystemParams};
 use textjoin_costmodel::{
-    parallel, Algorithm, BatchCostEstimates, CostEstimates, IoScenario, JoinInputs,
+    parallel, Algorithm, BatchCostEstimates, CalibrationProfile, CostEstimates, IoScenario,
+    JoinInputs,
 };
+
+/// One algorithm's cost prediction as recorded by the plan: the raw
+/// section-5 estimate and the calibration-corrected value the ranking
+/// actually used. Without a profile the two coincide.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlanPrediction {
+    /// The algorithm predicted.
+    pub algorithm: Algorithm,
+    /// The raw analytical estimate (pages, `seq + α·rand` units).
+    pub raw: f64,
+    /// The estimate after the calibration profile's correction factor.
+    pub calibrated: f64,
+}
 
 /// One projected output column.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -50,6 +64,29 @@ pub struct Plan {
     pub inputs: JoinInputs,
     /// How many workers the join executors will run with (1 = sequential).
     pub workers: usize,
+    /// Collection-pair label (`"inner_rel/outer_rel"`) keying the query's
+    /// reports and calibration corrections.
+    pub pair: String,
+    /// The plan's recorded predictions, one per algorithm in
+    /// `Algorithm::ALL` order — the feedback the observability loop
+    /// compares measured costs against.
+    pub predictions: Vec<PlanPrediction>,
+}
+
+impl Plan {
+    /// The recorded prediction for one algorithm.
+    pub fn prediction(&self, algorithm: Algorithm) -> &PlanPrediction {
+        self.predictions
+            .iter()
+            .find(|p| p.algorithm == algorithm)
+            .expect("all three algorithms are recorded")
+    }
+
+    /// The chosen algorithm's prediction — what the drift watchdog budgets
+    /// against.
+    pub fn chosen_prediction(&self) -> &PlanPrediction {
+        self.prediction(self.chosen)
+    }
 }
 
 /// A planned batch of textual-join queries over one shared collection
@@ -145,6 +182,30 @@ pub fn plan(
     plan_with_workers(catalog, query, sys, base_query_params, scenario, 1)
 }
 
+/// [`plan`] ranking algorithms by *calibrated* estimates: each raw
+/// estimate is multiplied by the profile's fitted correction factor for
+/// this collection pair before the cheapest is chosen. The plan records
+/// both numbers per algorithm, so EXPLAIN can show the correction and the
+/// watchdog can budget against the calibrated prediction.
+pub fn plan_with_profile(
+    catalog: &Catalog,
+    query: &Query,
+    sys: SystemParams,
+    base_query_params: QueryParams,
+    scenario: IoScenario,
+    profile: &CalibrationProfile,
+) -> Result<Plan> {
+    plan_inner(
+        catalog,
+        query,
+        sys,
+        base_query_params,
+        scenario,
+        1,
+        Some(profile),
+    )
+}
+
 /// [`plan`] with a worker knob: with `workers > 1` the algorithm choice is
 /// made on the parallel estimates (`hhs_par`/`hvs_par`/`vvs_par`) and the
 /// executor will run the winner on that many threads.
@@ -155,6 +216,26 @@ pub fn plan_with_workers(
     base_query_params: QueryParams,
     scenario: IoScenario,
     workers: usize,
+) -> Result<Plan> {
+    plan_inner(
+        catalog,
+        query,
+        sys,
+        base_query_params,
+        scenario,
+        workers,
+        None,
+    )
+}
+
+fn plan_inner(
+    catalog: &Catalog,
+    query: &Query,
+    sys: SystemParams,
+    base_query_params: QueryParams,
+    scenario: IoScenario,
+    workers: usize,
+    profile: Option<&CalibrationProfile>,
 ) -> Result<Plan> {
     if query.from.len() != 2 {
         return Err(Error::Plan(format!(
@@ -254,16 +335,34 @@ pub fn plan_with_workers(
         outer_original,
     };
     let estimates = CostEstimates::compute(&inputs);
-    let chosen = if workers > 1 {
-        Algorithm::ALL
-            .into_iter()
-            .map(|a| (a, parallel::estimate(&inputs, a, workers as u64)))
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("three candidates")
-            .0
-    } else {
-        estimates.best(scenario).0
-    };
+    let pair = format!("{}/{}", inner_rel.name(), outer_rel.name());
+    // Record every algorithm's prediction — raw and (when a profile is
+    // given) calibrated — and rank by the calibrated number. Ties keep the
+    // `Algorithm::ALL` order (HHNL first), matching `CostEstimates::best`.
+    let predictions: Vec<PlanPrediction> = Algorithm::ALL
+        .into_iter()
+        .map(|a| {
+            let raw = if workers > 1 {
+                parallel::estimate(&inputs, a, workers as u64)
+            } else {
+                estimates.cost(a, scenario)
+            };
+            let calibrated = match profile {
+                Some(p) => p.calibrated_cost(&pair, a, raw),
+                None => raw,
+            };
+            PlanPrediction {
+                algorithm: a,
+                raw,
+                calibrated,
+            }
+        })
+        .collect();
+    let chosen = predictions
+        .iter()
+        .min_by(|a, b| a.calibrated.total_cmp(&b.calibrated))
+        .expect("three candidates")
+        .algorithm;
 
     Ok(Plan {
         inner_rel: inner_rel.name().to_string(),
@@ -278,6 +377,8 @@ pub fn plan_with_workers(
         estimates,
         inputs,
         workers,
+        pair,
+        predictions,
     })
 }
 
@@ -629,7 +730,66 @@ mod tests {
             Err(e) => e,
             Ok(_) => panic!("mismatched pairs must not plan"),
         };
-        assert!(err.to_string().contains("same textual column pair"), "{err}");
+        assert!(
+            err.to_string().contains("same textual column pair"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn plan_records_raw_predictions_and_pair_label() {
+        let c = catalog();
+        let p = plan_sql(
+            &c,
+            "Select P.Title From Positions P, Applicants A \
+             Where A.Resume SIMILAR_TO(1) P.Job_descr",
+        )
+        .unwrap();
+        assert_eq!(p.pair, "Applicants/Positions");
+        assert_eq!(p.predictions.len(), 3);
+        for pred in &p.predictions {
+            assert_eq!(
+                pred.raw,
+                p.estimates.cost(pred.algorithm, IoScenario::Dedicated)
+            );
+            assert_eq!(pred.raw, pred.calibrated, "no profile: raw == calibrated");
+        }
+        assert_eq!(p.chosen_prediction().algorithm, p.chosen);
+    }
+
+    #[test]
+    fn calibration_profile_can_rerank_the_choice() {
+        use textjoin_costmodel::ReportObs;
+        let c = catalog();
+        let query = parse(
+            "Select P.Title From Positions P, Applicants A \
+             Where A.Resume SIMILAR_TO(1) P.Job_descr",
+        )
+        .unwrap();
+        let sys = SystemParams::paper_base();
+        let qp = QueryParams::paper_base();
+        let base = plan(&c, &query, sys, qp, IoScenario::Dedicated).unwrap();
+        // Feedback says the raw model under-predicts the chosen algorithm
+        // on this pair by 1000×; the calibrated ranking must move off it.
+        let obs = vec![ReportObs {
+            pair: base.pair.clone(),
+            algorithm: base.chosen,
+            seq_reads: 1000,
+            rand_reads: 0,
+            cells: 0,
+            wall_ns: 0,
+            predicted_cost: Some(1.0),
+            measured_cost: 1000.0,
+        }];
+        let profile = CalibrationProfile::fit(&obs);
+        let p = plan_with_profile(&c, &query, sys, qp, IoScenario::Dedicated, &profile).unwrap();
+        assert_ne!(p.chosen, base.chosen, "the 1000× correction must rerank");
+        let corrected = p.prediction(base.chosen);
+        assert!((corrected.calibrated - corrected.raw * 1000.0).abs() < 1e-6);
+        // The new choice is the cheapest by *calibrated* cost.
+        for pred in &p.predictions {
+            assert!(p.chosen_prediction().calibrated <= pred.calibrated);
+        }
     }
 
     #[test]

@@ -22,11 +22,16 @@
 //!   compared against the section 5 formulas;
 //! * [`chaos`] — seeded fault schedules (transient read errors, bit flips,
 //!   latency spikes) against real executor runs, checking retry absorption,
-//!   degraded-mode accounting and integrated-algorithm re-planning.
+//!   degraded-mode accounting and integrated-algorithm re-planning;
+//! * [`calibrate`] — the feedback loop: persist bench-grid query reports
+//!   in the append-only store, fit a [`CalibrationProfile`]
+//!   (`textjoin_costmodel::calibrate`) from what survived the round trip,
+//!   and gate on the calibrated grid's median drift strictly improving.
 //!
 //! Everything prints through [`table::Table`], one table per experiment,
 //! in the spirit of the tables the paper's tech report tabulates.
 
+pub mod calibrate;
 pub mod chaos;
 pub mod findings;
 pub mod groups;

@@ -16,7 +16,14 @@
 //! textjoin-sim bench [--out FILE] [--baseline FILE] [--threshold PCT]
 //!                                 # sweep the paper grid, emit BENCH JSON,
 //!                                 # optionally gate against a baseline
-//! textjoin-sim slowlog [K]        # canned workload; dump top-K query reports
+//! textjoin-sim calibrate [--store FILE] [--profile FILE]
+//!                                 # run the grid, persist query reports,
+//!                                 # fit a calibration profile, re-run
+//!                                 # calibrated; fails unless the median
+//!                                 # |drift| strictly improves
+//! textjoin-sim reports [--store FILE] # dump the persistent report store
+//! textjoin-sim slowlog [K] [--by cost|wall]
+//!                                 # canned workload; dump top-K query reports
 //! textjoin-sim all [scale]        # everything above
 //!
 //! Append `--csv` to any table command to emit CSV instead of the grid.
@@ -29,7 +36,7 @@
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use textjoin_sim::{chaos, findings, groups, slowlog, validate, Table};
+use textjoin_sim::{calibrate, chaos, findings, groups, slowlog, validate, Table};
 
 /// Writes one scenario-marker line plus the span/metric JSON-lines of each
 /// traced scenario run.
@@ -79,6 +86,29 @@ fn main() -> ExitCode {
             }
             None => Ok(None),
         }
+    };
+    // `--store FILE` and `--profile FILE` drive `calibrate` and `reports`.
+    let (store_path, profile_path) = match (take_value("--store"), take_value("--profile")) {
+        (Ok(s), Ok(p)) => (
+            s.map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("REPORTS_textjoin.jsonl")),
+            p.map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("CALIBRATION_textjoin.json")),
+        ),
+        (Err(c), _) | (_, Err(c)) => return c,
+    };
+    // `--by cost|wall` ranks the `slowlog` output.
+    let slowlog_rank = match take_value("--by") {
+        Ok(None) => textjoin_core::SlowLogRank::Cost,
+        Ok(Some(v)) => match v.as_str() {
+            "cost" => textjoin_core::SlowLogRank::Cost,
+            "wall" => textjoin_core::SlowLogRank::Wall,
+            other => {
+                eprintln!("invalid --by '{other}'; expected cost or wall");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(c) => return c,
     };
     let (out_path, baseline_path, threshold) = match (
         take_value("--out"),
@@ -289,10 +319,62 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "calibrate" => {
+            eprintln!(
+                "running the calibration grid (store {}, profile {}) …",
+                store_path.display(),
+                profile_path.display()
+            );
+            match calibrate::run(&store_path, &profile_path) {
+                Ok(round) => {
+                    emit(&round.drift_table());
+                    eprintln!(
+                        "appended {} reports; fitted from {} stored observations",
+                        round.appended, round.reloaded
+                    );
+                    if round.improved() {
+                        eprintln!(
+                            "calibration gate passed: median |drift| {:.2}% -> {:.2}%",
+                            round.median_seed, round.median_calibrated
+                        );
+                    } else {
+                        eprintln!(
+                            "calibration gate FAILED: median |drift| {:.2}% -> {:.2}% \
+                             (calibrated must be strictly lower)",
+                            round.median_seed, round.median_calibrated
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("calibrate failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        "reports" => {
+            let store =
+                match textjoin_obs::ReportStore::open(&store_path, calibrate::STORE_CAPACITY) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("opening store {} failed: {e}", store_path.display());
+                        return ExitCode::FAILURE;
+                    }
+                };
+            for rec in store.records() {
+                println!("{rec}");
+            }
+            eprintln!(
+                "{} of at most {} reports in {}",
+                store.len(),
+                store.capacity(),
+                store_path.display()
+            );
+        }
         "slowlog" => {
             let k: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
             eprintln!("running canned workload, keeping the {k} most expensive queries …");
-            match slowlog::canned_workload(k) {
+            match slowlog::canned_workload_ranked(k, slowlog_rank) {
                 Ok((log, _registry)) => {
                     print!("{}", log.to_json_lines());
                     eprintln!(
@@ -334,7 +416,8 @@ fn main() -> ExitCode {
                 "unknown command '{other}'; expected t1 | group1..group5 | findings | \
                  validate [scale] | chaos [--seed N|A..B] | \
                  bench [--out FILE] [--baseline FILE] [--threshold PCT] | \
-                 slowlog [K] | all [scale]"
+                 calibrate [--store FILE] [--profile FILE] | reports [--store FILE] | \
+                 slowlog [K] [--by cost|wall] | all [scale]"
             );
             return ExitCode::FAILURE;
         }

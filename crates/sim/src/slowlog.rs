@@ -9,7 +9,7 @@
 
 use crate::validate::{quick_configs, ValidationConfig};
 use std::sync::Arc;
-use textjoin_core::{hhnl, hvnl, vvm, JoinSpec, QueryReport, SlowQueryLog};
+use textjoin_core::{hhnl, hvnl, vvm, JoinSpec, QueryReport, SlowLogRank, SlowQueryLog};
 use textjoin_costmodel as costmodel;
 use textjoin_costmodel::Algorithm;
 use textjoin_invfile::InvertedFile;
@@ -21,8 +21,18 @@ use textjoin_storage::DiskSim;
 /// the registry the per-query reports rolled up into, so callers can dump
 /// the aggregate view next to the top-K list.
 pub fn canned_workload(capacity: usize) -> textjoin_common::Result<(SlowQueryLog, Arc<Registry>)> {
+    canned_workload_ranked(capacity, SlowLogRank::Cost)
+}
+
+/// [`canned_workload`] with an explicit ranking key: by measured page
+/// cost (deterministic — the gate-able unit) or by wall-clock time
+/// (machine-local). Ties break deterministically, oldest first.
+pub fn canned_workload_ranked(
+    capacity: usize,
+    rank: SlowLogRank,
+) -> textjoin_common::Result<(SlowQueryLog, Arc<Registry>)> {
     let registry = Arc::new(Registry::new());
-    let mut log = SlowQueryLog::new(capacity);
+    let mut log = SlowQueryLog::ranked_by(capacity, rank);
     for cfg in quick_configs() {
         run_config(&cfg, &registry, &mut log)?;
     }
@@ -76,6 +86,17 @@ fn run_config(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wall_ranking_orders_entries_by_wall_time() {
+        let (log, _registry) = canned_workload_ranked(6, SlowLogRank::Wall).unwrap();
+        assert_eq!(log.len(), 6);
+        let walls: Vec<u64> = log.entries().map(|r| r.wall_ns).collect();
+        assert!(
+            walls.windows(2).all(|w| w[0] >= w[1]),
+            "wall rank order: {walls:?}"
+        );
+    }
 
     #[test]
     fn workload_fills_the_log_in_rank_order() {
