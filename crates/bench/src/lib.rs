@@ -19,11 +19,12 @@
 
 use std::sync::Arc;
 use textjoin_collection::SynthSpec;
-use textjoin_common::{CollectionStats, Error, QueryParams, Result, SystemParams};
+use textjoin_common::{CollectionStats, DocId, Error, QueryParams, Result, SystemParams};
 use textjoin_core::{batch, hhnl, hvnl, parallel, vvm, BatchOptions, JoinSpec, QueryReport};
 use textjoin_costmodel as costmodel;
 use textjoin_costmodel::{Algorithm, CalibrationProfile};
 use textjoin_invfile::InvertedFile;
+use textjoin_live::LiveCollection;
 use textjoin_storage::{DiskSim, PageLatency};
 
 /// One collection pair of the benchmark grid.
@@ -62,6 +63,15 @@ pub struct BenchGrid {
     /// rows record the *total* batch cost — the amortization shows as
     /// `pages_io(N=4) < 4 × pages_io(N=1)`.
     pub batch_sizes: Vec<usize>,
+    /// Mutation (fragmentation) levels to sweep. `0.0` is the pristine
+    /// bulk-loaded inner collection — the classic rows above, labels
+    /// unchanged, so the checked-in baseline keeps gating them. A level
+    /// `f > 0` rebuilds the inner side as a [`textjoin_live::LiveCollection`]
+    /// with `⌈f·N1⌉` deletes and `⌈f·N1⌉` inserts flushed to delta side
+    /// files, runs the sequential executors over the base+delta read path,
+    /// and labels the rows `… frag=<pct>%` — measuring what document
+    /// churn costs each algorithm before a merge.
+    pub frag_levels: Vec<f64>,
     /// Simulated per-page service time, enabled once the collections and
     /// indexes are built. Zero makes reads instantaneous, which on a
     /// single-core machine means parallel rows can never beat sequential
@@ -109,6 +119,7 @@ pub fn small_grid() -> BenchGrid {
         buffer_pages: vec![160, 400],
         workers: vec![1, 4],
         batch_sizes: vec![1, 4, 16],
+        frag_levels: vec![0.0, 0.10, 0.30],
         page_latency: PageLatency {
             seq_ns: 150_000,
             rand_ns: 300_000,
@@ -250,6 +261,36 @@ pub fn run_suite_with_reports(grid: &BenchGrid) -> Result<(BenchReport, Vec<Quer
         let c2 = pair.outer.generate(Arc::clone(&disk), "c2")?;
         let inv1 = InvertedFile::build(Arc::clone(&disk), "c1", &c1)?;
         let inv2 = InvertedFile::build(Arc::clone(&disk), "c2", &c2)?;
+        // Mutated inner fixtures for the fragmentation axis: each level
+        // rebuilds the inner side as a live collection with ⌈f·N1⌉
+        // deterministic deletes and as many fresh inserts, flushed so the
+        // delta sits in packed side files (the pre-merge steady state).
+        let mut frag_fixtures: Vec<(f64, LiveCollection)> = Vec::new();
+        for (i, &frac) in grid.frag_levels.iter().enumerate() {
+            if frac <= 0.0 {
+                continue;
+            }
+            let mut lc = LiveCollection::create(
+                Arc::clone(&disk),
+                &format!("live{i}"),
+                pair.inner.generate_docs(),
+            )?;
+            let churn = ((pair.inner.num_docs as f64 * frac).ceil() as u64).max(1);
+            for id in 0..churn {
+                lc.delete(DocId::new(id as u32))?;
+            }
+            let extra = SynthSpec {
+                num_docs: churn,
+                seed: pair.inner.seed ^ 0xf7a6,
+                ..pair.inner.clone()
+            }
+            .generate_docs();
+            for doc in extra {
+                lc.insert(doc)?;
+            }
+            lc.flush()?;
+            frag_fixtures.push((frac, lc));
+        }
         // Latency only prices the measured runs, not collection/index
         // construction above.
         disk.set_page_latency(grid.page_latency);
@@ -382,6 +423,71 @@ pub fn run_suite_with_reports(grid: &BenchGrid) -> Result<(BenchReport, Vec<Quer
                                     batch::execute_hvnl(&specs, &inv1, BatchOptions::default())
                                 }
                                 Algorithm::Vvm => batch::execute_vvm(&specs, &inv1, &inv2),
+                            };
+                            match run {
+                                Ok(outcome) => {
+                                    walls.push(outcome.stats.wall_ns);
+                                    last_stats = Some(outcome.stats);
+                                }
+                                Err(Error::InsufficientMemory { .. }) => {
+                                    last_stats = None;
+                                    break;
+                                }
+                                Err(e) => return Err(e),
+                            }
+                        }
+                        let Some(stats) = last_stats else {
+                            continue;
+                        };
+                        let drift_pct = predicted.and_then(|p| {
+                            (stats.cost > 0.0).then(|| (stats.cost - p) / stats.cost * 100.0)
+                        });
+                        walls.sort_unstable();
+                        cases.push(BenchCase {
+                            case: case_label.clone(),
+                            algorithm: algorithm.to_string(),
+                            pages_io: stats.cost,
+                            wall_p50_ns: nearest_rank(&walls, 0.50),
+                            wall_p90_ns: nearest_rank(&walls, 0.90),
+                            wall_p99_ns: nearest_rank(&walls, 0.99),
+                            wall_max_ns: *walls.last().unwrap_or(&0),
+                            drift_pct,
+                        });
+                    }
+                }
+
+                // The mutation axis: the same query with the inner side
+                // fragmented (delta side files + tombstones, pre-merge).
+                // Predictions come from the same sequential formulas —
+                // `cost_inputs` folds the overlay's `FragStats` in — so
+                // `drift_pct` doubles as a check that the fragmentation
+                // term tracks what the executors actually pay.
+                for (frac, lc) in &frag_fixtures {
+                    let fspec = JoinSpec::new(lc.base(), &c2)
+                        .with_sys(grid.sys.with_buffer_pages(b))
+                        .with_query(QueryParams {
+                            lambda,
+                            delta: grid.delta,
+                        })
+                        .with_inner_delta(lc.overlay());
+                    let finputs = fspec.cost_inputs();
+                    let case_label =
+                        format!("{} λ={lambda} B={b} frag={:.0}%", pair.label, frac * 100.0);
+                    for algorithm in Algorithm::ALL {
+                        let predicted = match algorithm {
+                            Algorithm::Hhnl => costmodel::hhnl::sequential(&finputs).ok(),
+                            Algorithm::Hvnl => Some(costmodel::hvnl::sequential(&finputs)),
+                            Algorithm::Vvm => costmodel::vvm::sequential(&finputs).ok(),
+                        };
+                        let mut walls: Vec<u64> = Vec::new();
+                        let mut last_stats = None;
+                        for _ in 0..grid.iterations.max(1) {
+                            disk.reset_stats();
+                            disk.reset_head();
+                            let run = match algorithm {
+                                Algorithm::Hhnl => hhnl::execute(&fspec),
+                                Algorithm::Hvnl => hvnl::execute(&fspec, lc.base_inv()),
+                                Algorithm::Vvm => vvm::execute(&fspec, lc.base_inv(), &inv2),
                             };
                             match run {
                                 Ok(outcome) => {
@@ -747,6 +853,7 @@ mod tests {
         grid.buffer_pages = vec![160];
         grid.workers = vec![1];
         grid.batch_sizes = vec![1];
+        grid.frag_levels = vec![0.0];
         grid.page_latency = PageLatency::default();
         grid.iterations = 2;
         let report = run_suite(&grid).unwrap();
@@ -776,6 +883,7 @@ mod tests {
         grid.buffer_pages = vec![400];
         grid.workers = vec![1, 4];
         grid.batch_sizes = vec![1];
+        grid.frag_levels = vec![0.0];
         grid.iterations = 3;
         let report = run_suite(&grid).unwrap();
 
@@ -826,6 +934,7 @@ mod tests {
         grid.buffer_pages = vec![160];
         grid.workers = vec![1];
         grid.batch_sizes = vec![1, 4];
+        grid.frag_levels = vec![0.0];
         grid.page_latency = PageLatency::default();
         grid.iterations = 1;
         let report = run_suite(&grid).unwrap();
@@ -863,6 +972,57 @@ mod tests {
         }
     }
 
+    #[test]
+    fn frag_axis_adds_labelled_rows_and_prices_the_delta() {
+        let mut grid = small_grid();
+        grid.pairs.truncate(1); // balanced
+        grid.lambdas = vec![5];
+        grid.buffer_pages = vec![160];
+        grid.workers = vec![1];
+        grid.batch_sizes = vec![1];
+        grid.frag_levels = vec![0.0, 0.10, 0.30];
+        grid.page_latency = PageLatency::default();
+        grid.iterations = 1;
+        let report = run_suite(&grid).unwrap();
+
+        // The pristine row keeps its classic label — the checked-in
+        // baseline gates it — and must cost exactly what a grid without
+        // the frag axis measures.
+        let mut pristine_only = grid.clone();
+        pristine_only.frag_levels = vec![0.0];
+        let without = run_suite(&pristine_only).unwrap();
+        let clean = report.case("balanced λ=5 B=160", "HHNL").unwrap();
+        assert_eq!(
+            clean.pages_io,
+            without.case("balanced λ=5 B=160", "HHNL").unwrap().pages_io,
+            "the frag axis must not perturb pristine rows"
+        );
+
+        for frag in ["10", "30"] {
+            let label = format!("balanced λ=5 B=160 frag={frag}%");
+            for algorithm in ["HHNL", "HVNL", "VVM"] {
+                let c = report
+                    .case(&label, algorithm)
+                    .unwrap_or_else(|| panic!("missing {label} / {algorithm}"));
+                assert!(c.pages_io > 0.0, "{label} {algorithm}");
+                assert!(
+                    c.drift_pct.is_some(),
+                    "{label} {algorithm}: the fragmentation-aware model priced it"
+                );
+            }
+        }
+        // More churn costs HHNL more: the delta side files join every
+        // inner scan, and 30% churn carries more delta pages than 10%.
+        let f10 = report.case("balanced λ=5 B=160 frag=10%", "HHNL").unwrap();
+        let f30 = report.case("balanced λ=5 B=160 frag=30%", "HHNL").unwrap();
+        assert!(
+            f30.pages_io > f10.pages_io,
+            "frag=30% ({}) should out-cost frag=10% ({})",
+            f30.pages_io,
+            f10.pages_io
+        );
+    }
+
     /// Median of the absolute drift percentages of a report's priced cases.
     fn median_abs_drift(r: &BenchReport) -> f64 {
         let mut drifts: Vec<f64> = r
@@ -888,6 +1048,7 @@ mod tests {
         grid.buffer_pages = vec![160];
         grid.workers = vec![1];
         grid.batch_sizes = vec![1];
+        grid.frag_levels = vec![0.0];
         grid.page_latency = PageLatency::default();
         grid.iterations = 1;
         let (seed_report, reports) = run_suite_with_reports(&grid).unwrap();

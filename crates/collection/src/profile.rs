@@ -72,9 +72,10 @@ impl CollectionProfile {
         &self.doc_freqs
     }
 
-    /// Precomputed Euclidean norm of a document's weight vector.
+    /// Precomputed Euclidean norm of a document's weight vector. Documents
+    /// never observed at that id (holes left by deletions) report norm 0.
     pub fn norm(&self, doc: DocId) -> f64 {
-        self.norms[doc.index()]
+        self.norms.get(doc.index()).copied().unwrap_or(0.0)
     }
 
     /// Inverse document frequency weight of a term:
@@ -122,11 +123,21 @@ impl ProfileBuilder {
     /// Accounts one document (documents must be observed in id order, which
     /// [`Collection::build`](crate::store::Collection::build) guarantees).
     pub fn observe(&mut self, doc: &Document) {
+        let at = DocId::new(self.profile.norms.len() as u32);
+        self.observe_at(at, doc);
+    }
+
+    /// Accounts one document stored under an explicit (possibly sparse)
+    /// document number. Ids must still arrive in ascending order; holes
+    /// left by deletions get a zero norm slot so `norm()` stays id-indexed.
+    pub fn observe_at(&mut self, id: DocId, doc: &Document) {
+        debug_assert!(id.index() >= self.profile.norms.len(), "ids must ascend");
         self.profile.num_docs += 1;
         self.profile.total_cells += doc.num_terms() as u64;
         for cell in doc.cells() {
             *self.profile.doc_freqs.entry(cell.term).or_insert(0) += 1;
         }
+        self.profile.norms.resize(id.index(), 0.0);
         self.profile.norms.push(doc.norm());
     }
 

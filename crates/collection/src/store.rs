@@ -20,10 +20,20 @@ use textjoin_storage::{
 };
 
 /// A read-only paged document store.
+///
+/// Document numbers are *dense* for a bulk-built store (doc `i` is the
+/// `i`-th appended document) and may be *sparse* for a store produced by
+/// an incremental merge: deletions leave holes in the id space, and the
+/// merged store keeps the surviving documents' original ids (`ids` maps
+/// storage ordinal → document number). All lookups go through the ordinal
+/// mapping, so both layouts share every read path.
 pub struct DocumentStore {
     disk: Arc<DiskSim>,
     file: FileId,
     directory: Vec<ByteSpan>,
+    /// `None` = dense ids `0..directory.len()`; `Some` = strictly
+    /// ascending sparse document numbers, one per directory slot.
+    ids: Option<Vec<u32>>,
     total_bytes: u64,
 }
 
@@ -53,9 +63,50 @@ impl DocumentStore {
         self.total_bytes
     }
 
+    /// The document number of the `ordinal`-th stored document.
+    #[inline]
+    pub fn doc_at(&self, ordinal: usize) -> DocId {
+        match &self.ids {
+            None => DocId::new(ordinal as u32),
+            Some(ids) => DocId::new(ids[ordinal]),
+        }
+    }
+
+    /// The storage ordinal of a document number, if the store holds it.
+    #[inline]
+    pub fn ordinal_of(&self, doc: DocId) -> Option<usize> {
+        match &self.ids {
+            None => (doc.index() < self.directory.len()).then(|| doc.index()),
+            Some(ids) => ids.binary_search(&doc.raw()).ok(),
+        }
+    }
+
+    /// Whether the store holds this document number.
+    #[inline]
+    pub fn contains(&self, doc: DocId) -> bool {
+        self.ordinal_of(doc).is_some()
+    }
+
+    /// The stored document numbers, in ascending order.
+    pub fn doc_ids(&self) -> Vec<DocId> {
+        (0..self.directory.len()).map(|i| self.doc_at(i)).collect()
+    }
+
+    /// The sparse id map, when the store's ids are not dense (for
+    /// persisting the catalog).
+    pub fn sparse_ids(&self) -> Option<&[u32]> {
+        self.ids.as_deref()
+    }
+
     /// The byte span of a document.
+    ///
+    /// # Panics
+    /// If the store does not hold `doc`.
     pub fn span(&self, doc: DocId) -> ByteSpan {
-        self.directory[doc.index()]
+        let ordinal = self
+            .ordinal_of(doc)
+            .unwrap_or_else(|| panic!("document {doc} not in store"));
+        self.directory[ordinal]
     }
 
     /// Size of the largest document in bytes — what an executor must
@@ -113,6 +164,31 @@ impl DocumentStore {
         let pages = self.disk.read_run(self.file, first, n)?;
         Document::decode(&slice_span(&pages, span, first, page_size))
     }
+
+    /// Reassembles a store from already-persisted parts — the recovery
+    /// path: the pages are on `disk` in `file`, the directory (and sparse
+    /// id map, if any) was loaded from a persisted catalog.
+    pub fn from_parts(
+        disk: Arc<DiskSim>,
+        file: FileId,
+        directory: Vec<ByteSpan>,
+        ids: Option<Vec<u32>>,
+        total_bytes: u64,
+    ) -> Self {
+        debug_assert!(ids.as_ref().is_none_or(|ids| ids.len() == directory.len()));
+        DocumentStore {
+            disk,
+            file,
+            directory,
+            ids,
+            total_bytes,
+        }
+    }
+
+    /// The raw directory of byte spans, in storage order (for persisting).
+    pub fn directory(&self) -> &[ByteSpan] {
+        &self.directory
+    }
 }
 
 /// Extracts a byte span from a run of pages starting at page `first`.
@@ -159,7 +235,7 @@ impl Iterator for Scanner<'_> {
         if self.next_doc >= self.store.num_docs() {
             return None;
         }
-        let doc_id = DocId::new(self.next_doc as u32);
+        let doc_id = self.store.doc_at(self.next_doc as usize);
         self.next_doc += 1;
         let span = self.store.span(doc_id);
         let page_size = self.store.disk.page_size();
@@ -188,6 +264,7 @@ pub struct DocumentStoreBuilder {
     disk: Arc<DiskSim>,
     file: FileId,
     directory: Vec<ByteSpan>,
+    ids: Vec<u32>,
     page_buf: Vec<u8>,
     written_bytes: u64,
 }
@@ -201,14 +278,33 @@ impl DocumentStoreBuilder {
             disk,
             file,
             directory: Vec::new(),
+            ids: Vec::new(),
             page_buf: Vec::with_capacity(page_size),
             written_bytes: 0,
         })
     }
 
-    /// Appends a document; its document number is the append position.
+    /// Appends a document; its document number is the append position
+    /// (or one past the highest explicit id if [`add_with_id`]
+    /// (Self::add_with_id) has been used).
     pub fn add(&mut self, doc: &Document) -> Result<DocId> {
-        let id = DocId::new(self.directory.len() as u32);
+        let next = self.ids.last().map_or(0, |&i| i + 1);
+        self.add_with_id(DocId::new(next), doc)
+    }
+
+    /// Appends a document under an explicit document number. Ids must be
+    /// strictly ascending across the build — this is how a merge preserves
+    /// surviving documents' original numbers across deletion holes.
+    pub fn add_with_id(&mut self, id: DocId, doc: &Document) -> Result<DocId> {
+        if let Some(&last) = self.ids.last() {
+            if id.raw() <= last {
+                return Err(textjoin_common::Error::InvalidArgument(format!(
+                    "document ids must be strictly ascending: {} after {last}",
+                    id.raw()
+                )));
+            }
+        }
+        self.ids.push(id.raw());
         let bytes = doc.encode();
         let offset = self.written_bytes + self.page_buf.len() as u64;
         self.directory
@@ -246,10 +342,12 @@ impl DocumentStoreBuilder {
             self.flush_page()?;
             self.written_bytes = total;
         }
+        let dense = self.ids.iter().enumerate().all(|(i, &id)| id as usize == i);
         Ok(DocumentStore {
             disk: self.disk,
             file: self.file,
             directory: self.directory,
+            ids: (!dense).then_some(self.ids),
             total_bytes: self.written_bytes,
         })
     }
@@ -294,6 +392,16 @@ impl Collection {
     ) -> Result<Self> {
         let docs: Vec<Document> = texts.into_iter().map(|t| registry.ingest(t)).collect();
         Self::build(disk, name, docs)
+    }
+
+    /// Reassembles a collection from an already-built store and profile —
+    /// the recovery / merge path.
+    pub fn from_store(name: &str, store: DocumentStore, profile: CollectionProfile) -> Self {
+        Self {
+            name: name.to_string(),
+            store,
+            profile,
+        }
     }
 
     /// The collection name.

@@ -28,4 +28,4 @@ pub use error::{Error, Result};
 pub use ids::{DocId, TermId};
 pub use params::{QueryParams, SystemParams, BTREE_CELL_BYTES, DEFAULT_PAGE_SIZE, SIM_VALUE_BYTES};
 pub use score::Score;
-pub use stats::CollectionStats;
+pub use stats::{CollectionStats, FragStats};

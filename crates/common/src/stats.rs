@@ -155,6 +155,29 @@ impl CollectionStats {
     }
 }
 
+/// Fragmentation of an incrementally-updated collection: the extra pages
+/// and dead postings a base+delta overlay accumulates between merges. A
+/// pristine (just-merged or bulk-loaded) collection is all zeros. Scans of
+/// a fragmented collection pay for the delta side files on top of the base,
+/// and tombstoned documents inflate every base page count relative to the
+/// live data actually returned — the decay the cost model charges for.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FragStats {
+    /// Pages of the flushed delta document side file.
+    pub doc_delta_pages: u64,
+    /// Pages of the flushed delta inverted side file.
+    pub inv_delta_pages: u64,
+    /// Tombstoned fraction of the stored documents (0 = pristine).
+    pub tombstone_ratio: f64,
+}
+
+impl FragStats {
+    /// Whether the collection is pristine (no fragmentation at all).
+    pub fn is_pristine(&self) -> bool {
+        self.doc_delta_pages == 0 && self.inv_delta_pages == 0 && self.tombstone_ratio == 0.0
+    }
+}
+
 /// The derived page-size quantities `S`, `D`, `J`, `I`, `Bt` for one
 /// collection under one system configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]

@@ -77,8 +77,20 @@ pub struct BatchOutcome {
 }
 
 /// Checks the batch invariants: non-empty, one collection pair, one set of
-/// system parameters, one degraded flag.
+/// system parameters, one degraded flag, one delta overlay per side. The
+/// shared scans serve every query from the same base+delta view, so a
+/// query with a different overlay would see phantom or missing documents.
 fn validate(specs: &[JoinSpec<'_>]) -> Result<()> {
+    fn same_delta(
+        a: Option<&textjoin_invfile::DeltaOverlay>,
+        b: Option<&textjoin_invfile::DeltaOverlay>,
+    ) -> bool {
+        match (a, b) {
+            (None, None) => true,
+            (Some(x), Some(y)) => std::ptr::eq(x, y),
+            _ => false,
+        }
+    }
     let first = specs
         .first()
         .ok_or_else(|| Error::InvalidArgument("batch is empty".into()))?;
@@ -98,12 +110,23 @@ fn validate(specs: &[JoinSpec<'_>]) -> Result<()> {
                 "batch query {i} has a different degraded flag"
             )));
         }
+        if !same_delta(s.inner_delta, first.inner_delta)
+            || !same_delta(s.outer_delta, first.outer_delta)
+        {
+            return Err(Error::InvalidArgument(format!(
+                "batch query {i} has a different delta overlay"
+            )));
+        }
     }
     Ok(())
 }
 
-/// Whether `id` is one of the spec's participating outer documents.
+/// Whether `id` is one of the spec's participating outer documents. A
+/// tombstoned document never participates, whatever the selection.
 fn outer_participates(spec: &JoinSpec<'_>, id: DocId) -> bool {
+    if spec.outer_delta.is_some_and(|d| d.is_deleted(id)) {
+        return false;
+    }
     match spec.outer_docs {
         OuterDocs::Full => true,
         OuterDocs::Selected(ids) => ids.binary_search(&id).is_ok(),
@@ -318,11 +341,10 @@ fn scan_inner_against_round(
     let spec0 = &specs[0];
     let inner_profile = spec0.inner.profile();
     let outer_profile = spec0.outer.profile();
-    for item in spec0
-        .inner
-        .store()
-        .scan_with_prefetch(spec0.prefetch_metrics("inner_scan"))
-    {
+    // `inner_iter` folds in the shared inner delta (validated identical
+    // across the batch): tombstoned base documents are dropped, inserted
+    // documents trail the base scan.
+    for item in spec0.inner_iter() {
         let (inner_id, inner_doc) = match item {
             Ok(pair) => pair,
             Err(e) if spec0.skippable(&e) => {
@@ -419,9 +441,9 @@ pub fn execute_hvnl(
     // store is scanned sequentially; otherwise only the union of the
     // selected documents is read (each once, shared by every query that
     // chose it).
-    let full_scan = specs
+    let full_spec = specs
         .iter()
-        .any(|s| matches!(s.outer_docs, OuterDocs::Full));
+        .find(|s| matches!(s.outer_docs, OuterDocs::Full));
     let mut process =
         |id: DocId, doc: &Document, accs: &mut [QueryAcc], counters: &mut [HvnlCounters]| {
             for (si, spec) in specs.iter().enumerate() {
@@ -438,12 +460,12 @@ pub fn execute_hvnl(
             }
             Ok::<(), Error>(())
         };
-    if full_scan {
-        for item in spec0
-            .outer
-            .store()
-            .scan_with_prefetch(spec0.prefetch_metrics("outer_scan"))
-        {
+    if let Some(full_spec) = full_spec {
+        // `outer_iter` folds in the shared outer delta (validated identical
+        // across the batch); per-spec tombstone masking in
+        // `outer_participates` is then a no-op but keeps the Selected
+        // specs honest.
+        for item in full_spec.outer_iter() {
             let (id, doc) = match item {
                 Ok(pair) => pair,
                 Err(e) if spec0.skippable(&e) => {
@@ -458,15 +480,30 @@ pub fn execute_hvnl(
         let mut union: Vec<DocId> = specs
             .iter()
             .flat_map(|s| match s.outer_docs {
-                OuterDocs::Full => unreachable!("full_scan is false"),
+                OuterDocs::Full => unreachable!("no Full spec in the batch"),
                 OuterDocs::Selected(ids) => ids.iter().copied(),
             })
             .collect();
         union.sort_unstable();
         union.dedup();
         let store = spec0.outer.store();
+        // Selected ids may point at delta-inserted documents; serve those
+        // from the shared overlay, everything else from the base store.
+        let read_union_doc = |id: DocId| -> Result<Document> {
+            if let Some(overlay) = spec0.outer_delta {
+                if !store.contains(id) {
+                    if let Some(doc) = overlay.doc(id)? {
+                        return Ok(doc);
+                    }
+                }
+            }
+            store.read_doc_direct(id)
+        };
         for id in union {
-            let doc = match store.read_doc_direct(id) {
+            if spec0.outer_delta.is_some_and(|d| d.is_deleted(id)) {
+                continue;
+            }
+            let doc = match read_union_doc(id) {
                 Ok(doc) => doc,
                 Err(e) if spec0.skippable(&e) => {
                     // Attribute the skip to exactly the queries that chose
@@ -518,15 +555,7 @@ pub fn execute_vvm(
 ) -> Result<BatchOutcome> {
     validate(specs)?;
     let started = Instant::now();
-    let outer_ids: Vec<Vec<DocId>> = specs
-        .iter()
-        .map(|s| match s.outer_docs {
-            OuterDocs::Full => (0..s.outer.store().num_docs() as u32)
-                .map(DocId::new)
-                .collect(),
-            OuterDocs::Selected(ids) => ids.to_vec(),
-        })
-        .collect();
+    let outer_ids: Vec<Vec<DocId>> = specs.iter().map(|s| s.outer_live_ids()).collect();
     let max_len = outer_ids.iter().map(|v| v.len() as u64).max().unwrap_or(0);
 
     let mut partitions = estimate_batch_partitions(specs, inner_inv, outer_inv, &outer_ids)?;
@@ -632,12 +661,22 @@ fn run_vvm(
         let mut sim: Vec<HashMap<u32, HashMap<u32, f64>>> =
             specs.iter().map(|_| HashMap::new()).collect();
         let inner_cur = EntryCursor::new(
-            inner_inv.scan_with_prefetch(spec0.prefetch_metrics("inv1")),
+            vvm::merged_entries(
+                inner_inv.scan_with_prefetch(spec0.prefetch_metrics("inv1")),
+                spec0.inner_delta,
+                0,
+                None,
+            ),
             spec0,
             &mut shared_skipped_entries,
         )?;
         let outer_cur = EntryCursor::new(
-            outer_inv.scan_with_prefetch(spec0.prefetch_metrics("inv2")),
+            vvm::merged_entries(
+                outer_inv.scan_with_prefetch(spec0.prefetch_metrics("inv2")),
+                spec0.outer_delta,
+                0,
+                None,
+            ),
             spec0,
             &mut shared_skipped_entries,
         )?;

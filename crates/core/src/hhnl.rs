@@ -173,10 +173,7 @@ pub fn execute_backward(spec: &JoinSpec<'_>) -> Result<JoinOutcome> {
     )?;
     let mut heaps: std::collections::HashMap<u32, TopK> = std::collections::HashMap::new();
 
-    let mut inner = spec
-        .inner
-        .store()
-        .scan_with_prefetch(spec.prefetch_metrics("inner_scan"));
+    let mut inner = spec.inner_iter();
     let mut pending: Option<(DocId, Document)> = None;
     let mut passes = 0u64;
     let mut cpu = CpuCounters::default();
@@ -319,11 +316,7 @@ fn scan_inner_against(
 ) -> Result<()> {
     let inner_profile = spec.inner.profile();
     let outer_profile = spec.outer.profile();
-    for item in spec
-        .inner
-        .store()
-        .scan_with_prefetch(spec.prefetch_metrics("inner_scan"))
-    {
+    for item in spec.inner_iter() {
         let (inner_id, inner_doc) = match item {
             Ok(pair) => pair,
             Err(e) if spec.skippable(&e) => {

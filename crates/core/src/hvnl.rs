@@ -262,6 +262,24 @@ pub(crate) struct HvnlCounters {
     pub(crate) skipped_entries: u64,
 }
 
+/// Lifecycle of the one-shot delta-postings materialization. The overlay
+/// cannot change while an executor holds it (mutation needs
+/// `&mut LiveCollection`), and the batch engine validates that every spec
+/// of a batch shares the same overlay pointer per side, so a single
+/// materialization serves the whole run.
+enum DeltaPostings {
+    /// No delta lookup has happened yet.
+    Unbuilt,
+    /// Term → merged flushed+tail cells, bytes charged to the tracker.
+    Built(HashMap<TermId, Vec<textjoin_common::ICell>>),
+    /// The materialization scan hit an unreadable page in degraded mode:
+    /// the delta is dropped wholesale and every lookup counts a skip.
+    Dropped,
+    /// The map did not fit in memory even after emptying the entry cache;
+    /// fall back to per-term reads against the overlay.
+    PerTerm,
+}
+
 /// The spec-independent heart of HVNL: the loaded dictionary, the shared
 /// entry cache and the per-document accumulator scratch space. The
 /// sequential executor drives it with one spec; the batch engine
@@ -277,6 +295,10 @@ pub(crate) struct EntryJoinState<'b> {
     /// [`Self::process_outer_doc`].
     accumulators: HashMap<u32, f64>,
     acc_bytes: u64,
+    /// Inner-delta postings, materialized with one sequential scan of the
+    /// flushed side file on first use instead of a random read per outer
+    /// term occurrence.
+    delta_postings: DeltaPostings,
     /// Per-lookup latency histograms (cache hit, disk fetch), present only
     /// when a registry-backed tracer is attached to the spec.
     lookup_hists: Option<(Histogram, Histogram)>,
@@ -297,6 +319,7 @@ impl<'b> EntryJoinState<'b> {
             cache: EntryCache::new(eviction),
             accumulators: HashMap::new(),
             acc_bytes: 0,
+            delta_postings: DeltaPostings::Unbuilt,
             lookup_hists,
         }
     }
@@ -379,10 +402,15 @@ impl<'b> EntryJoinState<'b> {
         for cell in cached_terms.iter().chain(uncached_terms.iter()) {
             // Terms that do not appear in C1 have no entry and cost nothing.
             self.cache.unpin(cell.term);
-            let Some(entry) = self.dict.lookup(cell.term) else {
-                continue;
-            };
-            self.accumulate_term(spec, outer_id, cell, entry.ordinal, insert_df, counters)?;
+            if let Some(entry) = self.dict.lookup(cell.term) {
+                self.accumulate_term(spec, outer_id, cell, entry.ordinal, insert_df, counters)?;
+            }
+            // Inner delta documents contribute through the overlay's side
+            // postings — consulted for dictionary-known *and* delta-only
+            // terms, since an inserted document may introduce new terms.
+            if let Some(overlay) = spec.inner_delta {
+                self.accumulate_delta_term(spec, outer_id, cell, overlay, counters)?;
+            }
         }
 
         // Extract the λ best inner documents for this outer document.
@@ -467,6 +495,92 @@ impl<'b> EntryJoinState<'b> {
         self.apply_postings(spec, outer_id, cell.weight, factor, &cells, counters)?;
         self.cache
             .insert(cell.term, cells, bytes, insert_df(cell.term));
+        Ok(())
+    }
+
+    /// Applies the inner overlay's postings for one outer term. The whole
+    /// overlay is materialized into memory on first use with one sequential
+    /// scan of the flushed side file — fetching it per outer-term occurrence
+    /// would cost a random entry read each time, swamping the join. Delta
+    /// postings never enter the entry cache proper: the next flush or merge
+    /// rewrites them, and the pristine path must not pay for the
+    /// invalidation machinery that caching them would need. They also stay
+    /// outside `entry_fetches`/`cache_hits`, which account for the base
+    /// inverted file only.
+    fn accumulate_delta_term(
+        &mut self,
+        spec: &JoinSpec<'_>,
+        outer_id: DocId,
+        cell: &DCell,
+        overlay: &textjoin_invfile::DeltaOverlay,
+        counters: &mut HvnlCounters,
+    ) -> Result<()> {
+        let factor = spec.weighting.term_factor(cell.term, spec.inner.profile());
+        if factor == 0.0 {
+            return Ok(());
+        }
+        if matches!(self.delta_postings, DeltaPostings::Unbuilt) {
+            self.build_delta_postings(spec, overlay)?;
+        }
+        let cells = match &self.delta_postings {
+            DeltaPostings::Built(map) => match map.get(&cell.term) {
+                Some(cells) if !cells.is_empty() => cells.clone(),
+                _ => return Ok(()),
+            },
+            DeltaPostings::Dropped => {
+                // The delta is unreadable: every lookup that would have
+                // consulted it is a counted skip, so any query touching
+                // the dropped overlay reports a Partial result.
+                counters.skipped_entries += 1;
+                return Ok(());
+            }
+            DeltaPostings::PerTerm => match overlay.postings_for(cell.term) {
+                Ok(cells) if !cells.is_empty() => cells,
+                Ok(_) => return Ok(()),
+                Err(e) if spec.skippable(&e) => {
+                    counters.skipped_entries += 1;
+                    return Ok(());
+                }
+                Err(e) => return Err(e),
+            },
+            DeltaPostings::Unbuilt => unreachable!("built above"),
+        };
+        self.apply_postings(spec, outer_id, cell.weight, factor, &cells, counters)
+    }
+
+    /// One-shot materialization of the inner delta overlay: a single
+    /// sequential scan of the flushed side file merged with the in-memory
+    /// tail. In degraded mode an unreadable page drops the delta wholesale
+    /// (mirroring VVM's merged-entries idiom); if the map cannot be charged
+    /// to the tracker even after emptying the entry cache, lookups fall
+    /// back to per-term overlay reads.
+    fn build_delta_postings(
+        &mut self,
+        spec: &JoinSpec<'_>,
+        overlay: &textjoin_invfile::DeltaOverlay,
+    ) -> Result<()> {
+        let entries = match overlay.entries() {
+            Ok(entries) => entries,
+            Err(e) if spec.skippable(&e) => {
+                self.delta_postings = DeltaPostings::Dropped;
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        let bytes: u64 = entries
+            .iter()
+            .map(|(_, cells)| cached_entry_bytes(cells))
+            .sum();
+        while self.tracker.allocate(bytes, "HVNL delta postings").is_err() {
+            match self.cache.evict_one() {
+                Some(freed) => self.tracker.release(freed),
+                None => {
+                    self.delta_postings = DeltaPostings::PerTerm;
+                    return Ok(());
+                }
+            }
+        }
+        self.delta_postings = DeltaPostings::Built(entries.into_iter().collect());
         Ok(())
     }
 

@@ -97,13 +97,12 @@ where
             "at least one worker is required".into(),
         ));
     }
-    // Materialise the participating outer ids and slice them.
-    let outer_ids: Vec<DocId> = match spec.outer_docs {
-        OuterDocs::Full => (0..spec.outer.store().num_docs() as u32)
-            .map(DocId::new)
-            .collect(),
-        OuterDocs::Selected(ids) => ids.to_vec(),
-    };
+    // Materialise the participating outer ids (live ones only — the
+    // worker slices must not waste shares on tombstoned documents) and
+    // slice them. Worker specs keep the deltas via `..*spec`, so delta
+    // documents in a slice are served through the overlay fallback of
+    // `outer_iter` and inner-side masking works unchanged per worker.
+    let outer_ids: Vec<DocId> = spec.outer_live_ids();
     if outer_ids.is_empty() {
         return run(spec);
     }
@@ -218,12 +217,7 @@ pub fn execute_vvm(
             "at least one worker is required".into(),
         ));
     }
-    let outer_ids: Vec<DocId> = match spec.outer_docs {
-        OuterDocs::Full => (0..spec.outer.store().num_docs() as u32)
-            .map(DocId::new)
-            .collect(),
-        OuterDocs::Selected(ids) => ids.to_vec(),
-    };
+    let outer_ids: Vec<DocId> = spec.outer_live_ids();
     let workers = (workers as u64).min(inner_inv.num_entries()).max(1) as usize;
     if outer_ids.is_empty() || workers == 1 {
         // One worker is the sequential merge; run it directly so the
@@ -334,7 +328,8 @@ fn run_vvm(
             let handles: Vec<_> = ranges
                 .iter()
                 .zip(&shares)
-                .map(|(&range, &share)| {
+                .enumerate()
+                .map(|(idx, (&range, &share))| {
                     // Workers trace nothing themselves; the parallel root
                     // span carries the run-level records.
                     let worker_spec = JoinSpec {
@@ -358,13 +353,40 @@ fn run_vvm(
                         let mut acc: HashMap<u32, HashMap<u32, f64>> = HashMap::new();
                         let (i_start, i_end) = range.inner;
                         let (o_start, o_end) = range.outer;
+                        // Term bounds for the delta overlays: the ordinal
+                        // boundaries map onto terms, with the first worker
+                        // taking every delta term below the first boundary
+                        // and the last everything above — the bounds tile
+                        // [0, ∞), so each delta term lands on exactly one
+                        // worker. Both files' ranges cover the same term
+                        // interval, so the inner-derived bounds serve both.
+                        let term_lo = if idx == 0 {
+                            0
+                        } else {
+                            inner_inv.meta(i_start).term.raw()
+                        };
+                        let term_hi = if idx + 1 == ranges.len() {
+                            None
+                        } else {
+                            Some(inner_inv.meta(i_end).term.raw())
+                        };
                         let inner_cur = vvm::EntryCursor::new(
-                            inner_inv.scan_range(i_start, i_end),
+                            vvm::merged_entries(
+                                inner_inv.scan_range(i_start, i_end),
+                                worker_spec.inner_delta,
+                                term_lo,
+                                term_hi,
+                            ),
                             &worker_spec,
                             &mut skipped,
                         )?;
                         let outer_cur = vvm::EntryCursor::new(
-                            outer_inv.scan_range(o_start, o_end),
+                            vvm::merged_entries(
+                                outer_inv.scan_range(o_start, o_end),
+                                worker_spec.outer_delta,
+                                term_lo,
+                                term_hi,
+                            ),
                             &worker_spec,
                             &mut skipped,
                         )?;

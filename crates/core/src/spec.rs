@@ -1,8 +1,9 @@
 //! Join specifications shared by the three executors.
 
 use textjoin_collection::{Collection, Document};
-use textjoin_common::{CollectionStats, DocId, QueryParams, Result, SystemParams};
+use textjoin_common::{CollectionStats, DocId, FragStats, QueryParams, Result, SystemParams};
 use textjoin_costmodel::JoinInputs;
+use textjoin_invfile::DeltaOverlay;
 use textjoin_obs::Tracer;
 use textjoin_storage::PrefetchMetrics;
 
@@ -75,6 +76,15 @@ pub struct JoinSpec<'a> {
     /// for the query layer to re-plan onto the next-cheapest algorithm.
     /// `None` (the default) disables the watchdog entirely.
     pub cost_budget: Option<f64>,
+    /// Base+delta overlay of the inner collection. When set, the overlay's
+    /// live delta documents join as additional inner documents and
+    /// tombstoned documents are masked everywhere via
+    /// [`inner_doc_allowed`](Self::inner_doc_allowed). `None` (the default)
+    /// keeps every pristine code path byte-identical, with zero extra I/O.
+    pub inner_delta: Option<&'a DeltaOverlay>,
+    /// Base+delta overlay of the outer collection: delta documents extend
+    /// the outer scan and tombstoned outer documents drop out of it.
+    pub outer_delta: Option<&'a DeltaOverlay>,
 }
 
 impl<'a> JoinSpec<'a> {
@@ -92,6 +102,24 @@ impl<'a> JoinSpec<'a> {
             trace: None,
             degraded: false,
             cost_budget: None,
+            inner_delta: None,
+            outer_delta: None,
+        }
+    }
+
+    /// Attaches a base+delta overlay to the inner side.
+    pub fn with_inner_delta(self, delta: &'a DeltaOverlay) -> Self {
+        Self {
+            inner_delta: Some(delta),
+            ..self
+        }
+    }
+
+    /// Attaches a base+delta overlay to the outer side.
+    pub fn with_outer_delta(self, delta: &'a DeltaOverlay) -> Self {
+        Self {
+            outer_delta: Some(delta),
+            ..self
         }
     }
 
@@ -169,9 +197,14 @@ impl<'a> JoinSpec<'a> {
         }
     }
 
-    /// Whether an inner document may appear as a match.
+    /// Whether an inner document may appear as a match. Tombstoned
+    /// documents of the inner overlay are masked here, which covers every
+    /// executor's match emission in one place.
     #[inline]
     pub fn inner_doc_allowed(&self, doc: DocId) -> bool {
+        if self.inner_delta.is_some_and(|d| d.is_deleted(doc)) {
+            return false;
+        }
         match self.inner_docs {
             None => true,
             Some(ids) => ids.binary_search(&doc).is_ok(),
@@ -209,9 +242,57 @@ impl<'a> JoinSpec<'a> {
         !(self.exclude_self && inner == outer)
     }
 
-    /// Number of participating outer documents.
+    /// Number of participating outer documents (live ones only when an
+    /// outer overlay is attached).
     pub fn num_outer_docs(&self) -> u64 {
-        self.outer_docs.count(self.outer.store().num_docs())
+        match (self.outer_docs, self.outer_delta) {
+            (_, None) => self.outer_docs.count(self.outer.store().num_docs()),
+            (OuterDocs::Full, Some(overlay)) => {
+                let base_live = self
+                    .outer
+                    .store()
+                    .doc_ids()
+                    .into_iter()
+                    .filter(|&id| !overlay.is_deleted(id))
+                    .count() as u64;
+                base_live + overlay.live_ids().len() as u64
+            }
+            (OuterDocs::Selected(ids), Some(overlay)) => {
+                ids.iter().filter(|&&id| !overlay.is_deleted(id)).count() as u64
+            }
+        }
+    }
+
+    /// The participating outer document ids in ascending order: the base
+    /// store's ids (minus tombstones) followed by the overlay's live delta
+    /// ids, which are strictly larger by the id-allocation invariant. The
+    /// VVM family builds its accumulator chunks from this list, so outer
+    /// tombstone masking falls out of chunk membership.
+    pub fn outer_live_ids(&self) -> Vec<DocId> {
+        match self.outer_docs {
+            OuterDocs::Full => match self.outer_delta {
+                None => self.outer.store().doc_ids(),
+                Some(overlay) => {
+                    let mut ids: Vec<DocId> = self
+                        .outer
+                        .store()
+                        .doc_ids()
+                        .into_iter()
+                        .filter(|&id| !overlay.is_deleted(id))
+                        .collect();
+                    ids.extend(overlay.live_ids());
+                    ids
+                }
+            },
+            OuterDocs::Selected(ids) => match self.outer_delta {
+                None => ids.to_vec(),
+                Some(overlay) => ids
+                    .iter()
+                    .copied()
+                    .filter(|&id| !overlay.is_deleted(id))
+                    .collect(),
+            },
+        }
     }
 
     /// The cost-model inputs matching this execution: *measured* statistics
@@ -230,6 +311,12 @@ impl<'a> JoinSpec<'a> {
             .outer
             .profile()
             .term_overlap_probability(self.inner.profile());
+        let inner_frag = self.inner_delta.map_or_else(FragStats::default, |d| {
+            d.frag_stats(self.inner.store().num_docs())
+        });
+        let outer_frag = self.outer_delta.map_or_else(FragStats::default, |d| {
+            d.frag_stats(self.outer.store().num_docs())
+        });
         JoinInputs {
             inner: inner_stats,
             outer: outer_stats,
@@ -237,6 +324,8 @@ impl<'a> JoinSpec<'a> {
             query: self.query,
             q,
             outer_original,
+            inner_frag,
+            outer_frag,
         }
     }
 
@@ -271,18 +360,80 @@ impl<'a> JoinSpec<'a> {
     /// on pull, so executors can interleave reading outer documents with
     /// other work (HHNL fills memory batches this way).
     pub fn outer_iter(&self) -> Box<dyn Iterator<Item = Result<(DocId, Document)>> + 'a> {
+        let delta = self.outer_delta;
         match self.outer_docs {
-            OuterDocs::Full => Box::new(
-                self.outer
+            OuterDocs::Full => {
+                let base = self
+                    .outer
                     .store()
-                    .scan_with_prefetch(self.prefetch_metrics("outer_scan")),
-            ),
+                    .scan_with_prefetch(self.prefetch_metrics("outer_scan"));
+                match delta {
+                    None => Box::new(base),
+                    Some(overlay) => {
+                        let filtered = base.filter(move |item| match item {
+                            Ok((id, _)) => !overlay.is_deleted(*id),
+                            Err(_) => true,
+                        });
+                        // The overlay read happens on first pull, not at
+                        // iterator construction, keeping the scan lazy.
+                        let tail =
+                            std::iter::once(()).flat_map(move |()| match overlay.live_docs() {
+                                Ok(docs) => docs.into_iter().map(Ok).collect::<Vec<_>>(),
+                                Err(e) => vec![Err(e)],
+                            });
+                        Box::new(filtered.chain(tail))
+                    }
+                }
+            }
             OuterDocs::Selected(ids) => {
                 let store = self.outer.store();
-                Box::new(
-                    ids.iter()
-                        .map(move |&id| store.read_doc_direct(id).map(|d| (id, d))),
-                )
+                match delta {
+                    None => Box::new(
+                        ids.iter()
+                            .map(move |&id| store.read_doc_direct(id).map(|d| (id, d))),
+                    ),
+                    Some(overlay) => Box::new(ids.iter().filter_map(move |&id| {
+                        if overlay.is_deleted(id) {
+                            return None;
+                        }
+                        if !store.contains(id) {
+                            match overlay.doc(id) {
+                                Ok(Some(doc)) => return Some(Ok((id, doc))),
+                                Ok(None) => {} // unknown id: surface the base store's error
+                                Err(e) => return Some(Err(e)),
+                            }
+                        }
+                        Some(store.read_doc_direct(id).map(|d| (id, d)))
+                    })),
+                }
+            }
+        }
+    }
+
+    /// A lazy iterator over the participating inner documents: the base
+    /// scan (minus tombstoned documents) followed by the inner overlay's
+    /// live delta documents. The nested-loop executors stream the inner
+    /// collection through this, so delta documents compete for the λ best
+    /// matches exactly like base documents. Callers still apply
+    /// [`inner_doc_allowed`](Self::inner_doc_allowed) for the inner
+    /// selection.
+    pub fn inner_iter(&self) -> Box<dyn Iterator<Item = Result<(DocId, Document)>> + 'a> {
+        let base = self
+            .inner
+            .store()
+            .scan_with_prefetch(self.prefetch_metrics("inner_scan"));
+        match self.inner_delta {
+            None => Box::new(base),
+            Some(overlay) => {
+                let filtered = base.filter(move |item| match item {
+                    Ok((id, _)) => !overlay.is_deleted(*id),
+                    Err(_) => true,
+                });
+                let tail = std::iter::once(()).flat_map(move |()| match overlay.live_docs() {
+                    Ok(docs) => docs.into_iter().map(Ok).collect::<Vec<_>>(),
+                    Err(e) => vec![Err(e)],
+                });
+                Box::new(filtered.chain(tail))
             }
         }
     }

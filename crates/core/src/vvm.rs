@@ -17,7 +17,7 @@
 
 use crate::report::observe_phase_sim_io;
 use crate::result::{ExecStats, JoinOutcome, JoinResult, Match};
-use crate::spec::{JoinSpec, OuterDocs};
+use crate::spec::JoinSpec;
 use crate::topk::TopK;
 use std::collections::HashMap;
 use std::time::Instant;
@@ -41,12 +41,7 @@ pub fn execute(
     inner_inv: &InvertedFile,
     outer_inv: &InvertedFile,
 ) -> Result<JoinOutcome> {
-    let outer_ids: Vec<DocId> = match spec.outer_docs {
-        OuterDocs::Full => (0..spec.outer.store().num_docs() as u32)
-            .map(DocId::new)
-            .collect(),
-        OuterDocs::Selected(ids) => ids.to_vec(),
-    };
+    let outer_ids: Vec<DocId> = spec.outer_live_ids();
 
     let mut partitions =
         estimate_partitions(spec, inner_inv, outer_inv, outer_ids.len() as u64, 1)?;
@@ -144,6 +139,76 @@ impl<I: Iterator<Item = Result<(TermId, Vec<ICell>)>>> EntryCursor<I> {
     }
 }
 
+/// Merges a base inverted-file scan with a delta overlay's entries over the
+/// term range `[lo, hi)` (`hi = None` means unbounded). A term present in
+/// both layers yields *base cells ++ delta cells*, which is ascending
+/// document order by the id-allocation invariant (delta documents are
+/// numbered after every base document). Without an overlay the base
+/// iterator is returned untouched, so the pristine path allocates and reads
+/// nothing extra. A delta read error is yielded as one leading `Err` item:
+/// degraded mode then drops the delta wholesale (and counts one skip) while
+/// strict mode aborts the merge.
+pub(crate) fn merged_entries<'a>(
+    base: impl Iterator<Item = Result<(TermId, Vec<ICell>)>> + 'a,
+    overlay: Option<&textjoin_invfile::DeltaOverlay>,
+    lo: u32,
+    hi: Option<u32>,
+) -> Box<dyn Iterator<Item = Result<(TermId, Vec<ICell>)>> + 'a> {
+    let Some(overlay) = overlay else {
+        return Box::new(base);
+    };
+    let (delta, err) = match overlay.entries_between(lo, hi) {
+        Ok(d) => (d, None),
+        Err(e) => (Vec::new(), Some(e)),
+    };
+    if delta.is_empty() && err.is_none() {
+        return Box::new(base);
+    }
+    Box::new(MergedEntries {
+        base: base.peekable(),
+        delta: delta.into_iter().peekable(),
+        err,
+    })
+}
+
+struct MergedEntries<B: Iterator<Item = Result<(TermId, Vec<ICell>)>>> {
+    base: std::iter::Peekable<B>,
+    delta: std::iter::Peekable<std::vec::IntoIter<(TermId, Vec<ICell>)>>,
+    err: Option<Error>,
+}
+
+impl<B: Iterator<Item = Result<(TermId, Vec<ICell>)>>> Iterator for MergedEntries<B> {
+    type Item = Result<(TermId, Vec<ICell>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Some(e) = self.err.take() {
+            return Some(Err(e));
+        }
+        match (self.base.peek(), self.delta.peek()) {
+            (None, None) => None,
+            // Base errors pass through for the cursor's skippable loop.
+            (Some(Err(_)), _) => self.base.next(),
+            (Some(Ok((bt, _))), Some((dt, _))) => {
+                if bt < dt {
+                    self.base.next()
+                } else if dt < bt {
+                    self.delta.next().map(Ok)
+                } else {
+                    let (term, mut cells) = match self.base.next()? {
+                        Ok(pair) => pair,
+                        Err(e) => return Some(Err(e)),
+                    };
+                    let (_, delta_cells) = self.delta.next()?;
+                    cells.extend(delta_cells);
+                    Some(Ok((term, cells)))
+                }
+            }
+            (Some(Ok(_)), None) => self.base.next(),
+            (None, Some(_)) => self.delta.next().map(Ok),
+        }
+    }
+}
+
 fn run(
     spec: &JoinSpec<'_>,
     inner_inv: &InvertedFile,
@@ -184,12 +249,22 @@ fn run(
         let mut acc: HashMap<u32, HashMap<u32, f64>> = HashMap::new();
 
         let inner_cur = EntryCursor::new(
-            inner_inv.scan_with_prefetch(spec.prefetch_metrics("inv1")),
+            merged_entries(
+                inner_inv.scan_with_prefetch(spec.prefetch_metrics("inv1")),
+                spec.inner_delta,
+                0,
+                None,
+            ),
             spec,
             &mut skipped_entries,
         )?;
         let outer_cur = EntryCursor::new(
-            outer_inv.scan_with_prefetch(spec.prefetch_metrics("inv2")),
+            merged_entries(
+                outer_inv.scan_with_prefetch(spec.prefetch_metrics("inv2")),
+                spec.outer_delta,
+                0,
+                None,
+            ),
             spec,
             &mut skipped_entries,
         )?;
@@ -364,6 +439,7 @@ pub(crate) fn max_entry_bytes(inv: &InvertedFile) -> u64 {
 mod tests {
     use super::*;
     use crate::reference::naive_join;
+    use crate::spec::OuterDocs;
     use std::sync::Arc;
     use textjoin_collection::{Collection, Document, SynthSpec};
     use textjoin_common::{CollectionStats, QueryParams, SystemParams};

@@ -35,7 +35,7 @@ use textjoin_common::Result;
 pub fn hhs_batch_passes(inputs: &[JoinInputs]) -> Result<f64> {
     let mut fractional = 0.0;
     for i in inputs {
-        fractional += i.n2() / hhnl::batch_size(i)?;
+        fractional += i.n2_live() / hhnl::batch_size(i)?;
     }
     Ok(fractional.ceil().max(1.0))
 }
@@ -47,7 +47,7 @@ pub fn hhs_batch(inputs: &[JoinInputs]) -> Result<f64> {
         return Ok(0.0);
     };
     let outer: f64 = inputs.iter().map(|i| i.outer_read_cost()).sum();
-    Ok(outer + hhs_batch_passes(inputs)? * first.d1())
+    Ok(outer + hhs_batch_passes(inputs)? * first.d1_frag())
 }
 
 /// `hvs_batch` — batched HVNL: the inner B+tree dictionary (`Bt1`) is
@@ -112,7 +112,7 @@ pub fn vvs_batch(inputs: &[JoinInputs]) -> Result<f64> {
     let Some(first) = inputs.first() else {
         return Ok(0.0);
     };
-    Ok((first.i1() + first.i2_storage()) * vvs_batch_passes(inputs)?)
+    Ok((first.i1_frag() + first.i2_storage_frag()) * vvs_batch_passes(inputs)?)
 }
 
 /// `vvr_batch` — worst-case batched VVM: pooled merge scans at the

@@ -40,15 +40,19 @@ pub fn batch_size(inputs: &JoinInputs) -> Result<f64> {
     Ok(x)
 }
 
-/// Number of passes over the inner collection: `⌈N2 / X⌉`.
+/// Number of passes over the inner collection: `⌈N2 / X⌉`. Tombstoned
+/// outer documents are skipped before batching, so only live documents
+/// count toward the batches.
 pub fn num_passes(inputs: &JoinInputs) -> Result<f64> {
-    Ok((inputs.n2() / batch_size(inputs)?).ceil().max(1.0))
+    Ok((inputs.n2_live() / batch_size(inputs)?).ceil().max(1.0))
 }
 
 /// `hhs` — all-sequential cost (formula HHS1). For a selected outer subset
-/// (group 3) the `D2` term becomes `N2·⌈S2⌉·α` random fetches.
+/// (group 3) the `D2` term becomes `N2·⌈S2⌉·α` random fetches. A
+/// fragmented collection pays for its delta document side file on every
+/// scan (`D1 + ΔD1` per pass; `ΔD2` inside the outer read cost).
 pub fn sequential(inputs: &JoinInputs) -> Result<f64> {
-    Ok(inputs.outer_read_cost() + num_passes(inputs)? * inputs.d1())
+    Ok(inputs.outer_read_cost() + num_passes(inputs)? * inputs.d1_frag())
 }
 
 /// The *backward order* of section 4.1: the inner collection `C1` gets the
@@ -68,7 +72,7 @@ pub fn sequential(inputs: &JoinInputs) -> Result<f64> {
 /// is much smaller than `C2`.
 pub fn backward_batch_size(inputs: &JoinInputs) -> Result<f64> {
     let p = inputs.sys.page_size as f64;
-    let heap_pages = inputs.n2() * (8 * inputs.query.lambda) as f64 / p;
+    let heap_pages = inputs.n2_live() * (8 * inputs.query.lambda) as f64 / p;
     let x = (inputs.b() - inputs.s2().ceil() - heap_pages) / inputs.s1().max(f64::MIN_POSITIVE);
     if x < 1.0 {
         return Err(Error::InsufficientMemory {
@@ -83,8 +87,8 @@ pub fn backward_batch_size(inputs: &JoinInputs) -> Result<f64> {
 /// `hhs_b` — all-sequential cost of the backward order.
 pub fn backward_sequential(inputs: &JoinInputs) -> Result<f64> {
     let x = backward_batch_size(inputs)?;
-    let passes = (inputs.n1() / x).ceil().max(1.0);
-    Ok(inputs.d1() + passes * inputs.outer_read_cost())
+    let passes = (inputs.n1_live() / x).ceil().max(1.0);
+    Ok(inputs.d1_frag() + passes * inputs.outer_read_cost())
 }
 
 /// `hhr` — worst-case cost when the I/O device is shared.
@@ -92,14 +96,14 @@ pub fn worst_case_random(inputs: &JoinInputs) -> Result<f64> {
     let x = batch_size(inputs)?;
     let hhs = sequential(inputs)?;
     let extra_per_seek = inputs.alpha() - 1.0;
-    if inputs.n2() >= x {
+    if inputs.n2_live() >= x {
         // Every inner document read and every outer batch becomes a seek.
-        let inner_random_ios = inputs.d1().min(inputs.n1());
+        let inner_random_ios = inputs.d1_frag().min(inputs.n1());
         Ok(hhs + num_passes(inputs)? * (1.0 + inner_random_ios) * extra_per_seek)
     } else {
         // C2 fits in memory; C1 is read in blocks using the leftover space.
-        let leftover_pages = ((x - inputs.n2()) * inputs.s2()).max(1.0);
-        Ok(hhs + (inputs.d1() / leftover_pages).ceil() * extra_per_seek)
+        let leftover_pages = ((x - inputs.n2_live()) * inputs.s2()).max(1.0);
+        Ok(hhs + (inputs.d1_frag() / leftover_pages).ceil() * extra_per_seek)
     }
 }
 
@@ -215,6 +219,32 @@ mod tests {
         assert!(batch_size(&i).is_err());
         assert!(sequential(&i).is_err());
         assert!(worst_case_random(&i).is_err());
+    }
+
+    #[test]
+    fn fragmentation_charges_delta_pages_per_pass() {
+        use textjoin_common::FragStats;
+        let pristine = simple();
+        let frag = JoinInputs {
+            inner_frag: FragStats {
+                doc_delta_pages: 50,
+                ..FragStats::default()
+            },
+            ..pristine
+        };
+        let passes = num_passes(&frag).unwrap();
+        assert_eq!(passes, num_passes(&pristine).unwrap());
+        let expect = sequential(&pristine).unwrap() + passes * 50.0;
+        assert!((sequential(&frag).unwrap() - expect).abs() < 1e-9);
+        // Outer tombstones only shrink the live batches — never raise cost.
+        let tomb = JoinInputs {
+            outer_frag: FragStats {
+                tombstone_ratio: 0.5,
+                ..FragStats::default()
+            },
+            ..pristine
+        };
+        assert!(sequential(&tomb).unwrap() <= sequential(&pristine).unwrap());
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub fn fill_point(inputs: &JoinInputs) -> Option<(f64, f64, f64)> {
     let x = cache_capacity(inputs);
     let q = inputs.q;
     let n2 = inputs.outer.num_docs;
-    if n2 == 0 || q * vocabulary_growth(inputs, n2 as f64) <= x {
+    if n2 == 0 || q * vocabulary_growth(inputs, inputs.n2_live()) <= x {
         return None;
     }
     // Binary search for the smallest integer m in [1, N2] with q·f(m) > X.
@@ -97,7 +97,15 @@ fn entry_fetch_pages(inputs: &JoinInputs) -> f64 {
 /// the executor, which fetches each needed entry exactly once when it
 /// fits. For the paper's full-collection scenarios the two coincide.
 pub fn entries_needed(inputs: &JoinInputs) -> f64 {
-    inputs.q * vocabulary_growth(inputs, inputs.n2()).min(inputs.t2())
+    inputs.q * vocabulary_growth(inputs, inputs.n2_live()).min(inputs.t2())
+}
+
+/// The inner delta inverted side file, fetched term by term at the random
+/// rate as the executor consults it next to every base entry fetch. When
+/// the base inverted file is scanned wholesale instead, the delta is
+/// scanned too, at the sequential rate (`ΔI1` alone).
+fn delta_fetch_cost(inputs: &JoinInputs) -> f64 {
+    inputs.inner_frag.inv_delta_pages as f64 * inputs.alpha()
 }
 
 /// `hvs` — cost with the outer collection read sequentially.
@@ -108,27 +116,29 @@ pub fn sequential(inputs: &JoinInputs) -> f64 {
     let jc = entry_fetch_pages(inputs);
     let alpha = inputs.alpha();
     let needed = entries_needed(inputs);
+    let delta_rand = delta_fetch_cost(inputs);
+    let delta_seq = inputs.inner_frag.inv_delta_pages as f64;
 
     if x >= inputs.t1() {
         // Whole inverted file fits: either scan it sequentially or fetch
         // exactly the needed entries at random — whichever is cheaper.
-        let scan_all = d2 + inputs.i1() + bt1;
-        let fetch_needed = d2 + needed * jc * alpha + bt1;
+        let scan_all = d2 + inputs.i1() + bt1 + delta_seq;
+        let fetch_needed = d2 + needed * jc * alpha + bt1 + delta_rand;
         scan_all.min(fetch_needed)
     } else if x >= needed {
         // All needed entries fit (fetched once each, kept forever).
-        d2 + needed * jc * alpha + bt1
+        d2 + needed * jc * alpha + bt1 + delta_rand
     } else {
         match fill_point(inputs) {
             None => {
                 // The cache never fills within N2 documents: every distinct
                 // needed entry is fetched exactly once (same expression as
                 // the case above; kept for clarity of the case analysis).
-                d2 + needed * jc * alpha + bt1
+                d2 + needed * jc * alpha + bt1 + delta_rand
             }
             Some((s, x1, y)) => {
-                let refetch_docs = (inputs.n2() - s - x1 + 1.0).max(0.0);
-                d2 + x * jc * alpha + bt1 + refetch_docs * y * jc * alpha
+                let refetch_docs = (inputs.n2_live() - s - x1 + 1.0).max(0.0);
+                d2 + x * jc * alpha + bt1 + refetch_docs * y * jc * alpha + delta_rand
             }
         }
     }
@@ -143,13 +153,15 @@ pub fn worst_case_random(inputs: &JoinInputs) -> f64 {
         return sequential(inputs);
     }
     let x = cache_capacity(inputs);
-    let d2 = inputs.d2();
+    let d2 = inputs.d2_frag();
     let bt1 = inputs.bt1();
     let jc = entry_fetch_pages(inputs);
     let alpha = inputs.alpha();
     let extra = alpha - 1.0;
     let needed = entries_needed(inputs);
     let j1 = inputs.j1().max(f64::MIN_POSITIVE);
+    let delta_rand = delta_fetch_cost(inputs);
+    let delta_seq = inputs.inner_frag.inv_delta_pages as f64;
 
     // ⌈D2 / room⌉ seeks when `room` pages of leftover memory batch the
     // outer scan; one seek per document (bounded by D2) when nothing is
@@ -164,8 +176,9 @@ pub fn worst_case_random(inputs: &JoinInputs) -> f64 {
     };
 
     if x >= inputs.t1() {
-        let scan_all = d2 + inputs.i1() + bt1 + outer_seeks(x - inputs.t1()) * extra;
-        let fetch_needed = d2 + needed * jc * alpha + bt1 + outer_seeks(x - needed) * extra;
+        let scan_all = d2 + inputs.i1() + bt1 + delta_seq + outer_seeks(x - inputs.t1()) * extra;
+        let fetch_needed =
+            d2 + needed * jc * alpha + bt1 + delta_rand + outer_seeks(x - needed) * extra;
         scan_all.min(fetch_needed)
     } else if x >= needed {
         sequential(inputs) + outer_seeks(x - needed) * extra
@@ -306,6 +319,24 @@ mod tests {
         assert!(fill_point(&i).is_none());
         let expect = i.d2() + f30 * i.j1().ceil() * i.alpha() + i.bt1();
         assert!((sequential(&i) - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn delta_inverted_pages_are_fetched_at_the_random_rate() {
+        use textjoin_common::FragStats;
+        let pristine = inputs(CollectionStats::wsj(), CollectionStats::wsj(), 10_000);
+        let frag = JoinInputs {
+            inner_frag: FragStats {
+                inv_delta_pages: 40,
+                ..FragStats::default()
+            },
+            ..pristine
+        };
+        // The WSJ self-join sits in the cache-fills branch, where the delta
+        // side file is consulted per fetch: a flat ΔI1·α surcharge.
+        let expect = sequential(&pristine) + 40.0 * pristine.alpha();
+        assert!((sequential(&frag) - expect).abs() < 1e-6);
+        assert!(worst_case_random(&frag) > worst_case_random(&pristine));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Inputs shared by all cost estimators.
 
 use serde::{Deserialize, Serialize};
-use textjoin_common::{CollectionStats, QueryParams, SystemParams};
+use textjoin_common::{CollectionStats, FragStats, QueryParams, SystemParams};
 
 /// Everything a cost formula needs: the statistics of the inner collection
 /// `C1` and the outer collection `C2`, the system parameters `(B, P, α)`,
@@ -32,6 +32,11 @@ pub struct JoinInputs {
     /// penalises VVM. `None` means the outer side is a whole stored
     /// collection, scanned sequentially.
     pub outer_original: Option<CollectionStats>,
+    /// Fragmentation of the inner collection's base+delta overlay. Pristine
+    /// (all zeros) for a bulk-loaded or freshly merged collection.
+    pub inner_frag: FragStats,
+    /// Fragmentation of the outer collection's base+delta overlay.
+    pub outer_frag: FragStats,
 }
 
 impl JoinInputs {
@@ -50,6 +55,8 @@ impl JoinInputs {
             query,
             q,
             outer_original: None,
+            inner_frag: FragStats::default(),
+            outer_frag: FragStats::default(),
         }
     }
 
@@ -58,6 +65,17 @@ impl JoinInputs {
     pub fn with_selected_outer(self, original: CollectionStats) -> Self {
         Self {
             outer_original: Some(original),
+            ..self
+        }
+    }
+
+    /// Attaches base+delta fragmentation statistics. Every scan formula
+    /// then pays for the delta side files on top of the base structures,
+    /// and per-document work shrinks to the live (non-tombstoned) counts.
+    pub fn with_frag(self, inner_frag: FragStats, outer_frag: FragStats) -> Self {
+        Self {
+            inner_frag,
+            outer_frag,
             ..self
         }
     }
@@ -72,6 +90,7 @@ impl JoinInputs {
     /// "backward order" of section 4.1; the `q` heuristic is re-derived).
     pub fn swapped(&self) -> Self {
         Self::with_paper_q(self.outer, self.inner, self.sys, self.query)
+            .with_frag(self.outer_frag, self.inner_frag)
     }
 
     // Shorthand accessors used throughout the formulas, all in pages.
@@ -130,9 +149,11 @@ impl JoinInputs {
     /// document-at-a-time random fetches for a selected subset.
     pub(crate) fn outer_read_cost(&self) -> f64 {
         if self.outer_original.is_some() {
+            // A selected subset names live documents, so tombstones and the
+            // delta side file add nothing to the per-document fetches.
             self.n2() * self.s2().ceil() * self.alpha()
         } else {
-            self.d2()
+            self.d2_frag()
         }
     }
 
@@ -170,6 +191,56 @@ impl JoinInputs {
     }
     pub(crate) fn alpha(&self) -> f64 {
         self.sys.alpha
+    }
+
+    // Fragmentation-adjusted quantities. A base+delta collection keeps its
+    // base structures at full size (tombstoned documents still occupy their
+    // pages until the next merge), so `D` and `I` never shrink; scans
+    // additionally pay for the flushed delta side files, and per-document
+    // work drops to the live fraction. All of these reduce to their
+    // pristine counterparts when the `FragStats` are zero.
+
+    /// `D1` plus the inner delta document side file — what a full scan of
+    /// the fragmented inner collection actually reads.
+    pub(crate) fn d1_frag(&self) -> f64 {
+        self.d1() + self.inner_frag.doc_delta_pages as f64
+    }
+    /// `D2` plus the outer delta document side file.
+    pub(crate) fn d2_frag(&self) -> f64 {
+        self.d2() + self.outer_frag.doc_delta_pages as f64
+    }
+    /// `I1` plus the inner delta inverted side file.
+    pub(crate) fn i1_frag(&self) -> f64 {
+        self.i1() + self.inner_frag.inv_delta_pages as f64
+    }
+    /// Stored `I2` plus the outer delta inverted side file.
+    pub(crate) fn i2_storage_frag(&self) -> f64 {
+        self.i2_storage() + self.outer_frag.inv_delta_pages as f64
+    }
+    /// Live inner document count: `N1` scaled down by the tombstone ratio.
+    /// Dead documents are still scanned (their pages stay in `D1`) but
+    /// produce no similarity work, accumulators or heap entries.
+    pub(crate) fn n1_live(&self) -> f64 {
+        self.n1() * (1.0 - self.inner_frag.tombstone_ratio.clamp(0.0, 1.0))
+    }
+    /// Live outer document count.
+    pub(crate) fn n2_live(&self) -> f64 {
+        self.n2() * (1.0 - self.outer_frag.tombstone_ratio.clamp(0.0, 1.0))
+    }
+
+    /// The total fragmentation surcharge in pages — the delta side files of
+    /// both collections. Exposed (`pub`) so EXPLAIN output can show the
+    /// term the formulas added on top of the pristine cost.
+    pub fn fragmentation_pages(&self) -> f64 {
+        (self.inner_frag.doc_delta_pages
+            + self.inner_frag.inv_delta_pages
+            + self.outer_frag.doc_delta_pages
+            + self.outer_frag.inv_delta_pages) as f64
+    }
+
+    /// Whether either side carries any fragmentation at all.
+    pub fn is_fragmented(&self) -> bool {
+        !(self.inner_frag.is_pristine() && self.outer_frag.is_pristine())
     }
 }
 
@@ -241,6 +312,51 @@ mod tests {
         assert!((inputs.q - 0.4).abs() < 1e-12);
         // p goes the other way: T2 (100k) vs source T1 (50k) → 0.8 band.
         assert!((inputs.paper_p() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frag_accessors_adjust_pages_and_live_counts() {
+        use textjoin_common::FragStats;
+        let frag = FragStats {
+            doc_delta_pages: 10,
+            inv_delta_pages: 6,
+            tombstone_ratio: 0.25,
+        };
+        let i = JoinInputs::with_paper_q(
+            CollectionStats::wsj(),
+            CollectionStats::doe(),
+            SystemParams::paper_base(),
+            QueryParams::paper_base(),
+        )
+        .with_frag(frag, FragStats::default());
+        assert!(i.is_fragmented());
+        assert_eq!(i.fragmentation_pages(), 16.0);
+        assert!((i.d1_frag() - i.d1() - 10.0).abs() < 1e-9);
+        assert!((i.i1_frag() - i.i1() - 6.0).abs() < 1e-9);
+        assert!((i.n1_live() - i.n1() * 0.75).abs() < 1e-6);
+        assert!((i.n2_live() - i.n2()).abs() < 1e-9, "outer is pristine");
+        // Swapping the join sides swaps the fragmentation with them.
+        let back = i.swapped();
+        assert_eq!(back.outer_frag, frag);
+        assert!(back.inner_frag.is_pristine());
+    }
+
+    #[test]
+    fn pristine_frag_changes_nothing() {
+        let i = JoinInputs::with_paper_q(
+            CollectionStats::wsj(),
+            CollectionStats::doe(),
+            SystemParams::paper_base(),
+            QueryParams::paper_base(),
+        );
+        assert!(!i.is_fragmented());
+        assert_eq!(i.fragmentation_pages(), 0.0);
+        assert_eq!(i.d1_frag(), i.d1());
+        assert_eq!(i.d2_frag(), i.d2());
+        assert_eq!(i.i1_frag(), i.i1());
+        assert_eq!(i.i2_storage_frag(), i.i2_storage());
+        assert_eq!(i.n1_live(), i.n1());
+        assert_eq!(i.n2_live(), i.n2());
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub fn hhs_par(inputs: &JoinInputs, workers: u64) -> Result<f64> {
     } else {
         per.outer_read_cost()
     };
-    Ok(outer + passes * inputs.d1())
+    Ok(outer + passes * inputs.d1_frag())
 }
 
 /// `hvs_par` — HVNL with the outer side partitioned across `workers`.
@@ -104,7 +104,7 @@ pub fn vvs_par(inputs: &JoinInputs, workers: u64) -> Result<f64> {
         vvm::num_passes(&per)?;
     }
     let passes = (vvm::similarity_pages(inputs) / w / budget).ceil().max(1.0);
-    Ok(passes * (inputs.i1() + inputs.i2_storage()) / w)
+    Ok(passes * (inputs.i1_frag() + inputs.i2_storage_frag()) / w)
 }
 
 /// The parallel estimate for one algorithm; `INFINITY` when the per-worker

@@ -17,9 +17,11 @@
 use crate::inputs::JoinInputs;
 use textjoin_common::{Error, Result, SIM_VALUE_BYTES};
 
-/// `SM` — pages needed for all intermediate similarities at once.
+/// `SM` — pages needed for all intermediate similarities at once. Only
+/// live (non-tombstoned) documents get accumulators, so the pair count
+/// shrinks with fragmentation even though the scans grow.
 pub fn similarity_pages(inputs: &JoinInputs) -> f64 {
-    SIM_VALUE_BYTES as f64 * inputs.query.delta * inputs.n1() * inputs.n2()
+    SIM_VALUE_BYTES as f64 * inputs.query.delta * inputs.n1_live() * inputs.n2_live()
         / inputs.sys.page_size as f64
 }
 
@@ -43,16 +45,19 @@ pub fn num_passes(inputs: &JoinInputs) -> Result<f64> {
     Ok((similarity_pages(inputs) / m).ceil().max(1.0))
 }
 
-/// `vvs` — all-sequential cost.
+/// `vvs` — all-sequential cost. Each pass scans both base inverted files
+/// *and* their flushed delta side files, so fragmentation inflates every
+/// pass.
 pub fn sequential(inputs: &JoinInputs) -> Result<f64> {
-    Ok((inputs.i1() + inputs.i2_storage()) * num_passes(inputs)?)
+    Ok((inputs.i1_frag() + inputs.i2_storage_frag()) * num_passes(inputs)?)
 }
 
 /// `vvr` — worst-case cost when every entry read incurs a seek. An entry
 /// smaller than a page still costs a full page, hence `min{I, T}` run
 /// starts per file.
 pub fn worst_case_random(inputs: &JoinInputs) -> Result<f64> {
-    let runs = inputs.i1().min(inputs.t1()) + inputs.i2_storage().min(inputs.t2_storage());
+    let runs =
+        inputs.i1_frag().min(inputs.t1()) + inputs.i2_storage_frag().min(inputs.t2_storage());
     Ok(runs * inputs.alpha() * num_passes(inputs)?)
 }
 
@@ -142,6 +147,33 @@ mod tests {
         let large = inputs(CollectionStats::wsj(), CollectionStats::wsj(), 80_000);
         assert!(num_passes(&large).unwrap() < num_passes(&small).unwrap());
         assert!(sequential(&large).unwrap() < sequential(&small).unwrap());
+    }
+
+    #[test]
+    fn fragmentation_inflates_each_pass_and_tombstones_shrink_pairs() {
+        use textjoin_common::FragStats;
+        let pristine = inputs(CollectionStats::wsj(), CollectionStats::wsj(), 10_000);
+        let frag = JoinInputs {
+            inner_frag: FragStats {
+                inv_delta_pages: 25,
+                ..FragStats::default()
+            },
+            ..pristine
+        };
+        let passes = num_passes(&frag).unwrap();
+        assert_eq!(passes, num_passes(&pristine).unwrap());
+        let expect = sequential(&pristine).unwrap() + passes * 25.0;
+        assert!((sequential(&frag).unwrap() - expect).abs() < 1e-6);
+        // Tombstones shrink the live pair count, hence SM and the passes.
+        let tomb = JoinInputs {
+            outer_frag: FragStats {
+                tombstone_ratio: 0.5,
+                ..FragStats::default()
+            },
+            ..pristine
+        };
+        assert!(similarity_pages(&tomb) < similarity_pages(&pristine));
+        assert!(num_passes(&tomb).unwrap() <= num_passes(&pristine).unwrap());
     }
 
     #[test]

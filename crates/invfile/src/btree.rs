@@ -222,6 +222,38 @@ impl BTreeFile {
         Self::bulk_load(disk, name, &[])
     }
 
+    /// Reopens a persisted tree from its scalar catalog record — the
+    /// recovery path (the pages are already on disk in `file`).
+    pub fn from_parts(
+        disk: Arc<DiskSim>,
+        file: FileId,
+        root: u32,
+        height: u32,
+        num_terms: u64,
+        first_leaf: u32,
+        num_leaf_pages: u64,
+    ) -> Self {
+        Self {
+            disk,
+            file,
+            root,
+            height,
+            num_terms,
+            first_leaf,
+            num_leaf_pages,
+        }
+    }
+
+    /// The root page (for persisting the scalar catalog record).
+    pub fn root(&self) -> u32 {
+        self.root
+    }
+
+    /// The first leaf page of the chain (for persisting).
+    pub fn first_leaf(&self) -> u32 {
+        self.first_leaf
+    }
+
     /// Total pages of the tree file (leaves + internal nodes).
     pub fn num_pages(&self) -> u64 {
         self.disk.num_pages(self.file)

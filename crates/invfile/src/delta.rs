@@ -1,0 +1,364 @@
+//! Base+delta overlays for incrementally-updated collections.
+//!
+//! The paper's storage model (section 3) is bulk-loaded and immutable:
+//! documents packed in consecutive storage locations, inverted-file entries
+//! packed in term order. An updatable collection keeps that base immutable
+//! and accumulates changes in a [`DeltaOverlay`]:
+//!
+//! * **inserts** land in an in-memory *tail* (documents plus their
+//!   postings), and are periodically flushed to packed *side files* — a
+//!   sparse-id [`DocumentStore`] and a small [`InvertedFile`] holding only
+//!   the inserted documents;
+//! * **deletes** are a tombstone set of document numbers masking both base
+//!   and delta at read time — no page of the base is ever rewritten.
+//!
+//! Document numbers are never reused and grow monotonically, so for any
+//! term the concatenation *base entry ++ flushed entry ++ tail entry* is
+//! already in ascending document order — executors merge the three layers
+//! without sorting. A background merge (the `textjoin-live` crate) folds
+//! the overlay back into a pristine base; until then the overlay's extra
+//! pages and tombstones are the *fragmentation* the cost model charges for.
+
+use crate::file::InvertedFile;
+use std::collections::{BTreeMap, BTreeSet};
+use textjoin_collection::{Document, DocumentStore};
+use textjoin_common::{DocId, FragStats, ICell, Result, TermId};
+
+/// The flushed (on-disk) part of a delta: side files holding previously
+/// tailed inserts, read through the simulated disk like any base file.
+pub struct FlushedDelta {
+    /// Sparse-id store of the flushed inserted documents.
+    pub store: DocumentStore,
+    /// Inverted file over exactly those documents.
+    pub inv: InvertedFile,
+}
+
+/// Pending mutations over an immutable base: flushed side files, an
+/// in-memory tail, and a tombstone set.
+#[derive(Default)]
+pub struct DeltaOverlay {
+    deleted: BTreeSet<u32>,
+    flushed: Option<FlushedDelta>,
+    tail_docs: BTreeMap<u32, Document>,
+    tail_postings: BTreeMap<TermId, Vec<ICell>>,
+}
+
+impl DeltaOverlay {
+    /// An empty overlay (a pristine collection).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the overlay holds no mutations at all.
+    pub fn is_empty(&self) -> bool {
+        self.deleted.is_empty() && self.flushed.is_none() && self.tail_docs.is_empty()
+    }
+
+    /// Records an insert in the tail. `id` must exceed every document
+    /// number already present (base, flushed or tail) — the caller hands
+    /// out monotonically increasing numbers and never reuses them.
+    pub fn insert_tail(&mut self, id: DocId, doc: Document) {
+        debug_assert!(
+            self.tail_docs
+                .last_key_value()
+                .is_none_or(|(&k, _)| k < id.raw()),
+            "tail ids must ascend"
+        );
+        for cell in doc.cells() {
+            self.tail_postings
+                .entry(cell.term)
+                .or_default()
+                .push(ICell::new(id, cell.weight));
+        }
+        self.tail_docs.insert(id.raw(), doc);
+    }
+
+    /// Records a delete: a tombstone masking `id` in every layer.
+    pub fn delete(&mut self, id: DocId) {
+        self.deleted.insert(id.raw());
+    }
+
+    /// Whether `id` is tombstoned.
+    pub fn is_deleted(&self, id: DocId) -> bool {
+        self.deleted.contains(&id.raw())
+    }
+
+    /// The tombstone set (document numbers).
+    pub fn deleted_ids(&self) -> &BTreeSet<u32> {
+        &self.deleted
+    }
+
+    /// Installs the flushed side files (replacing any previous ones) and
+    /// clears the tail they absorbed.
+    pub fn set_flushed(&mut self, flushed: FlushedDelta) {
+        self.flushed = Some(flushed);
+        self.tail_docs.clear();
+        self.tail_postings.clear();
+    }
+
+    /// The flushed side files, if any.
+    pub fn flushed(&self) -> Option<&FlushedDelta> {
+        self.flushed.as_ref()
+    }
+
+    /// The in-memory tail, in ascending document order.
+    pub fn tail_docs(&self) -> &BTreeMap<u32, Document> {
+        &self.tail_docs
+    }
+
+    /// Number of insertions held (flushed + tail), including ones later
+    /// tombstoned.
+    pub fn num_insertions(&self) -> u64 {
+        let flushed = self.flushed.as_ref().map_or(0, |f| f.store.num_docs());
+        flushed + self.tail_docs.len() as u64
+    }
+
+    /// Pages of the flushed document side file (a fragmentation input —
+    /// the tail is memory-resident and free).
+    pub fn doc_pages(&self) -> u64 {
+        self.flushed.as_ref().map_or(0, |f| f.store.num_pages())
+    }
+
+    /// Pages of the flushed inverted side file (a fragmentation input).
+    pub fn inv_pages(&self) -> u64 {
+        self.flushed.as_ref().map_or(0, |f| f.inv.num_pages())
+    }
+
+    /// Fragmentation statistics for the cost model: the flushed side-file
+    /// pages every scan must pay for, and the tombstoned fraction of all
+    /// stored documents (`base_docs` plus insertions). The in-memory tail
+    /// costs no I/O and so contributes no pages.
+    pub fn frag_stats(&self, base_docs: u64) -> FragStats {
+        let stored = base_docs + self.num_insertions();
+        FragStats {
+            doc_delta_pages: self.doc_pages(),
+            inv_delta_pages: self.inv_pages(),
+            tombstone_ratio: if stored == 0 {
+                0.0
+            } else {
+                self.deleted.len() as f64 / stored as f64
+            },
+        }
+    }
+
+    /// All live (non-tombstoned) inserted documents, ascending by id:
+    /// one sequential scan of the flushed side file, then the tail.
+    pub fn live_docs(&self) -> Result<Vec<(DocId, Document)>> {
+        let mut out = Vec::new();
+        if let Some(f) = &self.flushed {
+            for item in f.store.scan() {
+                let (id, doc) = item?;
+                if !self.is_deleted(id) {
+                    out.push((id, doc));
+                }
+            }
+        }
+        for (&id, doc) in &self.tail_docs {
+            if !self.deleted.contains(&id) {
+                out.push((DocId::new(id), doc.clone()));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Live inserted document numbers, ascending (no I/O).
+    pub fn live_ids(&self) -> Vec<DocId> {
+        let mut out = Vec::new();
+        if let Some(f) = &self.flushed {
+            out.extend(
+                f.store
+                    .doc_ids()
+                    .into_iter()
+                    .filter(|&d| !self.is_deleted(d)),
+            );
+        }
+        out.extend(
+            self.tail_docs
+                .keys()
+                .filter(|&&id| !self.deleted.contains(&id))
+                .map(|&id| DocId::new(id)),
+        );
+        out
+    }
+
+    /// Fetches one inserted document, or `None` if the overlay does not
+    /// hold it (tombstoned, or never inserted here). Tail documents are
+    /// free; flushed ones cost a random fetch of the side file.
+    pub fn doc(&self, id: DocId) -> Result<Option<Document>> {
+        if self.is_deleted(id) {
+            return Ok(None);
+        }
+        if let Some(doc) = self.tail_docs.get(&id.raw()) {
+            return Ok(Some(doc.clone()));
+        }
+        if let Some(f) = &self.flushed {
+            if f.store.contains(id) {
+                return Ok(Some(f.store.read_doc_direct(id)?));
+            }
+        }
+        Ok(None)
+    }
+
+    /// The delta postings of one term: flushed entry (a random fetch of
+    /// `⌈J⌉` side-file pages, HVNL's access pattern) followed by the tail's
+    /// cells — ascending document order by construction. Tombstoned
+    /// documents are *not* filtered here; callers mask them exactly as they
+    /// mask the base entry.
+    pub fn postings_for(&self, term: TermId) -> Result<Vec<ICell>> {
+        let mut cells = Vec::new();
+        if let Some(f) = &self.flushed {
+            if let Some(ordinal) = f.inv.find_term(term) {
+                cells = f.inv.read_entry(ordinal)?;
+            }
+        }
+        if let Some(tail) = self.tail_postings.get(&term) {
+            cells.extend(tail.iter().copied());
+        }
+        Ok(cells)
+    }
+
+    /// All delta entries with `lo <= term < hi` (`hi = None` = unbounded),
+    /// in ascending term order, flushed and tail cells combined per term.
+    /// One sequential partial scan of the flushed side file — the access
+    /// pattern of (possibly partitioned) VVM.
+    pub fn entries_between(&self, lo: u32, hi: Option<u32>) -> Result<Vec<(TermId, Vec<ICell>)>> {
+        let mut merged: BTreeMap<TermId, Vec<ICell>> = BTreeMap::new();
+        if let Some(f) = &self.flushed {
+            let start = f.inv.ordinal_at_or_after(TermId::new(lo));
+            let end = match hi {
+                Some(h) => f.inv.ordinal_at_or_after(TermId::new(h)),
+                None => f.inv.num_entries() as u32,
+            };
+            for item in f.inv.scan_range(start, end) {
+                let (term, cells) = item?;
+                merged.insert(term, cells);
+            }
+        }
+        for (&term, cells) in self.tail_postings.range(TermId::new(lo)..) {
+            if hi.is_some_and(|h| term.raw() >= h) {
+                break;
+            }
+            merged
+                .entry(term)
+                .or_default()
+                .extend(cells.iter().copied());
+        }
+        Ok(merged.into_iter().collect())
+    }
+
+    /// All delta entries, in term order.
+    pub fn entries(&self) -> Result<Vec<(TermId, Vec<ICell>)>> {
+        self.entries_between(0, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+    use textjoin_collection::DocumentStoreBuilder;
+    use textjoin_storage::DiskSim;
+
+    fn doc(terms: &[(u32, u16)]) -> Document {
+        Document::from_term_counts(terms.iter().map(|&(t, w)| (TermId::new(t), w as u32)))
+    }
+
+    fn flush(disk: &Arc<DiskSim>, name: &str, docs: &[(u32, Document)]) -> FlushedDelta {
+        let mut b = DocumentStoreBuilder::new(Arc::clone(disk), &format!("{name}.docs")).unwrap();
+        let mut postings: HashMap<TermId, Vec<ICell>> = HashMap::new();
+        for (id, d) in docs {
+            b.add_with_id(DocId::new(*id), d).unwrap();
+            for cell in d.cells() {
+                postings
+                    .entry(cell.term)
+                    .or_default()
+                    .push(ICell::new(DocId::new(*id), cell.weight));
+            }
+        }
+        let store = b.finish().unwrap();
+        let inv = InvertedFile::from_postings(Arc::clone(disk), name, postings).unwrap();
+        FlushedDelta { store, inv }
+    }
+
+    #[test]
+    fn tail_inserts_surface_in_docs_and_postings() {
+        let mut overlay = DeltaOverlay::new();
+        assert!(overlay.is_empty());
+        overlay.insert_tail(DocId::new(10), doc(&[(1, 2), (5, 1)]));
+        overlay.insert_tail(DocId::new(11), doc(&[(5, 3)]));
+        assert_eq!(overlay.num_insertions(), 2);
+        assert_eq!(overlay.live_ids(), vec![DocId::new(10), DocId::new(11)]);
+        let p5 = overlay.postings_for(TermId::new(5)).unwrap();
+        assert_eq!(
+            p5,
+            vec![ICell::new(DocId::new(10), 1), ICell::new(DocId::new(11), 3)]
+        );
+        assert_eq!(overlay.postings_for(TermId::new(9)).unwrap(), vec![]);
+        assert_eq!(overlay.doc(DocId::new(11)).unwrap(), Some(doc(&[(5, 3)])));
+        assert_eq!(overlay.doc(DocId::new(12)).unwrap(), None);
+    }
+
+    #[test]
+    fn tombstones_mask_tail_and_lookups() {
+        let mut overlay = DeltaOverlay::new();
+        overlay.insert_tail(DocId::new(3), doc(&[(1, 1)]));
+        overlay.delete(DocId::new(3));
+        overlay.delete(DocId::new(0)); // a base doc
+        assert!(overlay.is_deleted(DocId::new(0)));
+        assert_eq!(overlay.live_ids(), vec![]);
+        assert_eq!(overlay.doc(DocId::new(3)).unwrap(), None);
+        assert_eq!(overlay.live_docs().unwrap(), vec![]);
+        // postings_for does NOT filter — callers mask, same as for base.
+        assert_eq!(overlay.postings_for(TermId::new(1)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn flushed_and_tail_layers_combine_in_order() {
+        let disk = Arc::new(DiskSim::new(64));
+        let mut overlay = DeltaOverlay::new();
+        overlay.insert_tail(DocId::new(10), doc(&[(1, 2), (2, 1)]));
+        overlay.insert_tail(DocId::new(11), doc(&[(2, 4)]));
+        // Flush absorbs the tail into side files.
+        let f = flush(
+            &disk,
+            "delta.g1",
+            &[(10, doc(&[(1, 2), (2, 1)])), (11, doc(&[(2, 4)]))],
+        );
+        overlay.set_flushed(f);
+        assert!(overlay.tail_docs().is_empty());
+        assert!(overlay.doc_pages() > 0);
+        assert!(overlay.inv_pages() > 0);
+        // New tail entries on top of the flushed layer.
+        overlay.insert_tail(DocId::new(12), doc(&[(2, 9), (7, 1)]));
+
+        let p2 = overlay.postings_for(TermId::new(2)).unwrap();
+        assert_eq!(
+            p2,
+            vec![
+                ICell::new(DocId::new(10), 1),
+                ICell::new(DocId::new(11), 4),
+                ICell::new(DocId::new(12), 9)
+            ]
+        );
+        let docs: Vec<DocId> = overlay
+            .live_docs()
+            .unwrap()
+            .into_iter()
+            .map(|(d, _)| d)
+            .collect();
+        assert_eq!(docs, vec![DocId::new(10), DocId::new(11), DocId::new(12)]);
+        assert_eq!(
+            overlay.doc(DocId::new(10)).unwrap(),
+            Some(doc(&[(1, 2), (2, 1)]))
+        );
+
+        let entries = overlay.entries().unwrap();
+        let terms: Vec<u32> = entries.iter().map(|(t, _)| t.raw()).collect();
+        assert_eq!(terms, vec![1, 2, 7]);
+        let bounded = overlay.entries_between(2, Some(7)).unwrap();
+        assert_eq!(bounded.len(), 1);
+        assert_eq!(bounded[0].0, TermId::new(2));
+        assert_eq!(bounded[0].1, p2);
+    }
+}

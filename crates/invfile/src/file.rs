@@ -153,6 +153,53 @@ impl InvertedFile {
         })
     }
 
+    /// Reassembles an inverted file from already-persisted parts — the
+    /// recovery path: the entry pages are on disk in `file`, the directory
+    /// was loaded from a persisted catalog, the tree was reopened with
+    /// [`BTreeFile::from_parts`].
+    pub fn from_parts(
+        disk: Arc<DiskSim>,
+        file: FileId,
+        directory: Vec<EntryMeta>,
+        btree: BTreeFile,
+        total_bytes: u64,
+        codec: PostingCodec,
+    ) -> Self {
+        Self {
+            disk,
+            file,
+            directory,
+            btree,
+            total_bytes,
+            codec,
+        }
+    }
+
+    /// The full entry directory, in term order (for persisting).
+    pub fn directory(&self) -> &[EntryMeta] {
+        &self.directory
+    }
+
+    /// Logical bytes of all entries (excludes tail-page padding).
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Ordinal of the entry for `term`, if present (binary search over the
+    /// term-ordered directory; no I/O).
+    pub fn find_term(&self, term: TermId) -> Option<u32> {
+        self.directory
+            .binary_search_by_key(&term, |m| m.term)
+            .ok()
+            .map(|i| i as u32)
+    }
+
+    /// First ordinal whose term is `>= term` (for converting term bounds to
+    /// ordinal ranges when partitioning the file).
+    pub fn ordinal_at_or_after(&self, term: TermId) -> u32 {
+        self.directory.partition_point(|m| m.term < term) as u32
+    }
+
     /// The posting codec entries are stored with.
     pub fn codec(&self) -> PostingCodec {
         self.codec

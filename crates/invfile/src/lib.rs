@@ -16,8 +16,10 @@
 
 pub mod btree;
 pub mod codec;
+pub mod delta;
 pub mod file;
 
 pub use btree::{BTreeFile, Dictionary, TermEntry};
 pub use codec::PostingCodec;
+pub use delta::{DeltaOverlay, FlushedDelta};
 pub use file::{EntryMeta, EntryScanner, InvertedFile};

@@ -46,11 +46,16 @@ impl ReportStore {
         let path = path.into();
         let capacity = capacity.max(1);
         let mut records = Vec::new();
+        let mut torn_tail = false;
         match File::open(&path) {
             Ok(mut f) => {
-                let mut text = String::new();
-                f.read_to_string(&mut text)?;
-                let mut rest = text.as_str();
+                // Bytes, not a String: a flipped bit can make a stored
+                // record invalid UTF-8, and that must corrupt one record,
+                // not brick the whole store at open time.
+                let mut bytes = Vec::new();
+                f.read_to_end(&mut bytes)?;
+                let text = String::from_utf8_lossy(&bytes);
+                let mut rest = text.as_ref();
                 // Only newline-terminated lines are durable records; a
                 // trailing fragment is a torn write and is dropped.
                 while let Some(nl) = rest.find('\n') {
@@ -60,6 +65,7 @@ impl ReportStore {
                     }
                     rest = &rest[nl + 1..];
                 }
+                torn_tail = !rest.is_empty();
             }
             Err(e) if e.kind() == io::ErrorKind::NotFound => {}
             Err(e) => return Err(e),
@@ -69,9 +75,15 @@ impl ReportStore {
             capacity,
             records,
         };
-        if store.records.len() > store.capacity {
+        let over = store.records.len() > store.capacity;
+        if over {
             let keep = store.records.len() - store.capacity;
             store.records.drain(..keep);
+        }
+        // A torn tail must also be dropped *on disk* (compact-by-rename):
+        // left in place, the next append would splice onto the fragment
+        // and corrupt an otherwise durable record.
+        if over || torn_tail {
             store.rewrite()?;
         }
         Ok(store)
@@ -222,6 +234,103 @@ mod tests {
         let mut s = ReportStore::open(&path, 4).unwrap();
         assert!(s.append("a\nb").is_err());
         assert!(s.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// The TornWrite fault class: a crash mid-append persists a record
+    /// prefix with no newline. Load must never panic, must drop exactly
+    /// the torn tail, and must scrub it from disk so the *next* append
+    /// cannot splice onto the fragment.
+    #[test]
+    fn torn_append_is_dropped_on_disk_so_later_appends_stay_clean() {
+        let path = scratch_path("torn-append");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut s = ReportStore::open(&path, 8).unwrap();
+            s.append(r#"{"q":"a"}"#).unwrap();
+            s.append(r#"{"q":"b"}"#).unwrap();
+        }
+        // Crash mid-append: half a record, no terminating newline.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(br#"{"q":"torn"#).unwrap();
+        }
+        let mut s = ReportStore::open(&path, 8).unwrap();
+        assert_eq!(s.records(), &[r#"{"q":"a"}"#, r#"{"q":"b"}"#]);
+        // The fragment is gone from the file, not just from memory: a new
+        // append starts a fresh line instead of extending the torn one.
+        s.append(r#"{"q":"c"}"#).unwrap();
+        let reopened = ReportStore::open(&path, 8).unwrap();
+        assert_eq!(
+            reopened.records(),
+            &[r#"{"q":"a"}"#, r#"{"q":"b"}"#, r#"{"q":"c"}"#]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// The BitFlip fault class: one flipped bit inside a stored record —
+    /// including flips that make the byte invalid UTF-8 — corrupts that
+    /// record only. Load never panics and never errors; the neighbours
+    /// survive intact and the store stays appendable.
+    #[test]
+    fn bit_flip_corrupts_one_record_without_bricking_the_store() {
+        let path = scratch_path("bitflip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut s = ReportStore::open(&path, 8).unwrap();
+            for q in ["a", "b", "c"] {
+                s.append(&format!(r#"{{"q":"{q}"}}"#)).unwrap();
+            }
+        }
+        // Flip the high bit of a byte inside the middle record: 0x22 ('"')
+        // becomes 0xa2, an invalid UTF-8 continuation byte.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x80;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut s = ReportStore::open(&path, 8).unwrap();
+        assert_eq!(s.len(), 3, "the flipped record is kept as a line");
+        assert_eq!(s.records()[0], r#"{"q":"a"}"#);
+        assert_eq!(s.records()[2], r#"{"q":"c"}"#);
+        // The damaged middle record no longer round-trips — upstream
+        // parsing will skip it — but the store itself keeps working.
+        assert_ne!(s.records()[1], r#"{"q":"b"}"#);
+        s.append(r#"{"q":"d"}"#).unwrap();
+        assert_eq!(ReportStore::open(&path, 8).unwrap().len(), 4);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A crash between writing the compaction temporary and the atomic
+    /// rename leaves a stale `.tmp` beside an intact store. Open must load
+    /// the original, and the next compaction must replace the leftover.
+    #[test]
+    fn stale_compaction_temporary_is_ignored_and_replaced() {
+        let path = scratch_path("stale-tmp");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut s = ReportStore::open(&path, 3).unwrap();
+            for i in 0..3 {
+                s.append(&format!("r{i}")).unwrap();
+            }
+        }
+        // Crash artifact: a half-written temporary that never got renamed.
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, "half-compac").unwrap();
+
+        let mut s = ReportStore::open(&path, 3).unwrap();
+        assert_eq!(
+            s.records(),
+            &["r0", "r1", "r2"],
+            "tmp never shadows the store"
+        );
+        // This append overflows capacity and compacts by rename, consuming
+        // the temporary path; the result holds the newest three records.
+        s.append("r3").unwrap();
+        assert_eq!(s.records(), &["r1", "r2", "r3"]);
+        let reopened = ReportStore::open(&path, 3).unwrap();
+        assert_eq!(reopened.records(), &["r1", "r2", "r3"]);
+        let _ = std::fs::remove_file(&tmp);
         let _ = std::fs::remove_file(&path);
     }
 

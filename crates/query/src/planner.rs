@@ -333,6 +333,8 @@ fn plan_inner(
         query: base_query_params.with_lambda(lambda),
         q,
         outer_original,
+        inner_frag: inner_tc.frag,
+        outer_frag: outer_tc.frag,
     };
     let estimates = CostEstimates::compute(&inputs);
     let pair = format!("{}/{}", inner_rel.name(), outer_rel.name());

@@ -23,6 +23,10 @@
 //! * [`chaos`] — seeded fault schedules (transient read errors, bit flips,
 //!   latency spikes) against real executor runs, checking retry absorption,
 //!   degraded-mode accounting and integrated-algorithm re-planning;
+//! * [`chaos_merge`] — crash-safety scenarios for the mutation path of
+//!   `textjoin-live`: merges killed at seeded page writes, torn WAL tails
+//!   and bit-flipped delta side files, each recovered and re-joined
+//!   byte-identically to an uninterrupted run;
 //! * [`calibrate`] — the feedback loop: persist bench-grid query reports
 //!   in the append-only store, fit a [`CalibrationProfile`]
 //!   (`textjoin_costmodel::calibrate`) from what survived the round trip,
@@ -33,6 +37,7 @@
 
 pub mod calibrate;
 pub mod chaos;
+pub mod chaos_merge;
 pub mod findings;
 pub mod groups;
 pub mod presets;

@@ -13,6 +13,10 @@
 //! textjoin-sim codec [scale]      # fixed vs varint-gap posting codecs
 //! textjoin-sim validate [scale]   # measured vs predicted (default 100)
 //! textjoin-sim chaos [--seed N|A..B]   # fault-injection scenarios (default 1..4)
+//! textjoin-sim chaos-merge [--seed N|A..B] [--artifacts DIR]
+//!                                 # crash-during-merge / torn-WAL /
+//!                                 # bit-flipped-delta scenarios; on failure
+//!                                 # dumps WAL + manifest hex into DIR
 //! textjoin-sim bench [--out FILE] [--baseline FILE] [--threshold PCT]
 //!                                 # sweep the paper grid, emit BENCH JSON,
 //!                                 # optionally gate against a baseline
@@ -36,7 +40,7 @@
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use textjoin_sim::{calibrate, chaos, findings, groups, slowlog, validate, Table};
+use textjoin_sim::{calibrate, chaos, chaos_merge, findings, groups, slowlog, validate, Table};
 
 /// Writes one scenario-marker line plus the span/metric JSON-lines of each
 /// traced scenario run.
@@ -132,6 +136,12 @@ fn main() -> ExitCode {
             )
         }
         (Err(c), _, _) | (_, Err(c), _) | (_, _, Err(c)) => return c,
+    };
+    // `--artifacts DIR` receives WAL/manifest dumps of failed chaos-merge
+    // scenarios (the CI job uploads the directory).
+    let artifacts_dir = match take_value("--artifacts") {
+        Ok(d) => PathBuf::from(d.unwrap_or_else(|| "chaos-merge-artifacts".into())),
+        Err(c) => return c,
     };
     // `--seed N` or `--seed A..B` (inclusive) selects chaos seeds.
     let seeds: Vec<u64> = match args.iter().position(|a| a == "--seed") {
@@ -244,6 +254,42 @@ fn main() -> ExitCode {
                     }
                     Err(e) => {
                         eprintln!("chaos seed {seed}: scenario setup failed: {e}");
+                        failed = true;
+                    }
+                }
+            }
+            if failed {
+                return ExitCode::FAILURE;
+            }
+        }
+        "chaos-merge" => {
+            let mut failed = false;
+            for &seed in &seeds {
+                eprintln!("chaos-merge seed {seed}: running crash-safety scenarios …");
+                match chaos_merge::run_seed(seed) {
+                    Ok(run) => {
+                        for c in &run.checks {
+                            let mark = if c.passed { "ok  " } else { "FAIL" };
+                            println!("{mark} seed={} [{}] {}", c.seed, c.scenario, c.check);
+                            failed |= !c.passed;
+                        }
+                        if !run.artifacts.is_empty() {
+                            if let Err(e) = std::fs::create_dir_all(&artifacts_dir) {
+                                eprintln!("creating {} failed: {e}", artifacts_dir.display());
+                            }
+                            for a in &run.artifacts {
+                                let path = artifacts_dir.join(&a.name);
+                                match std::fs::write(&path, &a.contents) {
+                                    Ok(()) => eprintln!("wrote artifact {}", path.display()),
+                                    Err(e) => {
+                                        eprintln!("writing {} failed: {e}", path.display())
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("chaos-merge seed {seed}: scenario setup failed: {e}");
                         failed = true;
                     }
                 }
@@ -415,6 +461,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "unknown command '{other}'; expected t1 | group1..group5 | findings | \
                  validate [scale] | chaos [--seed N|A..B] | \
+                 chaos-merge [--seed N|A..B] [--artifacts DIR] | \
                  bench [--out FILE] [--baseline FILE] [--threshold PCT] | \
                  calibrate [--store FILE] [--profile FILE] | reports [--store FILE] | \
                  slowlog [K] [--by cost|wall] | all [scale]"

@@ -369,12 +369,29 @@ impl Backoff {
 }
 
 /// How the read path responds to transient faults.
+///
+/// Backoff delays are *jittered* by default: a fleet of workers that all
+/// hit the same hiccup at the same time would otherwise retry in lockstep
+/// (their fixed/exponential schedules are identical), re-colliding on
+/// every attempt. The jitter is deterministic — derived from
+/// `(jitter_seed, file, page, attempt)` via SplitMix64 — so two workers
+/// retrying *different* pages desynchronize while any single schedule
+/// stays exactly reproducible. `max_total_backoff_us` caps the cumulative
+/// backoff one read operation may accrue, bounding worst-case retry wall
+/// time no matter how many pages of the run fault.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total attempts per page (1 = no retries). Must be ≥ 1.
     pub max_attempts: u32,
     /// Wait discipline between attempts.
     pub backoff: Backoff,
+    /// Seed for deterministic per-`(file, page, attempt)` jitter. `None`
+    /// disables jitter (the pre-jitter synchronized schedule, kept for
+    /// tests that assert exact delays).
+    pub jitter_seed: Option<u64>,
+    /// Upper bound on the backoff one read operation may accumulate, in
+    /// µs. Retries past the cap still happen — they just stop waiting.
+    pub max_total_backoff_us: u64,
 }
 
 impl Default for RetryPolicy {
@@ -382,7 +399,33 @@ impl Default for RetryPolicy {
         RetryPolicy {
             max_attempts: 3,
             backoff: Backoff::Exponential { base_us: 100 },
+            jitter_seed: Some(0x7465_786A_6F69_6E21),
+            max_total_backoff_us: 5_000,
         }
+    }
+}
+
+impl RetryPolicy {
+    /// The (possibly jittered) delay before `attempt` on `(file, page)`.
+    /// With jitter enabled the delay is drawn uniformly from
+    /// `[base/2, base]` ("equal jitter"), deterministically per target —
+    /// the same page always backs off identically, different pages
+    /// desynchronize.
+    pub fn delay_us(&self, file: FileId, page: u64, attempt: u32) -> u64 {
+        let base = self.backoff.delay_us(attempt);
+        let Some(seed) = self.jitter_seed else {
+            return base;
+        };
+        if base == 0 {
+            return 0;
+        }
+        let mut state = seed
+            ^ ((file.raw() as u64) << 40)
+            ^ page.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ ((attempt as u64) << 24);
+        let r = splitmix64(&mut state);
+        let half = base / 2;
+        half + r % (base - half + 1)
     }
 }
 
@@ -548,6 +591,9 @@ struct FaultMachinery {
     write_counts: HashMap<(FileId, u64), u64>,
     policy: RetryPolicy,
     stats: FaultStats,
+    /// Simulated power-cut: `Some(n)` lets `n` more page writes succeed,
+    /// then every write fails until cleared (a "restart").
+    write_crash: Option<u64>,
 }
 
 impl FaultMachinery {
@@ -727,6 +773,7 @@ impl DiskSim {
                 write_counts: HashMap::new(),
                 policy: RetryPolicy::default(),
                 stats: FaultStats::default(),
+                write_crash: None,
             }),
         }
     }
@@ -769,6 +816,58 @@ impl DiskSim {
         self.names.lock().get(name).copied()
     }
 
+    /// The names of all files currently on the disk, sorted. Recovery uses
+    /// this to find (and clean up) orphaned files left by an interrupted
+    /// merge.
+    pub fn file_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.names.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Atomically renames a file, *replacing* any existing file called
+    /// `to` — POSIX `rename(2)` semantics, the primitive behind
+    /// compact-by-rename: a merge builds a complete new structure under a
+    /// temporary name and publishes it with one rename, so readers only
+    /// ever see the old complete file or the new complete file.
+    pub fn rename_file(&self, from: &str, to: &str) -> Result<()> {
+        let mut names = self.names.lock();
+        let id = names
+            .get(from)
+            .copied()
+            .ok_or_else(|| Error::NotFound(format!("file '{from}'")))?;
+        if from == to {
+            return Ok(());
+        }
+        let mut files = self.files.lock();
+        if let Some(old) = names.remove(to) {
+            // The replaced file's pages are gone; stale handles to it read
+            // out of bounds, exactly like a unix fd would after truncate.
+            let f = &mut files[old.0 as usize];
+            f.name.clear();
+            f.pages.clear();
+            f.headers.clear();
+        }
+        names.remove(from);
+        names.insert(to.to_string(), id);
+        files[id.0 as usize].name = to.to_string();
+        Ok(())
+    }
+
+    /// Deletes a file. Stale [`FileId`] handles to it read out of bounds.
+    pub fn remove_file(&self, name: &str) -> Result<()> {
+        let mut names = self.names.lock();
+        let id = names
+            .remove(name)
+            .ok_or_else(|| Error::NotFound(format!("file '{name}'")))?;
+        let mut files = self.files.lock();
+        let f = &mut files[id.0 as usize];
+        f.name.clear();
+        f.pages.clear();
+        f.headers.clear();
+        Ok(())
+    }
+
     /// The name a file was created with.
     pub fn file_name(&self, file: FileId) -> String {
         self.files.lock()[file.0 as usize].name.clone()
@@ -793,6 +892,39 @@ impl DiskSim {
                 self.page_size
             )));
         }
+        Ok(())
+    }
+
+    /// Arms a simulated power-cut: the next `after` page writes succeed,
+    /// then every subsequent write (append or overwrite) fails with
+    /// [`Error::Io`] until [`clear_write_crash`](Self::clear_write_crash)
+    /// — the "restart". Reads are unaffected, so recovery code can run
+    /// against exactly the pages that made it to disk before the cut.
+    pub fn set_write_crash_after(&self, after: u64) {
+        self.faults.lock().write_crash = Some(after);
+    }
+
+    /// Disarms a simulated power-cut (the machine came back up).
+    pub fn clear_write_crash(&self) {
+        self.faults.lock().write_crash = None;
+    }
+
+    /// Decrements the armed write-crash budget, failing the write that
+    /// exhausts it. Caller holds the `files` lock (files → faults is the
+    /// established lock order).
+    fn check_write_crash(&self, file_name: &str, page: u64) -> Result<()> {
+        let mut fm = self.faults.lock();
+        let Some(remaining) = &mut fm.write_crash else {
+            return Ok(());
+        };
+        if *remaining == 0 {
+            return Err(Error::Io {
+                file: file_name.to_string(),
+                page,
+                attempts: 0,
+            });
+        }
+        *remaining -= 1;
         Ok(())
     }
 
@@ -828,6 +960,7 @@ impl DiskSim {
         let mut files = self.files.lock();
         let f = &mut files[file.0 as usize];
         let page_no = f.pages.len() as u64;
+        self.check_write_crash(&f.name, page_no)?;
         let header = make_header(f.kind, data);
         let mut payload = data.to_vec();
         let delta = self.apply_write_faults(file, page_no, &mut payload);
@@ -859,6 +992,7 @@ impl DiskSim {
                 len: n,
             });
         }
+        self.check_write_crash(&f.name, page)?;
         let header = make_header(f.kind, data);
         let mut payload = data.to_vec();
         let delta = self.apply_write_faults(file, page, &mut payload);
@@ -1059,6 +1193,9 @@ impl DiskSim {
         {
             let mut fm = self.faults.lock();
             let policy = fm.policy;
+            // Cumulative backoff of *this* read operation, bounded by the
+            // policy's cap however many pages of the run fault.
+            let mut op_backoff_us = 0u64;
             for p in start..start + len {
                 let count = fm.read_counts.entry((file, p)).or_insert(0);
                 let nth = *count;
@@ -1074,7 +1211,10 @@ impl DiskSim {
                         delta.retries += retries;
                         extra_rand += retries;
                         for a in 2..=attempts {
-                            delta.backoff_us += policy.backoff.delay_us(a);
+                            let room = policy.max_total_backoff_us.saturating_sub(op_backoff_us);
+                            let wait = policy.delay_us(file, p, a).min(room);
+                            op_backoff_us += wait;
+                            delta.backoff_us += wait;
                         }
                         if failures >= policy.max_attempts {
                             delta.gave_up += 1;
@@ -1595,6 +1735,8 @@ mod tests {
         disk.set_retry_policy(RetryPolicy {
             max_attempts: 3,
             backoff: Backoff::Fixed(10),
+            jitter_seed: None,
+            max_total_backoff_us: u64::MAX,
         });
         disk.set_fault_plan(FaultPlan::new().with_fault(
             f,
@@ -1683,5 +1825,110 @@ mod tests {
         assert_eq!(e.delay_us(2), 100);
         assert_eq!(e.delay_us(3), 200);
         assert_eq!(e.delay_us(4), 400);
+    }
+
+    #[test]
+    fn jittered_backoff_desynchronizes_targets_deterministically() {
+        // The regression this guards: a fixed backoff gives every worker
+        // the *same* retry schedule, so workers that fault together retry
+        // together, re-colliding on every attempt. Jitter must (a) vary
+        // the delay across targets, (b) stay reproducible per target, and
+        // (c) stay within [base/2, base].
+        let policy = RetryPolicy {
+            backoff: Backoff::Fixed(1_000),
+            ..RetryPolicy::default()
+        };
+        let delays: Vec<u64> = (0..16u64)
+            .map(|page| policy.delay_us(FileId(0), page, 2))
+            .collect();
+        let distinct: std::collections::HashSet<u64> = delays.iter().copied().collect();
+        assert!(
+            distinct.len() > 8,
+            "16 targets produced only {} distinct delays: {delays:?}",
+            distinct.len()
+        );
+        for (page, &d) in delays.iter().enumerate() {
+            assert!((500..=1_000).contains(&d), "page {page}: {d}");
+            assert_eq!(
+                d,
+                policy.delay_us(FileId(0), page as u64, 2),
+                "reproducible"
+            );
+        }
+        // Different files desynchronize too, and jitter can be turned off.
+        assert_ne!(
+            (0..16u64)
+                .map(|p| policy.delay_us(FileId(1), p, 2))
+                .collect::<Vec<_>>(),
+            delays
+        );
+        let plain = RetryPolicy {
+            jitter_seed: None,
+            ..policy
+        };
+        assert_eq!(plain.delay_us(FileId(0), 3, 2), 1_000);
+    }
+
+    #[test]
+    fn total_backoff_per_read_is_capped() {
+        // Many faulted pages in one run under an exponential policy would
+        // accrue unbounded wall time; the cap bounds the sum.
+        let (disk, f) = disk_with_file(8);
+        disk.set_retry_policy(RetryPolicy {
+            max_attempts: 4,
+            backoff: Backoff::Exponential { base_us: 1_000 },
+            jitter_seed: None,
+            max_total_backoff_us: 2_500,
+        });
+        let mut plan = FaultPlan::new();
+        for page in 0..8 {
+            plan = plan.with_fault(f, page, 0, FaultKind::TransientRead { failures: 3 });
+        }
+        disk.set_fault_plan(plan);
+        let pages = disk.read_run(f, 0, 8).unwrap();
+        assert_eq!(pages.len(), 8);
+        let fs = disk.fault_stats();
+        // Uncapped this would be 8 pages × (1000 + 2000 + 4000) = 56 000.
+        assert_eq!(fs.backoff_us, 2_500, "cap bounds the operation's backoff");
+        assert_eq!(fs.retries, 24, "retries still happen past the cap");
+    }
+
+    #[test]
+    fn rename_file_replaces_the_destination() {
+        let disk = DiskSim::new(16);
+        let a = disk.create_file("a").unwrap();
+        let b = disk.create_file("b").unwrap();
+        disk.append_page(a, &full_page(16, 1)).unwrap();
+        disk.append_page(b, &full_page(16, 2)).unwrap();
+        disk.rename_file("a", "b").unwrap();
+        assert_eq!(disk.file_names(), vec!["b".to_string()]);
+        assert_eq!(disk.file_by_name("b"), Some(a));
+        assert_eq!(disk.file_name(a), "b");
+        assert_eq!(disk.read_page(a, 0).unwrap()[0], 1, "a's pages survive");
+        // The replaced file's pages are gone; its stale handle reads OOB.
+        assert_eq!(disk.num_pages(b), 0);
+        assert!(disk.read_page(b, 0).is_err());
+        // Renaming a missing file is a typed error; self-rename is a no-op.
+        assert!(matches!(
+            disk.rename_file("ghost", "x"),
+            Err(Error::NotFound(_))
+        ));
+        disk.rename_file("b", "b").unwrap();
+        assert_eq!(disk.read_page(a, 0).unwrap()[0], 1);
+    }
+
+    #[test]
+    fn remove_file_frees_the_name_and_pages() {
+        let disk = DiskSim::new(16);
+        let a = disk.create_file("a").unwrap();
+        disk.append_page(a, &full_page(16, 7)).unwrap();
+        disk.remove_file("a").unwrap();
+        assert!(disk.file_by_name("a").is_none());
+        assert!(disk.file_names().is_empty());
+        assert!(disk.read_page(a, 0).is_err());
+        assert!(matches!(disk.remove_file("a"), Err(Error::NotFound(_))));
+        // The name can be reused by a fresh file.
+        let a2 = disk.create_file("a").unwrap();
+        assert_ne!(a, a2);
     }
 }

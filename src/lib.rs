@@ -14,7 +14,10 @@
 //! * [`collection`] — paged document collections, a text-ingestion
 //!   pipeline with the *standard term-number mapping*, and a Zipfian
 //!   synthetic generator matching the TREC-1 statistics the paper uses;
-//! * [`invfile`] — inverted files with page-based B+tree dictionaries;
+//! * [`invfile`] — inverted files with page-based B+tree dictionaries,
+//!   plus the in-memory delta overlay of the mutation path;
+//! * [`live`] — incrementally-updatable collections: a checksummed
+//!   write-ahead log, delta segments, and a crash-safe background merge;
 //! * [`costmodel`] — the section 5 cost formulas
 //!   (`hhs`/`hhr`/`hvs`/`hvr`/`vvs`/`vvr`) and the section 6 `q` heuristic;
 //! * [`core`] — executable HHNL, HVNL and VVM join algorithms plus the
@@ -53,6 +56,7 @@ pub use textjoin_common as common;
 pub use textjoin_core as core;
 pub use textjoin_costmodel as costmodel;
 pub use textjoin_invfile as invfile;
+pub use textjoin_live as live;
 pub use textjoin_query as query;
 pub use textjoin_sim as sim;
 pub use textjoin_storage as storage;
