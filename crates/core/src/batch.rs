@@ -147,15 +147,74 @@ struct QueryAcc {
     skipped_entries: u64,
 }
 
+/// Per-batch cooperative progress: latches each spec's cancel token at
+/// the batch's natural checkpoints and feeds the live tickets. A cancel
+/// is per query — the latched query stops consuming shared passes while
+/// its siblings keep running, results untouched (each sibling's scores
+/// depend only on its own (query, document) pairs, never on what else
+/// shares the scan).
+///
+/// Shared-scan I/O cannot be attributed to one query honestly, so each
+/// checkpoint splits the cost delta equally across the queries that are
+/// still live — the tickets' sum tracks the real batch cost and each
+/// query's progress bar still moves.
+struct BatchProgress {
+    cancelled: Vec<bool>,
+    reported: f64,
+    /// Whether any spec carries a token or ticket; when not, `observe`
+    /// is a single branch.
+    armed: bool,
+}
+
+impl BatchProgress {
+    fn new(specs: &[JoinSpec<'_>]) -> Self {
+        Self {
+            cancelled: vec![false; specs.len()],
+            reported: 0.0,
+            armed: specs
+                .iter()
+                .any(|s| s.cancel.is_some() || s.ticket.is_some()),
+        }
+    }
+
+    /// One checkpoint: feed tickets, latch freshly-set tokens. Returns
+    /// `true` when every query in the batch is cancelled — the caller
+    /// stops the shared scan entirely.
+    fn observe(&mut self, specs: &[JoinSpec<'_>], cost: f64, phase: impl Fn() -> String) -> bool {
+        if !self.armed {
+            return false;
+        }
+        let live = self.cancelled.iter().filter(|c| !**c).count().max(1) as f64;
+        let share = (cost - self.reported).max(0.0) / live;
+        self.reported = self.reported.max(cost);
+        for (i, spec) in specs.iter().enumerate() {
+            if self.cancelled[i] {
+                continue;
+            }
+            if let Some(ticket) = spec.ticket {
+                ticket.add_pages(share);
+                ticket.set_phase(phase());
+            }
+            if spec.cancel.is_some_and(|c| c.is_cancelled()) {
+                self.cancelled[i] = true;
+            }
+        }
+        self.cancelled.iter().all(|&c| c)
+    }
+}
+
 /// Assembles the [`BatchOutcome`]: batch stats carry the real I/O and the
 /// summed CPU counters; per-query stats carry each query's own counters
 /// with zero I/O. A skip on a *shared* structure (inner scan page,
-/// inverted entry) degrades every query — they all read through it.
+/// inverted entry) degrades every query — they all read through it. A
+/// cancelled query's rows are the prefix it accumulated before its token
+/// was latched, tagged `Partial`.
 #[allow(clippy::too_many_arguments)]
 fn finish(
     algorithm: Algorithm,
     alpha: f64,
     accs: Vec<QueryAcc>,
+    cancelled: &[bool],
     io: IoStats,
     passes: u64,
     mem_high_water_bytes: u64,
@@ -189,7 +248,8 @@ fn finish(
     let shared_partial = shared_skipped_docs + shared_skipped_entries > 0;
     let queries = accs
         .into_iter()
-        .map(|a| {
+        .zip(cancelled)
+        .map(|(a, &was_cancelled)| {
             let stats = ExecStats {
                 algorithm,
                 io: IoStats::default(),
@@ -204,7 +264,7 @@ fn finish(
                 skipped_entries: a.skipped_entries,
                 wall_ns,
             };
-            let quality = if shared_partial {
+            let quality = if was_cancelled || shared_partial {
                 ResultQuality::Partial
             } else {
                 stats.quality()
@@ -247,8 +307,26 @@ pub fn execute_hhnl(specs: &[JoinSpec<'_>]) -> Result<BatchOutcome> {
     let mut outers: Vec<_> = specs.iter().map(|s| s.outer_iter()).collect();
     let mut next_spec = 0usize;
     let mut pending: Option<(usize, DocId, Document)> = None;
+    let mut progress = BatchProgress::new(specs);
 
     loop {
+        // Round boundaries are the batch's cooperative checkpoints: a
+        // freshly-latched query's outer stream stops feeding rounds here
+        // (its held pending document included), while siblings fill the
+        // freed space.
+        if progress.observe(
+            specs,
+            disk.stats().since(&start_io).cost(spec0.sys.alpha),
+            || format!("hhnl.batch.round {}", passes + 1),
+        ) {
+            break;
+        }
+        if pending
+            .as_ref()
+            .is_some_and(|(si, ..)| progress.cancelled[*si])
+        {
+            pending = None;
+        }
         // Fill one memory round with (query, outer document) residents.
         let mut round: Vec<(usize, DocId, Document, TopK)> = Vec::new();
         let mut round_bytes = 0u64;
@@ -258,6 +336,10 @@ pub fn execute_hhnl(specs: &[JoinSpec<'_>]) -> Result<BatchOutcome> {
                 None => {
                     let mut pulled = None;
                     while next_spec < specs.len() {
+                        if progress.cancelled[next_spec] {
+                            next_spec += 1;
+                            continue;
+                        }
                         match outers[next_spec].next() {
                             None => next_spec += 1,
                             Some(Ok((id, doc))) => {
@@ -318,6 +400,7 @@ pub fn execute_hhnl(specs: &[JoinSpec<'_>]) -> Result<BatchOutcome> {
         Algorithm::Hhnl,
         spec0.sys.alpha,
         accs,
+        &progress.cancelled,
         io,
         passes,
         tracker.high_water(),
@@ -434,6 +517,8 @@ pub fn execute_hvnl(
     let mut counters: Vec<HvnlCounters> = specs.iter().map(|_| HvnlCounters::default()).collect();
     let mut accs: Vec<QueryAcc> = specs.iter().map(|_| QueryAcc::default()).collect();
     let mut shared_skipped_docs = 0u64;
+    let mut progress = BatchProgress::new(specs);
+    let mut docs_done = 0u64;
 
     state.maybe_preload_inverted_file(spec0, &insert_df)?;
 
@@ -444,22 +529,25 @@ pub fn execute_hvnl(
     let full_spec = specs
         .iter()
         .find(|s| matches!(s.outer_docs, OuterDocs::Full));
-    let mut process =
-        |id: DocId, doc: &Document, accs: &mut [QueryAcc], counters: &mut [HvnlCounters]| {
-            for (si, spec) in specs.iter().enumerate() {
-                if outer_participates(spec, id) {
-                    state.process_outer_doc(
-                        spec,
-                        id,
-                        doc,
-                        &insert_df,
-                        &mut counters[si],
-                        &mut accs[si].rows,
-                    )?;
-                }
+    let mut process = |id: DocId,
+                       doc: &Document,
+                       accs: &mut [QueryAcc],
+                       counters: &mut [HvnlCounters],
+                       cancelled: &[bool]| {
+        for (si, spec) in specs.iter().enumerate() {
+            if !cancelled[si] && outer_participates(spec, id) {
+                state.process_outer_doc(
+                    spec,
+                    id,
+                    doc,
+                    &insert_df,
+                    &mut counters[si],
+                    &mut accs[si].rows,
+                )?;
             }
-            Ok::<(), Error>(())
-        };
+        }
+        Ok::<(), Error>(())
+    };
     if let Some(full_spec) = full_spec {
         // `outer_iter` folds in the shared outer delta (validated identical
         // across the batch); per-spec tombstone masking in
@@ -474,7 +562,17 @@ pub fn execute_hvnl(
                 }
                 Err(e) => return Err(e),
             };
-            process(id, &doc, &mut accs, &mut counters)?;
+            // Outer documents are this pass's checkpoint grain — the same
+            // grain the sequential HVNL executor polls at.
+            if progress.observe(
+                specs,
+                disk.stats().since(&start_io).cost(spec0.sys.alpha),
+                || format!("hvnl.batch.doc {docs_done}"),
+            ) {
+                break;
+            }
+            docs_done += 1;
+            process(id, &doc, &mut accs, &mut counters, &progress.cancelled)?;
         }
     } else {
         let mut union: Vec<DocId> = specs
@@ -517,7 +615,15 @@ pub fn execute_hvnl(
                 }
                 Err(e) => return Err(e),
             };
-            process(id, &doc, &mut accs, &mut counters)?;
+            if progress.observe(
+                specs,
+                disk.stats().since(&start_io).cost(spec0.sys.alpha),
+                || format!("hvnl.batch.doc {docs_done}"),
+            ) {
+                break;
+            }
+            docs_done += 1;
+            process(id, &doc, &mut accs, &mut counters, &progress.cancelled)?;
         }
     }
     drop(state);
@@ -536,6 +642,7 @@ pub fn execute_hvnl(
         Algorithm::Hvnl,
         spec0.sys.alpha,
         accs,
+        &progress.cancelled,
         io,
         1,
         tracker.high_water(),
@@ -637,12 +744,28 @@ fn run_vvm(
     let mut accs: Vec<QueryAcc> = specs.iter().map(|_| QueryAcc::default()).collect();
     let mut passes = 0u64;
     let mut shared_skipped_entries = 0u64;
+    let mut progress = BatchProgress::new(specs);
 
     for k in 0..partitions.max(1) as usize {
+        // Pooled passes are the checkpoints: a latched query contributes
+        // an empty chunk from here on, so the folded scan stops doing its
+        // work while sibling chunk boundaries stay exactly where an
+        // uncancelled run would put them.
+        if progress.observe(
+            specs,
+            disk.stats().since(&start_io).cost(spec0.sys.alpha),
+            || format!("vvm.batch.pass {}", passes + 1),
+        ) {
+            break;
+        }
         let chunks: Vec<&[DocId]> = outer_ids
             .iter()
             .zip(&chunk_sizes)
-            .map(|(ids, &cs)| {
+            .enumerate()
+            .map(|(si, (ids, &cs))| {
+                if progress.cancelled[si] {
+                    return &[] as &[DocId];
+                }
                 let lo = (k * cs).min(ids.len());
                 let hi = ((k + 1) * cs).min(ids.len());
                 &ids[lo..hi]
@@ -701,6 +824,7 @@ fn run_vvm(
         Algorithm::Vvm,
         spec0.sys.alpha,
         accs,
+        &progress.cancelled,
         io,
         passes,
         tracker.high_water(),
@@ -1083,6 +1207,56 @@ mod tests {
         let vv = execute_vvm(&specs, &f.inv1, &f.inv2).unwrap();
         assert_eq!(vv.queries[0].result, vv_seq.result);
         assert_eq!(vv.stats.passes, vv_seq.stats.passes);
+    }
+
+    #[test]
+    fn cancelling_one_query_leaves_siblings_byte_identical() {
+        use textjoin_obs::CancelToken;
+        let f = fixture(30, 25, 10.0, 60, 256, 19);
+        let base = JoinSpec::new(&f.c1, &f.c2).with_sys(sys(400, 256));
+        let specs: Vec<JoinSpec<'_>> = [2usize, 5, 9, 4]
+            .iter()
+            .map(|&l| base.with_query(QueryParams::paper_base().with_lambda(l)))
+            .collect();
+        // A pre-set token is observed at the very first checkpoint, so the
+        // cancelled query does the least possible work — the strictest
+        // version of the sibling-survival guarantee.
+        let token = CancelToken::new();
+        token.cancel();
+        let mut with_cancel = specs.clone();
+        with_cancel[1] = with_cancel[1].with_cancel(&token);
+
+        let runs: [(&str, BatchOutcome, BatchOutcome); 3] = [
+            (
+                "hhnl",
+                execute_hhnl(&specs).unwrap(),
+                execute_hhnl(&with_cancel).unwrap(),
+            ),
+            (
+                "hvnl",
+                execute_hvnl(&specs, &f.inv1, BatchOptions::default()).unwrap(),
+                execute_hvnl(&with_cancel, &f.inv1, BatchOptions::default()).unwrap(),
+            ),
+            (
+                "vvm",
+                execute_vvm(&specs, &f.inv1, &f.inv2).unwrap(),
+                execute_vvm(&with_cancel, &f.inv1, &f.inv2).unwrap(),
+            ),
+        ];
+        for (name, clean, got) in &runs {
+            assert_eq!(
+                got.queries[1].quality,
+                ResultQuality::Partial,
+                "{name}: the cancelled query must be tagged Partial"
+            );
+            for i in [0usize, 2, 3] {
+                assert_eq!(
+                    got.queries[i].result, clean.queries[i].result,
+                    "{name}: sibling {i} must be byte-identical to an uncancelled run"
+                );
+                assert_eq!(got.queries[i].quality, ResultQuality::Full, "{name} {i}");
+            }
+        }
     }
 
     use proptest::prelude::*;

@@ -14,8 +14,8 @@
 //! exceeded rather than exceeded on average.
 
 use crate::report::observe_phase_sim_io;
-use crate::result::{ExecStats, JoinOutcome, JoinResult, Match};
-use crate::spec::JoinSpec;
+use crate::result::{ExecStats, JoinOutcome, JoinResult, Match, ResultQuality};
+use crate::spec::{Checkpoint, JoinSpec};
 use crate::topk::TopK;
 use std::time::Instant;
 use textjoin_collection::Document;
@@ -44,6 +44,8 @@ pub fn execute(spec: &JoinSpec<'_>) -> Result<JoinOutcome> {
     let mut rows: Vec<(DocId, Vec<Match>)> = Vec::new();
     let mut passes = 0u64;
     let mut cpu = CpuCounters::default();
+    let mut progress = Checkpoint::new();
+    let mut cancelled = false;
 
     loop {
         // Fill the memory batch with outer documents.
@@ -99,13 +101,25 @@ pub fn execute(spec: &JoinSpec<'_>) -> Result<JoinOutcome> {
             }
         }
         passes += 1;
-        // Watchdog checkpoint: a pass boundary is the natural granularity —
-        // each pass costs roughly D1 pages, so drift is visible early.
-        spec.check_cost_budget(disk.stats().since(&start_io).cost(spec.sys.alpha))?;
         for (id, _, topk) in batch {
             rows.push((id, topk.into_matches()));
         }
         tracker.release(batch_bytes);
+        // Watchdog/introspection checkpoint: a pass boundary is the natural
+        // granularity — each pass costs roughly D1 pages, so drift is
+        // visible early. A cancel winds the run down here with the rows
+        // scored so far; budget overruns still propagate as errors.
+        match spec.checkpoint(
+            &mut progress,
+            disk.stats().since(&start_io).cost(spec.sys.alpha),
+            || format!("hhnl.pass {passes}"),
+        ) {
+            Err(Error::Cancelled { .. }) => {
+                cancelled = true;
+                break;
+            }
+            other => other?,
+        }
     }
 
     let io = disk.stats().since(&start_io);
@@ -130,9 +144,14 @@ pub fn execute(spec: &JoinSpec<'_>) -> Result<JoinOutcome> {
         skipped_entries: 0,
         wall_ns: started.elapsed().as_nanos() as u64,
     };
+    let quality = if cancelled {
+        ResultQuality::Partial
+    } else {
+        stats.quality()
+    };
     Ok(JoinOutcome {
         result: JoinResult::from_rows(rows),
-        quality: stats.quality(),
+        quality,
         stats,
     })
 }
@@ -177,6 +196,8 @@ pub fn execute_backward(spec: &JoinSpec<'_>) -> Result<JoinOutcome> {
     let mut pending: Option<(DocId, Document)> = None;
     let mut passes = 0u64;
     let mut cpu = CpuCounters::default();
+    let mut progress = Checkpoint::new();
+    let mut cancelled = false;
     let inner_profile = spec.inner.profile();
     let outer_profile = spec.outer.profile();
 
@@ -256,10 +277,20 @@ pub fn execute_backward(spec: &JoinSpec<'_>) -> Result<JoinOutcome> {
             }
         }
         drop(pass_span);
-        // Watchdog checkpoint at the same pass granularity as the forward
-        // order.
-        spec.check_cost_budget(disk.stats().since(&start_io).cost(spec.sys.alpha))?;
         tracker.release(batch_bytes);
+        // Watchdog/introspection checkpoint at the same pass granularity
+        // as the forward order.
+        match spec.checkpoint(
+            &mut progress,
+            disk.stats().since(&start_io).cost(spec.sys.alpha),
+            || format!("hhnl.backward.pass {passes}"),
+        ) {
+            Err(Error::Cancelled { .. }) => {
+                cancelled = true;
+                break;
+            }
+            other => other?,
+        }
     }
 
     // Outer documents that never met a batch (empty inner side) still get
@@ -300,9 +331,14 @@ pub fn execute_backward(spec: &JoinSpec<'_>) -> Result<JoinOutcome> {
         skipped_entries: 0,
         wall_ns: started.elapsed().as_nanos() as u64,
     };
+    let quality = if cancelled {
+        ResultQuality::Partial
+    } else {
+        stats.quality()
+    };
     Ok(JoinOutcome {
         result: JoinResult::from_rows(rows),
-        quality: stats.quality(),
+        quality,
         stats,
     })
 }

@@ -16,13 +16,13 @@
 //! discusses (and warns about: it turns the outer scan into random I/O).
 
 use crate::report::observe_phase_sim_io;
-use crate::result::{ExecStats, JoinOutcome, JoinResult, Match};
-use crate::spec::JoinSpec;
+use crate::result::{ExecStats, JoinOutcome, JoinResult, Match, ResultQuality};
+use crate::spec::{Checkpoint, JoinSpec};
 use crate::topk::TopK;
 use std::collections::{BTreeSet, HashMap};
 use std::time::Instant;
 use textjoin_collection::Document;
-use textjoin_common::{DCell, DocId, Result, TermId};
+use textjoin_common::{DCell, DocId, Error, Result, TermId};
 use textjoin_costmodel::Algorithm;
 use textjoin_invfile::InvertedFile;
 use textjoin_obs::{Histogram, Tracer, LATENCY_BOUNDS_NS};
@@ -83,6 +83,10 @@ pub fn execute_with(
     let mut root = Tracer::maybe(spec.trace, "hvnl");
     let disk = spec.inner.store().disk();
     let start_io = disk.stats();
+    // Constructed at the same point as the stats baseline, so the ticket's
+    // thread-local tally covers the setup I/O (the B+tree dictionary load
+    // below) that the first checkpoint reports.
+    let mut progress = Checkpoint::new();
     let tracker = MemTracker::new(&spec.sys);
 
     // One-time cost: read the whole B+tree into memory (Bt1) and keep it
@@ -124,6 +128,7 @@ pub fn execute_with(
     let mut counters = HvnlCounters::default();
     let mut rows: Vec<(DocId, Vec<Match>)> = Vec::new();
     let mut skipped_docs = 0u64;
+    let mut cancelled = false;
 
     // Section 5.2, case X ≥ T1: when the entire inner inverted file fits in
     // the remaining memory and one sequential scan of it (I1 pages) is
@@ -153,9 +158,20 @@ pub fn execute_with(
                     Err(e) => return Err(e),
                 };
                 state.process_outer_doc(spec, id, &doc, &insert_df, &mut counters, &mut rows)?;
-                // Watchdog checkpoint: HVNL's cost accrues per outer
-                // document (entry fetches), so that is its granularity.
-                spec.check_cost_budget(disk.stats().since(&start_io).cost(spec.sys.alpha))?;
+                // Watchdog/introspection checkpoint: HVNL's cost accrues
+                // per outer document (entry fetches), so that is its
+                // granularity. A cancel keeps the rows already scored.
+                match spec.checkpoint(
+                    &mut progress,
+                    disk.stats().since(&start_io).cost(spec.sys.alpha),
+                    || format!("hvnl.outer_doc {}", rows.len()),
+                ) {
+                    Err(Error::Cancelled { .. }) => {
+                        cancelled = true;
+                        break;
+                    }
+                    other => other?,
+                }
             }
         }
         OuterOrder::GreedyIntersection => {
@@ -190,7 +206,17 @@ pub fn execute_with(
                     .expect("non-empty");
                 let (id, doc) = remaining.swap_remove(best);
                 state.process_outer_doc(spec, id, &doc, &insert_df, &mut counters, &mut rows)?;
-                spec.check_cost_budget(disk.stats().since(&start_io).cost(spec.sys.alpha))?;
+                match spec.checkpoint(
+                    &mut progress,
+                    disk.stats().since(&start_io).cost(spec.sys.alpha),
+                    || format!("hvnl.greedy_doc {}", rows.len()),
+                ) {
+                    Err(Error::Cancelled { .. }) => {
+                        cancelled = true;
+                        break;
+                    }
+                    other => other?,
+                }
             }
             tracker.release(held_bytes);
         }
@@ -238,9 +264,14 @@ pub fn execute_with(
         skipped_entries,
         wall_ns: started.elapsed().as_nanos() as u64,
     };
+    let quality = if cancelled {
+        ResultQuality::Partial
+    } else {
+        stats.quality()
+    };
     Ok(JoinOutcome {
         result: JoinResult::from_rows(rows),
-        quality: stats.quality(),
+        quality,
         stats,
     })
 }

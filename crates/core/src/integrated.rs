@@ -90,6 +90,13 @@ pub fn execute_with_workers(
             break;
         }
         let spec = if fallbacks == 0 { spec } else { &unwatched };
+        // Keep the live ticket's label honest: the integrated algorithm
+        // re-ranks internally, so the algorithm actually attempted may
+        // differ from what the caller registered. (A cancel never reaches
+        // this loop — executors absorb it into an `Ok` Partial outcome.)
+        if let Some(ticket) = spec.ticket {
+            ticket.set_algorithm(algorithm.to_string());
+        }
         let attempt = if workers > 1 {
             match algorithm {
                 Algorithm::Hhnl => parallel::execute_hhnl(spec, workers),

@@ -33,7 +33,7 @@
 //! against wall-clock: with `w` dedicated drives the elapsed scan time
 //! divides by ~`w`.
 
-use crate::result::{ExecStats, JoinOutcome, JoinResult, Match};
+use crate::result::{ExecStats, JoinOutcome, JoinResult, Match, ResultQuality};
 use crate::spec::{JoinSpec, OuterDocs};
 use crate::topk::TopK;
 use crate::{hhnl, hvnl, vvm, Algorithm};
@@ -117,6 +117,14 @@ where
 
     let disk = spec.inner.store().disk();
     let start_io = disk.stats();
+    // Worker spans stitch under this run's root span: `SpanContext` carries
+    // the shared ring plus the root's id, so each worker's executor opens
+    // its spans parented under `parallel.outer` even across threads.
+    let mut root = Tracer::maybe(spec.trace, "parallel.outer");
+    if root.is_enabled() {
+        root.record("workers", slices.len() as u64);
+    }
+    let stitched = root.context().map(|c| c.tracer());
     let run = &run;
     let outcomes = crossbeam::thread::scope(|s| {
         let handles: Vec<_> = slices
@@ -129,6 +137,7 @@ where
                         buffer_pages: share,
                         ..spec.sys
                     },
+                    trace: stitched.as_ref(),
                     ..*spec
                 };
                 s.spawn(move |_| {
@@ -156,7 +165,12 @@ where
     // concurrently, so their sum is the real peak footprint).
     let mut rows = Vec::with_capacity(outer_ids.len());
     let mut stats = ExecStats::zero(outcomes[0].stats.algorithm);
+    // A cancelled worker returns a Partial outcome with whatever rows it
+    // had, possibly without bumping any skip counter — so the merged
+    // quality must OR the workers' tags, not just re-derive from counters.
+    let mut any_partial = false;
     for outcome in outcomes {
+        any_partial |= outcome.quality == ResultQuality::Partial;
         for (id, matches) in outcome.result.iter() {
             rows.push((id, matches.to_vec()));
         }
@@ -175,9 +189,13 @@ where
     stats.wall_ns = started.elapsed().as_nanos() as u64;
     Ok(JoinOutcome {
         result: JoinResult::from_rows(rows),
-        // Merged stats carry every worker's skip counters, so the combined
-        // quality tag is partial as soon as any worker skipped anything.
-        quality: stats.quality(),
+        // Merged stats carry every worker's skip counters; the explicit OR
+        // additionally catches workers that went Partial via cancellation.
+        quality: if any_partial {
+            ResultQuality::Partial
+        } else {
+            stats.quality()
+        },
         stats,
     })
 }
@@ -307,6 +325,8 @@ fn run_vvm(
         root.record("workers", workers as u64);
         root.record("partitions", partitions);
     }
+    // Worker spans parent under this root span across threads.
+    let stitched = root.context().map(|c| c.tracer());
     let disk = spec.inner.store().disk();
     let start_io = disk.stats();
     let shares = buffer_shares(spec.sys.buffer_pages, workers);
@@ -321,6 +341,8 @@ fn run_vvm(
     let mut skipped_entries = 0u64;
     let mut io_sum = IoStats::default();
     let mut mem_high_water = 0u64;
+    let mut reported_pages = 0.0f64;
+    let mut cancelled = false;
 
     for chunk in outer_ids.chunks(chunk_size) {
         passes += 1;
@@ -330,17 +352,22 @@ fn run_vvm(
                 .zip(&shares)
                 .enumerate()
                 .map(|(idx, (&range, &share))| {
-                    // Workers trace nothing themselves; the parallel root
-                    // span carries the run-level records.
+                    // Each worker opens one span per pass through the
+                    // stitched tracer, so its work shows up parented under
+                    // the `vvm.parallel` root span.
                     let worker_spec = JoinSpec {
                         sys: SystemParams {
                             buffer_pages: share,
                             ..spec.sys
                         },
-                        trace: None,
+                        trace: stitched.as_ref(),
                         ..*spec
                     };
                     s.spawn(move |_| -> Result<VvmPartial> {
+                        let mut wspan = Tracer::maybe(worker_spec.trace, "vvm.worker");
+                        if wspan.is_enabled() {
+                            wspan.record("worker", idx as u64);
+                        }
                         let before = DiskSim::thread_io_stats();
                         let tracker = MemTracker::new(&worker_spec.sys);
                         tracker.allocate(entry_buf_bytes.max(1), "parallel VVM entry buffers")?;
@@ -438,6 +465,19 @@ fn run_vvm(
         // the pass's true footprint.
         mem_high_water = mem_high_water.max(pass_mem);
         vvm::emit_chunk(spec, chunk, &acc, &mut rows);
+        // The pass boundary is this scaffold's cooperative checkpoint. The
+        // coordinator thread did none of the I/O, so its thread-local
+        // tally is useless here; feed the exact per-worker sums instead.
+        if let Some(ticket) = spec.ticket {
+            let own = io_sum.cost(spec.sys.alpha);
+            ticket.add_pages(own - reported_pages);
+            reported_pages = own;
+            ticket.set_phase(format!("vvm.parallel.pass {passes}"));
+        }
+        if spec.cancel.is_some_and(|c| c.is_cancelled()) {
+            cancelled = true;
+            break;
+        }
     }
 
     let io = disk.stats().since(&start_io);
@@ -469,7 +509,13 @@ fn run_vvm(
     };
     Ok(JoinOutcome {
         result: JoinResult::from_rows(rows),
-        quality: stats.quality(),
+        // A cancel at a pass boundary truncates the remaining chunks, so
+        // the rows are an honest prefix — tag them Partial.
+        quality: if cancelled {
+            ResultQuality::Partial
+        } else {
+            stats.quality()
+        },
         stats,
     })
 }

@@ -401,6 +401,8 @@ pub enum SlowLogRank {
 /// `capacity` reports; the cheapest entry is evicted when a costlier one
 /// arrives. Among equal keys older reports rank higher and are retained
 /// in preference to newer ones, so eviction order is fully deterministic.
+/// Each query key is held at most once — repeated runs of one query keep
+/// only the worst observation instead of flooding the top-K.
 #[derive(Debug)]
 pub struct SlowQueryLog {
     capacity: usize,
@@ -444,11 +446,28 @@ impl SlowQueryLog {
     }
 
     /// Offers a report. Returns `true` if it entered the log.
+    ///
+    /// At most one entry is kept per query key (`QueryReport::query`):
+    /// re-running the same query cannot flood the top-K. A re-run that is
+    /// worse than the retained observation replaces it; a cheaper or
+    /// equal re-run bounces off (the retained observation stays the worst
+    /// seen).
     pub fn offer(&mut self, report: QueryReport) -> bool {
         let seq = self.next_seq;
         self.next_seq += 1;
         let key = self.key(&report);
-        if self.entries.len() >= self.capacity {
+        if let Some(pos) = self
+            .entries
+            .iter()
+            .position(|(_, _, held)| held.query == report.query)
+        {
+            let (held_key, _, _) = self.entries[pos];
+            if key <= held_key {
+                self.rejected += 1;
+                return false;
+            }
+            self.entries.remove(pos);
+        } else if self.entries.len() >= self.capacity {
             // Full: strictly cheaper offers bounce off; everything else
             // displaces the tail (the cheapest key, newest within it).
             let (min_key, _, _) = self.entries.last().expect("non-empty at capacity");
@@ -604,6 +623,36 @@ mod tests {
         assert!(log.offer(report("dear", 21.0)));
         let order: Vec<&str> = log.entries().map(|r| r.query.as_str()).collect();
         assert_eq!(order, vec!["dear", "first"]);
+    }
+
+    #[test]
+    fn slowlog_dedupes_repeated_query_keys_keeping_the_worst() {
+        let mut log = SlowQueryLog::new(3);
+        assert!(log.offer(report("q", 30.0)));
+        // A cheaper or equal re-run bounces; the retained entry stays.
+        assert!(!log.offer(report("q", 10.0)));
+        assert!(!log.offer(report("q", 30.0)));
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.rejected(), 2);
+        // A worse re-run replaces the held observation in place.
+        assert!(log.offer(report("other", 40.0)));
+        assert!(log.offer(report("q", 50.0)));
+        let held: Vec<(&str, f64)> = log
+            .entries()
+            .map(|r| (r.query.as_str(), r.measured_cost))
+            .collect();
+        assert_eq!(held, vec![("q", 50.0), ("other", 40.0)]);
+        // Replacement never grows the log: repeated keys cannot flood
+        // past one slot even when the log is full.
+        assert!(log.offer(report("third", 35.0)));
+        assert_eq!(log.len(), 3);
+        for _ in 0..10 {
+            let worst = log.entries().next().unwrap().measured_cost;
+            assert!(log.offer(report("q", worst + 1.0)));
+            assert_eq!(log.len(), 3, "dedupe must replace, not append");
+        }
+        let names: Vec<&str> = log.entries().map(|r| r.query.as_str()).collect();
+        assert_eq!(names, vec!["q", "other", "third"]);
     }
 
     #[test]

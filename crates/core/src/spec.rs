@@ -4,8 +4,8 @@ use textjoin_collection::{Collection, Document};
 use textjoin_common::{CollectionStats, DocId, FragStats, QueryParams, Result, SystemParams};
 use textjoin_costmodel::JoinInputs;
 use textjoin_invfile::DeltaOverlay;
-use textjoin_obs::Tracer;
-use textjoin_storage::PrefetchMetrics;
+use textjoin_obs::{CancelToken, QueryTicket, Tracer};
+use textjoin_storage::{DiskSim, IoStats, PrefetchMetrics};
 
 use crate::weighting::Weighting;
 
@@ -85,6 +85,47 @@ pub struct JoinSpec<'a> {
     /// Base+delta overlay of the outer collection: delta documents extend
     /// the outer scan and tombstoned outer documents drop out of it.
     pub outer_delta: Option<&'a DeltaOverlay>,
+    /// Cooperative cancellation token, polled at the same checkpoints as
+    /// the cost-budget watchdog. When observed set, the executor winds
+    /// down at the next checkpoint and returns whatever it has with
+    /// `ResultQuality::Partial`. `None` (the default) keeps checkpoints a
+    /// single branch. Parallel workers inherit the reference, so every
+    /// worker observes one token.
+    pub cancel: Option<&'a CancelToken>,
+    /// Live introspection ticket. When set, executors feed their
+    /// accumulated page-cost deltas and current phase into it at the same
+    /// checkpoints, so `/queries` shows progress while the join runs.
+    pub ticket: Option<&'a QueryTicket>,
+}
+
+/// Per-run progress tracker for [`JoinSpec::checkpoint`]: snapshots the
+/// *thread-local* I/O tally at construction and remembers how much has
+/// already been reported, so ticket updates are non-negative deltas of
+/// the pages **this thread** caused. Parallel workers share one disk —
+/// the global tally includes sibling traffic — but the thread-local
+/// mirrors partition it exactly, so per-worker delta streams interleave
+/// into a monotone, non-double-counted sum on the shared ticket.
+#[derive(Clone, Copy, Debug)]
+pub struct Checkpoint {
+    base: IoStats,
+    reported: f64,
+}
+
+impl Checkpoint {
+    /// Must be created on the thread that will perform the run's I/O,
+    /// before any of it happens.
+    pub fn new() -> Self {
+        Self {
+            base: DiskSim::thread_io_stats(),
+            reported: 0.0,
+        }
+    }
+}
+
+impl Default for Checkpoint {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl<'a> JoinSpec<'a> {
@@ -104,6 +145,25 @@ impl<'a> JoinSpec<'a> {
             cost_budget: None,
             inner_delta: None,
             outer_delta: None,
+            cancel: None,
+            ticket: None,
+        }
+    }
+
+    /// Attaches a cooperative cancellation token. Executors poll it at
+    /// their per-pass checkpoints.
+    pub fn with_cancel(self, cancel: &'a CancelToken) -> Self {
+        Self {
+            cancel: Some(cancel),
+            ..self
+        }
+    }
+
+    /// Attaches a live introspection ticket that checkpoints update.
+    pub fn with_ticket(self, ticket: &'a QueryTicket) -> Self {
+        Self {
+            ticket: Some(ticket),
+            ..self
         }
     }
 
@@ -173,6 +233,42 @@ impl<'a> JoinSpec<'a> {
             }
         }
         Ok(())
+    }
+
+    /// Combined per-pass checkpoint: feeds the live ticket (this thread's
+    /// page-cost delta since the previous checkpoint plus the current
+    /// phase), polls the cancel token, then runs the cost-budget watchdog.
+    ///
+    /// `cost` is the run's accumulated page cost (`seq + α·rand`) as the
+    /// executor sees it on the shared disk; it drives the budget watchdog
+    /// and the `observed_pages` a cancel reports. Ticket pages come from
+    /// the *thread-local* I/O tally instead (see [`Checkpoint`]), so
+    /// concurrent workers never double-count sibling traffic. The `phase`
+    /// closure only runs when a ticket is attached, keeping the common
+    /// no-ticket path allocation-free. Returns
+    /// [`textjoin_common::Error::Cancelled`] when the token is observed
+    /// set; callers absorb that into a `Partial` outcome.
+    #[inline]
+    pub fn checkpoint(
+        &self,
+        progress: &mut Checkpoint,
+        cost: f64,
+        phase: impl FnOnce() -> String,
+    ) -> Result<()> {
+        if let Some(ticket) = self.ticket {
+            let own = DiskSim::thread_io_stats()
+                .since(&progress.base)
+                .cost(self.sys.alpha);
+            ticket.add_pages(own - progress.reported);
+            progress.reported = progress.reported.max(own);
+            ticket.set_phase(phase());
+        }
+        if self.cancel.is_some_and(|c| c.is_cancelled()) {
+            return Err(textjoin_common::Error::Cancelled {
+                observed_pages: cost.ceil() as u64,
+            });
+        }
+        self.check_cost_budget(cost)
     }
 
     /// Attaches a tracer; executors will open spans per phase and batch.

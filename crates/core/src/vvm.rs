@@ -16,8 +16,8 @@
 //! retries rather than exceeding the budget.
 
 use crate::report::observe_phase_sim_io;
-use crate::result::{ExecStats, JoinOutcome, JoinResult, Match};
-use crate::spec::JoinSpec;
+use crate::result::{ExecStats, JoinOutcome, JoinResult, Match, ResultQuality};
+use crate::spec::{Checkpoint, JoinSpec};
 use crate::topk::TopK;
 use std::collections::HashMap;
 use std::time::Instant;
@@ -238,6 +238,8 @@ fn run(
     // Accumulated across passes: a corrupt entry that survives the whole
     // run is skipped (and counted) once per rescan.
     let mut skipped_entries = 0u64;
+    let mut progress = Checkpoint::new();
+    let mut cancelled = false;
 
     for chunk in outer_ids.chunks(chunk_size) {
         passes += 1;
@@ -282,9 +284,6 @@ fn run(
         // Emit this subcollection's results.
         emit_chunk(spec, chunk, &acc, &mut rows);
         tracker.release(acc_bytes);
-        // Watchdog checkpoint: each merge pass costs I1 + I2 pages, so a
-        // partition-count blow-up is caught after the first extra pass.
-        spec.check_cost_budget(disk.stats().since(&start_io).cost(spec.sys.alpha))?;
         if pass_span.is_enabled() {
             let d = disk.stats().since(&pass_io);
             pass_span.record("outer_docs", chunk.len() as u64);
@@ -292,6 +291,21 @@ fn run(
             pass_span.record("rand_reads", d.rand_reads);
             pass_span.record("sim_ops", sim_ops - ops_before);
             observe_phase_sim_io(spec.trace, "vvm.merge_pass", &d, spec.sys.alpha);
+        }
+        drop(pass_span);
+        // Watchdog/introspection checkpoint: each merge pass costs I1 + I2
+        // pages, so a partition-count blow-up is caught after the first
+        // extra pass. A cancel keeps the chunks already emitted.
+        match spec.checkpoint(
+            &mut progress,
+            disk.stats().since(&start_io).cost(spec.sys.alpha),
+            || format!("vvm.merge_pass {passes}"),
+        ) {
+            Err(Error::Cancelled { .. }) => {
+                cancelled = true;
+                break;
+            }
+            other => other?,
         }
     }
 
@@ -319,9 +333,14 @@ fn run(
         skipped_entries,
         wall_ns: started.elapsed().as_nanos() as u64,
     };
+    let quality = if cancelled {
+        ResultQuality::Partial
+    } else {
+        stats.quality()
+    };
     Ok(JoinOutcome {
         result: JoinResult::from_rows(rows),
-        quality: stats.quality(),
+        quality,
         stats,
     })
 }

@@ -17,18 +17,28 @@
 //! - [`store`] — a persistent, bounded, append-only JSON-lines store,
 //!   the durability substrate for per-query reports: what the
 //!   cost-model calibrator reads back across process runs.
+//! - [`live`] — the *while-running* counterpart to all of the above: an
+//!   in-flight query registry of RAII-deregistered [`live::QueryTicket`]s
+//!   carrying progress/ETA against the plan's calibrated prediction, plus
+//!   the cooperative [`live::CancelToken`] executors poll at checkpoints.
+//! - [`serve`] — an embedded `std::net::TcpListener` scrape endpoint
+//!   (`/metrics`, `/queries`, `/healthz`, `POST /queries/<id>/cancel`).
 //!
 //! The crate is intentionally dependency-free (std only) and sits below
 //! every other `textjoin-*` crate so storage, executors and the query
 //! layer can all emit into one registry/trace.
 
+pub mod live;
 pub mod metrics;
+pub mod serve;
 pub mod store;
 pub mod trace;
 
+pub use live::{CancelToken, LiveRegistry, QueryTicket, TicketGuard, TicketSnapshot};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricSnapshot, MetricValue, Registry,
     LATENCY_BOUNDS_NS,
 };
+pub use serve::IntrospectionServer;
 pub use store::ReportStore;
-pub use trace::{Span, SpanRecord, Tracer};
+pub use trace::{Span, SpanContext, SpanRecord, Tracer};

@@ -750,6 +750,59 @@ mod tests {
     }
 
     #[test]
+    fn prometheus_scrapes_are_deterministic_and_diffable() {
+        // Regression guard for the scrape-hygiene contract: repeated
+        // scrapes of the same registry are byte-identical, and the order
+        // must not depend on metric *registration* order — two registries
+        // populated in opposite orders scrape identically, because the
+        // export sorts by (name, label).
+        let populate = |pairs: &[(&'static str, &str, u64)]| {
+            let r = Registry::new();
+            for (name, label, v) in pairs {
+                r.counter(name, *label).inc_by(*v);
+            }
+            r
+        };
+        let pairs: Vec<(&'static str, &str, u64)> = vec![
+            ("disk.rand_reads", "ziff", 2),
+            ("disk.seq_reads", "wsj", 9),
+            ("disk.seq_reads", "ap", 4),
+            ("queries.inflight", "", 1),
+        ];
+        let forward = populate(&pairs);
+        let reversed: Vec<_> = pairs.iter().rev().cloned().collect();
+        let backward = populate(&reversed);
+        let scrape = forward.to_prometheus_text();
+        assert_eq!(
+            scrape,
+            forward.to_prometheus_text(),
+            "same registry, same bytes"
+        );
+        assert_eq!(scrape, backward.to_prometheus_text(), "order-insensitive");
+        let series: Vec<&str> = scrape.lines().filter(|l| !l.starts_with('#')).collect();
+        let mut sorted = series.clone();
+        sorted.sort();
+        assert_eq!(series, sorted, "series lines are (name, label) sorted");
+    }
+
+    #[test]
+    fn prometheus_label_values_are_escaped() {
+        // Backslash, double quote and newline are the three characters
+        // the exposition format requires escaped inside label values.
+        let r = Registry::new();
+        r.counter("odd.labels", "back\\slash \"quoted\"\nnewline")
+            .inc();
+        let text = r.to_prometheus_text();
+        assert!(
+            text.contains(r#"odd_labels{label="back\\slash \"quoted\"\nnewline"} 1"#),
+            "{text}"
+        );
+        // The raw newline must not survive: exactly one TYPE line plus
+        // one series line.
+        assert_eq!(text.lines().count(), 2, "{text}");
+    }
+
+    #[test]
     fn shards_do_not_alias_distinct_metrics() {
         let r = Registry::new();
         for i in 0..64 {

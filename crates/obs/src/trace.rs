@@ -52,10 +52,25 @@ impl Ring {
     }
 
     /// Records in completion order (oldest first).
+    ///
+    /// Parent links are only kept when they can be honoured by the
+    /// snapshot itself: a non-zero `parent` must refer to a record that
+    /// is present *and* finishes later (the child-before-parent order
+    /// consumers rely on). Links broken by ring eviction, by a parent
+    /// that is still open, or by a child kept alive past its parent are
+    /// remapped to 0 so no dangling ids escape.
     fn in_order(&self) -> Vec<SpanRecord> {
         let mut out = Vec::with_capacity(self.records.len());
         out.extend_from_slice(&self.records[self.head..]);
         out.extend_from_slice(&self.records[..self.head]);
+        let index: std::collections::HashMap<u64, usize> =
+            out.iter().enumerate().map(|(i, r)| (r.id, i)).collect();
+        for (i, record) in out.iter_mut().enumerate() {
+            let parent = record.parent;
+            if parent != 0 && index.get(&parent).is_none_or(|&pi| pi <= i) {
+                record.parent = 0;
+            }
+        }
         out
     }
 }
@@ -72,12 +87,41 @@ struct Shared {
 #[derive(Clone, Default)]
 pub struct Tracer {
     shared: Option<Arc<Shared>>,
+    /// Id every *root* span opened on this handle parents under — 0 for
+    /// an ordinary tracer, non-zero for one built from a [`SpanContext`]
+    /// so another thread's spans stitch into an existing tree.
+    parent: u64,
+}
+
+/// A cheap, cloneable, `'static` capture of an open span's position in
+/// the tree. Parallel workers receive a context cloned from the query's
+/// root span and call [`SpanContext::tracer`]; every span the worker
+/// opens then parents under that root instead of starting a detached
+/// tree.
+#[derive(Clone)]
+pub struct SpanContext {
+    shared: Arc<Shared>,
+    parent: u64,
+}
+
+impl SpanContext {
+    /// A tracer sharing the originating tracer's ring, ids and registry,
+    /// whose root spans parent under the captured span.
+    pub fn tracer(&self) -> Tracer {
+        Tracer {
+            shared: Some(self.shared.clone()),
+            parent: self.parent,
+        }
+    }
 }
 
 impl Tracer {
     /// The no-op tracer: spans are free, nothing is recorded.
     pub fn disabled() -> Self {
-        Self { shared: None }
+        Self {
+            shared: None,
+            parent: 0,
+        }
     }
 
     /// An enabled tracer retaining at most `capacity` finished spans
@@ -101,6 +145,7 @@ impl Tracer {
                 epoch: Instant::now(),
                 registry,
             })),
+            parent: 0,
         }
     }
 
@@ -114,9 +159,11 @@ impl Tracer {
         self.shared.as_ref().map(|s| &s.registry)
     }
 
-    /// Opens a root span. On a disabled tracer this is free.
+    /// Opens a root span (parented under the stitched span when this
+    /// tracer was built from a [`SpanContext`]). On a disabled tracer
+    /// this is free.
     pub fn span(&self, name: &'static str) -> Span<'_> {
-        self.open(name, 0)
+        self.open(name, self.parent)
     }
 
     /// Opens a span on an optional tracer reference — the form executors
@@ -242,6 +289,16 @@ impl<'t> Span<'t> {
                 fields: Vec::new(),
             },
         }
+    }
+
+    /// Captures a cloneable, `'static` context other threads can turn
+    /// back into a [`Tracer`] whose spans parent under this span.
+    /// `None` on a disabled tracer.
+    pub fn context(&self) -> Option<SpanContext> {
+        self.shared.map(|shared| SpanContext {
+            shared: Arc::clone(shared),
+            parent: self.id,
+        })
     }
 
     /// Attaches a named metric delta (pages read, cache hits, …).
@@ -386,6 +443,127 @@ mod tests {
         let scan = reg.histogram("span.wall_ns", "scan", &LATENCY_BOUNDS_NS);
         assert_eq!(join.count(), 2);
         assert_eq!(scan.count(), 1);
+    }
+
+    #[test]
+    fn span_context_stitches_across_threads() {
+        let t = Tracer::enabled(32);
+        {
+            let root = t.span("join");
+            let ctx = root.context().expect("enabled tracer yields a context");
+            let handles: Vec<_> = (0..3)
+                .map(|w| {
+                    let ctx = ctx.clone();
+                    std::thread::spawn(move || {
+                        let worker = ctx.tracer();
+                        let mut s = worker.span("worker");
+                        s.record("w", w);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        }
+        let spans = t.finished();
+        assert_eq!(spans.len(), 4);
+        let root = spans.iter().find(|s| s.name == "join").unwrap();
+        let workers: Vec<_> = spans.iter().filter(|s| s.name == "worker").collect();
+        assert_eq!(workers.len(), 3);
+        for w in workers {
+            assert_eq!(w.parent, root.id, "worker span must stitch under root");
+        }
+    }
+
+    #[test]
+    fn disabled_span_has_no_context() {
+        let t = Tracer::disabled();
+        assert!(t.span("x").context().is_none());
+    }
+
+    #[test]
+    fn eviction_never_leaves_dangling_parents() {
+        // Capacity 2: the root's children get evicted as later siblings
+        // finish, and the root itself stays open until the end — every
+        // surviving record must either point at a later record or at 0.
+        let t = Tracer::enabled(2);
+        {
+            let root = t.span("root");
+            for _ in 0..5 {
+                let _c = root.child("leaf");
+            }
+        }
+        assert!(t.dropped() > 0);
+        assert_no_dangling(&t.finished());
+    }
+
+    #[test]
+    fn child_outliving_parent_is_reparented_to_root() {
+        // RAII lets a child Span outlive the Span it was opened from; the
+        // parent record then *precedes* the child in completion order and
+        // the link cannot be honoured child-first — it must drop to 0.
+        let t = Tracer::enabled(8);
+        let late_child;
+        {
+            let parent = t.span("parent");
+            late_child = parent.child("late");
+        }
+        drop(late_child);
+        let spans = t.finished();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "parent");
+        assert_eq!(spans[1].name, "late");
+        assert_eq!(spans[1].parent, 0, "un-honourable link must be dropped");
+        assert_no_dangling(&spans);
+    }
+
+    fn assert_no_dangling(spans: &[SpanRecord]) {
+        use std::collections::HashMap;
+        let pos: HashMap<u64, usize> = spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+        for (i, s) in spans.iter().enumerate() {
+            if s.parent != 0 {
+                let pi = *pos
+                    .get(&s.parent)
+                    .unwrap_or_else(|| panic!("span {} has dangling parent {}", s.id, s.parent));
+                assert!(pi > i, "child (index {i}) must precede parent (index {pi})");
+            }
+        }
+    }
+
+    mod span_tree_invariants {
+        use super::*;
+        use proptest::prelude::*;
+
+        // An interleaving step: open a root, open a child of a random
+        // live span, or close a random live span. Applied against a
+        // tracer with a small ring so drops are common.
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn random_interleavings_uphold_tree_invariants(
+                capacity in 1usize..6,
+                steps in proptest::collection::vec((0u8..3, 0usize..8), 1..40),
+            ) {
+                let t = Tracer::enabled(capacity);
+                let mut live: Vec<Span<'_>> = Vec::new();
+                for (op, pick) in steps {
+                    match op {
+                        0 => live.push(t.span("root")),
+                        1 if !live.is_empty() => {
+                            let child = live[pick % live.len()].child("child");
+                            live.push(child);
+                        }
+                        _ if !live.is_empty() => {
+                            live.swap_remove(pick % live.len());
+                        }
+                        _ => {}
+                    }
+                    assert_no_dangling(&t.finished());
+                }
+                drop(live);
+                assert_no_dangling(&t.finished());
+            }
+        }
     }
 
     #[test]

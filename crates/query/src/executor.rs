@@ -9,6 +9,33 @@ use textjoin_core::{
     JoinSpec, OuterDocs, ResultQuality,
 };
 use textjoin_costmodel::Algorithm as Alg;
+use textjoin_obs::{LiveRegistry, TicketGuard};
+
+/// Live-introspection handle for plan execution: where to file the
+/// in-flight [`textjoin_obs::QueryTicket`] and the query text `/queries`
+/// shows for it. The ticket is registered before the join starts and
+/// deregistered by RAII when execution returns — normally, on error, or
+/// during a panic unwind — so the registry never leaks entries.
+#[derive(Clone, Copy)]
+pub struct Introspect<'r> {
+    /// Registry the in-flight ticket lives in.
+    pub live: &'r LiveRegistry,
+    /// Human-readable query text for the ticket.
+    pub query: &'r str,
+}
+
+/// `Some(pages)` when a prediction is a usable page count for the ticket.
+fn finite_pages(pages: f64) -> Option<f64> {
+    (pages.is_finite() && pages > 0.0).then_some(pages)
+}
+
+/// The `C2.col ⋈ C1.col` pair key shown by `/queries`.
+fn pair_key(p: &Plan) -> String {
+    format!(
+        "{}.{} ⋈ {}.{}",
+        p.outer_rel, p.outer_column, p.inner_rel, p.inner_column
+    )
+}
 
 /// The result of running a textual-join query.
 pub struct QueryOutput {
@@ -54,6 +81,32 @@ pub fn run_query_with_workers(
     execute_plan(catalog, &p, sys, base_query_params)
 }
 
+/// [`run_query`] with live introspection: the run registers an in-flight
+/// ticket in `live` (query text, pair, algorithm, calibrated prediction,
+/// worker count), feeds it progress at every executor checkpoint, and
+/// honours its cancel token — `/queries` sees the run, `/queries/<id>/cancel`
+/// stops it with a `Partial` result.
+pub fn run_query_introspected(
+    catalog: &Catalog,
+    sql: &str,
+    sys: SystemParams,
+    base_query_params: QueryParams,
+    scenario: IoScenario,
+    live: &LiveRegistry,
+) -> Result<QueryOutput> {
+    let query = parse(sql)?;
+    let p = plan(catalog, &query, sys, base_query_params, scenario)?;
+    execute_plan_inner(
+        catalog,
+        &p,
+        sys,
+        base_query_params,
+        None,
+        None,
+        Some(Introspect { live, query: sql }),
+    )
+}
+
 /// Executes an already-planned query.
 pub fn execute_plan(
     catalog: &Catalog,
@@ -73,7 +126,28 @@ pub fn execute_plan_traced(
     base_query_params: QueryParams,
     trace: Option<&textjoin_obs::Tracer>,
 ) -> Result<QueryOutput> {
-    execute_plan_inner(catalog, p, sys, base_query_params, trace, None)
+    execute_plan_inner(catalog, p, sys, base_query_params, trace, None, None)
+}
+
+/// [`execute_plan_traced`] with live introspection (see
+/// [`run_query_introspected`]).
+pub fn execute_plan_introspected(
+    catalog: &Catalog,
+    p: &Plan,
+    sys: SystemParams,
+    base_query_params: QueryParams,
+    trace: Option<&textjoin_obs::Tracer>,
+    introspect: Introspect<'_>,
+) -> Result<QueryOutput> {
+    execute_plan_inner(
+        catalog,
+        p,
+        sys,
+        base_query_params,
+        trace,
+        None,
+        Some(introspect),
+    )
 }
 
 /// Executes a plan with the drift watchdog armed: the chosen algorithm may
@@ -91,10 +165,41 @@ pub fn execute_plan_watched(
     trace: Option<&textjoin_obs::Tracer>,
     drift_factor: f64,
 ) -> Result<QueryOutput> {
+    execute_plan_watched_introspected(
+        catalog,
+        p,
+        sys,
+        base_query_params,
+        trace,
+        drift_factor,
+        None,
+    )
+}
+
+/// [`execute_plan_watched`] with optional live introspection: the ticket
+/// additionally carries the watchdog budget, so `/queries` shows each
+/// run's remaining headroom.
+pub fn execute_plan_watched_introspected(
+    catalog: &Catalog,
+    p: &Plan,
+    sys: SystemParams,
+    base_query_params: QueryParams,
+    trace: Option<&textjoin_obs::Tracer>,
+    drift_factor: f64,
+    introspect: Option<Introspect<'_>>,
+) -> Result<QueryOutput> {
     let predicted = p.chosen_prediction().calibrated;
     let budget = (predicted.is_finite() && predicted > 0.0 && drift_factor.is_finite())
         .then_some(predicted * drift_factor);
-    execute_plan_inner(catalog, p, sys, base_query_params, trace, budget)
+    execute_plan_inner(
+        catalog,
+        p,
+        sys,
+        base_query_params,
+        trace,
+        budget,
+        introspect,
+    )
 }
 
 fn execute_plan_inner(
@@ -104,6 +209,7 @@ fn execute_plan_inner(
     base_query_params: QueryParams,
     trace: Option<&textjoin_obs::Tracer>,
     cost_budget: Option<f64>,
+    introspect: Option<Introspect<'_>>,
 ) -> Result<QueryOutput> {
     let inner_rel = catalog
         .relation(&p.inner_rel)
@@ -132,6 +238,25 @@ fn execute_plan_inner(
     }
     if let Some(budget) = cost_budget {
         spec = spec.with_cost_budget(budget);
+    }
+    // Register the in-flight ticket before the first page is read: it
+    // carries the plan's calibrated prediction (the progress denominator),
+    // the watchdog budget if armed, and the worker count. The guard's
+    // lifetime is this function — RAII deregistration covers every exit.
+    let guard: Option<TicketGuard> = introspect.map(|i| {
+        i.live.register(
+            i.query,
+            pair_key(p),
+            p.chosen.to_string(),
+            finite_pages(p.chosen_prediction().calibrated),
+            cost_budget,
+            p.workers as u64,
+        )
+    });
+    if let Some(g) = &guard {
+        spec = spec
+            .with_ticket(g.ticket())
+            .with_cancel(g.ticket().cancel_token());
     }
 
     let run_alg = |alg: Alg, spec: &JoinSpec<'_>| {
@@ -175,6 +300,15 @@ fn execute_plan_inner(
             for alg in fallbacks {
                 if p.estimates.cost(alg, IoScenario::Dedicated).is_infinite() {
                     continue;
+                }
+                // Keep the live ticket honest across the re-plan: new
+                // algorithm label, its prediction as the new progress
+                // denominator, and no budget (the watchdog is disarmed).
+                if let Some(g) = &guard {
+                    let ticket = g.ticket();
+                    ticket.set_algorithm(alg.to_string());
+                    ticket.set_predicted_pages(finite_pages(p.prediction(alg).calibrated));
+                    ticket.set_budget_pages(None);
                 }
                 match run_alg(alg, &spec) {
                     Ok(outcome) => {
@@ -264,6 +398,22 @@ pub fn run_query_batch(
     execute_batch_plan(catalog, &bp, sys, base_query_params)
 }
 
+/// [`run_query_batch`] with live introspection: one ticket per query in
+/// the batch, each with its own cancel token — cancelling one query
+/// tags it `Partial` while its siblings run to completion unchanged.
+pub fn run_query_batch_introspected(
+    catalog: &Catalog,
+    sqls: &[&str],
+    sys: SystemParams,
+    base_query_params: QueryParams,
+    scenario: IoScenario,
+    live: &LiveRegistry,
+) -> Result<BatchQueryOutput> {
+    let queries = sqls.iter().map(|s| parse(s)).collect::<Result<Vec<_>>>()?;
+    let bp = plan_batch(catalog, &queries, sys, base_query_params, scenario)?;
+    execute_batch_plan_inner(catalog, &bp, sys, base_query_params, Some((live, sqls)))
+}
+
 /// Executes an already-planned batch on its chosen algorithm, falling back
 /// to the remaining feasible algorithms (cheapest batch estimate first)
 /// when the choice dies on unreadable storage — the same recovery policy
@@ -273,6 +423,16 @@ pub fn execute_batch_plan(
     bp: &BatchPlan,
     sys: SystemParams,
     base_query_params: QueryParams,
+) -> Result<BatchQueryOutput> {
+    execute_batch_plan_inner(catalog, bp, sys, base_query_params, None)
+}
+
+fn execute_batch_plan_inner(
+    catalog: &Catalog,
+    bp: &BatchPlan,
+    sys: SystemParams,
+    base_query_params: QueryParams,
+    introspect: Option<(&LiveRegistry, &[&str])>,
 ) -> Result<BatchQueryOutput> {
     let p0 = &bp.plans[0];
     let inner_rel = catalog
@@ -288,13 +448,35 @@ pub fn execute_batch_plan(
         .text_column(&p0.outer_column)
         .expect("planned text column");
 
+    // One ticket per query: each carries its own cancel token, so one
+    // batch member can be cancelled without touching its siblings.
+    let guards: Vec<TicketGuard> = introspect
+        .map(|(live, sqls)| {
+            bp.plans
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    live.register(
+                        sqls.get(i).copied().unwrap_or(""),
+                        pair_key(p),
+                        bp.chosen.to_string(),
+                        finite_pages(p.prediction(bp.chosen).calibrated),
+                        None,
+                        1,
+                    )
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+
     // All plans share the collection pair (checked by `plan_batch`), so
     // every spec borrows the *same* `Collection` values — the identity the
     // batch executors insist on.
     let specs: Vec<JoinSpec<'_>> = bp
         .plans
         .iter()
-        .map(|p| {
+        .enumerate()
+        .map(|(i, p)| {
             let mut spec = JoinSpec::new(&inner_tc.collection, &outer_tc.collection)
                 .with_sys(sys)
                 .with_query(base_query_params.with_lambda(p.lambda));
@@ -303,6 +485,11 @@ pub fn execute_batch_plan(
             }
             if let Some(ids) = &p.inner_rows {
                 spec = spec.with_inner_docs(ids);
+            }
+            if let Some(g) = guards.get(i) {
+                spec = spec
+                    .with_ticket(g.ticket())
+                    .with_cancel(g.ticket().cancel_token());
             }
             spec
         })
@@ -330,6 +517,11 @@ pub fn execute_batch_plan(
             for alg in fallbacks {
                 if bp.estimates.cost(alg, IoScenario::Dedicated).is_infinite() {
                     continue;
+                }
+                for (g, p) in guards.iter().zip(&bp.plans) {
+                    let ticket = g.ticket();
+                    ticket.set_algorithm(alg.to_string());
+                    ticket.set_predicted_pages(finite_pages(p.prediction(alg).calibrated));
                 }
                 match run_alg(alg) {
                     Ok(outcome) => {

@@ -37,7 +37,10 @@ pub mod planner;
 
 pub use ast::{ColumnRef, Literal, Predicate, Query};
 pub use catalog::{Catalog, ColumnType, Relation, RelationBuilder, Value};
-pub use executor::{execute_plan_watched, run_query, QueryOutput};
+pub use executor::{
+    execute_plan_introspected, execute_plan_watched, execute_plan_watched_introspected, run_query,
+    run_query_batch_introspected, run_query_introspected, Introspect, QueryOutput,
+};
 pub use explain::{
     explain_analyze_query, explain_analyze_query_with_profile, explain_query, AnalyzeOutput,
     CalibratedDrift, DriftRow,

@@ -30,7 +30,11 @@
 //! * [`calibrate`] — the feedback loop: persist bench-grid query reports
 //!   in the append-only store, fit a [`CalibrationProfile`]
 //!   (`textjoin_costmodel::calibrate`) from what survived the round trip,
-//!   and gate on the calibrated grid's median drift strictly improving.
+//!   and gate on the calibrated grid's median drift strictly improving;
+//! * [`live`] — the live-introspection commands: `serve-metrics` hosts
+//!   the embedded scrape endpoint (progress, ETA, cancellation) while a
+//!   canned workload runs, and `top` polls `GET /queries` and renders
+//!   the in-flight table.
 //!
 //! Everything prints through [`table::Table`], one table per experiment,
 //! in the spirit of the tables the paper's tech report tabulates.
@@ -40,6 +44,7 @@ pub mod chaos;
 pub mod chaos_merge;
 pub mod findings;
 pub mod groups;
+pub mod live;
 pub mod presets;
 pub mod slowlog;
 pub mod table;

@@ -28,6 +28,14 @@
 //! textjoin-sim reports [--store FILE] # dump the persistent report store
 //! textjoin-sim slowlog [K] [--by cost|wall]
 //!                                 # canned workload; dump top-K query reports
+//! textjoin-sim serve-metrics [--addr A] [--rounds N] [--page-latency-us U]
+//!                            [--cancel-round R]
+//!                                 # host GET /metrics /queries /healthz and
+//!                                 # POST /queries/<id>/cancel while a canned
+//!                                 # workload runs (tickets, progress, ETA)
+//! textjoin-sim top [--addr A] [--iters N] [--interval-ms M]
+//!                                 # poll GET /queries and render the
+//!                                 # in-flight table, top(1)-style
 //! textjoin-sim all [scale]        # everything above
 //!
 //! Append `--csv` to any table command to emit CSV instead of the grid.
@@ -40,7 +48,9 @@
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use textjoin_sim::{calibrate, chaos, chaos_merge, findings, groups, slowlog, validate, Table};
+use textjoin_sim::{
+    calibrate, chaos, chaos_merge, findings, groups, live, slowlog, validate, Table,
+};
 
 /// Writes one scenario-marker line plus the span/metric JSON-lines of each
 /// traced scenario run.
@@ -141,6 +151,44 @@ fn main() -> ExitCode {
     // scenarios (the CI job uploads the directory).
     let artifacts_dir = match take_value("--artifacts") {
         Ok(d) => PathBuf::from(d.unwrap_or_else(|| "chaos-merge-artifacts".into())),
+        Err(c) => return c,
+    };
+    // `--addr`, `--rounds`, `--page-latency-us` and `--cancel-round` drive
+    // `serve-metrics`; `--addr`, `--iters` and `--interval-ms` drive `top`.
+    let mut take_u64 = |flag: &str| -> Result<Option<u64>, ExitCode> {
+        match take_value(flag)? {
+            None => Ok(None),
+            Some(v) => match v.parse() {
+                Ok(n) => Ok(Some(n)),
+                Err(_) => {
+                    eprintln!("{flag} needs a non-negative integer, got '{v}'");
+                    Err(ExitCode::FAILURE)
+                }
+            },
+        }
+    };
+    let rounds = match take_u64("--rounds") {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
+    let page_latency_us = match take_u64("--page-latency-us") {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
+    let cancel_round = match take_u64("--cancel-round") {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
+    let iters = match take_u64("--iters") {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
+    let interval_ms = match take_u64("--interval-ms") {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
+    let live_addr = match take_value("--addr") {
+        Ok(v) => v,
         Err(c) => return c,
     };
     // `--seed N` or `--seed A..B` (inclusive) selects chaos seeds.
@@ -436,6 +484,57 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "serve-metrics" => {
+            let mut opts = live::ServeOptions::default();
+            if let Some(addr) = live_addr {
+                opts.addr = addr;
+            }
+            if let Some(r) = rounds {
+                opts.rounds = r;
+            }
+            if let Some(us) = page_latency_us {
+                opts.page_latency_us = us;
+            }
+            opts.cancel_round = cancel_round;
+            eprintln!(
+                "serving introspection while running {} round(s) of the canned workload …",
+                opts.rounds.max(1)
+            );
+            match live::serve_workload(&opts, |r| {
+                println!(
+                    "run {}: pages={:.0} quality={}",
+                    r.query, r.pages, r.quality
+                );
+            }) {
+                Ok(summary) => eprintln!(
+                    "served {} runs ({} partial) on {}",
+                    summary.runs.len(),
+                    summary.partial_runs(),
+                    summary.addr
+                ),
+                Err(e) => {
+                    eprintln!("serve-metrics failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        "top" => {
+            let mut opts = live::TopOptions::default();
+            if let Some(addr) = live_addr {
+                opts.addr = addr;
+            }
+            if let Some(i) = iters {
+                opts.iters = i;
+            }
+            if let Some(m) = interval_ms {
+                opts.interval_ms = m;
+            }
+            opts.clear = !csv;
+            if let Err(e) = live::top(&opts) {
+                eprintln!("top failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
         "all" => {
             println!("{}", groups::t1_statistics());
             for t in groups::group1() {
@@ -464,7 +563,9 @@ fn main() -> ExitCode {
                  chaos-merge [--seed N|A..B] [--artifacts DIR] | \
                  bench [--out FILE] [--baseline FILE] [--threshold PCT] | \
                  calibrate [--store FILE] [--profile FILE] | reports [--store FILE] | \
-                 slowlog [K] [--by cost|wall] | all [scale]"
+                 slowlog [K] [--by cost|wall] | \
+                 serve-metrics [--addr A] [--rounds N] [--page-latency-us U] [--cancel-round R] | \
+                 top [--addr A] [--iters N] [--interval-ms M] | all [scale]"
             );
             return ExitCode::FAILURE;
         }

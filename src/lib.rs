@@ -25,6 +25,10 @@
 //! * [`query`] — an extended-SQL front end
 //!   (`SELECT … WHERE a.X SIMILAR_TO(λ) b.Y AND …`) with selection
 //!   pushdown;
+//! * [`obs`] — the observability stack: span tracing, a metrics registry
+//!   with Prometheus export, per-query reports, and the live layer
+//!   (in-flight tickets with progress/ETA, cooperative cancellation and
+//!   the embedded scrape endpoint);
 //! * [`sim`] — the harness regenerating the paper's five experiment groups
 //!   and checking its five findings.
 //!
@@ -57,6 +61,7 @@ pub use textjoin_core as core;
 pub use textjoin_costmodel as costmodel;
 pub use textjoin_invfile as invfile;
 pub use textjoin_live as live;
+pub use textjoin_obs as obs;
 pub use textjoin_query as query;
 pub use textjoin_sim as sim;
 pub use textjoin_storage as storage;
